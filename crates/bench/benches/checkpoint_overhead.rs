@@ -1,0 +1,37 @@
+//! Criterion bench for the paper's "negligible overhead during execution"
+//! claim (§3.1): full NLJ_S executions with asynchronous checkpointing on
+//! vs. completely off. The two distributions should be indistinguishable —
+//! checkpointing at minimal-heap-state points performs no I/O and only
+//! touches a handful of in-memory graph nodes per batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsr_bench::{nlj_s_plan, ExpDb};
+use qsr_exec::QueryExecution;
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let exp = ExpDb::new("ckpt-bench").unwrap();
+    exp.table("r", 20_000).unwrap();
+    exp.table("t", 1_000).unwrap();
+    let spec = nlj_s_plan(0.5, 2_000);
+
+    let mut group = c.benchmark_group("execute_phase");
+    group.sample_size(10);
+    group.bench_function("checkpointing_on", |b| {
+        b.iter(|| {
+            let mut exec = QueryExecution::start(exp.db.clone(), spec.clone()).unwrap();
+            exec.run_to_completion().unwrap().len()
+        })
+    });
+    group.bench_function("checkpointing_off", |b| {
+        b.iter(|| {
+            let mut exec =
+                QueryExecution::start_without_checkpointing(exp.db.clone(), spec.clone())
+                    .unwrap();
+            exec.run_to_completion().unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Table 2's hot path: suspend-plan optimization time
+//! on worst-case left-deep chains, for both solver paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsr_bench::experiments::table2::chain_problem;
+use qsr_core::{structured, SuspendOptimizer};
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suspend_plan_optimize");
+    group.sample_size(20);
+    for k in [11usize, 21, 41] {
+        let (problem, graph) = chain_problem(k);
+        let cands = problem.candidates(&graph);
+        group.bench_with_input(BenchmarkId::new("mip", k), &k, |b, _| {
+            b.iter(|| {
+                SuspendOptimizer::solve_mip(&problem, &graph, &cands, Some(200.0)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("structured_dp", k), &k, |b, _| {
+            b.iter(|| structured::solve(&problem, &graph, &cands, Some(200.0)).unwrap())
+        });
+    }
+    for k in [61usize, 101] {
+        let (problem, graph) = chain_problem(k);
+        let cands = problem.candidates(&graph);
+        group.bench_with_input(BenchmarkId::new("structured_dp", k), &k, |b, _| {
+            b.iter(|| structured::solve(&problem, &graph, &cands, Some(200.0)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

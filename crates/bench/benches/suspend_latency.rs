@@ -1,0 +1,44 @@
+//! Criterion bench for suspend and resume latency per strategy on the
+//! NLJ_S plan with a nearly full outer buffer — the wall-clock face of
+//! Figures 8/9's cost-unit measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsr_bench::{after, nlj_s_plan, ExpDb};
+use qsr_core::SuspendPolicy;
+use qsr_exec::QueryExecution;
+
+fn bench_suspend_resume(c: &mut Criterion) {
+    let exp = ExpDb::new("latency-bench").unwrap();
+    exp.table("r", 20_000).unwrap();
+    exp.table("t", 1_000).unwrap();
+    let spec = nlj_s_plan(0.5, 2_000);
+
+    let arms = [
+        ("all_dump", SuspendPolicy::AllDump),
+        ("all_goback", SuspendPolicy::AllGoBack),
+        ("online_lp", SuspendPolicy::Optimized { budget: None }),
+    ];
+
+    let mut group = c.benchmark_group("suspend_resume_cycle");
+    group.sample_size(10);
+    for (name, policy) in arms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, policy| {
+            b.iter(|| {
+                let mut exec =
+                    QueryExecution::start(exp.db.clone(), spec.clone()).unwrap();
+                exec.set_trigger(Some(after(0, 1_800)));
+                let (prefix, done) = exec.run().unwrap();
+                assert!(!done);
+                let handle = exec.suspend(policy).unwrap();
+                let mut resumed =
+                    QueryExecution::resume(exp.db.clone(), &handle).unwrap();
+                let rest = resumed.run_to_completion().unwrap();
+                prefix.len() + rest.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suspend_resume);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Runs the DESIGN.md §8 ablations. See `qsr_bench::experiments::ablation`.
+
+fn main() {
+    if let Err(e) = qsr_bench::experiments::ablation::run() {
+        eprintln!("ablation failed: {e}");
+        std::process::exit(1);
+    }
+}

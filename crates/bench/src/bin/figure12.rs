@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure12 experiment. See `qsr_bench::experiments::figure12`.
+
+fn main() {
+    if let Err(e) = qsr_bench::experiments::figure12::run() {
+        eprintln!("figure12 failed: {e}");
+        std::process::exit(1);
+    }
+}

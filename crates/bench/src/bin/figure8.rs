@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure8 experiment. See `qsr_bench::experiments::figure8`.
+
+fn main() {
+    if let Err(e) = qsr_bench::experiments::figure8::run() {
+        eprintln!("figure8 failed: {e}");
+        std::process::exit(1);
+    }
+}

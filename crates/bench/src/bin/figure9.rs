@@ -1,0 +1,8 @@
+//! Regenerates the paper's figure9 experiment. See `qsr_bench::experiments::figure9`.
+
+fn main() {
+    if let Err(e) = qsr_bench::experiments::figure9::run() {
+        eprintln!("figure9 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Example 10 (paper §7): suspend-aware choice between NLJ and SMJ, with
+//! the crossover at ≈16 020 tuples of NLJ-buffer fill.
+//!
+//! Everything here is analytical, exactly as in the paper: R = 300k rows,
+//! S = 350k presorted, filter selectivity 0.6, NLJ buffer 90k, SMJ sort
+//! buffer 10k, 100 tuples per page.
+
+use crate::experiments::figure8::markdown_table;
+use crate::harness::f1;
+use qsr_planner::{
+    example10_crossover, nlj_io, nlj_suspend_overhead_goback, smj_io_presorted_right,
+    sort_suspend_overhead_goback, TableStats,
+};
+use qsr_storage::Result;
+
+/// Run the experiment and return a markdown report.
+pub fn run() -> Result<String> {
+    let r = TableStats::new(300_000.0, 100.0);
+    let s = TableStats::new(350_000.0, 100.0);
+    let sel = 0.6;
+
+    let nlj_exec = nlj_io(r, 180_000.0, s, 90_000.0);
+    let smj_exec = smj_io_presorted_right(r, 180_000.0, s);
+
+    let mut rows = vec![vec![
+        "no suspend".to_string(),
+        f1(nlj_exec),
+        f1(smj_exec),
+        if nlj_exec < smj_exec { "NLJ" } else { "SMJ" }.to_string(),
+    ]];
+    for fill in [20_000.0, 80_000.0, 90_000.0] {
+        let nlj_oh = nlj_suspend_overhead_goback(r, sel, fill);
+        let smj_oh = sort_suspend_overhead_goback(r, sel, 10_000.0);
+        rows.push(vec![
+            format!("suspend @ {fill} buffered"),
+            f1(nlj_exec + nlj_oh),
+            f1(smj_exec + smj_oh),
+            if nlj_exec + nlj_oh < smj_exec + smj_oh {
+                "NLJ"
+            } else {
+                "SMJ"
+            }
+            .to_string(),
+        ]);
+    }
+
+    let crossover = example10_crossover(
+        nlj_exec,
+        smj_exec,
+        sort_suspend_overhead_goback(r, sel, 10_000.0),
+        r,
+        sel,
+    );
+
+    let mut out = String::from(
+        "### Example 10 — suspend-aware plan choice (analytical, paper sizes)\n\n",
+    );
+    out.push_str(&markdown_table(
+        &["scenario", "NLJ total I/Os", "SMJ total I/Os", "winner"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nCrossover: SMJ overtakes NLJ for suspend points beyond \
+         **{crossover:.0} tuples** of NLJ buffer fill (paper: ≈16,020).\n"
+    ));
+    println!("{out}");
+    Ok(out)
+}

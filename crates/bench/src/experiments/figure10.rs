@@ -1,0 +1,55 @@
+//! Figure 10: the overhead surface of NLJ_S over (selectivity × suspend
+//! point), for all-GoBack and all-DumpState.
+//!
+//! Expectation (paper): increasing selectivity flips the preferred
+//! strategy; moving the suspend point deeper into the buffer exacerbates
+//! the difference.
+
+use crate::experiments::figure8::markdown_table;
+use crate::harness::*;
+use qsr_storage::Result;
+
+/// Run the experiment and return a markdown report.
+pub fn run() -> Result<String> {
+    let exp = ExpDb::new("figure10")?;
+    let r_rows = scaled(2_200_000);
+    let t_rows = scaled(100_000);
+    let buffer = scaled(200_000) as usize;
+    exp.table("r", r_rows)?;
+    exp.table("t", t_rows)?;
+
+    let sels = [0.1, 0.3, 0.5, 0.9];
+    let points = [25u64, 50, 75];
+
+    let mut rows = Vec::new();
+    for &sel in &sels {
+        let spec = nlj_s_plan(sel, buffer);
+        for &pct in &points {
+            let trigger = after(0, buffer as u64 * pct / 100);
+            let dump = measure(&exp.db, &spec, trigger.clone(), &arms()[0].1)?;
+            let goback = measure(&exp.db, &spec, trigger.clone(), &arms()[1].1)?;
+            rows.push(vec![
+                format!("{sel:.1}"),
+                format!("{pct}%"),
+                f1(dump.total_overhead),
+                f1(goback.total_overhead),
+                if dump.total_overhead < goback.total_overhead {
+                    "dump".into()
+                } else {
+                    "goback".into()
+                },
+            ]);
+        }
+        eprintln!("figure10: sel={sel:.1} done");
+    }
+
+    let mut out = String::from(
+        "### Figure 10 — NLJ_S overhead surface (selectivity × suspend point)\n\n",
+    );
+    out.push_str(&markdown_table(
+        &["sel", "suspend point", "dump total", "goback total", "winner"],
+        &rows,
+    ));
+    println!("{out}");
+    Ok(out)
+}

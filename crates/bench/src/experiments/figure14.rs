@@ -1,0 +1,96 @@
+//! Figure 14: varying the suspend-cost budget.
+//!
+//! Paper setup: a left-deep plan of three block NLJs with different outer
+//! buffer sizes over a selectivity-0.1 filter. As the budget grows, the
+//! optimizer moves from all-GoBack (high total overhead, minimal suspend
+//! time) through hybrid plans to the unconstrained optimum: total
+//! overhead falls while suspend time rises within the budget.
+
+use crate::experiments::figure8::markdown_table;
+use crate::harness::*;
+use qsr_core::SuspendPolicy;
+use qsr_exec::{PlanSpec, Predicate};
+use qsr_storage::Result;
+
+/// Run the experiment and return a markdown report.
+pub fn run() -> Result<String> {
+    let exp = ExpDb::new("figure14")?;
+    let rows = scaled(2_200_000);
+    // Shared key domain: the filter (selectivity 0.1) is the only
+    // cardinality reducer, so the upper NLJ's buffer genuinely fills.
+    exp.table("a", rows)?;
+    exp.table("b", rows)?;
+    exp.table("c", rows)?;
+    exp.table("d", scaled(100_000))?;
+
+    let b0 = scaled(300_000) as usize;
+    let b1 = scaled(200_000) as usize;
+    let b2 = scaled(100_000) as usize;
+    // ids: 0=NLJ0, 1=NLJ1, 2=NLJ2, 3=Filter, 4=ScanA, 5=ScanB, 6=ScanC, 7=ScanD.
+    let spec = PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::BlockNlj {
+                outer: Box::new(PlanSpec::Filter {
+                    input: Box::new(PlanSpec::TableScan { table: "a".into() }),
+                    predicate: Predicate::IntLt { col: 1, value: 100 },
+                }),
+                inner: Box::new(PlanSpec::TableScan { table: "b".into() }),
+                outer_key: 0,
+                inner_key: 0,
+                buffer_tuples: b2,
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "c".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: b1,
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "d".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: b0,
+    };
+    // Suspend deep in execution: the top NLJ has consumed 70% of its
+    // buffer (the filtered stream is ~rows/10 tuples, which exceeds b0).
+    let fill_target = ((rows / 10) as usize).min(b0);
+    let trigger = after(0, (fill_target as f64 * 0.7) as u64);
+
+    // Calibrate the budget sweep against the all-dump suspend cost.
+    let dump = measure(&exp.db, &spec, trigger.clone(), &SuspendPolicy::AllDump)?;
+    let full = dump.suspend_time;
+
+    let mut rows_out = Vec::new();
+    for frac in [0.01, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5] {
+        let budget = full * frac;
+        let m = measure(
+            &exp.db,
+            &spec,
+            trigger.clone(),
+            &SuspendPolicy::Optimized {
+                budget: Some(budget),
+            },
+        )?;
+        assert!(
+            m.suspend_time <= budget + full * 0.05 + 10.0,
+            "budget {budget:.0} violated: suspend time {:.0}",
+            m.suspend_time
+        );
+        rows_out.push(vec![
+            f1(budget),
+            f1(m.total_overhead),
+            f1(m.suspend_time),
+            f1(m.resume_time),
+        ]);
+        eprintln!("figure14: budget {budget:.0} done");
+    }
+
+    let mut out = String::from(
+        "### Figure 14 — varying the suspend-cost budget (3-NLJ left-deep plan)\n\n\
+         Budgets are fractions of the all-DumpState suspend cost.\n\n",
+    );
+    out.push_str(&markdown_table(
+        &["budget", "total overhead", "suspend time", "resume time"],
+        &rows_out,
+    ));
+    println!("{out}");
+    Ok(out)
+}

@@ -1,0 +1,84 @@
+//! Figure 2: heap state vs. time for the two NLJs of the running example
+//! (R ⋈ S ⋈ T, Figure 1).
+//!
+//! The trace shows the child NLJ's buffer filling, plateauing while it
+//! feeds the parent, and collapsing to zero at each minimal-heap-state
+//! point — the moments where proactive checkpoints are created.
+
+use crate::experiments::figure8::markdown_table;
+use crate::harness::*;
+use qsr_core::OpId;
+use qsr_exec::{PlanSpec, Poll, QueryExecution};
+use qsr_storage::Result;
+
+/// Run the experiment and return a markdown report.
+pub fn run() -> Result<String> {
+    let exp = ExpDb::new("figure2")?;
+    exp.table("r", scaled(400_000))?;
+    exp.table("s", scaled(300_000))?;
+    exp.table("t", scaled(100_000))?;
+
+    // NLJ0(NLJ1(ScanR, ScanS), ScanT); ids 0=NLJ0, 1=NLJ1.
+    let spec = PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: scaled(200_000) as usize,
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "t".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: scaled(100_000) as usize,
+    };
+
+    let mut exec = QueryExecution::start(exp.db.clone(), spec)?;
+    let mut rows = Vec::new();
+    let mut produced: u64 = 0;
+    let sample_every = 200u64.max(scaled(100_000) / 16);
+    loop {
+        match exec.next()? {
+            Poll::Tuple(_) => {
+                produced += 1;
+                if produced % sample_every == 0 {
+                    let problem = exec.suspend_problem();
+                    let h0 = problem.inputs[&OpId(0)].heap_bytes;
+                    let h1 = problem.inputs[&OpId(1)].heap_bytes;
+                    let ckpts = exec.ctx().graph.num_checkpoints();
+                    let ctrs = exec.ctx().graph.num_contracts();
+                    rows.push(vec![
+                        produced.to_string(),
+                        h0.to_string(),
+                        h1.to_string(),
+                        ckpts.to_string(),
+                        ctrs.to_string(),
+                    ]);
+                }
+            }
+            Poll::Done => break,
+            Poll::Suspended => unreachable!("no trigger installed"),
+        }
+        if rows.len() >= 40 {
+            break; // enough samples for the shape
+        }
+    }
+
+    let mut out = String::from(
+        "### Figure 2 — heap state vs. time for the two NLJs (R ⋈ S ⋈ T)\n\n\
+         The contract-graph columns also demonstrate the Theorem 1 bound:\n\
+         pruning keeps the graph at a handful of nodes throughout.\n\n",
+    );
+    out.push_str(&markdown_table(
+        &[
+            "output tuples",
+            "NLJ0 heap bytes",
+            "NLJ1 heap bytes",
+            "graph ckpts",
+            "graph contracts",
+        ],
+        &rows,
+    ));
+    println!("{out}");
+    Ok(out)
+}

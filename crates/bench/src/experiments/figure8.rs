@@ -1,0 +1,87 @@
+//! Figure 8: NLJ_S total overhead and suspend time vs. filter selectivity.
+//!
+//! Paper setup: NLJ_S (Figure 6) with a 200 000-tuple outer buffer over a
+//! 2.2M-row R; suspension halfway through filling the buffer (after
+//! 100 000 tuples). Expectation: all-DumpState wins at low selectivity
+//! (recompute is expensive), all-GoBack wins above a crossover around
+//! selectivity ≈ 0.28 (read/(read+write) under the cost model), and the
+//! online LP always tracks the better of the two. All-GoBack's *suspend
+//! time* is always far lower.
+
+use crate::harness::*;
+use qsr_storage::Result;
+
+/// Run the experiment and return a markdown report.
+pub fn run() -> Result<String> {
+    let exp = ExpDb::new("figure8")?;
+    let r_rows = scaled(2_200_000);
+    let t_rows = scaled(100_000);
+    let buffer = scaled(200_000) as usize;
+    exp.table("r", r_rows)?;
+    exp.table("t", t_rows)?;
+
+    let selectivities = [0.05, 0.1, 0.2, 0.28, 0.4, 0.5, 0.7, 0.9];
+    let mut rows = Vec::new();
+    for &sel in &selectivities {
+        let spec = nlj_s_plan(sel, buffer);
+        // Suspend halfway through filling the outer buffer.
+        let trigger = after(0, buffer as u64 / 2);
+        let mut cells = vec![format!("{sel:.2}")];
+        let mut totals = Vec::new();
+        for (name, policy) in arms() {
+            let m = measure(&exp.db, &spec, trigger.clone(), &policy)?;
+            totals.push((name, m.total_overhead));
+            cells.push(f1(m.total_overhead));
+            cells.push(f1(m.suspend_time));
+        }
+        // The online optimizer must track the better purist arm.
+        let best_purist = totals[0].1.min(totals[1].1);
+        let lp = totals[2].1;
+        cells.push(if lp <= best_purist * 1.15 + 5.0 { "yes".into() } else { format!("NO ({lp:.0} vs {best_purist:.0})") });
+        rows.push(cells);
+        eprintln!("figure8: sel={sel:.2} done");
+    }
+
+    let mut out = String::from(
+        "### Figure 8 — NLJ_S, varying filter selectivity\n\n\
+         Suspend halfway through filling the NLJ outer buffer. Costs in\n\
+         simulated cost units (read=1, write=2.5 per page).\n\n",
+    );
+    out.push_str(&markdown_table(
+        &[
+            "sel",
+            "dump total",
+            "dump susp",
+            "goback total",
+            "goback susp",
+            "LP total",
+            "LP susp",
+            "LP tracks best",
+        ],
+        &rows,
+    ));
+    println!("{out}");
+    Ok(out)
+}
+
+/// Render markdown.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::from("|");
+    for h in headers {
+        s.push_str(&format!(" {h} |"));
+    }
+    s.push('\n');
+    s.push('|');
+    for _ in headers {
+        s.push_str("---|");
+    }
+    s.push('\n');
+    for row in rows {
+        s.push('|');
+        for c in row {
+            s.push_str(&format!(" {c} |"));
+        }
+        s.push('\n');
+    }
+    s
+}

@@ -1,0 +1,54 @@
+//! Figure 9: SMJ_S total overhead vs. suspend point (fraction of the sort
+//! buffer filled at suspension), selectivity fixed at 0.5.
+//!
+//! Expectation (paper): at selectivity 0.5, GoBack beats DumpState at
+//! every suspend point, and the gap widens as the suspend point moves
+//! toward a full buffer. The online LP tracks the winner.
+
+use crate::experiments::figure8::markdown_table;
+use crate::harness::*;
+use qsr_storage::Result;
+
+/// Run the experiment and return a markdown report.
+pub fn run() -> Result<String> {
+    let exp = ExpDb::new("figure9")?;
+    let r_rows = scaled(2_200_000);
+    let t_rows = scaled(200_000);
+    let buffer = scaled(200_000) as usize;
+    exp.table("r", r_rows)?;
+    exp.table("t", t_rows)?;
+
+    let spec = smj_s_plan(0.5, buffer);
+    let mut rows = Vec::new();
+    for pct in [10u64, 25, 50, 75, 90] {
+        // Suspend when the left sort's buffer is pct% full (first fill).
+        let trigger = after(1, buffer as u64 * pct / 100);
+        let mut cells = vec![format!("{pct}%")];
+        for (_name, policy) in arms() {
+            let m = measure(&exp.db, &spec, trigger.clone(), &policy)?;
+            cells.push(f1(m.total_overhead));
+            cells.push(f1(m.suspend_time));
+        }
+        rows.push(cells);
+        eprintln!("figure9: suspend point {pct}% done");
+    }
+
+    let mut out = String::from(
+        "### Figure 9 — SMJ_S, varying suspend point (selectivity 0.5)\n\n\
+         Suspend when the left sort buffer reaches the given fill level.\n\n",
+    );
+    out.push_str(&markdown_table(
+        &[
+            "buffer filled",
+            "dump total",
+            "dump susp",
+            "goback total",
+            "goback susp",
+            "LP total",
+            "LP susp",
+        ],
+        &rows,
+    ));
+    println!("{out}");
+    Ok(out)
+}

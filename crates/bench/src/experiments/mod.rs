@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation. Each `run()`
+//! prints progress and returns a markdown report fragment; the binaries in
+//! `src/bin/` are thin wrappers, and `all_experiments` stitches the
+//! fragments into `EXPERIMENTS.md` content.
+
+pub mod ablation;
+pub mod example10;
+pub mod figure10;
+pub mod figure12;
+pub mod figure13;
+pub mod figure14;
+pub mod figure15;
+pub mod figure2;
+pub mod figure8;
+pub mod figure9;
+pub mod table2;

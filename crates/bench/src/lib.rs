@@ -1,0 +1,13 @@
+//! # qsr-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§5 Table 2, §6 Figures 8–14, §7 Figure 15 and Example 10;
+//! Figure 2's heap-state trace as a bonus). Each experiment is a module
+//! under [`experiments`] with a thin binary wrapper in `src/bin/`;
+//! `all_experiments` runs the suite and emits `EXPERIMENTS.md`-ready
+//! markdown. Criterion microbenchmarks live in `benches/`.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,82 @@
+//! Identifiers for operators, checkpoints, and contracts.
+
+use qsr_storage::{Decode, Decoder, Encode, Encoder, Result};
+
+/// Identifier of a physical operator within one query plan.
+///
+/// Assigned by the plan builder in pre-order (root is `OpId(0)`); stable
+/// across suspend/resume because the resumed query re-instantiates the
+/// same plan (paper assumption 1, §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+/// Identifier of a checkpoint in the contract graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CkptId(pub u64);
+
+/// Identifier of a contract (an edge in the contract graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CtrId(pub u64);
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+impl std::fmt::Display for CkptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ckpt{}", self.0)
+    }
+}
+impl std::fmt::Display for CtrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ctr{}", self.0)
+    }
+}
+
+impl Encode for OpId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+}
+impl Decode for OpId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(OpId(dec.get_u32()?))
+    }
+}
+impl Encode for CkptId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+impl Decode for CkptId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(CkptId(dec.get_u64()?))
+    }
+}
+impl Encode for CtrId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+impl Decode for CtrId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(CtrId(dec.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsr_storage::codec::roundtrip;
+
+    #[test]
+    fn ids_roundtrip_and_display() {
+        assert_eq!(roundtrip(&OpId(5)).unwrap(), OpId(5));
+        assert_eq!(roundtrip(&CkptId(9)).unwrap(), CkptId(9));
+        assert_eq!(roundtrip(&CtrId(2)).unwrap(), CtrId(2));
+        assert_eq!(OpId(1).to_string(), "op1");
+        assert_eq!(CkptId(3).to_string(), "ckpt3");
+        assert_eq!(CtrId(4).to_string(), "ctr4");
+    }
+}

@@ -1,0 +1,352 @@
+//! Plan topology: the operator tree's shape as seen by the contract graph
+//! and the suspend-plan optimizer.
+//!
+//! For each operator the topology distinguishes two kinds of child edge:
+//!
+//! * **rebuild** children — children from which the operator's heap state
+//!   is (re)derived. A GoBack operator enforces ckpt-time contracts along
+//!   these edges so the children regenerate its heap (e.g. the outer child
+//!   of a block NLJ, the single child of a sort, both children of a merge
+//!   join).
+//! * **positional** children — children that only need to be repositioned
+//!   to a recorded point, never replayed for heap rebuild (e.g. the inner
+//!   child of a block NLJ). Their redo work is folded into the parent's
+//!   `g^r` term through *side snapshots* recorded at contract signing.
+//!
+//! This distinction is how the implementation realizes the paper's
+//! "skipping versus redoing" (§3.3): a resumed NLJ refills its outer
+//! buffer through rebuild contracts, restores its cursor/inner tuple from
+//! the recorded target state, and merely seeks its inner child.
+
+use crate::ids::OpId;
+use qsr_storage::{Decode, Decoder, Encode, Encoder, Result, StorageError};
+
+/// One operator's position in the plan tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoNode {
+    /// This operator.
+    pub op: OpId,
+    /// Parent operator; `None` for the root.
+    pub parent: Option<OpId>,
+    /// All children, in operator order (e.g. `[outer, inner]` for joins).
+    pub children: Vec<OpId>,
+    /// The subset of `children` that rebuild this operator's heap state.
+    pub rebuild_children: Vec<OpId>,
+    /// Whether the operator is stateful (maintains heap state and creates
+    /// proactive checkpoints at minimal-heap-state points).
+    pub stateful: bool,
+    /// Human-readable label (e.g. `"NLJ"`, `"ScanR"`), for reports.
+    pub label: String,
+}
+
+/// The shape of a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanTopology {
+    nodes: Vec<TopoNode>,
+}
+
+impl PlanTopology {
+    /// Build a topology from nodes. Validates that ops are dense `0..n` in
+    /// index order, the parent/child references are consistent, and
+    /// rebuild children are a subset of children.
+    pub fn new(nodes: Vec<TopoNode>) -> Result<Self> {
+        for (i, n) in nodes.iter().enumerate() {
+            if n.op.0 as usize != i {
+                return Err(StorageError::invalid(format!(
+                    "node {i} has op id {}, expected dense ids",
+                    n.op
+                )));
+            }
+            for c in &n.children {
+                let cn = nodes
+                    .get(c.0 as usize)
+                    .ok_or_else(|| StorageError::invalid(format!("unknown child {c}")))?;
+                if cn.parent != Some(n.op) {
+                    return Err(StorageError::invalid(format!(
+                        "child {c} does not point back to parent {}",
+                        n.op
+                    )));
+                }
+            }
+            for rc in &n.rebuild_children {
+                if !n.children.contains(rc) {
+                    return Err(StorageError::invalid(format!(
+                        "rebuild child {rc} of {} is not a child",
+                        n.op
+                    )));
+                }
+            }
+        }
+        let roots = nodes.iter().filter(|n| n.parent.is_none()).count();
+        if !nodes.is_empty() && roots != 1 {
+            return Err(StorageError::invalid(format!("{roots} roots, expected 1")));
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the plan has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root operator.
+    pub fn root(&self) -> OpId {
+        self.nodes
+            .iter()
+            .find(|n| n.parent.is_none())
+            .map(|n| n.op)
+            .expect("non-empty topology has a root")
+    }
+
+    /// Node of an operator.
+    pub fn node(&self, op: OpId) -> &TopoNode {
+        &self.nodes[op.0 as usize]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[TopoNode] {
+        &self.nodes
+    }
+
+    /// True if `child` is a rebuild child of `op`.
+    pub fn is_rebuild_edge(&self, op: OpId, child: OpId) -> bool {
+        self.node(op).rebuild_children.contains(&child)
+    }
+
+    /// Ancestor chain of `op` following **rebuild edges only**, starting
+    /// with `op` itself and walking upward while each step is a rebuild
+    /// edge. These are exactly the ancestors `j` for which a GoBack
+    /// contract chain to `op` can exist (the `anc(i)` of the §5 MIP).
+    pub fn rebuild_ancestors(&self, op: OpId) -> Vec<OpId> {
+        let mut out = vec![op];
+        let mut cur = op;
+        while let Some(p) = self.node(cur).parent {
+            if !self.is_rebuild_edge(p, cur) {
+                break;
+            }
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The rebuild-edge path from ancestor `j` down to `i`, inclusive on
+    /// both ends. Returns `None` if `j` is not a rebuild ancestor of `i`.
+    pub fn rebuild_path(&self, j: OpId, i: OpId) -> Option<Vec<OpId>> {
+        let anc = self.rebuild_ancestors(i);
+        let pos = anc.iter().position(|&a| a == j)?;
+        let mut path: Vec<OpId> = anc[..=pos].to_vec();
+        path.reverse();
+        Some(path)
+    }
+
+    /// Height of the tree (1 for a single node).
+    pub fn height(&self) -> usize {
+        fn depth(t: &PlanTopology, op: OpId) -> usize {
+            1 + t.node(op)
+                .children
+                .iter()
+                .map(|&c| depth(t, c))
+                .max()
+                .unwrap_or(0)
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth(self, self.root())
+        }
+    }
+
+    /// Operators in a bottom-up order (children before parents).
+    pub fn bottom_up(&self) -> Vec<OpId> {
+        let mut out = Vec::with_capacity(self.len());
+        fn visit(t: &PlanTopology, op: OpId, out: &mut Vec<OpId>) {
+            for &c in &t.node(op).children {
+                visit(t, c, out);
+            }
+            out.push(op);
+        }
+        if !self.nodes.is_empty() {
+            visit(self, self.root(), &mut out);
+        }
+        out
+    }
+}
+
+impl Encode for TopoNode {
+    fn encode(&self, enc: &mut Encoder) {
+        self.op.encode(enc);
+        enc.put_option(&self.parent);
+        enc.put_seq(&self.children);
+        enc.put_seq(&self.rebuild_children);
+        enc.put_bool(self.stateful);
+        enc.put_str(&self.label);
+    }
+}
+
+impl Decode for TopoNode {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(TopoNode {
+            op: OpId::decode(dec)?,
+            parent: dec.get_option()?,
+            children: dec.get_seq()?,
+            rebuild_children: dec.get_seq()?,
+            stateful: dec.get_bool()?,
+            label: dec.get_str()?,
+        })
+    }
+}
+
+impl Encode for PlanTopology {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.nodes);
+    }
+}
+
+impl Decode for PlanTopology {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        PlanTopology::new(dec.get_seq()?)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Build the running example: NLJ0(NLJ1(ScanR, ScanS), ScanT).
+    /// Ids: 0=NLJ0, 1=NLJ1, 2=ScanR, 3=ScanS, 4=ScanT.
+    /// Outer children are rebuild edges; inner children positional.
+    pub fn running_example() -> PlanTopology {
+        PlanTopology::new(vec![
+            TopoNode {
+                op: OpId(0),
+                parent: None,
+                children: vec![OpId(1), OpId(4)],
+                rebuild_children: vec![OpId(1)],
+                stateful: true,
+                label: "NLJ0".into(),
+            },
+            TopoNode {
+                op: OpId(1),
+                parent: Some(OpId(0)),
+                children: vec![OpId(2), OpId(3)],
+                rebuild_children: vec![OpId(2)],
+                stateful: true,
+                label: "NLJ1".into(),
+            },
+            TopoNode {
+                op: OpId(2),
+                parent: Some(OpId(1)),
+                children: vec![],
+                rebuild_children: vec![],
+                stateful: false,
+                label: "ScanR".into(),
+            },
+            TopoNode {
+                op: OpId(3),
+                parent: Some(OpId(1)),
+                children: vec![],
+                rebuild_children: vec![],
+                stateful: false,
+                label: "ScanS".into(),
+            },
+            TopoNode {
+                op: OpId(4),
+                parent: Some(OpId(0)),
+                children: vec![],
+                rebuild_children: vec![],
+                stateful: false,
+                label: "ScanT".into(),
+            },
+        ])
+        .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::running_example;
+    use super::*;
+    use qsr_storage::codec::roundtrip;
+
+    #[test]
+    fn validation_catches_bad_structure() {
+        // Child without matching parent pointer.
+        let bad = PlanTopology::new(vec![
+            TopoNode {
+                op: OpId(0),
+                parent: None,
+                children: vec![OpId(1)],
+                rebuild_children: vec![],
+                stateful: true,
+                label: "a".into(),
+            },
+            TopoNode {
+                op: OpId(1),
+                parent: None, // wrong
+                children: vec![],
+                rebuild_children: vec![],
+                stateful: false,
+                label: "b".into(),
+            },
+        ]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn rebuild_ancestors_follow_rebuild_edges_only() {
+        let t = running_example();
+        // ScanR is on the outer (rebuild) spine: R <- NLJ1 <- NLJ0.
+        assert_eq!(
+            t.rebuild_ancestors(OpId(2)),
+            vec![OpId(2), OpId(1), OpId(0)]
+        );
+        // ScanS is an inner (positional) child: chain stops immediately.
+        assert_eq!(t.rebuild_ancestors(OpId(3)), vec![OpId(3)]);
+        // ScanT likewise.
+        assert_eq!(t.rebuild_ancestors(OpId(4)), vec![OpId(4)]);
+        // NLJ1 is the rebuild child of NLJ0.
+        assert_eq!(t.rebuild_ancestors(OpId(1)), vec![OpId(1), OpId(0)]);
+    }
+
+    #[test]
+    fn rebuild_path_is_top_down() {
+        let t = running_example();
+        assert_eq!(
+            t.rebuild_path(OpId(0), OpId(2)),
+            Some(vec![OpId(0), OpId(1), OpId(2)])
+        );
+        assert_eq!(t.rebuild_path(OpId(0), OpId(3)), None);
+        assert_eq!(t.rebuild_path(OpId(2), OpId(2)), Some(vec![OpId(2)]));
+    }
+
+    #[test]
+    fn height_and_bottom_up() {
+        let t = running_example();
+        assert_eq!(t.height(), 3);
+        let order = t.bottom_up();
+        assert_eq!(order.len(), 5);
+        // Children precede parents.
+        let pos = |op: OpId| order.iter().position(|&o| o == op).unwrap();
+        assert!(pos(OpId(2)) < pos(OpId(1)));
+        assert!(pos(OpId(3)) < pos(OpId(1)));
+        assert!(pos(OpId(1)) < pos(OpId(0)));
+        assert!(pos(OpId(4)) < pos(OpId(0)));
+    }
+
+    #[test]
+    fn topology_roundtrips_through_codec() {
+        let t = running_example();
+        assert_eq!(roundtrip(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn root_is_found() {
+        assert_eq!(running_example().root(), OpId(0));
+    }
+}

@@ -1,0 +1,279 @@
+//! The query lifecycle driver (paper §2, Figure 3): execute → suspend →
+//! resume → continue.
+//!
+//! `QueryExecution` owns a built plan and its execution context. During
+//! the execute phase, `next()` pulls tuples from the root; when a suspend
+//! request lands (via [`crate::context::SuspendTrigger`] or
+//! [`QueryExecution::request_suspend`]), `Poll::Suspended` bubbles up and
+//! the caller invokes [`QueryExecution::suspend`], which:
+//!
+//! 1. switches the cost ledger to the suspend phase,
+//! 2. snapshots per-operator statistics and asks the
+//!    [`SuspendPolicy`] for a suspend plan (the online MIP optimizer, a
+//!    purist policy, or a fixed plan),
+//! 3. carries the plan out by walking the tree with `Suspend()` /
+//!    `Suspend(Ctr)` calls,
+//! 4. serializes the `SuspendedQuery` structure (plus the contract graph
+//!    and the work snapshot) to the blob store, and
+//! 5. drops the whole tree — all memory is released.
+//!
+//! [`QueryExecution::resume`] reverses the process; the resumed execution
+//! delivers exactly the tuples following the last pre-suspend output.
+
+use crate::context::{ExecContext, SuspendTrigger};
+use crate::operator::{Operator, Poll, SuspendMode};
+use crate::plan::{build_plan, PlanSpec};
+use qsr_core::{
+    ContractGraph, OpSuspendInputs, OptimizeReport, PlanTopology, SuspendOptimizer,
+    SuspendPolicy, SuspendProblem, SuspendedQuery,
+};
+use qsr_storage::{
+    BlobId, Database, Decode, Encode, Phase, Result, Schema, StorageError, Tuple,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Handle to a suspended query on disk.
+#[derive(Debug, Clone)]
+pub struct SuspendedHandle {
+    /// Blob holding the serialized `SuspendedQuery`.
+    pub blob: BlobId,
+    /// The optimizer's report (chosen plan, estimated costs, solve time).
+    pub report: OptimizeReport,
+}
+
+/// Options for the suspend phase.
+#[derive(Debug, Clone)]
+pub struct SuspendOptions {
+    /// Persist the contract graph inside `SuspendedQuery` (paper §3.3,
+    /// "Suspend During or After Resume"): with it, a resumed query can be
+    /// re-suspended immediately with full flexibility; without it, the
+    /// graph re-forms gradually as execution continues, and early
+    /// re-suspensions fall back to DumpState-heavy plans. Persisting costs
+    /// a few hundred bytes — the default.
+    pub persist_graph: bool,
+}
+
+impl Default for SuspendOptions {
+    fn default() -> Self {
+        Self {
+            persist_graph: true,
+        }
+    }
+}
+
+/// A live query execution.
+pub struct QueryExecution {
+    db: Arc<Database>,
+    ctx: ExecContext,
+    root: Box<dyn Operator>,
+    spec: PlanSpec,
+    topology: PlanTopology,
+    tuples_emitted: u64,
+    finished: bool,
+}
+
+impl QueryExecution {
+    /// Build and open a fresh execution of `spec` (the execute phase
+    /// begins; stateful operators create their initial checkpoints).
+    pub fn start(db: Arc<Database>, spec: PlanSpec) -> Result<Self> {
+        Self::start_inner(db, spec, true)
+    }
+
+    /// Like [`QueryExecution::start`] but with checkpointing disabled —
+    /// the ablation baseline for the paper's "negligible overhead during
+    /// execution" claim. Only all-DumpState suspends remain possible.
+    pub fn start_without_checkpointing(db: Arc<Database>, spec: PlanSpec) -> Result<Self> {
+        Self::start_inner(db, spec, false)
+    }
+
+    /// Like [`QueryExecution::start`] with explicit
+    /// [`crate::plan::BuildOptions`] (ablation toggles such as disabling
+    /// contract migration).
+    pub fn start_with_build_options(
+        db: Arc<Database>,
+        spec: PlanSpec,
+        options: crate::plan::BuildOptions,
+    ) -> Result<Self> {
+        db.ledger().set_phase(Phase::Execute);
+        let built = crate::plan::build_plan_with(&db, &spec, options)?;
+        let mut exec = Self {
+            ctx: ExecContext::new(db.clone()),
+            db,
+            root: built.root,
+            spec,
+            topology: built.topology,
+            tuples_emitted: 0,
+            finished: false,
+        };
+        exec.root.open(&mut exec.ctx)?;
+        Ok(exec)
+    }
+
+    fn start_inner(db: Arc<Database>, spec: PlanSpec, checkpoints: bool) -> Result<Self> {
+        db.ledger().set_phase(Phase::Execute);
+        let built = build_plan(&db, &spec)?;
+        let mut exec = Self {
+            ctx: ExecContext::new(db.clone()),
+            db,
+            root: built.root,
+            spec,
+            topology: built.topology,
+            tuples_emitted: 0,
+            finished: false,
+        };
+        exec.ctx.checkpoints_enabled = checkpoints;
+        exec.root.open(&mut exec.ctx)?;
+        Ok(exec)
+    }
+
+    /// The plan's output schema.
+    pub fn schema(&self) -> &Schema {
+        self.root.schema()
+    }
+
+    /// The plan topology.
+    pub fn topology(&self) -> &PlanTopology {
+        &self.topology
+    }
+
+    /// Shared execution context (contract graph, work table, ...).
+    pub fn ctx(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Number of result tuples delivered so far (across suspensions).
+    pub fn tuples_emitted(&self) -> u64 {
+        self.tuples_emitted
+    }
+
+    /// Install a deterministic suspend trigger (experiments).
+    pub fn set_trigger(&mut self, trigger: Option<SuspendTrigger>) {
+        self.ctx.set_trigger(trigger);
+    }
+
+    /// Raise a suspend request (the paper's suspend exception).
+    pub fn request_suspend(&mut self) {
+        self.ctx.request_suspend();
+    }
+
+    /// Pull the next output tuple.
+    pub fn next(&mut self) -> Result<Poll> {
+        if self.finished {
+            return Ok(Poll::Done);
+        }
+        let out = self.root.next(&mut self.ctx)?;
+        match &out {
+            Poll::Tuple(_) => self.tuples_emitted += 1,
+            Poll::Done => self.finished = true,
+            Poll::Suspended => {}
+        }
+        Ok(out)
+    }
+
+    /// Run until completion or suspension. Returns the tuples produced in
+    /// this stretch and whether the query finished.
+    pub fn run(&mut self) -> Result<(Vec<Tuple>, bool)> {
+        let mut out = Vec::new();
+        loop {
+            match self.next()? {
+                Poll::Tuple(t) => out.push(t),
+                Poll::Done => return Ok((out, true)),
+                Poll::Suspended => return Ok((out, false)),
+            }
+        }
+    }
+
+    /// Run to completion, failing if a suspend request interrupts.
+    pub fn run_to_completion(&mut self) -> Result<Vec<Tuple>> {
+        let (tuples, done) = self.run()?;
+        if !done {
+            return Err(StorageError::invalid(
+                "query suspended during run_to_completion",
+            ));
+        }
+        Ok(tuples)
+    }
+
+    /// Snapshot the optimizer inputs (per-operator statistics + topology +
+    /// work table). Public so experiments can inspect the problem.
+    pub fn suspend_problem(&self) -> SuspendProblem {
+        let mut inputs: BTreeMap<_, OpSuspendInputs> = BTreeMap::new();
+        self.root.visit(&mut |op: &dyn Operator| {
+            inputs.insert(op.op_id(), op.suspend_inputs());
+        });
+        SuspendProblem {
+            topo: self.topology.clone(),
+            model: *self.db.ledger().model(),
+            inputs,
+            work: self.ctx.work.snapshot(),
+        }
+    }
+
+    /// Carry out the suspend phase under `policy`, consuming the
+    /// execution. All in-memory state is released; the returned handle
+    /// resumes the query later (or elsewhere).
+    pub fn suspend(self, policy: &SuspendPolicy) -> Result<SuspendedHandle> {
+        self.suspend_with(policy, &SuspendOptions::default())
+    }
+
+    /// [`QueryExecution::suspend`] with explicit [`SuspendOptions`].
+    pub fn suspend_with(
+        mut self,
+        policy: &SuspendPolicy,
+        options: &SuspendOptions,
+    ) -> Result<SuspendedHandle> {
+        self.db.ledger().set_phase(Phase::Suspend);
+        let problem = self.suspend_problem();
+        let report = SuspendOptimizer::choose(policy, &problem, &self.ctx.graph)?;
+
+        let mut sq = SuspendedQuery {
+            plan_bytes: self.spec.encode_to_vec(),
+            suspend_plan: report.plan.clone(),
+            tuples_emitted: self.tuples_emitted,
+            graph_bytes: options
+                .persist_graph
+                .then(|| self.ctx.graph.encode_to_vec()),
+            work_snapshot: self.ctx.work.snapshot().into_iter().collect(),
+            ..Default::default()
+        };
+        self.root
+            .suspend(&mut self.ctx, SuspendMode::Current, &report.plan, &mut sq)?;
+        let blob = sq.save(self.db.blobs())?;
+        self.root.close(&mut self.ctx)?;
+        self.db.ledger().set_phase(Phase::Execute);
+        Ok(SuspendedHandle { blob, report })
+    }
+
+    /// Resume a suspended query: read `SuspendedQuery`, rebuild the plan,
+    /// and reconstruct all operator state (the resume phase). The returned
+    /// execution continues exactly after the last pre-suspend tuple.
+    pub fn resume(db: Arc<Database>, handle: &SuspendedHandle) -> Result<Self> {
+        Self::resume_from_blob(db, handle.blob)
+    }
+
+    /// Resume from a raw blob id (e.g. in a fresh process).
+    pub fn resume_from_blob(db: Arc<Database>, blob: BlobId) -> Result<Self> {
+        db.ledger().set_phase(Phase::Resume);
+        let sq = SuspendedQuery::load(db.blobs(), blob)?;
+        let spec = PlanSpec::decode_from_slice(&sq.plan_bytes)?;
+        let built = build_plan(&db, &spec)?;
+        let mut ctx = ExecContext::new(db.clone());
+        if let Some(gb) = &sq.graph_bytes {
+            ctx.graph = ContractGraph::decode_from_slice(gb)?;
+        }
+        ctx.work.restore(sq.work_snapshot.iter().copied());
+        let mut exec = Self {
+            db,
+            ctx,
+            root: built.root,
+            spec,
+            topology: built.topology,
+            tuples_emitted: sq.tuples_emitted,
+            finished: false,
+        };
+        exec.root.resume(&mut exec.ctx, &sq)?;
+        exec.db.ledger().set_phase(Phase::Execute);
+        Ok(exec)
+    }
+}

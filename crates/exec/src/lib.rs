@@ -1,0 +1,22 @@
+//! # qsr-exec
+//!
+//! Suspendable iterator-based query execution (paper §2–§4): the extended
+//! operator interface (`Open`/`GetNext`/`Close` plus `SignContract`,
+//! `Suspend()`, `Suspend(Ctr)`, `Resume`), the physical operators with
+//! their semantics-driven checkpointing, the plan specification, and the
+//! execute/suspend/resume lifecycle driver.
+
+pub mod context;
+pub mod driver;
+pub mod operator;
+pub mod ops;
+pub mod plan;
+
+pub use context::{ExecContext, SuspendTrigger};
+pub use driver::{QueryExecution, SuspendedHandle};
+pub use operator::{Operator, Poll, SuspendMode};
+pub use ops::{
+    AggFn, BlockNlj, Filter, HashAgg, HashJoin, IndexNlj, MergeJoin, Predicate, Project,
+    TableScan,
+};
+pub use plan::{build_plan, build_plan_with, plan_schema, BuildOptions, BuiltPlan, PlanSpec};

@@ -1,0 +1,866 @@
+//! Partitioned hash join: simple (Grace) and hybrid variants (paper §4).
+//!
+//! **Simple hash join** runs in two phases. Phase 1 hashes each child into
+//! `P` on-disk partitions; the end of phase 1 is a *materialization point*
+//! — the partition runs are disk-resident state that survives suspension.
+//! Phase 2 loads one build partition into an in-memory table (the heap
+//! state) and streams the matching probe partition; minimal-heap-state
+//! points occur at partition boundaries, where proactive checkpoints are
+//! created.
+//!
+//! **Hybrid hash join** keeps partition 0 of the build side entirely in
+//! memory and probes it on the fly during the probe child's partitioning
+//! pass. As the paper notes, suspend is relatively expensive here: the
+//! operator either dumps its whole in-memory table or goes back to the
+//! beginning of the phase with respect to the build relation; the probe
+//! relation still benefits from the materialization point.
+//!
+//! During the partitioning phases the operator produces nothing (simple
+//! variant), so incoming contracts migrate forward across phase
+//! boundaries like the sort's.
+
+use crate::context::ExecContext;
+use crate::operator::{Operator, Poll, SuspendMode};
+use qsr_core::{
+    CkptId, CtrId, Migration, OpId, OpSuspendInputs, OpSuspendRecord, SideSnapshot, Strategy,
+    SuspendPlan, SuspendedQuery,
+};
+use qsr_storage::{
+    Decode, Decoder, Encode, Encoder, Result, RunHandle, RunReader, RunWriter, Schema,
+    StorageError, Tuple, TupleAddr,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+const PHASE_BUILD: u8 = 0;
+const PHASE_PROBE: u8 = 1;
+const PHASE_JOIN: u8 = 2;
+const PHASE_DONE: u8 = 3;
+
+fn hash_partition(key: i64, partitions: usize) -> usize {
+    ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % partitions
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct HjControl {
+    phase: u8,
+    /// Sealed (or in-progress, at suspend) partition runs per side.
+    build_runs: Vec<RunHandle>,
+    probe_runs: Vec<RunHandle>,
+    /// Join phase: current partition and probe cursor.
+    cur_part: u64,
+    probe_addr: Option<TupleAddr>,
+    cur_probe: Option<Tuple>,
+    match_idx: u64,
+    build_done: bool,
+    probe_done: bool,
+    build_consumed: u64,
+    probe_consumed: u64,
+}
+
+impl Encode for HjControl {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.phase);
+        enc.put_seq(&self.build_runs);
+        enc.put_seq(&self.probe_runs);
+        enc.put_u64(self.cur_part);
+        enc.put_option(&self.probe_addr);
+        enc.put_option(&self.cur_probe);
+        enc.put_u64(self.match_idx);
+        enc.put_bool(self.build_done);
+        enc.put_bool(self.probe_done);
+        enc.put_u64(self.build_consumed);
+        enc.put_u64(self.probe_consumed);
+    }
+}
+
+impl Decode for HjControl {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(HjControl {
+            phase: dec.get_u8()?,
+            build_runs: dec.get_seq()?,
+            probe_runs: dec.get_seq()?,
+            cur_part: dec.get_u64()?,
+            probe_addr: dec.get_option()?,
+            cur_probe: dec.get_option()?,
+            match_idx: dec.get_u64()?,
+            build_done: dec.get_bool()?,
+            probe_done: dec.get_bool()?,
+            build_consumed: dec.get_u64()?,
+            probe_consumed: dec.get_u64()?,
+        })
+    }
+}
+
+/// Partitioned (Grace / hybrid) hash equi-join.
+pub struct HashJoin {
+    op: OpId,
+    build: Box<dyn Operator>,
+    probe: Box<dyn Operator>,
+    build_key: usize,
+    probe_key: usize,
+    partitions: usize,
+    hybrid: bool,
+    schema: Schema,
+
+    phase: u8,
+    build_writers: Vec<Option<RunWriter>>,
+    probe_writers: Vec<Option<RunWriter>>,
+    build_runs: Vec<RunHandle>,
+    probe_runs: Vec<RunHandle>,
+    build_done: bool,
+    probe_done: bool,
+
+    /// In-memory hash table: partition 0 during hybrid build/probe, or the
+    /// current partition during the join phase.
+    table: HashMap<i64, Vec<Tuple>>,
+    heap_bytes: usize,
+    cur_part: usize,
+    probe_reader: Option<RunReader>,
+    pages_noted: u64,
+    cur_probe: Option<Tuple>,
+    cur_probe_addr: Option<TupleAddr>,
+    match_idx: usize,
+    build_consumed: u64,
+    probe_consumed: u64,
+
+    last_in_ctr: Option<CtrId>,
+    produced_since_sign: u64,
+    migration_enabled: bool,
+    pending: VecDeque<Tuple>,
+    /// Resume-replay stop point: (build_consumed, probe_consumed). When
+    /// set, `next()` freezes (returns `Suspended`) upon reaching it.
+    replay_stop: Option<(u64, u64)>,
+}
+
+impl HashJoin {
+    /// Create a hash join of `build.build_key == probe.probe_key` with `P`
+    /// partitions; `hybrid` keeps build partition 0 in memory.
+    pub fn new(
+        op: OpId,
+        build: Box<dyn Operator>,
+        probe: Box<dyn Operator>,
+        build_key: usize,
+        probe_key: usize,
+        partitions: usize,
+        hybrid: bool,
+    ) -> Self {
+        // Output schema follows (probe, build)? Conventionally joins emit
+        // (left, right) = (build, probe) here.
+        let schema = build.schema().join(probe.schema());
+        Self {
+            op,
+            build,
+            probe,
+            build_key,
+            probe_key,
+            partitions: partitions.max(1),
+            hybrid,
+            schema,
+            phase: PHASE_BUILD,
+            build_writers: Vec::new(),
+            probe_writers: Vec::new(),
+            build_runs: Vec::new(),
+            probe_runs: Vec::new(),
+            build_done: false,
+            probe_done: false,
+            table: HashMap::new(),
+            heap_bytes: 0,
+            cur_part: 0,
+            probe_reader: None,
+            pages_noted: 0,
+            cur_probe: None,
+            cur_probe_addr: None,
+            match_idx: 0,
+            build_consumed: 0,
+            probe_consumed: 0,
+            last_in_ctr: None,
+            produced_since_sign: 0,
+            migration_enabled: true,
+            pending: VecDeque::new(),
+            replay_stop: None,
+        }
+    }
+
+    fn replay_reached(&self) -> bool {
+        matches!(self.replay_stop, Some((b, p))
+            if self.build_consumed >= b && self.probe_consumed >= p)
+    }
+
+    /// Disable contract migration (ablation toggle).
+    pub fn without_migration(mut self) -> Self {
+        self.migration_enabled = false;
+        self
+    }
+
+    fn control(&self) -> HjControl {
+        HjControl {
+            phase: self.phase,
+            build_runs: self.build_runs.clone(),
+            probe_runs: self.probe_runs.clone(),
+            cur_part: self.cur_part as u64,
+            probe_addr: self.cur_probe_addr.or_else(|| {
+                self.probe_reader.as_ref().map(|r| r.position())
+            }),
+            cur_probe: self.cur_probe.clone(),
+            match_idx: self.match_idx as u64,
+            build_done: self.build_done,
+            probe_done: self.probe_done,
+            build_consumed: self.build_consumed,
+            probe_consumed: self.probe_consumed,
+        }
+    }
+
+    /// A checkpoint with optional migration of the incoming contract.
+    fn checkpoint(&mut self, ctx: &mut ExecContext, sign_children: bool) -> Result<()> {
+        if !ctx.checkpoints_enabled {
+            return Ok(());
+        }
+        let control = self.control().encode_to_vec();
+        let work = ctx.work.get(self.op);
+        let ck = ctx.graph.create_checkpoint(self.op, control.clone(), work);
+        if sign_children {
+            if !self.build_done {
+                self.build.sign_contract(ctx, ck)?;
+            }
+            if !self.probe_done {
+                self.probe.sign_contract(ctx, ck)?;
+            }
+        }
+        if self.migration_enabled && self.produced_since_sign == 0 {
+            if let Some(ctr) = self.last_in_ctr {
+                if ctx.graph.contract(ctr).is_some() {
+                    ctx.graph.migrate_contract(
+                        ctr,
+                        Migration::to(ck).with_control(control).with_work(work),
+                    )?;
+                }
+            }
+        }
+        ctx.graph.prune_for(self.op);
+        let _ = ck;
+        Ok(())
+    }
+
+    fn ensure_writers(writers: &mut Vec<Option<RunWriter>>, dm: &Arc<qsr_storage::DiskManager>, n: usize) -> Result<()> {
+        while writers.len() < n {
+            writers.push(Some(RunWriter::create(dm.clone())?));
+        }
+        Ok(())
+    }
+
+    fn table_insert(&mut self, key: i64, t: Tuple) {
+        self.heap_bytes += t.heap_bytes();
+        self.table.entry(key).or_default().push(t);
+    }
+
+    fn seal_writers(
+        ctx: &mut ExecContext,
+        op: OpId,
+        writers: &mut Vec<Option<RunWriter>>,
+        runs: &mut Vec<RunHandle>,
+    ) -> Result<()> {
+        for w in writers.drain(..) {
+            let w = w.expect("writer present");
+            let handle = w.finish()?;
+            let pages = ctx.db.disk().num_pages(handle.file)?;
+            ctx.note_page_writes(op, pages);
+            runs.push(handle);
+        }
+        Ok(())
+    }
+
+    fn load_build_partition(&mut self, ctx: &mut ExecContext, part: usize) -> Result<()> {
+        self.table.clear();
+        self.heap_bytes = 0;
+        let handle = self.build_runs[part];
+        let mut r = RunReader::open(ctx.db.disk().clone(), handle);
+        while let Some(t) = r.next()? {
+            let key = t.get(self.build_key).as_int()?;
+            self.table_insert(key, t);
+        }
+        ctx.note_page_reads(self.op, r.pages_fetched());
+        Ok(())
+    }
+
+    fn open_probe_reader(&mut self, ctx: &mut ExecContext, part: usize, at: Option<TupleAddr>) {
+        let handle = self.probe_runs[part];
+        let mut r = RunReader::open(ctx.db.disk().clone(), handle);
+        if let Some(addr) = at {
+            r.seek(addr);
+        }
+        self.pages_noted = 0;
+        self.probe_reader = Some(r);
+    }
+
+    fn note_probe_io(&mut self, ctx: &mut ExecContext) {
+        if let Some(r) = &self.probe_reader {
+            let fetched = r.pages_fetched();
+            let delta = fetched.saturating_sub(self.pages_noted);
+            self.pages_noted = fetched;
+            ctx.note_page_reads(self.op, delta);
+        }
+    }
+
+    /// First join-phase partition: 0 for simple, 1 for hybrid (partition 0
+    /// was consumed on the fly).
+    fn first_join_partition(&self) -> usize {
+        if self.hybrid {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Emit matches of `probe_tuple` against the in-memory table, resuming
+    /// at `self.match_idx`.
+    fn next_match(&mut self, probe_tuple: &Tuple, probe_key: usize) -> Result<Option<Tuple>> {
+        let key = probe_tuple.get(probe_key).as_int()?;
+        if let Some(matches) = self.table.get(&key) {
+            if self.match_idx < matches.len() {
+                let out = matches[self.match_idx].join(probe_tuple);
+                self.match_idx += 1;
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Operator for HashJoin {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.build.open(ctx)?;
+        self.probe.open(ctx)?;
+        // Proactive checkpoint at the beginning of the hash phase.
+        self.checkpoint(ctx, true)?;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Poll> {
+        if let Some(t) = self.pending.pop_front() {
+            return Ok(Poll::Tuple(t));
+        }
+        loop {
+            if ctx.suspend_pending() || (self.replay_stop.is_some() && self.replay_reached()) {
+                return Ok(Poll::Suspended);
+            }
+            match self.phase {
+                PHASE_BUILD => {
+                    Self::ensure_writers(&mut self.build_writers, ctx.db.disk(), self.partitions)?;
+                    match self.build.next(ctx)? {
+                        Poll::Tuple(t) => {
+                            ctx.tick(self.op);
+                            self.build_consumed += 1;
+                            let key = t.get(self.build_key).as_int()?;
+                            let p = hash_partition(key, self.partitions);
+                            if self.hybrid && p == 0 {
+                                self.table_insert(key, t);
+                            } else {
+                                self.build_writers[p]
+                                    .as_mut()
+                                    .expect("writer present")
+                                    .append(&t)?;
+                            }
+                        }
+                        Poll::Done => {
+                            self.build_done = true;
+                            Self::seal_writers(
+                                ctx,
+                                self.op,
+                                &mut self.build_writers,
+                                &mut self.build_runs,
+                            )?;
+                            self.phase = PHASE_PROBE;
+                            // Materialization point: phase-boundary ckpt —
+                            // but NOT for hybrid: its in-memory partition-0
+                            // table means this is not a minimal-heap-state
+                            // point (the paper's §4 observation that hybrid
+                            // can only dump or go back to the beginning
+                            // w.r.t. the build relation).
+                            if !self.hybrid {
+                                self.checkpoint(ctx, true)?;
+                            }
+                        }
+                        Poll::Suspended => return Ok(Poll::Suspended),
+                    }
+                }
+                PHASE_PROBE => {
+                    Self::ensure_writers(&mut self.probe_writers, ctx.db.disk(), self.partitions)?;
+                    // Hybrid: finish emitting matches of the current probe
+                    // tuple before pulling the next one.
+                    if self.hybrid {
+                        if let Some(p) = self.cur_probe.clone() {
+                            match self.next_match(&p, self.probe_key)? {
+                                Some(out) => {
+                                    self.produced_since_sign += 1;
+                                    return Ok(Poll::Tuple(out));
+                                }
+                                None => {
+                                    self.cur_probe = None;
+                                    self.match_idx = 0;
+                                }
+                            }
+                        }
+                    }
+                    match self.probe.next(ctx)? {
+                        Poll::Tuple(t) => {
+                            ctx.tick(self.op);
+                            self.probe_consumed += 1;
+                            let key = t.get(self.probe_key).as_int()?;
+                            let p = hash_partition(key, self.partitions);
+                            if self.hybrid && p == 0 {
+                                self.cur_probe = Some(t);
+                                self.match_idx = 0;
+                            } else {
+                                self.probe_writers[p]
+                                    .as_mut()
+                                    .expect("writer present")
+                                    .append(&t)?;
+                            }
+                        }
+                        Poll::Done => {
+                            self.probe_done = true;
+                            Self::seal_writers(
+                                ctx,
+                                self.op,
+                                &mut self.probe_writers,
+                                &mut self.probe_runs,
+                            )?;
+                            // Hybrid drops the in-memory partition-0 table
+                            // here: minimal-heap-state point.
+                            self.table.clear();
+                            self.heap_bytes = 0;
+                            self.phase = PHASE_JOIN;
+                            self.cur_part = self.first_join_partition();
+                            self.cur_probe = None;
+                            self.cur_probe_addr = None;
+                            self.match_idx = 0;
+                            self.probe_reader = None;
+                            self.checkpoint(ctx, false)?;
+                        }
+                        Poll::Suspended => return Ok(Poll::Suspended),
+                    }
+                }
+                PHASE_JOIN => {
+                    if self.cur_part >= self.partitions {
+                        self.phase = PHASE_DONE;
+                        continue;
+                    }
+                    if self.probe_reader.is_none() {
+                        self.load_build_partition(ctx, self.cur_part)?;
+                        self.open_probe_reader(ctx, self.cur_part, None);
+                    }
+                    if let Some(p) = self.cur_probe.clone() {
+                        match self.next_match(&p, self.probe_key)? {
+                            Some(out) => {
+                                self.produced_since_sign += 1;
+                                return Ok(Poll::Tuple(out));
+                            }
+                            None => {
+                                self.cur_probe = None;
+                                self.cur_probe_addr = None;
+                                self.match_idx = 0;
+                            }
+                        }
+                        continue;
+                    }
+                    let addr = self.probe_reader.as_ref().expect("reader open").position();
+                    let t = self.probe_reader.as_mut().expect("reader open").next()?;
+                    self.note_probe_io(ctx);
+                    match t {
+                        Some(t) => {
+                            ctx.tick(self.op);
+                            self.cur_probe = Some(t);
+                            self.cur_probe_addr = Some(addr);
+                            self.match_idx = 0;
+                        }
+                        None => {
+                            // Partition exhausted: minimal-heap point.
+                            self.table.clear();
+                            self.heap_bytes = 0;
+                            self.probe_reader = None;
+                            self.cur_part += 1;
+                            self.cur_probe = None;
+                            self.cur_probe_addr = None;
+                            self.match_idx = 0;
+                            self.checkpoint(ctx, false)?;
+                        }
+                    }
+                }
+                PHASE_DONE => return Ok(Poll::Done),
+                p => return Err(StorageError::corrupt(format!("bad HJ phase {p}"))),
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.build.close(ctx)?;
+        self.probe.close(ctx)?;
+        self.table.clear();
+        Ok(())
+    }
+
+    fn sign_contract(&mut self, ctx: &mut ExecContext, parent_ckpt: CkptId) -> Result<CtrId> {
+        let ctr = if self.phase == PHASE_JOIN || self.phase == PHASE_DONE {
+            // Reactive: fresh checkpoint capturing the join-phase cursor
+            // (bucket number + probe position, §4).
+            let control = self.control().encode_to_vec();
+            let work = ctx.work.get(self.op);
+            let ck = ctx.graph.create_checkpoint(self.op, control.clone(), work);
+            ctx.graph.prune_for(self.op);
+            ctx.graph
+                .sign_contract(parent_ckpt, self.op, ck, control, work, vec![])?
+        } else {
+            let latest = match ctx.graph.latest_ckpt(self.op) {
+                Some(ck) => ck,
+                None => ctx.graph.create_barrier_checkpoint(
+                    self.op,
+                    self.control().encode_to_vec(),
+                    ctx.work.get(self.op),
+                ),
+            };
+            ctx.graph.sign_contract(
+                parent_ckpt,
+                self.op,
+                latest,
+                self.control().encode_to_vec(),
+                ctx.work.get(self.op),
+                vec![],
+            )?
+        };
+        self.last_in_ctr = Some(ctr);
+        self.produced_since_sign = 0;
+        Ok(ctr)
+    }
+
+    fn side_snapshot(&mut self, _ctx: &mut ExecContext) -> Result<SideSnapshot> {
+        Err(StorageError::invalid(
+            "hash join cannot appear in a positional subtree",
+        ))
+    }
+
+    fn suspend(
+        &mut self,
+        ctx: &mut ExecContext,
+        mode: SuspendMode,
+        plan: &SuspendPlan,
+        sq: &mut SuspendedQuery,
+    ) -> Result<()> {
+        let strategy = plan.get(self.op);
+
+        // Seal any in-progress partition writers; their handles are part
+        // of the recorded state either way (Dump keeps them; GoBack to a
+        // phase-start checkpoint discards in-phase partials, but sealing
+        // first is harmless and keeps the accounting simple).
+        let mut sealed_build = self.build_runs.clone();
+        let mut sealed_probe = self.probe_runs.clone();
+        Self::seal_writers(ctx, self.op, &mut self.build_writers, &mut sealed_build)?;
+        Self::seal_writers(ctx, self.op, &mut self.probe_writers, &mut sealed_probe)?;
+
+        let current_control = HjControl {
+            build_runs: sealed_build.clone(),
+            probe_runs: sealed_probe.clone(),
+            ..self.control()
+        };
+
+        let (resume_point, saved, ckpt_for_children): (HjControl, Vec<Vec<u8>>, Option<CkptId>) =
+            match mode {
+                SuspendMode::Current => match strategy {
+                    Strategy::Dump => (current_control, Vec::new(), None),
+                    Strategy::GoBack { .. } => {
+                        let latest = ctx
+                            .graph
+                            .latest_ckpt(self.op)
+                            .ok_or_else(|| StorageError::invalid("hash join has no checkpoint"))?;
+                        if self.phase == PHASE_JOIN {
+                            // Join phase: rebuild the table from own runs
+                            // and reposition the probe cursor — target is
+                            // the current control state.
+                            (current_control, Vec::new(), None)
+                        } else {
+                            // Partition phases: go back to the phase-start
+                            // checkpoint (shipped via `aux`); the resume
+                            // target is the *current* point, so already
+                            // delivered output is never re-emitted.
+                            (current_control.clone(), Vec::new(), Some(latest))
+                        }
+                    }
+                },
+                SuspendMode::Contract(ctr_id) => {
+                    let ctr = ctx
+                        .graph
+                        .contract(ctr_id)
+                        .ok_or_else(|| StorageError::invalid(format!("unknown contract {ctr_id}")))?
+                        .clone();
+                    let target = HjControl::decode_from_slice(&ctr.control)?;
+                    match strategy {
+                        Strategy::Dump => {
+                            // c = 0: no checkpoint since signing. In the
+                            // partition phases nothing was produced since,
+                            // so current state reproduces all outputs; in
+                            // the join phase the contract's cursor is the
+                            // resume point over the dumped table.
+                            if target.phase == PHASE_JOIN {
+                                (target, ctr.saved_tuples.clone(), None)
+                            } else {
+                                (current_control, ctr.saved_tuples.clone(), None)
+                            }
+                        }
+                        Strategy::GoBack { .. } => {
+                            if target.phase == PHASE_JOIN {
+                                (target, ctr.saved_tuples.clone(), None)
+                            } else {
+                                (target, ctr.saved_tuples.clone(), Some(ctr.child_ckpt))
+                            }
+                        }
+                    }
+                }
+            };
+
+        // Heap dump: the in-memory table (hybrid partition 0 or the
+        // current join partition).
+        let heap_dump = match strategy {
+            Strategy::Dump if !self.table.is_empty() => {
+                let mut pairs: Vec<(i64, Vec<Tuple>)> =
+                    self.table.iter().map(|(k, v)| (*k, v.clone())).collect();
+                pairs.sort_by_key(|(k, _)| *k);
+                Some(ctx.db.blobs().put_value(&TableDump(pairs))?)
+            }
+            _ => None,
+        };
+
+        let aux = match ckpt_for_children {
+            Some(ck) => ctx
+                .graph
+                .checkpoint(ck)
+                .map(|c| c.control.clone())
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        sq.put_record(OpSuspendRecord {
+            op: self.op,
+            strategy,
+            resume_point: resume_point.encode_to_vec(),
+            heap_dump,
+            saved_tuples: saved,
+            aux,
+        });
+
+        match ckpt_for_children {
+            Some(ck) => {
+                for child in [&mut self.build, &mut self.probe] {
+                    match ctx.graph.contract_from(ck, child.op_id()).map(|c| c.id) {
+                        Some(ctr) => child.suspend(ctx, SuspendMode::Contract(ctr), plan, sq)?,
+                        None => child.suspend(ctx, SuspendMode::Current, plan, sq)?,
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                self.build.suspend(ctx, SuspendMode::Current, plan, sq)?;
+                self.probe.suspend(ctx, SuspendMode::Current, plan, sq)
+            }
+        }
+    }
+
+    fn resume(&mut self, ctx: &mut ExecContext, sq: &SuspendedQuery) -> Result<()> {
+        self.build.resume(ctx, sq)?;
+        self.probe.resume(ctx, sq)?;
+        let rec = sq.record(self.op)?;
+        let control = HjControl::decode_from_slice(&rec.resume_point)?;
+
+        self.phase = control.phase;
+        self.build_done = control.build_done;
+        self.probe_done = control.probe_done;
+        self.cur_part = control.cur_part as usize;
+        self.cur_probe = control.cur_probe.clone();
+        self.cur_probe_addr = control.probe_addr;
+        self.match_idx = control.match_idx as usize;
+        self.table.clear();
+        self.heap_bytes = 0;
+        self.probe_reader = None;
+        self.pages_noted = 0;
+
+        match (&rec.strategy, &rec.heap_dump) {
+            (Strategy::Dump, dump) => {
+                // Reopen partially written partitions for appending.
+                self.build_runs = control.build_runs.clone();
+                self.probe_runs = control.probe_runs.clone();
+                if self.phase == PHASE_BUILD {
+                    self.build_writers = self
+                        .build_runs
+                        .drain(..)
+                        .map(|h| Some(RunWriter::reopen(ctx.db.disk().clone(), h)))
+                        .collect();
+                } else if self.phase == PHASE_PROBE {
+                    self.probe_writers = self
+                        .probe_runs
+                        .drain(..)
+                        .map(|h| Some(RunWriter::reopen(ctx.db.disk().clone(), h)))
+                        .collect();
+                }
+                if let Some(blob) = dump {
+                    let TableDump(pairs) = ctx.db.blobs().get_value(*blob)?;
+                    for (k, vs) in pairs {
+                        for t in vs {
+                            self.table_insert(k, t);
+                        }
+                    }
+                }
+            }
+            (Strategy::GoBack { .. }, _) => {
+                self.build_runs = control.build_runs.clone();
+                self.probe_runs = control.probe_runs.clone();
+                if self.phase == PHASE_BUILD || (self.phase == PHASE_PROBE && !self.hybrid) {
+                    // Reset counters to the checkpoint baseline: the work
+                    // from there to the suspend point is redone by normal
+                    // post-resume execution (no output exists in these
+                    // phases for the simple variant).
+                    if !rec.aux.is_empty() {
+                        let start = HjControl::decode_from_slice(&rec.aux)?;
+                        self.build_consumed = start.build_consumed;
+                        self.probe_consumed = start.probe_consumed;
+                    }
+                }
+                if self.phase == PHASE_BUILD {
+                    // Partials discarded: fresh writers are created lazily
+                    // by next(); children were repositioned to phase start.
+                    self.build_writers.clear();
+                    self.build_runs.clear();
+                    self.probe_runs.clear();
+                    // A build-phase target means nothing was emitted yet;
+                    // hybrid's in-memory table is rebuilt by re-execution.
+                    self.cur_probe = None;
+                    self.cur_probe_addr = None;
+                    self.match_idx = 0;
+                } else if self.phase == PHASE_PROBE {
+                    self.probe_writers.clear();
+                    self.probe_runs.clear();
+                    if self.hybrid {
+                        // Hybrid: the enforced contract is fulfilled by the
+                        // build-phase-start checkpoint (hybrid has no probe
+                        // boundary checkpoint). Roll forward from there:
+                        // replay the deterministic partitioning machine
+                        // with output suppressed until the consumed
+                        // counters reach the contract point, then restore
+                        // the emission cursors (§3.3 skipping).
+                        let target = control.clone();
+                        let start = if rec.aux.is_empty() {
+                            return Err(StorageError::corrupt(
+                                "hybrid GoBack record missing checkpoint control",
+                            ));
+                        } else {
+                            HjControl::decode_from_slice(&rec.aux)?
+                        };
+                        self.phase = start.phase;
+                        self.build_done = start.build_done;
+                        self.probe_done = start.probe_done;
+                        self.build_consumed = start.build_consumed;
+                        self.probe_consumed = start.probe_consumed;
+                        self.build_runs = start.build_runs.clone();
+                        self.probe_runs = start.probe_runs.clone();
+                        self.cur_probe = None;
+                        self.cur_probe_addr = None;
+                        self.match_idx = 0;
+                        self.replay_stop =
+                            Some((target.build_consumed, target.probe_consumed));
+                        while !self.replay_reached() {
+                            match self.next(ctx)? {
+                                Poll::Tuple(_) => {} // suppressed re-emission
+                                Poll::Done => {
+                                    self.replay_stop = None;
+                                    return Err(StorageError::corrupt(
+                                        "hybrid replay finished before target",
+                                    ));
+                                }
+                                Poll::Suspended => {
+                                    if self.replay_reached() {
+                                        break;
+                                    }
+                                    self.replay_stop = None;
+                                    return Err(StorageError::invalid(
+                                        "suspend during resume replay is not supported",
+                                    ));
+                                }
+                            }
+                        }
+                        self.replay_stop = None;
+                        self.cur_probe = target.cur_probe.clone();
+                        self.match_idx = target.match_idx as usize;
+                    }
+                }
+            }
+        }
+
+        if self.phase == PHASE_JOIN && self.cur_part < self.partitions {
+            // Rebuild the current partition's table and reposition the
+            // probe cursor (GoBack), or restore from the dump (Dump).
+            if rec.heap_dump.is_none() {
+                self.load_build_partition(ctx, self.cur_part)?;
+            }
+            let at = self.cur_probe_addr.or(control.probe_addr);
+            self.open_probe_reader(ctx, self.cur_part, at);
+            if self.cur_probe.is_some() {
+                // The recorded probe tuple was already consumed from the
+                // run; skip past it.
+                let r = self.probe_reader.as_mut().expect("reader open");
+                let _ = r.next()?;
+                self.note_probe_io(ctx);
+            }
+        }
+
+        self.pending = rec
+            .saved_tuples
+            .iter()
+            .map(|b| Tuple::decode_from_slice(b))
+            .collect::<Result<_>>()?;
+        self.last_in_ctr = None;
+        self.produced_since_sign = 0;
+        Ok(())
+    }
+
+    fn suspend_inputs(&self) -> OpSuspendInputs {
+        OpSuspendInputs {
+            heap_bytes: self.heap_bytes,
+            control_bytes: 64 + 16 * (self.build_runs.len() + self.probe_runs.len()),
+        }
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
+        f(self);
+        self.build.visit(f);
+        self.probe.visit(f);
+    }
+}
+
+struct TableDump(Vec<(i64, Vec<Tuple>)>);
+
+impl Encode for TableDump {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0.len() as u32);
+        for (k, vs) in &self.0 {
+            enc.put_i64(*k);
+            enc.put_seq(vs);
+        }
+    }
+}
+
+impl Decode for TableDump {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let n = dec.get_u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let k = dec.get_i64()?;
+            out.push((k, dec.get_seq()?));
+        }
+        Ok(TableDump(out))
+    }
+}

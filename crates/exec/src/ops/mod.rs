@@ -1,0 +1,53 @@
+//! Physical operators (paper §4 implements each one's checkpointing,
+//! contracting, suspend, and resume behavior).
+
+pub mod agg;
+pub mod block_nlj;
+pub mod filter;
+pub mod hash_agg;
+pub mod hash_join;
+pub mod index_nlj;
+pub mod merge_join;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+pub use agg::{AggFn, StreamAgg};
+pub use block_nlj::BlockNlj;
+pub use filter::{Filter, Predicate};
+pub use hash_agg::HashAgg;
+pub use hash_join::HashJoin;
+pub use index_nlj::IndexNlj;
+pub use merge_join::MergeJoin;
+pub use project::Project;
+pub use scan::TableScan;
+
+use crate::operator::Operator;
+use qsr_core::{OpSuspendRecord, SideSnapshot, Strategy, SuspendPlan, SuspendedQuery};
+
+/// Write resume records for a positional subtree from its side snapshot:
+/// each operator is repositioned to the recorded control state — pure
+/// seeking, no replay (this is the mechanics behind §3.3's "skipping").
+pub fn record_side_snapshot(sq: &mut SuspendedQuery, snap: &SideSnapshot) {
+    sq.put_record(OpSuspendRecord {
+        op: snap.op,
+        strategy: Strategy::Dump,
+        resume_point: snap.control.clone(),
+        heap_dump: None,
+        saved_tuples: Vec::new(),
+        aux: Vec::new(),
+    });
+    for child in &snap.children {
+        record_side_snapshot(sq, child);
+    }
+}
+
+/// The effective strategy for an operator at suspend time: what the plan
+/// says, defaulting to Dump (always valid for operators the optimizer did
+/// not consider, e.g. positional scans).
+pub fn planned_strategy(plan: &SuspendPlan, op: qsr_core::OpId) -> Strategy {
+    plan.get(op)
+}
+
+/// Boxed operator alias.
+pub type BoxedOp = Box<dyn Operator>;

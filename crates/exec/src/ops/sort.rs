@@ -1,0 +1,567 @@
+//! Two-phase merge sort (paper §4, "Two-Phase Merge Sort").
+//!
+//! Phase 1 reads the child into a sort buffer, sorts it, and writes each
+//! sorted sublist to disk — the sublists are *disk-resident state* and
+//! survive suspension untouched (materialization points, footnote 1 of the
+//! paper: checkpoints record their locations, never their contents).
+//! Proactive checkpoints happen before reading each new sublist; **contract
+//! migration is crucial and done at every proactive checkpoint** (§4) —
+//! without it, a GoBack would redo every sublist instead of only the
+//! current buffer fill.
+//!
+//! Phase 2 merges the sublists; the operator then "behaves similarly to a
+//! table scan": signing a contract creates a reactive checkpoint whose
+//! control state is the per-run cursor positions, and resume just seeks.
+
+use crate::context::ExecContext;
+use crate::operator::{Operator, Poll, SuspendMode};
+use qsr_core::{
+    CkptId, CtrId, Migration, OpId, OpSuspendInputs, OpSuspendRecord, SideSnapshot, Strategy,
+    SuspendPlan, SuspendedQuery,
+};
+use qsr_storage::{
+    Decode, Decoder, Encode, Encoder, Result, RunHandle, RunReader, RunWriter, Schema,
+    StorageError, Tuple, TupleAddr,
+};
+use std::collections::VecDeque;
+
+const PHASE_BUILD: u8 = 0;
+const PHASE_MERGE: u8 = 1;
+
+#[derive(Debug, Clone, PartialEq)]
+struct SortControl {
+    phase: u8,
+    runs: Vec<RunHandle>,
+    /// Phase 1: tuples in the (unsorted) buffer.
+    fill: u64,
+    child_done: bool,
+    /// Phase 2: address of each run's *current head* tuple (the head is
+    /// re-read on resume; `None` = run exhausted).
+    head_addrs: Vec<Option<TupleAddr>>,
+}
+
+impl Encode for SortControl {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.phase);
+        enc.put_seq(&self.runs);
+        enc.put_u64(self.fill);
+        enc.put_bool(self.child_done);
+        enc.put_seq(&self.head_addrs);
+    }
+}
+
+impl Decode for SortControl {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(SortControl {
+            phase: dec.get_u8()?,
+            runs: dec.get_seq()?,
+            fill: dec.get_u64()?,
+            child_done: dec.get_bool()?,
+            head_addrs: dec.get_seq()?,
+        })
+    }
+}
+
+/// External (two-phase merge) sort on an integer key column.
+pub struct ExternalSort {
+    op: OpId,
+    child: Box<dyn Operator>,
+    key: usize,
+    buffer_size: usize,
+    schema: Schema,
+
+    phase: u8,
+    buf: Vec<Tuple>,
+    heap_bytes: usize,
+    runs: Vec<RunHandle>,
+    child_done: bool,
+
+    readers: Vec<RunReader>,
+    heads: Vec<Option<Tuple>>,
+    head_addrs: Vec<Option<TupleAddr>>,
+    pages_noted: u64,
+
+    last_in_ctr: Option<CtrId>,
+    produced_since_sign: u64,
+    migration_enabled: bool,
+    pending: VecDeque<Tuple>,
+}
+
+impl ExternalSort {
+    /// Sort `child` on integer column `key` with a buffer of
+    /// `buffer_size` tuples.
+    pub fn new(op: OpId, child: Box<dyn Operator>, key: usize, buffer_size: usize) -> Self {
+        let schema = child.schema().clone();
+        Self {
+            op,
+            child,
+            key,
+            buffer_size,
+            schema,
+            phase: PHASE_BUILD,
+            buf: Vec::new(),
+            heap_bytes: 0,
+            runs: Vec::new(),
+            child_done: false,
+            readers: Vec::new(),
+            heads: Vec::new(),
+            head_addrs: Vec::new(),
+            pages_noted: 0,
+            last_in_ctr: None,
+            produced_since_sign: 0,
+            migration_enabled: true,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Disable contract migration (ablation toggle — dramatic for sort).
+    pub fn without_migration(mut self) -> Self {
+        self.migration_enabled = false;
+        self
+    }
+
+    fn control(&self) -> SortControl {
+        SortControl {
+            phase: self.phase,
+            runs: self.runs.clone(),
+            fill: self.buf.len() as u64,
+            child_done: self.child_done,
+            head_addrs: self.head_addrs.clone(),
+        }
+    }
+
+    fn sort_key(&self, t: &Tuple) -> Result<i64> {
+        t.get(self.key).as_int()
+    }
+
+    /// Sort the buffer and write it as a sublist. Charges the run writes
+    /// to this operator's work.
+    fn flush_run(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let mut keyed: Vec<(i64, Tuple)> = Vec::with_capacity(self.buf.len());
+        for t in self.buf.drain(..) {
+            let k = t.get(self.key).as_int()?;
+            keyed.push((k, t));
+        }
+        keyed.sort_by_key(|(k, _)| *k);
+        let mut w = RunWriter::create(ctx.db.disk().clone())?;
+        for (_, t) in &keyed {
+            w.append(t)?;
+        }
+        let handle = w.finish()?;
+        let pages = ctx.db.disk().num_pages(handle.file)?;
+        ctx.note_page_writes(self.op, pages);
+        self.runs.push(handle);
+        self.heap_bytes = 0;
+        Ok(())
+    }
+
+    /// Proactive checkpoint at a phase-1 minimal-heap-state point, with
+    /// contract signing on the child and migration of the incoming
+    /// contract (sort produces nothing in phase 1, so migration always
+    /// applies).
+    fn checkpoint(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        if !ctx.checkpoints_enabled {
+            return Ok(());
+        }
+        debug_assert!(self.buf.is_empty());
+        let control = self.control().encode_to_vec();
+        let work = ctx.work.get(self.op);
+        let ck = ctx.graph.create_checkpoint(self.op, control.clone(), work);
+        if !self.child_done {
+            self.child.sign_contract(ctx, ck)?;
+        }
+        if self.migration_enabled && self.produced_since_sign == 0 {
+            if let Some(ctr) = self.last_in_ctr {
+                if ctx.graph.contract(ctr).is_some() {
+                    ctx.graph.migrate_contract(
+                        ctr,
+                        Migration::to(ck).with_control(control).with_work(work),
+                    )?;
+                }
+            }
+        }
+        ctx.graph.prune_for(self.op);
+        Ok(())
+    }
+
+    fn enter_merge(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.flush_run(ctx)?;
+        self.phase = PHASE_MERGE;
+        self.readers = self
+            .runs
+            .iter()
+            .map(|&h| RunReader::open(ctx.db.disk().clone(), h))
+            .collect();
+        self.heads = vec![None; self.runs.len()];
+        self.head_addrs = vec![None; self.runs.len()];
+        for i in 0..self.readers.len() {
+            self.advance_head(ctx, i)?;
+        }
+        // Proactive checkpoint at the phase boundary: the sublists are a
+        // materialization point.
+        self.checkpoint_merge(ctx)?;
+        Ok(())
+    }
+
+    /// Phase-2 checkpoint: positions only (reactive-style; "behaves
+    /// similarly to a table scan").
+    fn checkpoint_merge(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        if !ctx.checkpoints_enabled {
+            return Ok(());
+        }
+        let control = self.control().encode_to_vec();
+        let work = ctx.work.get(self.op);
+        let ck = ctx.graph.create_checkpoint(self.op, control.clone(), work);
+        if self.migration_enabled && self.produced_since_sign == 0 {
+            if let Some(ctr) = self.last_in_ctr {
+                if ctx.graph.contract(ctr).is_some() {
+                    ctx.graph.migrate_contract(
+                        ctr,
+                        Migration::to(ck).with_control(control).with_work(work),
+                    )?;
+                }
+            }
+        }
+        ctx.graph.prune_for(self.op);
+        let _ = ck;
+        Ok(())
+    }
+
+    fn advance_head(&mut self, ctx: &mut ExecContext, i: usize) -> Result<()> {
+        let addr = self.readers[i].position();
+        let t = self.readers[i].next()?;
+        self.head_addrs[i] = t.as_ref().map(|_| addr);
+        self.heads[i] = t;
+        self.note_io(ctx);
+        Ok(())
+    }
+
+    fn note_io(&mut self, ctx: &mut ExecContext) {
+        let fetched: u64 = self.readers.iter().map(RunReader::pages_fetched).sum();
+        let delta = fetched.saturating_sub(self.pages_noted);
+        self.pages_noted = fetched;
+        ctx.note_page_reads(self.op, delta);
+    }
+
+    fn pop_min(&mut self, ctx: &mut ExecContext) -> Result<Option<Tuple>> {
+        let mut best: Option<(usize, i64)> = None;
+        for (i, h) in self.heads.iter().enumerate() {
+            if let Some(t) = h {
+                let k = self.sort_key(t)?;
+                if best.map_or(true, |(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let t = self.heads[i].take().expect("head present");
+                self.advance_head(ctx, i)?;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl Operator for ExternalSort {
+    fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.child.open(ctx)?;
+        self.checkpoint(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Poll> {
+        if let Some(t) = self.pending.pop_front() {
+            return Ok(Poll::Tuple(t));
+        }
+        loop {
+            if ctx.suspend_pending() {
+                return Ok(Poll::Suspended);
+            }
+            if self.phase == PHASE_BUILD {
+                if self.child_done {
+                    self.enter_merge(ctx)?;
+                    continue;
+                }
+                if self.buf.len() >= self.buffer_size {
+                    self.flush_run(ctx)?;
+                    self.checkpoint(ctx)?;
+                    continue;
+                }
+                match self.child.next(ctx)? {
+                    Poll::Tuple(t) => {
+                        self.heap_bytes += t.heap_bytes();
+                        self.buf.push(t);
+                        ctx.tick(self.op);
+                    }
+                    Poll::Done => self.child_done = true,
+                    Poll::Suspended => return Ok(Poll::Suspended),
+                }
+            } else {
+                return match self.pop_min(ctx)? {
+                    Some(t) => {
+                        self.produced_since_sign += 1;
+                        Ok(Poll::Tuple(t))
+                    }
+                    None => Ok(Poll::Done),
+                };
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.child.close(ctx)?;
+        self.buf.clear();
+        self.readers.clear();
+        Ok(())
+    }
+
+    fn sign_contract(&mut self, ctx: &mut ExecContext, parent_ckpt: CkptId) -> Result<CtrId> {
+        let ctr = if self.phase == PHASE_BUILD {
+            let latest = match ctx.graph.latest_ckpt(self.op) {
+                Some(ck) => ck,
+                None => ctx.graph.create_barrier_checkpoint(
+                    self.op,
+                    self.control().encode_to_vec(),
+                    ctx.work.get(self.op),
+                ),
+            };
+            ctx.graph.sign_contract(
+                parent_ckpt,
+                self.op,
+                latest,
+                self.control().encode_to_vec(),
+                ctx.work.get(self.op),
+                vec![],
+            )?
+        } else {
+            // Phase 2: fresh reactive checkpoint capturing run positions.
+            let control = self.control().encode_to_vec();
+            let work = ctx.work.get(self.op);
+            let ck = ctx.graph.create_checkpoint(self.op, control.clone(), work);
+            ctx.graph.prune_for(self.op);
+            ctx.graph
+                .sign_contract(parent_ckpt, self.op, ck, control, work, vec![])?
+        };
+        self.last_in_ctr = Some(ctr);
+        self.produced_since_sign = 0;
+        Ok(ctr)
+    }
+
+    fn side_snapshot(&mut self, _ctx: &mut ExecContext) -> Result<SideSnapshot> {
+        Err(StorageError::invalid(
+            "sort cannot appear in a positional subtree",
+        ))
+    }
+
+    fn suspend(
+        &mut self,
+        ctx: &mut ExecContext,
+        mode: SuspendMode,
+        plan: &SuspendPlan,
+        sq: &mut SuspendedQuery,
+    ) -> Result<()> {
+        let strategy = plan.get(self.op);
+        let (resume_point, saved, enforce_child): (Vec<u8>, Vec<Vec<u8>>, Option<Option<CtrId>>) =
+            match mode {
+                SuspendMode::Current => match strategy {
+                    Strategy::Dump => (self.control().encode_to_vec(), Vec::new(), None),
+                    Strategy::GoBack { .. } => {
+                        let latest = ctx
+                            .graph
+                            .latest_ckpt(self.op)
+                            .ok_or_else(|| StorageError::invalid("sort has no checkpoint"))?;
+                        let child_ctr = ctx
+                            .graph
+                            .contract_from(latest, self.child.op_id())
+                            .map(|c| c.id);
+                        (self.control().encode_to_vec(), Vec::new(), Some(child_ctr))
+                    }
+                },
+                SuspendMode::Contract(ctr_id) => {
+                    let ctr = ctx
+                        .graph
+                        .contract(ctr_id)
+                        .ok_or_else(|| StorageError::invalid(format!("unknown contract {ctr_id}")))?
+                        .clone();
+                    let target = SortControl::decode_from_slice(&ctr.control)?;
+                    match strategy {
+                        Strategy::Dump => {
+                            // Phase-1 targets produced no output since
+                            // signing; current state reproduces everything.
+                            let resume = if target.phase == PHASE_BUILD {
+                                self.control()
+                            } else {
+                                target
+                            };
+                            (resume.encode_to_vec(), ctr.saved_tuples.clone(), None)
+                        }
+                        Strategy::GoBack { .. } => {
+                            if target.phase == PHASE_BUILD {
+                                // Roll forward from the *fulfilling*
+                                // checkpoint: its control (runs so far,
+                                // empty buffer) matches exactly where the
+                                // enforced child contract repositions the
+                                // input. The work from there to the suspend
+                                // point is redone by post-resume execution
+                                // — one buffer fill when contract migration
+                                // kept the checkpoint fresh, every sublist
+                                // without it (the ablation case).
+                                let ck_control = ctx
+                                    .graph
+                                    .checkpoint(ctr.child_ckpt)
+                                    .ok_or_else(|| {
+                                        StorageError::invalid("missing fulfilling checkpoint")
+                                    })?
+                                    .control
+                                    .clone();
+                                let child_ctr = ctx
+                                    .graph
+                                    .contract_from(ctr.child_ckpt, self.child.op_id())
+                                    .map(|c| c.id);
+                                (ck_control, ctr.saved_tuples.clone(), Some(child_ctr))
+                            } else {
+                                // Phase 2: pure repositioning to the
+                                // contract point.
+                                (ctr.control.clone(), ctr.saved_tuples.clone(), Some(None))
+                            }
+                        }
+                    }
+                }
+            };
+
+        let heap_dump = match strategy {
+            Strategy::Dump if self.phase == PHASE_BUILD && !self.buf.is_empty() => Some(
+                ctx.db
+                    .blobs()
+                    .put_value(&BufferDump(self.buf.clone()))?,
+            ),
+            _ => None,
+        };
+        sq.put_record(OpSuspendRecord {
+            op: self.op,
+            strategy,
+            resume_point,
+            heap_dump,
+            saved_tuples: saved,
+            aux: Vec::new(),
+        });
+        match enforce_child {
+            Some(Some(ctr)) => self.child.suspend(ctx, SuspendMode::Contract(ctr), plan, sq),
+            _ => self.child.suspend(ctx, SuspendMode::Current, plan, sq),
+        }
+    }
+
+    fn resume(&mut self, ctx: &mut ExecContext, sq: &SuspendedQuery) -> Result<()> {
+        self.child.resume(ctx, sq)?;
+        let rec = sq.record(self.op)?;
+        let control = SortControl::decode_from_slice(&rec.resume_point)?;
+        self.runs = control.runs.clone();
+        self.child_done = control.child_done;
+        self.phase = control.phase;
+        self.buf.clear();
+        self.heap_bytes = 0;
+        self.readers.clear();
+        self.heads.clear();
+        self.head_addrs.clear();
+        self.pages_noted = 0;
+
+        if control.phase == PHASE_BUILD {
+            match (&rec.strategy, &rec.heap_dump) {
+                (Strategy::Dump, Some(blob)) => {
+                    let BufferDump(tuples) = ctx.db.blobs().get_value(*blob)?;
+                    for t in &tuples {
+                        self.heap_bytes += t.heap_bytes();
+                    }
+                    self.buf = tuples;
+                }
+                (Strategy::Dump, None) => { /* empty buffer at suspend */ }
+                (Strategy::GoBack { .. }, _) => {
+                    for _ in 0..control.fill {
+                        match self.child.next(ctx)? {
+                            Poll::Tuple(t) => {
+                                self.heap_bytes += t.heap_bytes();
+                                self.buf.push(t);
+                            }
+                            Poll::Done => {
+                                return Err(StorageError::corrupt(
+                                    "child exhausted during sort GoBack refill",
+                                ))
+                            }
+                            Poll::Suspended => {
+                                return Err(StorageError::invalid(
+                                    "suspend during resume refill is not supported",
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            // Phase 2: reopen readers and re-read the recorded heads.
+            self.readers = self
+                .runs
+                .iter()
+                .map(|&h| RunReader::open(ctx.db.disk().clone(), h))
+                .collect();
+            self.heads = vec![None; self.runs.len()];
+            self.head_addrs = control.head_addrs.clone();
+            for i in 0..self.readers.len() {
+                if let Some(addr) = control.head_addrs[i] {
+                    self.readers[i].seek(addr);
+                    let t = self.readers[i].next()?;
+                    if t.is_none() {
+                        return Err(StorageError::corrupt("recorded head missing from run"));
+                    }
+                    self.heads[i] = t;
+                }
+            }
+            self.note_io(ctx);
+        }
+        self.pending = rec
+            .saved_tuples
+            .iter()
+            .map(|b| Tuple::decode_from_slice(b))
+            .collect::<Result<_>>()?;
+        self.last_in_ctr = None;
+        self.produced_since_sign = 0;
+        Ok(())
+    }
+
+    fn suspend_inputs(&self) -> OpSuspendInputs {
+        OpSuspendInputs {
+            heap_bytes: self.heap_bytes,
+            control_bytes: 32 + 18 * self.runs.len().max(self.head_addrs.len()),
+        }
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
+        f(self);
+        self.child.visit(f);
+    }
+}
+
+struct BufferDump(Vec<Tuple>);
+
+impl Encode for BufferDump {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.0);
+    }
+}
+
+impl Decode for BufferDump {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(BufferDump(dec.get_seq()?))
+    }
+}

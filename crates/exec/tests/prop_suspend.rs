@@ -1,0 +1,91 @@
+//! Property-based suspend/resume fuzzing: random suspend points × random
+//! policies on representative plans must always satisfy the equivalence
+//! invariant. Complements the deterministic sweeps in `suspend_resume.rs`
+//! by hitting arbitrary interior states (mid-fill, mid-packet, mid-merge,
+//! mid-partition).
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use qsr_core::SuspendPolicy;
+use qsr_exec::PlanSpec;
+
+fn nlj_spec() -> PlanSpec {
+    PlanSpec::BlockNlj {
+        outer: Box::new(sel_filter(scan("r"), 500)),
+        inner: Box::new(scan("t")),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 300,
+    }
+}
+
+fn smj_spec() -> PlanSpec {
+    PlanSpec::MergeJoin {
+        left: Box::new(PlanSpec::Sort {
+            input: Box::new(sel_filter(scan("r"), 500)),
+            key: 0,
+            buffer_tuples: 250,
+        }),
+        right: Box::new(PlanSpec::Sort {
+            input: Box::new(scan("t")),
+            key: 0,
+            buffer_tuples: 150,
+        }),
+        left_key: 0,
+        right_key: 0,
+    }
+}
+
+fn hj_spec(hybrid: bool) -> PlanSpec {
+    PlanSpec::HashJoin {
+        build: Box::new(scan("s")),
+        probe: Box::new(scan("r")),
+        build_key: 0,
+        probe_key: 0,
+        partitions: 3,
+        hybrid,
+    }
+}
+
+fn policy_from(ix: u8, budget_frac: f64) -> SuspendPolicy {
+    match ix % 4 {
+        0 => SuspendPolicy::AllDump,
+        1 => SuspendPolicy::AllGoBack,
+        2 => SuspendPolicy::Optimized { budget: None },
+        _ => SuspendPolicy::Optimized {
+            budget: Some(budget_frac * 200.0),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case runs several full queries; keep it bounded
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_nlj_equivalence(op in 0u32..4, n in 1u64..2200, pol in 0u8..4, bf in 0.0f64..1.0) {
+        let (_d, db) = test_db("prop-nlj");
+        check_suspend_resume(&db, &nlj_spec(), after(op, n), &policy_from(pol, bf));
+    }
+
+    #[test]
+    fn prop_smj_equivalence(op in 0u32..6, n in 1u64..2200, pol in 0u8..4, bf in 0.0f64..1.0) {
+        let (_d, db) = test_db("prop-smj");
+        check_suspend_resume(&db, &smj_spec(), after(op, n), &policy_from(pol, bf));
+    }
+
+    #[test]
+    fn prop_hash_join_equivalence(
+        n in 1u64..3000,
+        pol in 0u8..4,
+        hybrid in proptest::bool::ANY,
+        bf in 0.0f64..1.0,
+    ) {
+        let (_d, db) = test_db("prop-hj");
+        check_suspend_resume(&db, &hj_spec(hybrid), after(0, n), &policy_from(pol, bf));
+    }
+}

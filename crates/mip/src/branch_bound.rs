@@ -1,0 +1,300 @@
+//! Best-first branch-and-bound over binary variables.
+//!
+//! The LP relaxation (via [`solve_lp`]) provides lower bounds; branching
+//! fixes the most fractional binary variable to 0 and 1. For the
+//! suspend-plan programs of the paper the relaxation is usually integral
+//! or nearly so, so the tree stays tiny.
+
+use crate::problem::LinearProgram;
+use crate::simplex::{solve_lp, LpOutcome};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Integrality tolerance.
+const INT_TOL: f64 = 1e-6;
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    /// Maximum number of explored nodes (defensive cap).
+    pub max_nodes: usize,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        Self { max_nodes: 100_000 }
+    }
+}
+
+/// Result of a MIP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MipSolution {
+    /// Optimal integral solution found.
+    Optimal {
+        /// The assignment.
+        x: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+        /// Number of branch-and-bound nodes explored.
+        nodes: usize,
+    },
+    /// No feasible integral assignment exists.
+    Infeasible,
+    /// Objective unbounded below.
+    Unbounded,
+}
+
+impl MipSolution {
+    /// Unwrap the optimal assignment (test helper).
+    pub fn expect_optimal(self) -> (Vec<f64>, f64) {
+        match self {
+            MipSolution::Optimal { x, objective, .. } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}
+
+struct Node {
+    bound: f64,
+    program: LinearProgram,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    // BinaryHeap is a max-heap; invert so the *lowest* bound pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.bound.total_cmp(&self.bound)
+    }
+}
+
+fn most_fractional_binary(lp: &LinearProgram, x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &is_bin) in lp.binaries().iter().enumerate() {
+        if !is_bin {
+            continue;
+        }
+        let frac = (x[i] - x[i].round()).abs();
+        if frac > INT_TOL {
+            let dist = (x[i].fract() - 0.5).abs();
+            if best.map_or(true, |(_, d)| dist < d) {
+                best = Some((i, dist));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Solve `lp` to integral optimality over its binary variables.
+pub fn solve_mip(lp: &LinearProgram, opts: &MipOptions) -> MipSolution {
+    // Root relaxation.
+    let root = match solve_lp(lp) {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => return MipSolution::Infeasible,
+        LpOutcome::Unbounded => return MipSolution::Unbounded,
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        bound: root.objective,
+        program: lp.clone(),
+    });
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut nodes = 0usize;
+
+    while let Some(node) = heap.pop() {
+        if nodes >= opts.max_nodes {
+            break;
+        }
+        // Prune by bound against the incumbent.
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.bound >= *inc_obj - 1e-9 {
+                continue;
+            }
+        }
+        nodes += 1;
+        let sol = match solve_lp(&node.program) {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => return MipSolution::Unbounded,
+        };
+        if let Some((_, inc_obj)) = &incumbent {
+            if sol.objective >= *inc_obj - 1e-9 {
+                continue;
+            }
+        }
+        match most_fractional_binary(lp, &sol.x) {
+            None => {
+                // Integral: round binaries exactly and record incumbent.
+                let mut x = sol.x.clone();
+                for (i, &b) in lp.binaries().iter().enumerate() {
+                    if b {
+                        x[i] = x[i].round();
+                    }
+                }
+                let obj = lp.objective_value(&x);
+                let better = incumbent.as_ref().map_or(true, |(_, o)| obj < *o - 1e-12);
+                if better {
+                    incumbent = Some((x, obj));
+                }
+            }
+            Some(v) => {
+                for val in [0.0, 1.0] {
+                    let child = node.program.with_fixed(crate::problem::VarId(v), val);
+                    heap.push(Node {
+                        bound: sol.objective,
+                        program: child,
+                    });
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((x, objective)) => MipSolution::Optimal {
+            x,
+            objective,
+            nodes,
+        },
+        None => MipSolution::Infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp::*, LinearProgram, VarId};
+
+    fn near(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c with 3a + 4b + 2c <= 6  (min of negation)
+        // Optimal integral: a=0, b=1, c=1 => 20.
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var(-10.0);
+        let b = lp.add_binary_var(-13.0);
+        let c = lp.add_binary_var(-7.0);
+        lp.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Le, 6.0);
+        let (x, obj) = solve_mip(&lp, &MipOptions::default()).expect_optimal();
+        assert!(near(obj, -20.0), "got {obj}");
+        assert_eq!(
+            x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(),
+            vec![0, 1, 1]
+        );
+    }
+
+    #[test]
+    fn binary_infeasible() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var(1.0);
+        lp.add_constraint(vec![(a, 1.0)], Ge, 2.0);
+        assert_eq!(solve_mip(&lp, &MipOptions::default()), MipSolution::Infeasible);
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        // min 5y + x  s.t. x >= 3 - 10y, x >= 0, y binary.
+        // y=0 => x=3, cost 3; y=1 => x=0, cost 5. Optimal 3.
+        let mut lp = LinearProgram::new();
+        let y = lp.add_binary_var(5.0);
+        let x = lp.add_var(1.0, 0.0, f64::INFINITY);
+        lp.add_constraint(vec![(x, 1.0), (y, 10.0)], Ge, 3.0);
+        let (sol, obj) = solve_mip(&lp, &MipOptions::default()).expect_optimal();
+        assert!(near(obj, 3.0), "got {obj}");
+        assert!(near(sol[0], 0.0));
+        assert!(near(sol[1], 3.0));
+    }
+
+    #[test]
+    fn at_most_one_structure() {
+        // The suspend-plan skeleton: per operator, sum of goback vars <= 1;
+        // costs drive selection.
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_binary_var(2.0);
+        let x2 = lp.add_binary_var(1.0);
+        // Choosing neither costs 10 (modeled as constant via objective trick):
+        // min 10(1 - x1 - x2) + 2x1 + 1x2 = 10 - 8x1 - 9x2.
+        let mut lp2 = LinearProgram::new();
+        let y1 = lp2.add_binary_var(-8.0);
+        let y2 = lp2.add_binary_var(-9.0);
+        lp2.add_constraint(vec![(y1, 1.0), (y2, 1.0)], Le, 1.0);
+        let (x, obj) = solve_mip(&lp2, &MipOptions::default()).expect_optimal();
+        assert!(near(obj, -9.0));
+        assert!(near(x[0], 0.0) && near(x[1], 1.0));
+        let _ = (x1, x2, &lp);
+    }
+
+    #[test]
+    fn exhaustive_agreement_on_random_small_mips() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..60 {
+            let nv = rng.gen_range(1..=6);
+            let mut lp = LinearProgram::new();
+            let vars: Vec<VarId> = (0..nv)
+                .map(|_| lp.add_binary_var(rng.gen_range(-5.0..5.0)))
+                .collect();
+            for _ in 0..rng.gen_range(0..=4) {
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &v in &vars {
+                    if rng.gen_bool(0.7) {
+                        terms.push((v, rng.gen_range(-3.0..3.0)));
+                    }
+                }
+                if terms.is_empty() {
+                    continue;
+                }
+                let op = if rng.gen_bool(0.5) { Le } else { Ge };
+                lp.add_constraint(terms, op, rng.gen_range(-2.0..4.0));
+            }
+
+            // Brute force over all 2^nv assignments.
+            let mut best: Option<f64> = None;
+            for mask in 0..(1u32 << nv) {
+                let x: Vec<f64> = (0..nv)
+                    .map(|i| ((mask >> i) & 1) as f64)
+                    .collect();
+                if lp.is_feasible(&x, 1e-9) {
+                    let obj = lp.objective_value(&x);
+                    best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+                }
+            }
+
+            match (solve_mip(&lp, &MipOptions::default()), best) {
+                (MipSolution::Optimal { objective, .. }, Some(b)) => {
+                    assert!(
+                        near(objective, b),
+                        "trial {trial}: solver {objective} vs brute {b}\n{lp}"
+                    );
+                }
+                (MipSolution::Infeasible, None) => {}
+                (got, want) => panic!("trial {trial}: solver {got:?} vs brute {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_reported() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_binary_var(-1.0);
+        let b = lp.add_binary_var(-1.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Le, 1.5);
+        match solve_mip(&lp, &MipOptions::default()) {
+            MipSolution::Optimal { nodes, .. } => assert!(nodes >= 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Model builder for linear and 0/1 mixed-integer programs.
+
+use std::fmt;
+
+/// Index of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+/// A linear constraint: `sum(coeff * var) op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Sparse left-hand side terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation.
+    pub op: ConstraintOp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// A minimization program: `min c·x` subject to constraints and
+/// `lo <= x <= hi` bounds, with an optional set of binary variables.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    binary: Vec<bool>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a continuous variable with objective coefficient `cost` and
+    /// bounds `[lo, hi]`. `lo` must be finite and ≥ 0 (the simplex works
+    /// in the nonnegative orthant); `hi` may be `f64::INFINITY`.
+    pub fn add_var(&mut self, cost: f64, lo: f64, hi: f64) -> VarId {
+        assert!(lo >= 0.0 && lo.is_finite(), "lower bound must be finite and >= 0");
+        assert!(hi >= lo, "upper bound below lower bound");
+        let id = VarId(self.objective.len());
+        self.objective.push(cost);
+        self.lower.push(lo);
+        self.upper.push(hi);
+        self.binary.push(false);
+        id
+    }
+
+    /// Add a binary (0/1) variable with objective coefficient `cost`.
+    pub fn add_binary_var(&mut self, cost: f64) -> VarId {
+        let id = self.add_var(cost, 0.0, 1.0);
+        self.binary[id.0] = true;
+        id
+    }
+
+    /// Add a constraint. Terms with the same variable are allowed and are
+    /// summed by the solver.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, op: ConstraintOp, rhs: f64) {
+        for (v, _) in &terms {
+            assert!(v.0 < self.num_vars(), "constraint references unknown var");
+        }
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Lower bounds.
+    pub fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Which variables are binary.
+    pub fn binaries(&self) -> &[bool] {
+        &self.binary
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluate the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check whether `x` satisfies all constraints and bounds within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for i in 0..self.num_vars() {
+            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+                return false;
+            }
+            if self.binary[i] && (x[i] - x[i].round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, k)| k * x[v.0]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A copy of this program with variable `v`'s bounds fixed to `value`
+    /// (used by branch-and-bound).
+    pub fn with_fixed(&self, v: VarId, value: f64) -> LinearProgram {
+        let mut p = self.clone();
+        p.lower[v.0] = value;
+        p.upper[v.0] = value;
+        p
+    }
+}
+
+impl fmt::Display for LinearProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "min over {} vars ({} binary), {} constraints",
+            self.num_vars(),
+            self.binary.iter().filter(|&&b| b).count(),
+            self.num_constraints()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0, 0.0, 10.0);
+        let y = lp.add_binary_var(-2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 3.0)], ConstraintOp::Le, 5.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert!(lp.binaries()[y.0]);
+        assert!(!lp.binaries()[x.0]);
+        assert_eq!(lp.objective_value(&[2.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_ops_and_integrality() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 0.0, 1.0);
+        let y = lp.add_binary_var(0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Eq, 0.5);
+        assert!(lp.is_feasible(&[0.5, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.5, 0.5], 1e-9), "binary must be integral");
+        assert!(!lp.is_feasible(&[0.4, 1.0], 1e-9), "eq violated");
+        assert!(!lp.is_feasible(&[1.5, 0.0], 1e-9), "bound violated");
+        assert!(!lp.is_feasible(&[0.5], 1e-9), "wrong arity");
+    }
+
+    #[test]
+    fn with_fixed_pins_bounds() {
+        let mut lp = LinearProgram::new();
+        let y = lp.add_binary_var(1.0);
+        let fixed = lp.with_fixed(y, 1.0);
+        assert_eq!(fixed.lower_bounds()[0], 1.0);
+        assert_eq!(fixed.upper_bounds()[0], 1.0);
+        // Original untouched.
+        assert_eq!(lp.lower_bounds()[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_lower_bound_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(0.0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_var_in_constraint_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_constraint(vec![(VarId(3), 1.0)], ConstraintOp::Le, 1.0);
+    }
+}

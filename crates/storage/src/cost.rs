@@ -1,0 +1,338 @@
+//! Simulated I/O cost accounting.
+//!
+//! The paper measures suspend budgets and overheads "as a function of I/O
+//! read and write cost". This module is the ledger that makes those
+//! measurements: every page read/write performed through the
+//! [`DiskManager`](crate::disk::DiskManager) is charged to the active
+//! query-lifecycle [`Phase`] under a [`CostModel`]. Experiments report
+//! simulated cost units, so results are deterministic and
+//! hardware-independent while the *data itself* still round-trips through
+//! real files.
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::error::Result;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The query-lifecycle phase work is charged to (Figure 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Normal execution (including post-resume continuation).
+    Execute,
+    /// Carrying out a suspend plan.
+    Suspend,
+    /// Reconstructing state after a suspend.
+    Resume,
+}
+
+impl Phase {
+    /// All phases, in lifecycle order.
+    pub const ALL: [Phase; 3] = [Phase::Execute, Phase::Suspend, Phase::Resume];
+
+    fn idx(self) -> usize {
+        match self {
+            Phase::Execute => 0,
+            Phase::Suspend => 1,
+            Phase::Resume => 2,
+        }
+    }
+}
+
+/// Per-page cost model. The defaults reflect the paper's observation that
+/// "writing in SHORE is more expensive than reading": with
+/// `write = 2.5 × read` the NLJ_S dump-vs-goback crossover lands near the
+/// filter selectivity ≈ 0.28 reported in Figure 8 (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Simulated cost of reading one page.
+    pub read_page: f64,
+    /// Simulated cost of writing one page.
+    pub write_page: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            read_page: 1.0,
+            write_page: 2.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model where reads and writes cost the same.
+    pub fn symmetric(per_page: f64) -> Self {
+        Self {
+            read_page: per_page,
+            write_page: per_page,
+        }
+    }
+}
+
+impl Encode for CostModel {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.read_page);
+        enc.put_f64(self.write_page);
+    }
+}
+
+impl Decode for CostModel {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Self {
+            read_page: dec.get_f64()?,
+            write_page: dec.get_f64()?,
+        })
+    }
+}
+
+/// Raw counters for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseCost {
+    /// Pages read.
+    pub pages_read: u64,
+    /// Pages written.
+    pub pages_written: u64,
+    /// Extra simulated cost charged directly (CPU work units, if enabled).
+    pub direct_cost: f64,
+}
+
+impl PhaseCost {
+    /// Total simulated cost of this phase under `model`.
+    pub fn cost(&self, model: &CostModel) -> f64 {
+        self.pages_read as f64 * model.read_page
+            + self.pages_written as f64 * model.write_page
+            + self.direct_cost
+    }
+
+    fn add(&mut self, other: &PhaseCost) {
+        self.pages_read += other.pages_read;
+        self.pages_written += other.pages_written;
+        self.direct_cost += other.direct_cost;
+    }
+}
+
+/// An immutable snapshot of the ledger, with per-phase counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostSnapshot {
+    phases: [PhaseCost; 3],
+    /// Cost model in effect when the snapshot was taken.
+    pub model: CostModel,
+}
+
+impl CostSnapshot {
+    /// Counters for one phase.
+    pub fn phase(&self, p: Phase) -> PhaseCost {
+        self.phases[p.idx()]
+    }
+
+    /// Simulated cost of one phase.
+    pub fn phase_cost(&self, p: Phase) -> f64 {
+        self.phases[p.idx()].cost(&self.model)
+    }
+
+    /// Total simulated cost over all phases.
+    pub fn total_cost(&self) -> f64 {
+        Phase::ALL.iter().map(|&p| self.phase_cost(p)).sum()
+    }
+
+    /// Total pages read over all phases.
+    pub fn total_pages_read(&self) -> u64 {
+        self.phases.iter().map(|p| p.pages_read).sum()
+    }
+
+    /// Total pages written over all phases.
+    pub fn total_pages_written(&self) -> u64 {
+        self.phases.iter().map(|p| p.pages_written).sum()
+    }
+
+    /// Difference `self - earlier`, phase by phase (counters saturate at 0).
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        let mut out = *self;
+        for i in 0..3 {
+            out.phases[i].pages_read =
+                self.phases[i].pages_read.saturating_sub(earlier.phases[i].pages_read);
+            out.phases[i].pages_written = self.phases[i]
+                .pages_written
+                .saturating_sub(earlier.phases[i].pages_written);
+            out.phases[i].direct_cost = self.phases[i].direct_cost - earlier.phases[i].direct_cost;
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    phases: [PhaseCost; 3],
+    active: usize,
+}
+
+/// Thread-safe cost ledger shared by every storage object of a database.
+///
+/// The *active phase* is a piece of ambient state: the lifecycle driver
+/// switches it when the query transitions between execute, suspend, and
+/// resume, and all I/O in between is charged accordingly.
+#[derive(Debug, Clone)]
+pub struct CostLedger {
+    inner: Arc<Mutex<LedgerInner>>,
+    model: CostModel,
+}
+
+impl CostLedger {
+    /// Create a ledger with the given model; the active phase starts as
+    /// [`Phase::Execute`].
+    pub fn new(model: CostModel) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(LedgerInner::default())),
+            model,
+        }
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Switch the active phase; subsequent charges go to `phase`.
+    pub fn set_phase(&self, phase: Phase) {
+        self.inner.lock().active = phase.idx();
+    }
+
+    /// The currently active phase.
+    pub fn phase(&self) -> Phase {
+        Phase::ALL[self.inner.lock().active]
+    }
+
+    /// Charge `n` page reads to the active phase.
+    pub fn charge_read(&self, n: u64) {
+        self.charge(n, 0, 0.0);
+    }
+
+    /// Charge `n` page writes to the active phase.
+    pub fn charge_write(&self, n: u64) {
+        self.charge(0, n, 0.0);
+    }
+
+    /// Charge direct simulated cost (e.g. CPU work units) to the active phase.
+    pub fn charge_direct(&self, cost: f64) {
+        self.charge(0, 0, cost);
+    }
+
+    fn charge(&self, reads: u64, writes: u64, direct: f64) {
+        let mut g = self.inner.lock();
+        let active = g.active;
+        let p = &mut g.phases[active];
+        p.pages_read += reads;
+        p.pages_written += writes;
+        p.direct_cost += direct;
+    }
+
+    /// Take a snapshot of all counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        let g = self.inner.lock();
+        CostSnapshot {
+            phases: g.phases,
+            model: self.model,
+        }
+    }
+
+    /// Reset all counters to zero (phase is kept).
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        g.phases = [PhaseCost::default(); 3];
+    }
+
+    /// Merge another snapshot's counters into this ledger (used when
+    /// aggregating sub-experiment runs).
+    pub fn absorb(&self, snap: &CostSnapshot) {
+        let mut g = self.inner.lock();
+        for (i, p) in snap.phases.iter().enumerate() {
+            g.phases[i].add(p);
+        }
+    }
+}
+
+impl Default for CostLedger {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_go_to_active_phase() {
+        let ledger = CostLedger::new(CostModel::symmetric(1.0));
+        ledger.charge_read(3);
+        ledger.set_phase(Phase::Suspend);
+        ledger.charge_write(2);
+        ledger.set_phase(Phase::Resume);
+        ledger.charge_read(1);
+        ledger.charge_direct(0.5);
+
+        let s = ledger.snapshot();
+        assert_eq!(s.phase(Phase::Execute).pages_read, 3);
+        assert_eq!(s.phase(Phase::Suspend).pages_written, 2);
+        assert_eq!(s.phase(Phase::Resume).pages_read, 1);
+        assert_eq!(s.phase(Phase::Resume).direct_cost, 0.5);
+        assert_eq!(s.total_pages_read(), 4);
+        assert_eq!(s.total_pages_written(), 2);
+    }
+
+    #[test]
+    fn asymmetric_model_weighs_writes_more() {
+        let ledger = CostLedger::new(CostModel::default());
+        ledger.charge_read(10);
+        ledger.charge_write(10);
+        let s = ledger.snapshot();
+        assert_eq!(s.phase_cost(Phase::Execute), 10.0 * 1.0 + 10.0 * 2.5);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let ledger = CostLedger::default();
+        ledger.charge_read(5);
+        let before = ledger.snapshot();
+        ledger.charge_read(7);
+        ledger.set_phase(Phase::Suspend);
+        ledger.charge_write(2);
+        let delta = ledger.snapshot().since(&before);
+        assert_eq!(delta.phase(Phase::Execute).pages_read, 7);
+        assert_eq!(delta.phase(Phase::Suspend).pages_written, 2);
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_phase() {
+        let ledger = CostLedger::default();
+        ledger.set_phase(Phase::Suspend);
+        ledger.charge_write(9);
+        ledger.reset();
+        assert_eq!(ledger.snapshot().total_pages_written(), 0);
+        assert_eq!(ledger.phase(), Phase::Suspend);
+    }
+
+    #[test]
+    fn ledger_clones_share_state() {
+        let a = CostLedger::default();
+        let b = a.clone();
+        b.charge_read(4);
+        assert_eq!(a.snapshot().total_pages_read(), 4);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let a = CostLedger::default();
+        a.charge_read(1);
+        let snap = a.snapshot();
+        a.absorb(&snap);
+        assert_eq!(a.snapshot().total_pages_read(), 2);
+    }
+
+    #[test]
+    fn cost_model_roundtrips() {
+        use crate::codec::roundtrip;
+        let m = CostModel::default();
+        assert_eq!(roundtrip(&m).unwrap(), m);
+    }
+}

@@ -1,0 +1,188 @@
+//! The `Database`: a directory bundling the disk manager, catalog, cost
+//! ledger, and blob store — the single handle higher layers hold.
+
+use crate::blob::BlobStore;
+use crate::catalog::{Catalog, TableInfo};
+use crate::cost::{CostLedger, CostModel};
+use crate::disk::DiskManager;
+use crate::error::Result;
+use crate::heap::HeapFile;
+use crate::index::{IndexMeta, SortedIndex};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A database instance rooted at a directory.
+///
+/// Cloning the `Arc<Database>` shares all state; the cost ledger is the
+/// one place experiments read simulated costs from.
+pub struct Database {
+    dm: Arc<DiskManager>,
+    catalog: Mutex<Catalog>,
+    blobs: BlobStore,
+}
+
+impl Database {
+    /// Open (or create) a database at `dir` with the given cost model.
+    pub fn open(dir: impl AsRef<Path>, model: CostModel) -> Result<Arc<Self>> {
+        let ledger = CostLedger::new(model);
+        let dm = Arc::new(DiskManager::open(dir.as_ref(), ledger)?);
+        let catalog = Mutex::new(Catalog::open(dir.as_ref())?);
+        let blobs = BlobStore::new(dm.clone());
+        Ok(Arc::new(Self { dm, catalog, blobs }))
+    }
+
+    /// Open with the default (paper-calibrated) cost model.
+    pub fn open_default(dir: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Self::open(dir, CostModel::default())
+    }
+
+    /// The disk manager.
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.dm
+    }
+
+    /// The cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        self.dm.ledger()
+    }
+
+    /// The blob store (dump files, SuspendedQuery structures).
+    pub fn blobs(&self) -> &BlobStore {
+        &self.blobs
+    }
+
+    /// Run `f` with read access to the catalog.
+    pub fn with_catalog<T>(&self, f: impl FnOnce(&Catalog) -> T) -> T {
+        f(&self.catalog.lock())
+    }
+
+    /// Run `f` with write access to the catalog.
+    pub fn with_catalog_mut<T>(&self, f: impl FnOnce(&mut Catalog) -> Result<T>) -> Result<T> {
+        f(&mut self.catalog.lock())
+    }
+
+    /// Table metadata by name.
+    pub fn table(&self, name: &str) -> Result<TableInfo> {
+        self.with_catalog(|c| c.table(name).cloned())
+    }
+
+    /// Open the heap file of a table.
+    pub fn open_table_heap(&self, name: &str) -> Result<HeapFile> {
+        let info = self.table(name)?;
+        Ok(HeapFile::open(self.dm.clone(), info.file, info.tuple_count))
+    }
+
+    /// Open a sorted index of a table on the given column index.
+    pub fn open_table_index(&self, name: &str, column: usize) -> Result<SortedIndex> {
+        let info = self.table(name)?;
+        let meta: IndexMeta = info
+            .indexes
+            .iter()
+            .find(|(c, _)| *c == column)
+            .map(|(_, m)| *m)
+            .ok_or_else(|| {
+                crate::error::StorageError::NotFound(format!(
+                    "index on column {column} of table '{name}'"
+                ))
+            })?;
+        Ok(SortedIndex::open(self.dm.clone(), meta))
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("dir", &self.dm.dir())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::tuple::Tuple;
+    use crate::value::{DataType, Value};
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let p = std::env::temp_dir().join(format!(
+                "qsr-db-test-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn create_table_and_scan_via_db_handle() {
+        let d = TempDir::new();
+        let db = Database::open_default(&d.0).unwrap();
+
+        let schema = Schema::new(vec![Column::new("key", DataType::Int)]);
+        let mut heap = HeapFile::create(db.disk().clone()).unwrap();
+        for k in 0..50 {
+            heap.append(&Tuple::new(vec![Value::Int(k)])).unwrap();
+        }
+        heap.finish().unwrap();
+        db.with_catalog_mut(|c| {
+            c.create_table(TableInfo {
+                name: "r".into(),
+                file: heap.file_id(),
+                schema: schema.clone(),
+                tuple_count: heap.tuple_count(),
+                indexes: vec![],
+                sorted_on: None,
+            })
+        })
+        .unwrap();
+
+        let h = db.open_table_heap("r").unwrap();
+        let mut c = h.cursor();
+        let mut n = 0;
+        while c.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 50);
+        assert!(db.open_table_index("r", 0).is_err());
+    }
+
+    #[test]
+    fn database_reopens_with_catalog() {
+        let d = TempDir::new();
+        {
+            let db = Database::open_default(&d.0).unwrap();
+            let mut heap = HeapFile::create(db.disk().clone()).unwrap();
+            heap.append(&Tuple::new(vec![Value::Int(1)])).unwrap();
+            heap.finish().unwrap();
+            db.with_catalog_mut(|c| {
+                c.create_table(TableInfo {
+                    name: "t".into(),
+                    file: heap.file_id(),
+                    schema: Schema::new(vec![Column::new("key", DataType::Int)]),
+                    tuple_count: 1,
+                    indexes: vec![],
+                    sorted_on: None,
+                })
+            })
+            .unwrap();
+        }
+        let db = Database::open_default(&d.0).unwrap();
+        assert_eq!(db.table("t").unwrap().tuple_count, 1);
+        let h = db.open_table_heap("t").unwrap();
+        assert_eq!(
+            h.cursor().next().unwrap().unwrap(),
+            Tuple::new(vec![Value::Int(1)])
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the storage substrate.
+
+use std::fmt;
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem I/O failure.
+    Io(std::io::Error),
+    /// Binary decoding failed (corrupt or truncated bytes).
+    Corrupt(String),
+    /// A named object (table, file, blob) does not exist.
+    NotFound(String),
+    /// A named object already exists.
+    AlreadyExists(String),
+    /// The caller supplied inconsistent arguments (e.g. schema mismatch).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            StorageError::NotFound(m) => write!(f, "not found: {m}"),
+            StorageError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            StorageError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl StorageError {
+    /// Helper for constructing a [`StorageError::Corrupt`] error.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        StorageError::Corrupt(msg.into())
+    }
+
+    /// Helper for constructing a [`StorageError::InvalidArgument`] error.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        StorageError::InvalidArgument(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = StorageError::corrupt("bad tag");
+        assert_eq!(e.to_string(), "corrupt data: bad tag");
+        let e = StorageError::NotFound("table r".into());
+        assert_eq!(e.to_string(), "not found: table r");
+        let e = StorageError::invalid("schema mismatch");
+        assert_eq!(e.to_string(), "invalid argument: schema mismatch");
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: StorageError = io.into();
+        assert!(e.to_string().contains("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! Persistent sorted index: `i64` key → [`TupleAddr`], with page-charged
+//! binary search. Backs the tuple-based NLJ with an index on the inner
+//! relation (paper §4).
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::disk::{DiskManager, FileId};
+use crate::error::{Result, StorageError};
+use crate::heap::TupleAddr;
+use crate::page::{Page, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Entry layout: key (8) + page (8) + slot (2) = 18 bytes.
+const ENTRY_SIZE: usize = 18;
+const PAGE_HEADER: usize = 2;
+const ENTRIES_PER_PAGE: usize = (PAGE_SIZE - PAGE_HEADER) / ENTRY_SIZE;
+
+/// Metadata of a sealed index (persisted in the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Backing file.
+    pub file: FileId,
+    /// Total number of entries.
+    pub entries: u64,
+}
+
+impl Encode for IndexMeta {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.file.0);
+        enc.put_u64(self.entries);
+    }
+}
+
+impl Decode for IndexMeta {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(IndexMeta {
+            file: FileId(dec.get_u64()?),
+            entries: dec.get_u64()?,
+        })
+    }
+}
+
+/// Builds a sorted index from `(key, addr)` pairs.
+pub struct IndexBuilder {
+    dm: Arc<DiskManager>,
+    entries: Vec<(i64, TupleAddr)>,
+}
+
+impl IndexBuilder {
+    /// Start building an index.
+    pub fn new(dm: Arc<DiskManager>) -> Self {
+        Self {
+            dm,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add one entry.
+    pub fn add(&mut self, key: i64, addr: TupleAddr) {
+        self.entries.push((key, addr));
+    }
+
+    /// Sort, write out, and seal the index.
+    pub fn finish(mut self) -> Result<IndexMeta> {
+        self.entries.sort_by_key(|&(k, a)| (k, a));
+        let file = self.dm.create_file()?;
+        for chunk in self.entries.chunks(ENTRIES_PER_PAGE) {
+            let mut page = Page::zeroed();
+            page.write_u16(0, chunk.len() as u16);
+            let mut off = PAGE_HEADER;
+            for &(key, addr) in chunk {
+                page.bytes_mut()[off..off + 8].copy_from_slice(&key.to_le_bytes());
+                page.bytes_mut()[off + 8..off + 16].copy_from_slice(&addr.page.to_le_bytes());
+                page.bytes_mut()[off + 16..off + 18].copy_from_slice(&addr.slot.to_le_bytes());
+                off += ENTRY_SIZE;
+            }
+            self.dm.append_page(file, &page)?;
+        }
+        Ok(IndexMeta {
+            file,
+            entries: self.entries.len() as u64,
+        })
+    }
+}
+
+/// Read-side handle to a sealed sorted index.
+pub struct SortedIndex {
+    dm: Arc<DiskManager>,
+    meta: IndexMeta,
+}
+
+fn read_entry(page: &Page, i: usize) -> (i64, TupleAddr) {
+    let off = PAGE_HEADER + i * ENTRY_SIZE;
+    let key = i64::from_le_bytes(page.bytes()[off..off + 8].try_into().unwrap());
+    let pno = u64::from_le_bytes(page.bytes()[off + 8..off + 16].try_into().unwrap());
+    let slot = u16::from_le_bytes(page.bytes()[off + 16..off + 18].try_into().unwrap());
+    (key, TupleAddr { page: pno, slot })
+}
+
+impl SortedIndex {
+    /// Open a sealed index.
+    pub fn open(dm: Arc<DiskManager>, meta: IndexMeta) -> Self {
+        Self { dm, meta }
+    }
+
+    /// Index metadata.
+    pub fn meta(&self) -> IndexMeta {
+        self.meta
+    }
+
+    fn page_count(&self) -> u64 {
+        (self.meta.entries + ENTRIES_PER_PAGE as u64 - 1) / ENTRIES_PER_PAGE as u64
+    }
+
+    fn load_page(&self, page_no: u64) -> Result<(Page, usize)> {
+        let page = self.dm.read_page(self.meta.file, page_no)?;
+        let count = page.read_u16(0) as usize;
+        if count > ENTRIES_PER_PAGE {
+            return Err(StorageError::corrupt(format!(
+                "index page {page_no} claims {count} entries"
+            )));
+        }
+        Ok((page, count))
+    }
+
+    /// Find all tuple addresses whose key equals `key`, in address order.
+    /// Performs a page-granular binary search (each touched page is one
+    /// charged read), then collects matches across adjacent pages.
+    pub fn lookup(&self, key: i64) -> Result<Vec<TupleAddr>> {
+        let pages = self.page_count();
+        if pages == 0 {
+            return Ok(Vec::new());
+        }
+        // Binary search for the first page whose last key is >= key.
+        let (mut lo, mut hi) = (0u64, pages - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let (page, count) = self.load_page(mid)?;
+            let (last_key, _) = read_entry(&page, count - 1);
+            if last_key < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut out = Vec::new();
+        let mut page_no = lo;
+        // Matches may continue onto following pages.
+        loop {
+            if page_no >= pages {
+                break;
+            }
+            let (page, count) = self.load_page(page_no)?;
+            let (first_key, _) = read_entry(&page, 0);
+            if first_key > key {
+                break;
+            }
+            let mut found_any = false;
+            for i in 0..count {
+                let (k, addr) = read_entry(&page, i);
+                match k.cmp(&key) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => {
+                        out.push(addr);
+                        found_any = true;
+                    }
+                    std::cmp::Ordering::Greater => return Ok(out),
+                }
+            }
+            if !found_any && !out.is_empty() {
+                break;
+            }
+            page_no += 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostLedger, CostModel};
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let p = std::env::temp_dir().join(format!(
+                "qsr-index-test-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn dm() -> (TempDir, Arc<DiskManager>) {
+        let d = TempDir::new();
+        let m = Arc::new(
+            DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap(),
+        );
+        (d, m)
+    }
+
+    fn addr(n: u64) -> TupleAddr {
+        TupleAddr {
+            page: n / 100,
+            slot: (n % 100) as u16,
+        }
+    }
+
+    #[test]
+    fn lookup_unique_keys() {
+        let (_d, dm) = dm();
+        let mut b = IndexBuilder::new(dm.clone());
+        for k in 0..5000i64 {
+            b.add(k * 2, addr(k as u64));
+        }
+        let meta = b.finish().unwrap();
+        let idx = SortedIndex::open(dm, meta);
+        assert_eq!(idx.lookup(2468).unwrap(), vec![addr(1234)]);
+        assert_eq!(idx.lookup(2469).unwrap(), vec![]);
+        assert_eq!(idx.lookup(0).unwrap(), vec![addr(0)]);
+        assert_eq!(idx.lookup(9998).unwrap(), vec![addr(4999)]);
+        assert_eq!(idx.lookup(-5).unwrap(), vec![]);
+        assert_eq!(idx.lookup(10_000).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn lookup_duplicate_keys_spanning_pages() {
+        let (_d, dm) = dm();
+        let mut b = IndexBuilder::new(dm.clone());
+        // 2000 duplicates of key 7 span multiple index pages.
+        for n in 0..2000u64 {
+            b.add(7, addr(n));
+        }
+        b.add(1, addr(90_000));
+        b.add(9, addr(90_001));
+        let meta = b.finish().unwrap();
+        let idx = SortedIndex::open(dm, meta);
+        let hits = idx.lookup(7).unwrap();
+        assert_eq!(hits.len(), 2000);
+        // Address-ordered.
+        let mut sorted = hits.clone();
+        sorted.sort();
+        assert_eq!(hits, sorted);
+        assert_eq!(idx.lookup(1).unwrap().len(), 1);
+        assert_eq!(idx.lookup(9).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_index_lookup() {
+        let (_d, dm) = dm();
+        let meta = IndexBuilder::new(dm.clone()).finish().unwrap();
+        let idx = SortedIndex::open(dm, meta);
+        assert_eq!(idx.lookup(1).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn probe_charges_logarithmic_reads() {
+        let (_d, dm) = dm();
+        let mut b = IndexBuilder::new(dm.clone());
+        for k in 0..100_000i64 {
+            b.add(k, addr(k as u64));
+        }
+        let meta = b.finish().unwrap();
+        let idx = SortedIndex::open(dm.clone(), meta);
+        let before = dm.ledger().snapshot();
+        idx.lookup(54_321).unwrap();
+        let delta = dm.ledger().snapshot().since(&before);
+        // ~220 pages => binary search touches at most ~9 + 2 pages.
+        assert!(
+            delta.total_pages_read() <= 12,
+            "probe read {} pages",
+            delta.total_pages_read()
+        );
+    }
+
+    #[test]
+    fn meta_roundtrips_through_codec() {
+        use crate::codec::roundtrip;
+        let m = IndexMeta {
+            file: FileId(3),
+            entries: 99,
+        };
+        assert_eq!(roundtrip(&m).unwrap(), m);
+    }
+}

@@ -1,0 +1,53 @@
+//! # qsr-storage
+//!
+//! The storage substrate for the `qsr` query engine: a from-scratch paged
+//! storage manager playing the role SHORE played for PREDATOR in the paper
+//! *Query Suspend and Resume* (SIGMOD 2007).
+//!
+//! The crate provides:
+//!
+//! * a row model ([`Value`], [`DataType`], [`Schema`], [`Tuple`]),
+//! * a hand-rolled binary codec ([`codec`]) used for tuples, operator
+//!   control state, checkpoints, contracts, and the `SuspendedQuery`
+//!   structure,
+//! * a page-granular [`DiskManager`] whose every read and write is charged
+//!   to the active query-lifecycle phase under a configurable [`CostModel`]
+//!   (this is the simulated-I/O substitution documented in `DESIGN.md`),
+//! * table heaps ([`HeapFile`]), sequential tuple runs ([`RunWriter`] /
+//!   [`RunReader`]; sort sublists and hash partitions), dump blobs
+//!   ([`BlobStore`]), and a persistent sorted index ([`SortedIndex`]),
+//! * a [`Catalog`] persisting table metadata inside a database directory.
+//!
+//! All higher layers (`qsr-core`, `qsr-exec`) perform I/O exclusively
+//! through this crate, so the cost ledger observes every byte that moves —
+//! which is what makes the paper's experiments reproducible on any host.
+
+pub mod blob;
+pub mod catalog;
+pub mod codec;
+pub mod cost;
+pub mod db;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod page;
+pub mod run;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use blob::{BlobId, BlobStore};
+pub use catalog::{Catalog, TableInfo};
+pub use codec::{Decode, Decoder, Encode, Encoder};
+pub use cost::{CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
+pub use db::Database;
+pub use disk::{DiskManager, FileId};
+pub use error::{Result, StorageError};
+pub use heap::{HeapCursor, HeapFile, TupleAddr};
+pub use index::{IndexBuilder, IndexMeta, SortedIndex};
+pub use page::{pages_for_bytes, Page, PAGE_SIZE};
+pub use run::{RunHandle, RunReader, RunWriter};
+pub use schema::{Column, Schema};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

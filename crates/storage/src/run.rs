@@ -1,0 +1,249 @@
+//! Sequential tuple runs: sorted sublists, hash-join partitions, and any
+//! other operator-created *disk-resident state*.
+//!
+//! The paper (§3.1, footnote 1) observes that disk-resident state is
+//! written once and never modified, so checkpoints never copy it — they
+//! only record locations. A [`RunHandle`] is exactly such a location: it is
+//! `Encode`/`Decode` and travels inside checkpoints, contracts, and
+//! `SuspendedQuery`, surviving suspension (the paper's *materialization
+//! points*).
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::disk::{DiskManager, FileId};
+use crate::error::Result;
+use crate::heap::{HeapCursor, HeapFile, TupleAddr};
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// A completed, immutable run on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunHandle {
+    /// Backing file.
+    pub file: FileId,
+    /// Number of tuples in the run.
+    pub tuples: u64,
+}
+
+impl Encode for RunHandle {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.file.0);
+        enc.put_u64(self.tuples);
+    }
+}
+
+impl Decode for RunHandle {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(RunHandle {
+            file: FileId(dec.get_u64()?),
+            tuples: dec.get_u64()?,
+        })
+    }
+}
+
+/// Writes a run sequentially, then seals it into a [`RunHandle`].
+pub struct RunWriter {
+    heap: HeapFile,
+}
+
+impl RunWriter {
+    /// Start a new run.
+    pub fn create(dm: Arc<DiskManager>) -> Result<Self> {
+        Ok(Self {
+            heap: HeapFile::create(dm)?,
+        })
+    }
+
+    /// Reopen a sealed run for further appends (used when a suspended
+    /// operator resumes a partially written partition). Appends continue
+    /// on fresh pages; the sealed tail page keeps its short count, which
+    /// readers handle naturally.
+    pub fn reopen(dm: Arc<DiskManager>, handle: RunHandle) -> Self {
+        Self {
+            heap: HeapFile::open(dm, handle.file, handle.tuples),
+        }
+    }
+
+    /// Append one tuple.
+    pub fn append(&mut self, tuple: &Tuple) -> Result<()> {
+        self.heap.append(tuple)
+    }
+
+    /// Number of tuples appended so far.
+    pub fn len(&self) -> u64 {
+        self.heap.tuple_count()
+    }
+
+    /// True if no tuple has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pages flushed to disk so far (excludes the unflushed tail page).
+    pub fn pages_written(&self) -> Result<u64> {
+        self.heap.pages()
+    }
+
+    /// Flush and seal the run.
+    pub fn finish(mut self) -> Result<RunHandle> {
+        self.heap.finish()?;
+        Ok(RunHandle {
+            file: self.heap.file_id(),
+            tuples: self.heap.tuple_count(),
+        })
+    }
+}
+
+/// Sequential reader over a sealed run. The cursor position is a
+/// [`TupleAddr`], usable as operator control state.
+pub struct RunReader {
+    cursor: HeapCursor,
+    handle: RunHandle,
+}
+
+impl RunReader {
+    /// Open a reader at the beginning of the run.
+    pub fn open(dm: Arc<DiskManager>, handle: RunHandle) -> Self {
+        let heap = HeapFile::open(dm, handle.file, handle.tuples);
+        Self {
+            cursor: heap.cursor(),
+            handle,
+        }
+    }
+
+    /// Open a reader positioned at `addr`.
+    pub fn open_at(dm: Arc<DiskManager>, handle: RunHandle, addr: TupleAddr) -> Self {
+        let mut r = Self::open(dm, handle);
+        r.cursor.seek(addr);
+        r
+    }
+
+    /// The run being read.
+    pub fn handle(&self) -> RunHandle {
+        self.handle
+    }
+
+    /// Address of the next tuple to be returned.
+    pub fn position(&self) -> TupleAddr {
+        self.cursor.position()
+    }
+
+    /// Reposition the reader.
+    pub fn seek(&mut self, addr: TupleAddr) {
+        self.cursor.seek(addr);
+    }
+
+    /// Next tuple, or `None` at end of run.
+    pub fn next(&mut self) -> Result<Option<Tuple>> {
+        self.cursor.next()
+    }
+
+    /// Page reads performed by this reader (for work attribution).
+    pub fn pages_fetched(&self) -> u64 {
+        self.cursor.pages_fetched()
+    }
+}
+
+/// Delete a sealed run's backing file (used when an operator's
+/// disk-resident state is finally garbage).
+pub fn delete_run(dm: &DiskManager, handle: RunHandle) -> Result<()> {
+    dm.delete_file(handle.file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostLedger, CostModel};
+    use crate::value::Value;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let p = std::env::temp_dir().join(format!(
+                "qsr-run-test-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn dm() -> (TempDir, Arc<DiskManager>) {
+        let d = TempDir::new();
+        let m = Arc::new(
+            DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap(),
+        );
+        (d, m)
+    }
+
+    fn tup(k: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(k)])
+    }
+
+    #[test]
+    fn write_seal_read() {
+        let (_d, dm) = dm();
+        let mut w = RunWriter::create(dm.clone()).unwrap();
+        for k in 0..777 {
+            w.append(&tup(k)).unwrap();
+        }
+        let h = w.finish().unwrap();
+        assert_eq!(h.tuples, 777);
+
+        let mut r = RunReader::open(dm, h);
+        for k in 0..777 {
+            assert_eq!(r.next().unwrap().unwrap(), tup(k));
+        }
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_survives_suspend_style_reposition() {
+        let (_d, dm) = dm();
+        let mut w = RunWriter::create(dm.clone()).unwrap();
+        for k in 0..300 {
+            w.append(&tup(k)).unwrap();
+        }
+        let h = w.finish().unwrap();
+
+        let mut r = RunReader::open(dm.clone(), h);
+        for _ in 0..100 {
+            r.next().unwrap();
+        }
+        let pos = r.position();
+        drop(r);
+        // Handle + position round-trip through the codec, like a contract.
+        let pos2 = crate::codec::roundtrip(&pos).unwrap();
+        let h2 = crate::codec::roundtrip(&h).unwrap();
+        let mut r2 = RunReader::open_at(dm, h2, pos2);
+        assert_eq!(r2.next().unwrap().unwrap(), tup(100));
+    }
+
+    #[test]
+    fn empty_run_reads_none() {
+        let (_d, dm) = dm();
+        let w = RunWriter::create(dm.clone()).unwrap();
+        assert!(w.is_empty());
+        let h = w.finish().unwrap();
+        assert_eq!(h.tuples, 0);
+        let mut r = RunReader::open(dm, h);
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn delete_run_removes_file() {
+        let (_d, dm) = dm();
+        let mut w = RunWriter::create(dm.clone()).unwrap();
+        w.append(&tup(1)).unwrap();
+        let h = w.finish().unwrap();
+        delete_run(&dm, h).unwrap();
+        let mut r = RunReader::open(dm, h);
+        assert!(r.next().is_err());
+    }
+}

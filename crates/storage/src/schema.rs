@@ -1,0 +1,214 @@
+//! Column and schema definitions.
+
+use crate::codec::{Decode, Decoder, Encode, Encoder};
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name; qualified names like `"r.key"` are conventional.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns. Schemas are cheap to clone (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<Vec<Column>>,
+}
+
+impl Schema {
+    /// Construct a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self {
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Index of the column named `name`, if any. Matches either the full
+    /// (possibly qualified) name or the suffix after the last `.`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Some(i);
+        }
+        self.columns
+            .iter()
+            .position(|c| c.name.rsplit('.').next() == Some(name))
+    }
+
+    /// Like [`Schema::index_of`] but returns an error naming the column.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| StorageError::NotFound(format!("column '{name}'")))
+    }
+
+    /// Concatenate two schemas (for join outputs).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.as_ref().clone();
+        cols.extend(other.columns.iter().cloned());
+        Schema::new(cols)
+    }
+
+    /// A schema with the given column subset, in `indices` order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.columns[i].clone()).collect())
+    }
+
+    /// Validate that `values` conforms to this schema.
+    pub fn check(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.len() {
+            return Err(StorageError::invalid(format!(
+                "tuple arity {} does not match schema arity {}",
+                values.len(),
+                self.len()
+            )));
+        }
+        for (v, c) in values.iter().zip(self.columns.iter()) {
+            if v.data_type() != c.dtype {
+                return Err(StorageError::invalid(format!(
+                    "column '{}' expects {} but value is {}",
+                    c.name,
+                    c.dtype,
+                    v.data_type()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Encode for Column {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        self.dtype.encode(enc);
+    }
+}
+
+impl Decode for Column {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let name = dec.get_str()?;
+        let dtype = DataType::decode(dec)?;
+        Ok(Column { name, dtype })
+    }
+}
+
+impl Encode for Schema {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.columns);
+    }
+}
+
+impl Decode for Schema {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(Schema::new(dec.get_seq()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    fn rs() -> Schema {
+        Schema::new(vec![
+            Column::new("r.key", DataType::Int),
+            Column::new("r.payload", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_handles_qualified_names() {
+        let s = rs();
+        assert_eq!(s.index_of("r.key"), Some(0));
+        assert_eq!(s.index_of("key"), Some(0));
+        assert_eq!(s.index_of("payload"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.require("missing").is_err());
+    }
+
+    #[test]
+    fn join_concatenates_columns() {
+        let s = rs().join(&Schema::new(vec![Column::new("t.key", DataType::Int)]));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.column(2).name, "t.key");
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = rs().project(&[1, 0]);
+        assert_eq!(s.column(0).name, "r.payload");
+        assert_eq!(s.column(1).name, "r.key");
+    }
+
+    #[test]
+    fn check_validates_arity_and_types() {
+        let s = rs();
+        assert!(s.check(&[Value::Int(1), Value::Str("x".into())]).is_ok());
+        assert!(s.check(&[Value::Int(1)]).is_err());
+        assert!(s.check(&[Value::Str("x".into()), Value::Str("y".into())]).is_err());
+    }
+
+    #[test]
+    fn schema_roundtrips_through_codec() {
+        let s = rs();
+        assert_eq!(roundtrip(&s).unwrap(), s);
+        assert_eq!(roundtrip(&Schema::empty()).unwrap(), Schema::empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(rs().to_string(), "(r.key INT, r.payload STR)");
+    }
+}

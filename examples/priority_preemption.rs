@@ -1,0 +1,114 @@
+//! The paper's motivating scenario (§1): a long-running, memory-intensive
+//! analytical query `Q_lo` is preempted by a high-priority query `Q_hi`.
+//!
+//! `Q_lo` is suspended under a tight suspend budget (the high-priority
+//! work must start *now*), all its memory is released, `Q_hi` runs with
+//! the machine to itself, and `Q_lo` resumes afterwards without losing
+//! the work it had done.
+//!
+//! ```sh
+//! cargo run --example priority_preemption
+//! ```
+
+use qsr::core::{OpId, SuspendPolicy};
+use qsr::exec::{PlanSpec, Predicate, QueryExecution, SuspendTrigger};
+use qsr::storage::{Database, Phase};
+use qsr::workload::{generate_table, TableSpec};
+
+fn main() -> qsr::storage::Result<()> {
+    let dir = std::env::temp_dir().join(format!("qsr-preempt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let db = Database::open_default(&dir)?;
+
+    generate_table(&db, &TableSpec::new("facts", 60_000).payload(64))?;
+    generate_table(&db, &TableSpec::new("dim_a", 3_000).payload(64))?;
+    generate_table(&db, &TableSpec::new("dim_b", 1_000).payload(64))?;
+
+    // Q_lo: a two-join analytical query with large buffers.
+    let q_lo = PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan {
+                    table: "facts".into(),
+                }),
+                predicate: Predicate::IntLt { col: 1, value: 500 },
+            }),
+            inner: Box::new(PlanSpec::TableScan {
+                table: "dim_a".into(),
+            }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 8_000,
+        }),
+        inner: Box::new(PlanSpec::TableScan {
+            table: "dim_b".into(),
+        }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 4_000,
+    };
+
+    // Q_hi: a short selective aggregate.
+    let q_hi = PlanSpec::StreamAgg {
+        input: Box::new(PlanSpec::Sort {
+            input: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan {
+                    table: "dim_a".into(),
+                }),
+                predicate: Predicate::IntLt { col: 1, value: 250 },
+            }),
+            key: 1,
+            buffer_tuples: 2_000,
+        }),
+        group_col: Some(1),
+        agg_col: 0,
+        func: qsr::exec::AggFn::Count,
+    };
+
+    // --- Q_lo runs... ---
+    let mut lo = QueryExecution::start(db.clone(), q_lo)?;
+    lo.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(1),
+        n: 6_500,
+    }));
+    let (lo_prefix, done) = lo.run()?;
+    assert!(!done);
+    println!("Q_lo progressed: {} result tuples", lo_prefix.len());
+
+    // --- Q_hi arrives: suspend Q_lo under a tight budget. ---
+    let budget = 40.0; // cost units the scheduler allows for suspension
+    let before = db.ledger().snapshot();
+    let handle = lo.suspend(&SuspendPolicy::Optimized {
+        budget: Some(budget),
+    })?;
+    let suspend_cost = db.ledger().snapshot().since(&before).phase_cost(Phase::Suspend);
+    println!(
+        "Q_lo suspended in {suspend_cost:.1} cost units (budget {budget}); \
+         strategies: {:?}",
+        handle
+            .report
+            .plan
+            .decisions()
+            .map(|(op, s)| format!("{op}:{s:?}"))
+            .collect::<Vec<_>>()
+    );
+    assert!(suspend_cost <= budget * 1.05 + 5.0);
+
+    // --- Q_hi runs with all resources. ---
+    let mut hi = QueryExecution::start(db.clone(), q_hi)?;
+    let hi_out = hi.run_to_completion()?;
+    println!("Q_hi finished: {} groups", hi_out.len());
+
+    // --- Q_lo resumes, losing no delivered work. ---
+    let mut lo = QueryExecution::resume(db.clone(), &handle)?;
+    let lo_rest = lo.run_to_completion()?;
+    println!(
+        "Q_lo resumed and finished: {} + {} = {} tuples total",
+        lo_prefix.len(),
+        lo_rest.len(),
+        lo_prefix.len() + lo_rest.len()
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

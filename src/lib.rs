@@ -1,0 +1,48 @@
+//! # qsr — Query Suspend and Resume
+//!
+//! Facade crate re-exporting the full stack: a from-scratch Rust
+//! implementation of *Query Suspend and Resume* (SIGMOD 2007) —
+//! operator-level asynchronous checkpointing, contracts, and online
+//! suspend-plan optimization. See `README.md` for the guided tour and
+//! `DESIGN.md` for the architecture.
+//!
+//! ```no_run
+//! use qsr::core::SuspendPolicy;
+//! use qsr::exec::{PlanSpec, Predicate, QueryExecution};
+//! use qsr::storage::Database;
+//! use qsr::workload::{generate_table, TableSpec};
+//!
+//! # fn main() -> qsr::storage::Result<()> {
+//! let db = Database::open_default("./mydb")?;
+//! generate_table(&db, &TableSpec::new("orders", 100_000))?;
+//! generate_table(&db, &TableSpec::new("customers", 5_000))?;
+//!
+//! let plan = PlanSpec::BlockNlj {
+//!     outer: Box::new(PlanSpec::Filter {
+//!         input: Box::new(PlanSpec::TableScan { table: "orders".into() }),
+//!         predicate: Predicate::IntLt { col: 1, value: 400 },
+//!     }),
+//!     inner: Box::new(PlanSpec::TableScan { table: "customers".into() }),
+//!     outer_key: 0,
+//!     inner_key: 0,
+//!     buffer_tuples: 20_000,
+//! };
+//!
+//! let mut exec = QueryExecution::start(db.clone(), plan)?;
+//! exec.request_suspend(); // e.g. a high-priority query arrived
+//! let (delivered, _) = exec.run()?;
+//! let handle = exec.suspend(&SuspendPolicy::Optimized { budget: Some(500.0) })?;
+//! // ... all memory released; later (even in another process):
+//! let mut resumed = QueryExecution::resume(db, &handle)?;
+//! let rest = resumed.run_to_completion()?;
+//! # let _ = (delivered, rest);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use qsr_core as core;
+pub use qsr_exec as exec;
+pub use qsr_mip as mip;
+pub use qsr_planner as planner;
+pub use qsr_storage as storage;
+pub use qsr_workload as workload;

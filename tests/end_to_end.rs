@@ -1,0 +1,265 @@
+//! End-to-end integration tests through the `qsr` facade crate: the full
+//! lifecycle across every layer (workload → storage → executor → contract
+//! graph → optimizer → suspend/resume), including cross-"node" migration
+//! and budget compliance.
+
+use qsr::core::{OpId, SuspendPolicy};
+use qsr::exec::{AggFn, PlanSpec, Predicate, QueryExecution, SuspendTrigger};
+use qsr::storage::{Database, Phase};
+use qsr::workload::{generate_table, TableSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-e2e-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn setup(tag: &str) -> (TempDir, Arc<Database>) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_default(&dir.0).unwrap();
+    generate_table(&db, &TableSpec::new("r", 4000).payload(32).seed(11)).unwrap();
+    generate_table(&db, &TableSpec::new("s", 800).payload(32).seed(12)).unwrap();
+    (dir, db)
+}
+
+fn join_plan(buffer: usize) -> PlanSpec {
+    PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::Filter {
+            input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            predicate: Predicate::IntLt { col: 1, value: 600 },
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: buffer,
+    }
+}
+
+#[test]
+fn full_lifecycle_with_optimizer() {
+    let (_d, db) = setup("lifecycle");
+    let plan = join_plan(700);
+
+    let mut base = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+    let expected = base.run_to_completion().unwrap();
+
+    let mut exec = QueryExecution::start(db.clone(), plan).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(0),
+        n: 500,
+    }));
+    let (prefix, done) = exec.run().unwrap();
+    assert!(!done);
+    let handle = exec
+        .suspend(&SuspendPolicy::Optimized { budget: None })
+        .unwrap();
+    let mut resumed = QueryExecution::resume(db, &handle).unwrap();
+    let rest = resumed.run_to_completion().unwrap();
+
+    let mut all = prefix;
+    all.extend(rest);
+    assert_eq!(all, expected);
+}
+
+#[test]
+fn migration_to_fresh_session() {
+    // Suspend under one Database handle; resume under a completely fresh
+    // one over the same directory (the Grid migration scenario).
+    let dir = TempDir::new("migrate");
+    let expected;
+    let blob;
+    let prefix_len;
+    {
+        let db = Database::open_default(&dir.0).unwrap();
+        generate_table(&db, &TableSpec::new("r", 4000).payload(32).seed(21)).unwrap();
+        generate_table(&db, &TableSpec::new("s", 800).payload(32).seed(22)).unwrap();
+        let plan = join_plan(900);
+        let mut base = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+        expected = base.run_to_completion().unwrap();
+
+        let mut exec = QueryExecution::start(db.clone(), plan).unwrap();
+        exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+            op: OpId(0),
+            n: 777,
+        }));
+        let (prefix, done) = exec.run().unwrap();
+        assert!(!done);
+        prefix_len = prefix.len();
+        blob = exec
+            .suspend(&SuspendPolicy::Optimized { budget: Some(15.0) })
+            .unwrap()
+            .blob;
+    }
+    let db2 = Database::open_default(&dir.0).unwrap();
+    let mut resumed = QueryExecution::resume_from_blob(db2, blob).unwrap();
+    let rest = resumed.run_to_completion().unwrap();
+    assert_eq!(prefix_len + rest.len(), expected.len());
+}
+
+#[test]
+fn budget_is_respected_at_suspend_time() {
+    let (_d, db) = setup("budget");
+    let plan = join_plan(2000);
+
+    for budget in [5.0, 20.0, 1000.0] {
+        db.ledger().reset();
+        let mut exec = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+        exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+            op: OpId(0),
+            n: 1800,
+        }));
+        let (_, done) = exec.run().unwrap();
+        assert!(!done);
+        let before = db.ledger().snapshot();
+        let handle = exec
+            .suspend(&SuspendPolicy::Optimized {
+                budget: Some(budget),
+            })
+            .unwrap();
+        let spent = db.ledger().snapshot().since(&before).phase_cost(Phase::Suspend);
+        // Small slack: the SuspendedQuery blob itself is written outside
+        // the optimizer's budgeted dumps.
+        assert!(
+            spent <= budget + 15.0,
+            "budget {budget}: spent {spent}"
+        );
+        let mut resumed = QueryExecution::resume(db.clone(), &handle).unwrap();
+        resumed.run_to_completion().unwrap();
+    }
+}
+
+#[test]
+fn aggregate_pipeline_suspends_cleanly() {
+    let (_d, db) = setup("aggpipe");
+    let plan = PlanSpec::StreamAgg {
+        input: Box::new(PlanSpec::Sort {
+            input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            key: 1,
+            buffer_tuples: 600,
+        }),
+        group_col: Some(1),
+        agg_col: 0,
+        func: AggFn::Count,
+    };
+    let mut base = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+    let expected = base.run_to_completion().unwrap();
+
+    for n in [200u64, 2000, 3999] {
+        let mut exec = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+        exec.set_trigger(Some(SuspendTrigger::AfterOpTuples { op: OpId(1), n }));
+        let (prefix, done) = exec.run().unwrap();
+        if done {
+            assert_eq!(prefix, expected);
+            continue;
+        }
+        let handle = exec.suspend(&SuspendPolicy::AllGoBack).unwrap();
+        let mut resumed = QueryExecution::resume(db.clone(), &handle).unwrap();
+        let rest = resumed.run_to_completion().unwrap();
+        let mut all = prefix;
+        all.extend(rest);
+        assert_eq!(all, expected, "suspend at sort tick {n}");
+    }
+}
+
+#[test]
+fn checkpointing_overhead_is_negligible_in_cost_units() {
+    // The paper's §3.1 claim: asynchronous checkpointing at
+    // minimal-heap-state points performs no I/O during execution.
+    let (_d, db) = setup("overhead");
+    let plan = join_plan(700);
+
+    db.ledger().reset();
+    let mut with = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+    with.run_to_completion().unwrap();
+    let cost_with = db.ledger().snapshot().total_cost();
+
+    db.ledger().reset();
+    let mut without = QueryExecution::start_without_checkpointing(db.clone(), plan).unwrap();
+    without.run_to_completion().unwrap();
+    let cost_without = db.ledger().snapshot().total_cost();
+
+    assert_eq!(
+        cost_with, cost_without,
+        "checkpointing must add zero I/O cost during execution"
+    );
+}
+
+#[test]
+fn resume_without_persisted_graph_reforms_gradually() {
+    // Paper §3.3: "If we do not store the contract graph, part of the
+    // contract graph is still available... as the query execution
+    // continues, the contract graph will be gradually reformed."
+    use qsr::exec::driver::SuspendOptions;
+    let (_d, db) = setup("nograph");
+    let plan = join_plan(400);
+    let mut base = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+    let expected = base.run_to_completion().unwrap();
+
+    let mut exec = QueryExecution::start(db.clone(), plan).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(0),
+        n: 300,
+    }));
+    let (p1, done) = exec.run().unwrap();
+    assert!(!done);
+    let h1 = exec
+        .suspend_with(
+            &SuspendPolicy::Optimized { budget: None },
+            &SuspendOptions {
+                persist_graph: false,
+            },
+        )
+        .unwrap();
+
+    // Resume with an empty graph; run past several batch boundaries so
+    // fresh checkpoints form, then suspend again — first with the
+    // always-valid all-DumpState, then (after more reformation) with the
+    // optimizer.
+    let mut exec = QueryExecution::resume(db.clone(), &h1).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(0),
+        n: 500,
+    }));
+    let (p2, done) = exec.run().unwrap();
+    assert!(!done, "trigger should fire again");
+    let h2 = exec.suspend(&SuspendPolicy::AllDump).unwrap();
+
+    let mut exec = QueryExecution::resume(db.clone(), &h2).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(0),
+        n: 300,
+    }));
+    let (p3, done) = exec.run().unwrap();
+    let (p4, h3_used) = if done {
+        (Vec::new(), false)
+    } else {
+        // The graph has re-formed: the optimizer may legitimately choose
+        // GoBack chains again.
+        let h3 = exec
+            .suspend(&SuspendPolicy::Optimized { budget: None })
+            .unwrap();
+        let mut exec = QueryExecution::resume(db.clone(), &h3).unwrap();
+        (exec.run_to_completion().unwrap(), true)
+    };
+
+    let mut all = p1;
+    all.extend(p2);
+    all.extend(p3);
+    all.extend(p4);
+    assert_eq!(all, expected, "h3_used={h3_used}");
+}

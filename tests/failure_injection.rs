@@ -1,0 +1,141 @@
+//! Failure injection: corrupted or missing persistent state must surface
+//! as clean errors, never as wrong results or panics.
+
+use qsr::core::{OpId, SuspendPolicy};
+use qsr::exec::{PlanSpec, Predicate, QueryExecution, SuspendTrigger};
+use qsr::storage::{BlobId, Database, FileId};
+use qsr::workload::{generate_table, TableSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-fail-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn suspended_join(tag: &str) -> (TempDir, Arc<Database>, qsr::exec::SuspendedHandle) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_default(&dir.0).unwrap();
+    generate_table(&db, &TableSpec::new("r", 3000).payload(24).seed(5)).unwrap();
+    generate_table(&db, &TableSpec::new("s", 500).payload(24).seed(6)).unwrap();
+    let plan = PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::Filter {
+            input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            predicate: Predicate::IntLt { col: 1, value: 700 },
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 600,
+    };
+    let mut exec = QueryExecution::start(db.clone(), plan).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(0),
+        n: 500,
+    }));
+    let (_, done) = exec.run().unwrap();
+    assert!(!done);
+    let handle = exec.suspend(&SuspendPolicy::AllDump).unwrap();
+    (dir, db, handle)
+}
+
+#[test]
+fn resume_from_nonexistent_blob_errors_cleanly() {
+    let (_d, db, _h) = suspended_join("noblob");
+    let bogus = BlobId {
+        file: FileId(9_999_999),
+        len: 64,
+        checksum: 0,
+    };
+    let err = QueryExecution::resume_from_blob(db, bogus);
+    assert!(err.is_err(), "must not resume from a missing blob");
+}
+
+#[test]
+fn resume_from_truncated_suspended_query_errors_cleanly() {
+    let (_d, db, h) = suspended_join("trunc");
+    // Lie about the length: decoding must fail, not panic or mis-resume.
+    let truncated = BlobId {
+        file: h.blob.file,
+        len: h.blob.len / 2,
+        checksum: h.blob.checksum,
+    };
+    let err = QueryExecution::resume_from_blob(db, truncated);
+    assert!(err.is_err(), "truncated SuspendedQuery must be rejected");
+}
+
+#[test]
+fn resume_with_corrupted_bytes_errors_cleanly() {
+    let (dir, db, h) = suspended_join("corrupt");
+    // Flip bytes in the middle of the blob's backing file.
+    let path = dir.0.join(format!("f{}.qsr", h.blob.file.0));
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Corrupt inside the payload (the file is page-padded beyond len).
+    let mid = (h.blob.len / 3) as usize;
+    let end = mid + 64.min(bytes.len() - mid);
+    for b in &mut bytes[mid..end] {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&path, bytes).unwrap();
+    let result = QueryExecution::resume_from_blob(db, h.blob);
+    assert!(result.is_err(), "corrupted SuspendedQuery must be rejected");
+}
+
+#[test]
+fn resume_with_missing_heap_dump_errors_cleanly() {
+    let (_d, db, h) = suspended_join("nodump");
+    // Delete every blob file except the SuspendedQuery itself: the NLJ's
+    // dumped buffer disappears.
+    let sq = qsr::core::SuspendedQuery::load(db.blobs(), h.blob).unwrap();
+    for rec in sq.records.values() {
+        if let Some(dump) = rec.heap_dump {
+            db.blobs().delete(dump).unwrap();
+        }
+    }
+    let result = QueryExecution::resume_from_blob(db, h.blob);
+    assert!(result.is_err(), "missing heap dump must be detected");
+}
+
+#[test]
+fn resume_against_database_missing_tables_errors_cleanly() {
+    let (_d, db, h) = suspended_join("notables");
+    // A different database directory: tables absent.
+    let other_dir = TempDir::new("other");
+    let other = Database::open_default(&other_dir.0).unwrap();
+    let sq_bytes = {
+        // Copy the SuspendedQuery blob content over to the other database.
+        let data = db.blobs().get(h.blob).unwrap();
+        other.blobs().put(&data).unwrap()
+    };
+    let result = QueryExecution::resume_from_blob(other, sq_bytes);
+    assert!(
+        result.is_err(),
+        "resume must fail when the catalog lacks the plan's tables"
+    );
+}
+
+#[test]
+fn double_resume_is_allowed_and_consistent() {
+    // Resuming the same SuspendedQuery twice (e.g. after the first resumed
+    // run was abandoned) must produce identical continuations.
+    let (_d, db, h) = suspended_join("double");
+    let mut a = QueryExecution::resume(db.clone(), &h).unwrap();
+    let out_a = a.run_to_completion().unwrap();
+    let mut b = QueryExecution::resume(db.clone(), &h).unwrap();
+    let out_b = b.run_to_completion().unwrap();
+    assert_eq!(out_a, out_b);
+}
