@@ -41,7 +41,7 @@ pub fn run() -> Result<String> {
         match exec.next()? {
             Poll::Tuple(_) => {
                 produced += 1;
-                if produced % sample_every == 0 {
+                if produced.is_multiple_of(sample_every) {
                     let problem = exec.suspend_problem();
                     let h0 = problem.inputs[&OpId(0)].heap_bytes;
                     let h1 = problem.inputs[&OpId(1)].heap_bytes;

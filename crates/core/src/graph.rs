@@ -389,7 +389,7 @@ impl ContractGraph {
     fn prune_checkpoint(&mut self, ckpt: CkptId) {
         let deletable = match self.ckpts.get(&ckpt) {
             Some(c) => {
-                self.incoming.get(&ckpt).map_or(true, HashSet::is_empty)
+                self.incoming.get(&ckpt).is_none_or(HashSet::is_empty)
                     && self.latest.get(&c.op) != Some(&ckpt)
             }
             None => false,
@@ -470,8 +470,12 @@ impl Decode for SideSnapshot {
     }
 }
 
-impl Encode for Checkpoint {
-    fn encode(&self, enc: &mut Encoder) {
+// Checkpoint records cross the disk boundary inside serialized contract
+// graphs and operator control state, so each one carries an FNV-1a trailer
+// over its own fields: a damaged record surfaces as `ChecksumMismatch` at
+// decode time instead of resuming from a garbage position.
+impl Checkpoint {
+    fn encode_fields(&self, enc: &mut Encoder) {
         self.id.encode(enc);
         self.op.encode(enc);
         enc.put_u64(self.seq);
@@ -481,16 +485,44 @@ impl Encode for Checkpoint {
     }
 }
 
+impl Encode for Checkpoint {
+    fn encode(&self, enc: &mut Encoder) {
+        let mut fields = Encoder::new();
+        self.encode_fields(&mut fields);
+        let fields = fields.finish();
+        enc.put_u64(qsr_storage::fnv1a(&fields));
+        enc.put_bytes(&fields);
+    }
+}
+
 impl Decode for Checkpoint {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
-        Ok(Checkpoint {
-            id: CkptId::decode(dec)?,
-            op: OpId::decode(dec)?,
-            seq: dec.get_u64()?,
-            control: dec.get_bytes()?.to_vec(),
-            work: dec.get_f64()?,
-            resumable: dec.get_bool()?,
-        })
+        let expected = dec.get_u64()?;
+        let fields = dec.get_bytes()?;
+        let actual = qsr_storage::fnv1a(fields);
+        if actual != expected {
+            return Err(StorageError::checksum_mismatch(
+                "Checkpoint record",
+                expected,
+                actual,
+            ));
+        }
+        let mut fdec = Decoder::new(fields);
+        let ckpt = Checkpoint {
+            id: CkptId::decode(&mut fdec)?,
+            op: OpId::decode(&mut fdec)?,
+            seq: fdec.get_u64()?,
+            control: fdec.get_bytes()?.to_vec(),
+            work: fdec.get_f64()?,
+            resumable: fdec.get_bool()?,
+        };
+        if !fdec.is_exhausted() {
+            return Err(StorageError::corrupt(format!(
+                "Checkpoint record: {} trailing bytes",
+                fdec.remaining()
+            )));
+        }
+        Ok(ckpt)
     }
 }
 
@@ -574,6 +606,51 @@ mod tests {
     fn sign(g: &mut ContractGraph, parent: CkptId, child_op: OpId, child_ckpt: CkptId) -> CtrId {
         g.sign_contract(parent, child_op, child_ckpt, vec![], 0.0, vec![])
             .unwrap()
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            id: CkptId(3),
+            op: OpId(1),
+            seq: 17,
+            control: vec![1, 2, 3, 4],
+            work: 12.5,
+            resumable: true,
+        }
+    }
+
+    #[test]
+    fn checkpoint_codec_detects_damage() {
+        let ck = sample_checkpoint();
+        let bytes = ck.encode_to_vec();
+        assert_eq!(Checkpoint::decode_from_slice(&bytes).unwrap(), ck);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            if let Ok(back) = Checkpoint::decode_from_slice(&bad) {
+                panic!("flip at byte {i} decoded silently: {back:?}");
+            }
+            assert!(
+                Checkpoint::decode_from_slice(&bytes[..i]).is_err(),
+                "truncation to {i} bytes decoded silently"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_corrupted_checkpoint_never_panics(idx in 0usize..4096, bit in 0u8..8, truncate: bool) {
+            let bytes = sample_checkpoint().encode_to_vec();
+            if truncate {
+                let cut = idx % bytes.len();
+                proptest::prop_assert!(Checkpoint::decode_from_slice(&bytes[..cut]).is_err());
+            } else {
+                let mut bad = bytes.clone();
+                let i = idx % bad.len();
+                bad[i] ^= 1 << bit;
+                proptest::prop_assert!(Checkpoint::decode_from_slice(&bad).is_err());
+            }
+        }
     }
 
     #[test]

@@ -55,8 +55,11 @@ struct Dp<'a> {
     /// recursion branches twice per level (Free vs Enforced children) and
     /// becomes exponential on deep chains. With it, the state space is the
     /// O(n·h) (op, anchor) pairs of the MIP itself.
-    memo: std::cell::RefCell<HashMap<(OpId, Mode), std::rc::Rc<Vec<Point>>>>,
+    memo: Memo,
 }
+
+/// Memoized frontier per (operator, mode).
+type Memo = std::cell::RefCell<HashMap<(OpId, Mode), std::rc::Rc<Vec<Point>>>>;
 
 impl<'a> Dp<'a> {
     fn prune(mut pts: Vec<Point>) -> Vec<Point> {

@@ -3,8 +3,19 @@
 //! end of the suspend phase.
 
 use crate::ids::OpId;
-use qsr_storage::{BlobId, BlobStore, Decode, Decoder, Encode, Encoder, Result, StorageError};
+use qsr_storage::{
+    fnv1a, BlobId, BlobStore, Decode, Decoder, Encode, Encoder, Result, StorageError,
+};
 use std::collections::BTreeMap;
+
+/// Magic number opening every serialized [`SuspendedQuery`] ("QSRQ" in
+/// little-endian). Anything else is not a suspended query at all.
+pub const SUSPENDED_QUERY_MAGIC: u32 = 0x5152_5351;
+
+/// Codec version this build writes and reads. v1 was the unframed format
+/// (no magic/version/CRC); v2 wraps the body in a length + FNV-1a frame and
+/// adds per-operator GoBack fallback records.
+pub const SUSPENDED_QUERY_VERSION: u32 = 2;
 
 /// The per-operator suspend strategy (paper §3: DumpState / GoBack).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +189,13 @@ pub struct SuspendedQuery {
     /// Per-operator cumulative-work snapshot at suspend time, restored on
     /// resume so a later re-suspension still has correct `g^r` baselines.
     pub work_snapshot: Vec<(OpId, f64)>,
+    /// Degradation plan: for operators whose primary strategy is Dump but
+    /// whose contract admits GoBack, the complete alternative record set
+    /// that resume substitutes when the dump blob turns out to be missing
+    /// or corrupt. Keyed by the operator whose dump the fallback replaces;
+    /// the value covers every operator whose record differs under the
+    /// fallback (the operator itself plus repositioned children).
+    pub fallbacks: BTreeMap<OpId, Vec<OpSuspendRecord>>,
 }
 
 impl SuspendedQuery {
@@ -205,8 +223,8 @@ impl SuspendedQuery {
     }
 }
 
-impl Encode for SuspendedQuery {
-    fn encode(&self, enc: &mut Encoder) {
+impl SuspendedQuery {
+    fn encode_body(&self, enc: &mut Encoder) {
         enc.put_bytes(&self.plan_bytes);
         self.suspend_plan.encode(enc);
         let recs: Vec<OpSuspendRecord> = self.records.values().cloned().collect();
@@ -218,11 +236,14 @@ impl Encode for SuspendedQuery {
             op.encode(enc);
             enc.put_f64(*w);
         }
+        enc.put_u32(self.fallbacks.len() as u32);
+        for (op, recs) in &self.fallbacks {
+            op.encode(enc);
+            enc.put_seq(recs);
+        }
     }
-}
 
-impl Decode for SuspendedQuery {
-    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self> {
         let plan_bytes = dec.get_bytes()?.to_vec();
         let suspend_plan = SuspendPlan::decode(dec)?;
         let recs: Vec<OpSuspendRecord> = dec.get_seq()?;
@@ -239,6 +260,13 @@ impl Decode for SuspendedQuery {
             let w = dec.get_f64()?;
             work_snapshot.push((op, w));
         }
+        let nf = dec.get_u32()? as usize;
+        let mut fallbacks = BTreeMap::new();
+        for _ in 0..nf {
+            let op = OpId::decode(dec)?;
+            let recs: Vec<OpSuspendRecord> = dec.get_seq()?;
+            fallbacks.insert(op, recs);
+        }
         Ok(SuspendedQuery {
             plan_bytes,
             suspend_plan,
@@ -246,7 +274,62 @@ impl Decode for SuspendedQuery {
             graph_bytes,
             tuples_emitted,
             work_snapshot,
+            fallbacks,
         })
+    }
+}
+
+// The on-disk form is framed: magic, codec version, length-prefixed body,
+// FNV-1a checksum of the body. A flipped bit or truncation anywhere in the
+// frame surfaces as `Corrupt` / `ChecksumMismatch` / `VersionMismatch` —
+// never a panic, never silent garbage.
+impl Encode for SuspendedQuery {
+    fn encode(&self, enc: &mut Encoder) {
+        let mut body = Encoder::new();
+        self.encode_body(&mut body);
+        let body = body.finish();
+        enc.put_u32(SUSPENDED_QUERY_MAGIC);
+        enc.put_u32(SUSPENDED_QUERY_VERSION);
+        enc.put_u64(fnv1a(&body));
+        enc.put_bytes(&body);
+    }
+}
+
+impl Decode for SuspendedQuery {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let magic = dec.get_u32()?;
+        if magic != SUSPENDED_QUERY_MAGIC {
+            return Err(StorageError::corrupt(format!(
+                "not a SuspendedQuery: bad magic {magic:#010x}"
+            )));
+        }
+        let version = dec.get_u32()?;
+        if version != SUSPENDED_QUERY_VERSION {
+            return Err(StorageError::VersionMismatch {
+                what: "SuspendedQuery".into(),
+                expected: SUSPENDED_QUERY_VERSION,
+                actual: version,
+            });
+        }
+        let expected = dec.get_u64()?;
+        let body = dec.get_bytes()?;
+        let actual = fnv1a(body);
+        if actual != expected {
+            return Err(StorageError::checksum_mismatch(
+                "SuspendedQuery body",
+                expected,
+                actual,
+            ));
+        }
+        let mut body_dec = Decoder::new(body);
+        let sq = Self::decode_body(&mut body_dec)?;
+        if !body_dec.is_exhausted() {
+            return Err(StorageError::corrupt(format!(
+                "SuspendedQuery body: {} trailing bytes",
+                body_dec.remaining()
+            )));
+        }
+        Ok(sq)
     }
 }
 
@@ -295,6 +378,117 @@ mod tests {
         assert_eq!(back, sq);
         assert!(back.record(OpId(0)).is_ok());
         assert!(back.record(OpId(1)).is_err());
+    }
+
+    fn sample_sq() -> SuspendedQuery {
+        let mut sq = SuspendedQuery {
+            plan_bytes: vec![1, 2, 3, 4, 5],
+            tuples_emitted: 42,
+            graph_bytes: Some(vec![9, 8, 7]),
+            work_snapshot: vec![(OpId(0), 1.5), (OpId(1), 2.5)],
+            ..Default::default()
+        };
+        sq.suspend_plan.set(OpId(0), Strategy::Dump);
+        sq.put_record(OpSuspendRecord {
+            op: OpId(0),
+            strategy: Strategy::Dump,
+            resume_point: vec![5, 5],
+            heap_dump: Some(BlobId {
+                file: FileId(8),
+                len: 100,
+                checksum: 7,
+            }),
+            saved_tuples: vec![vec![1], vec![2]],
+            aux: vec![7],
+        });
+        sq.fallbacks.insert(
+            OpId(0),
+            vec![OpSuspendRecord {
+                op: OpId(0),
+                strategy: Strategy::GoBack { to: OpId(0) },
+                resume_point: vec![3],
+                heap_dump: None,
+                saved_tuples: vec![],
+                aux: vec![],
+            }],
+        );
+        sq
+    }
+
+    #[test]
+    fn fallbacks_roundtrip() {
+        let sq = sample_sq();
+        let back = roundtrip(&sq).unwrap();
+        assert_eq!(back, sq);
+        assert_eq!(back.fallbacks[&OpId(0)].len(), 1);
+    }
+
+    #[test]
+    fn frame_rejects_bad_magic_version_and_checksum() {
+        let bytes = sample_sq().encode_to_vec();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            SuspendedQuery::decode_from_slice(&bad),
+            Err(StorageError::Corrupt(_))
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 99; // version field
+        match SuspendedQuery::decode_from_slice(&bad) {
+            Err(StorageError::VersionMismatch {
+                expected, actual, ..
+            }) => {
+                assert_eq!(expected, SUSPENDED_QUERY_VERSION);
+                assert_eq!(actual, 99);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1; // inside the body
+        bad[last] ^= 0x10;
+        assert!(matches!(
+            SuspendedQuery::decode_from_slice(&bad),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+    }
+
+    // Satellite guarantee: any single-byte flip or truncation of an encoded
+    // SuspendedQuery decodes to a clean error — never a panic, never an Ok
+    // with silently different contents.
+    #[test]
+    fn every_flip_and_truncation_fails_cleanly() {
+        let sq = sample_sq();
+        let bytes = sq.encode_to_vec();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            if let Ok(back) = SuspendedQuery::decode_from_slice(&bad) {
+                panic!("flip at byte {i} decoded silently: {back:?}");
+            }
+            assert!(
+                SuspendedQuery::decode_from_slice(&bytes[..i]).is_err(),
+                "truncation to {i} bytes decoded silently"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_corrupted_sq_never_panics(idx in 0usize..4096, bit in 0u8..8, truncate: bool) {
+            let bytes = sample_sq().encode_to_vec();
+            if truncate {
+                let cut = idx % bytes.len();
+                proptest::prop_assert!(SuspendedQuery::decode_from_slice(&bytes[..cut]).is_err());
+            } else {
+                let mut bad = bytes.clone();
+                let i = idx % bad.len();
+                bad[i] ^= 1 << bit;
+                proptest::prop_assert!(SuspendedQuery::decode_from_slice(&bad).is_err());
+            }
+        }
     }
 
     #[test]

@@ -110,11 +110,10 @@ impl ExecContext {
         }
         if !self.suspend_requested {
             match &self.trigger {
-                Some(SuspendTrigger::AfterOpTuples { op: top, n }) => {
-                    if *top == op && count >= *n {
-                        self.suspend_requested = true;
-                    }
+                Some(SuspendTrigger::AfterOpTuples { op: top, n }) if *top == op && count >= *n => {
+                    self.suspend_requested = true;
                 }
+                Some(SuspendTrigger::AfterOpTuples { .. }) => {}
                 Some(SuspendTrigger::AfterTotalWork { units }) => {
                     let total: f64 = self.work.snapshot().values().sum();
                     if total >= *units {

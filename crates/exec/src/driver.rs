@@ -23,14 +23,17 @@
 use crate::context::{ExecContext, SuspendTrigger};
 use crate::operator::{Operator, Poll, SuspendMode};
 use crate::plan::{build_plan, PlanSpec};
+use crate::recovery::{
+    commit_manifest, read_manifest, with_retries, ResumeError, SuspendManifest,
+};
 use qsr_core::{
-    ContractGraph, OpSuspendInputs, OptimizeReport, PlanTopology, SuspendOptimizer,
-    SuspendPolicy, SuspendProblem, SuspendedQuery,
+    ContractGraph, OpId, OpSuspendInputs, OptimizeReport, PlanTopology, Strategy,
+    SuspendOptimizer, SuspendPlan, SuspendPolicy, SuspendProblem, SuspendedQuery,
 };
 use qsr_storage::{
-    BlobId, Database, Decode, Encode, Phase, Result, Schema, StorageError, Tuple,
+    BlobId, Database, Decode, Encode, FileId, Phase, Result, Schema, StorageError, Tuple,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Handle to a suspended query on disk.
@@ -40,6 +43,9 @@ pub struct SuspendedHandle {
     pub blob: BlobId,
     /// The optimizer's report (chosen plan, estimated costs, solve time).
     pub report: OptimizeReport,
+    /// Generation number the suspend committed under (see
+    /// [`SuspendManifest`]).
+    pub generation: u64,
 }
 
 /// Options for the suspend phase.
@@ -158,6 +164,7 @@ impl QueryExecution {
     }
 
     /// Pull the next output tuple.
+    #[allow(clippy::should_implement_trait)] // fallible pull, not an Iterator
     pub fn next(&mut self) -> Result<Poll> {
         if self.finished {
             return Ok(Poll::Done);
@@ -218,6 +225,14 @@ impl QueryExecution {
     }
 
     /// [`QueryExecution::suspend`] with explicit [`SuspendOptions`].
+    ///
+    /// The suspend commits atomically: dump blobs and the serialized
+    /// `SuspendedQuery` are written and fsynced first, then a
+    /// generation-numbered [`SuspendManifest`] is swapped into place with
+    /// an atomic rename. A crash at any point before the rename leaves the
+    /// previous suspend (or a clean "no suspend" state) fully intact; a
+    /// crash after it leaves the new suspend committed. Only after the
+    /// commit are the previous generation's blobs garbage-collected.
     pub fn suspend_with(
         mut self,
         policy: &SuspendPolicy,
@@ -226,6 +241,12 @@ impl QueryExecution {
         self.db.ledger().set_phase(Phase::Suspend);
         let problem = self.suspend_problem();
         let report = SuspendOptimizer::choose(policy, &problem, &self.ctx.graph)?;
+
+        // The previous generation (if any) seeds the new generation number
+        // and is garbage-collected after the new manifest commits. An
+        // unreadable old manifest only disables GC; it cannot block a new
+        // suspend (its blobs leak, its manifest is overwritten).
+        let prev = read_manifest(&self.db).ok().flatten();
 
         let mut sq = SuspendedQuery {
             plan_bytes: self.spec.encode_to_vec(),
@@ -239,10 +260,142 @@ impl QueryExecution {
         };
         self.root
             .suspend(&mut self.ctx, SuspendMode::Current, &report.plan, &mut sq)?;
+        self.generate_fallbacks(&report.plan, &mut sq);
+
         let blob = sq.save(self.db.blobs())?;
+
+        // Durability barrier: everything the manifest makes reachable must
+        // be stable before the rename that commits it.
+        self.db.blobs().sync(blob)?;
+        for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
+            if let Some(b) = rec.heap_dump {
+                self.db.blobs().sync(b)?;
+            }
+        }
+
+        let generation = prev.as_ref().map_or(1, |m| m.generation + 1);
+        commit_manifest(&self.db, &SuspendManifest { generation, query: blob })?;
+
+        // Commit point passed: reclaim the previous generation.
+        if let Some(old) = prev {
+            Self::gc_generation(&self.db, &old, &sq);
+        }
+
         self.root.close(&mut self.ctx)?;
         self.db.ledger().set_phase(Phase::Execute);
-        Ok(SuspendedHandle { blob, report })
+        Ok(SuspendedHandle {
+            blob,
+            report,
+            generation,
+        })
+    }
+
+    /// For each operator whose primary record dumps heap state, check
+    /// whether its contract chain admits GoBack-to-self and, if so, run a
+    /// *shadow* suspend pass over its subtree under a plan that flips only
+    /// that operator to GoBack. The resulting record set is stored in
+    /// `sq.fallbacks[op]`; resume substitutes it when the dump blob turns
+    /// out to be missing or corrupt.
+    ///
+    /// Fallbacks are best-effort: a failure, an inadmissible chain, or a
+    /// fallback that would itself need a dump blob simply skips that
+    /// operator (the suspend stays correct — the fallback is optional).
+    fn generate_fallbacks(&mut self, plan: &SuspendPlan, sq: &mut SuspendedQuery) {
+        let candidates: Vec<OpId> = sq
+            .records
+            .values()
+            .filter(|r| matches!(r.strategy, Strategy::Dump) && r.heap_dump.is_some())
+            .map(|r| r.op)
+            .collect();
+        for op in candidates {
+            // Admissible only with a live non-barrier checkpoint whose
+            // contracts cover every rebuild child.
+            if self.ctx.graph.resolve_chain(&self.topology, op, op).is_none() {
+                continue;
+            }
+            let Some(latest) = self.ctx.graph.latest_ckpt(op) else {
+                continue;
+            };
+            let covered = self
+                .topology
+                .node(op)
+                .rebuild_children
+                .iter()
+                .all(|&c| self.ctx.graph.contract_from(latest, c).is_some());
+            if !covered {
+                continue;
+            }
+
+            let mut fplan = plan.clone();
+            fplan.set(op, Strategy::GoBack { to: op });
+            let mut scratch = SuspendedQuery::default();
+            let ctx = &mut self.ctx;
+            let mut outcome: Result<bool> = Ok(false);
+            self.root.visit_mut(&mut |node: &mut dyn Operator| {
+                if node.op_id() == op && matches!(outcome, Ok(false)) {
+                    outcome = node
+                        .suspend(ctx, SuspendMode::Current, &fplan, &mut scratch)
+                        .map(|()| true);
+                }
+            });
+            // A usable fallback must be dump-free — its whole point is to
+            // survive without blobs.
+            let dump_free = scratch.records.values().all(|r| r.heap_dump.is_none());
+            match outcome {
+                Ok(true) if dump_free && !scratch.records.is_empty() => {
+                    sq.fallbacks
+                        .insert(op, scratch.records.into_values().collect());
+                }
+                _ => {
+                    for r in scratch.records.values() {
+                        if let Some(b) = r.heap_dump {
+                            let _ = self.db.blobs().delete(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delete the previous generation's `SuspendedQuery` blob and the dump
+    /// blobs it references (primary and fallback records), keeping anything
+    /// the new generation still points at. Run files referenced through
+    /// operator aux/control bytes are never touched — the new generation
+    /// may share them. Best-effort: errors are ignored; a crash mid-GC
+    /// leaks blobs but never loses committed state.
+    fn gc_generation(db: &Database, old: &SuspendManifest, new_sq: &SuspendedQuery) {
+        let Ok(old_sq) = SuspendedQuery::load(db.blobs(), old.query) else {
+            return;
+        };
+        let keep: HashSet<FileId> = new_sq
+            .records
+            .values()
+            .chain(new_sq.fallbacks.values().flatten())
+            .filter_map(|r| r.heap_dump.map(|b| b.file))
+            .collect();
+        for rec in old_sq
+            .records
+            .values()
+            .chain(old_sq.fallbacks.values().flatten())
+        {
+            if let Some(b) = rec.heap_dump {
+                if !keep.contains(&b.file) {
+                    let _ = db.blobs().delete(b);
+                }
+            }
+        }
+        let _ = db.blobs().delete(old.query);
+    }
+
+    /// Recover from a database directory: if a committed suspend manifest
+    /// exists, validate and resume it; `Ok(None)` is the clean "no suspend
+    /// happened" state. This is the fresh-process entry point — it needs
+    /// nothing but the directory.
+    pub fn recover(db: Arc<Database>) -> std::result::Result<Option<Self>, ResumeError> {
+        match read_manifest(&db)? {
+            None => Ok(None),
+            Some(m) => Self::resume_validated(db, m.query).map(Some),
+        }
     }
 
     /// Resume a suspended query: read `SuspendedQuery`, rebuild the plan,
@@ -252,28 +405,106 @@ impl QueryExecution {
         Self::resume_from_blob(db, handle.blob)
     }
 
-    /// Resume from a raw blob id (e.g. in a fresh process).
+    /// Resume from a raw blob id with a legacy `StorageError` result.
+    /// Delegates to [`QueryExecution::resume_validated`].
     pub fn resume_from_blob(db: Arc<Database>, blob: BlobId) -> Result<Self> {
+        Self::resume_validated(db, blob).map_err(Into::into)
+    }
+
+    /// Validating resume with the structured [`ResumeError`] taxonomy:
+    /// frame/checksum/version checks on the `SuspendedQuery`, plan-spec
+    /// decode, catalog compatibility, bounded-backoff retry of transient
+    /// I/O, and GoBack-fallback substitution for unreadable dump blobs.
+    pub fn resume_validated(
+        db: Arc<Database>,
+        blob: BlobId,
+    ) -> std::result::Result<Self, ResumeError> {
         db.ledger().set_phase(Phase::Resume);
-        let sq = SuspendedQuery::load(db.blobs(), blob)?;
-        let spec = PlanSpec::decode_from_slice(&sq.plan_bytes)?;
-        let built = build_plan(&db, &spec)?;
+        let out = Self::resume_validated_inner(&db, blob);
+        db.ledger().set_phase(Phase::Execute);
+        out
+    }
+
+    fn resume_validated_inner(
+        db: &Arc<Database>,
+        blob: BlobId,
+    ) -> std::result::Result<Self, ResumeError> {
+        let mut sq = with_retries(|| SuspendedQuery::load(db.blobs(), blob)).map_err(|e| {
+            if e.is_corruption() || matches!(e, StorageError::NotFound(_)) {
+                ResumeError::SuspendedQueryUnreadable(e)
+            } else {
+                ResumeError::Storage(e)
+            }
+        })?;
+        let spec = PlanSpec::decode_from_slice(&sq.plan_bytes)
+            .map_err(|e| ResumeError::IncompatiblePlan(e.to_string()))?;
+        for t in spec.tables() {
+            if db.table(t).is_err() {
+                return Err(ResumeError::MissingTable(t.to_string()));
+            }
+        }
+        // Optimistic resume loop: try with the primary records; when a
+        // dump blob turns out unreadable, substitute that operator's
+        // GoBack fallback and rebuild. Bounded by the number of records.
+        let mut substitutions = sq.records.len() + 1;
+        loop {
+            match with_retries(|| Self::try_resume(db, &spec, &sq)) {
+                Ok(exec) => return Ok(exec),
+                Err(e) if e.is_corruption() || matches!(e, StorageError::NotFound(_)) => {
+                    if substitutions == 0 {
+                        return Err(ResumeError::Storage(e));
+                    }
+                    substitutions -= 1;
+                    let Some(op) = Self::find_unreadable_dump(db, &sq) else {
+                        return Err(ResumeError::Storage(e));
+                    };
+                    match sq.fallbacks.remove(&op) {
+                        Some(recs) => {
+                            for r in recs {
+                                sq.put_record(r);
+                            }
+                            sq.suspend_plan.set(op, Strategy::GoBack { to: op });
+                        }
+                        None => return Err(ResumeError::DumpUnavailable { op, source: e }),
+                    }
+                }
+                Err(e) => return Err(ResumeError::Storage(e)),
+            }
+        }
+    }
+
+    /// Locate an operator whose dump blob no longer reads back cleanly.
+    fn find_unreadable_dump(db: &Database, sq: &SuspendedQuery) -> Option<OpId> {
+        for rec in sq.records.values() {
+            if let Some(b) = rec.heap_dump {
+                if let Err(e) = with_retries(|| db.blobs().get(b)) {
+                    if !e.is_transient() {
+                        return Some(rec.op);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// One resume attempt over a fixed record set.
+    fn try_resume(db: &Arc<Database>, spec: &PlanSpec, sq: &SuspendedQuery) -> Result<Self> {
+        let built = build_plan(db, spec)?;
         let mut ctx = ExecContext::new(db.clone());
         if let Some(gb) = &sq.graph_bytes {
             ctx.graph = ContractGraph::decode_from_slice(gb)?;
         }
         ctx.work.restore(sq.work_snapshot.iter().copied());
         let mut exec = Self {
-            db,
+            db: db.clone(),
             ctx,
             root: built.root,
-            spec,
+            spec: spec.clone(),
             topology: built.topology,
             tuples_emitted: sq.tuples_emitted,
             finished: false,
         };
-        exec.root.resume(&mut exec.ctx, &sq)?;
-        exec.db.ledger().set_phase(Phase::Execute);
+        exec.root.resume(&mut exec.ctx, sq)?;
         Ok(exec)
     }
 }

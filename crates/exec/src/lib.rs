@@ -11,9 +11,13 @@ pub mod driver;
 pub mod operator;
 pub mod ops;
 pub mod plan;
+pub mod recovery;
 
 pub use context::{ExecContext, SuspendTrigger};
 pub use driver::{QueryExecution, SuspendedHandle};
+pub use recovery::{
+    clear_manifest, read_manifest, with_retries, ResumeError, SuspendManifest, SUSPEND_MANIFEST,
+};
 pub use operator::{Operator, Poll, SuspendMode};
 pub use ops::{
     AggFn, BlockNlj, Filter, HashAgg, HashJoin, IndexNlj, MergeJoin, Predicate, Project,

@@ -100,6 +100,12 @@ pub trait Operator {
 
     /// Visit this operator and all descendants (driver utility).
     fn visit(&self, f: &mut dyn FnMut(&dyn Operator));
+
+    /// Visit this operator and all descendants mutably. The driver uses
+    /// this to run a *shadow* suspend pass on one subtree when generating
+    /// GoBack fallback records for an operator whose primary strategy is
+    /// DumpState.
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator));
 }
 
 /// Pull from a child, forwarding `Suspended`/`Done` upward. Usage:

@@ -372,6 +372,11 @@ impl Operator for StreamAgg {
         f(self);
         self.child.visit(f);
     }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.child.visit_mut(f);
+    }
 }
 
 /// Duplicate elimination over sorted input: emits each distinct tuple
@@ -529,5 +534,10 @@ impl Operator for Distinct {
     fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
         f(self);
         self.child.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.child.visit_mut(f);
     }
 }

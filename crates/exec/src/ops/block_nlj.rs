@@ -384,7 +384,14 @@ impl Operator for BlockNlj {
                             // reproduces all promised outputs.
                             self.control()
                         } else {
-                            debug_assert_eq!(target.fill, self.buffer.len() as u64);
+                            if target.fill != self.buffer.len() as u64 {
+                                return Err(StorageError::invalid(format!(
+                                    "NLJ buffer diverged from contract {ctr_id}: \
+                                     contract fill {} vs current {}",
+                                    target.fill,
+                                    self.buffer.len()
+                                )));
+                            }
                             target
                         };
                         let blob =
@@ -445,7 +452,13 @@ impl Operator for BlockNlj {
                 for t in tuples {
                     self.push_buffer(t);
                 }
-                debug_assert_eq!(self.buffer.len() as u64, control.fill);
+                if self.buffer.len() as u64 != control.fill {
+                    return Err(StorageError::corrupt(format!(
+                        "NLJ buffer dump holds {} tuples but control records fill {}",
+                        self.buffer.len(),
+                        control.fill
+                    )));
+                }
             }
             (Strategy::GoBack { .. }, _) => {
                 // Refill the buffer through the (repositioned) outer child.
@@ -496,6 +509,12 @@ impl Operator for BlockNlj {
         f(self);
         self.outer.visit(f);
         self.inner.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.outer.visit_mut(f);
+        self.inner.visit_mut(f);
     }
 }
 

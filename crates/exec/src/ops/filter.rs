@@ -295,4 +295,9 @@ impl Operator for Filter {
         f(self);
         self.child.visit(f);
     }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.child.visit_mut(f);
+    }
 }

@@ -281,12 +281,18 @@ impl Operator for HashAgg {
                             let p = hash_partition(g, self.partitions);
                             self.writers[p]
                                 .as_mut()
-                                .expect("writer present")
+                                .ok_or_else(|| {
+                                    StorageError::invalid("hash-agg partition writer missing")
+                                })?
                                 .append(&t)?;
                         }
                         Poll::Done => {
                             for w in self.writers.drain(..) {
-                                let handle = w.expect("writer present").finish()?;
+                                let handle = w
+                                    .ok_or_else(|| {
+                                        StorageError::invalid("hash-agg partition writer missing")
+                                    })?
+                                    .finish()?;
                                 let pages = ctx.db.disk().num_pages(handle.file)?;
                                 ctx.note_page_writes(self.op, pages);
                                 self.runs.push(handle);
@@ -388,7 +394,9 @@ impl Operator for HashAgg {
         // Seal any in-progress partitions.
         let mut sealed = self.runs.clone();
         for w in self.writers.drain(..) {
-            let handle = w.expect("writer present").finish()?;
+            let handle = w
+                .ok_or_else(|| StorageError::invalid("hash-agg partition writer missing"))?
+                .finish()?;
             let pages = ctx.db.disk().num_pages(handle.file)?;
             ctx.note_page_writes(self.op, pages);
             sealed.push(handle);
@@ -546,6 +554,11 @@ impl Operator for HashAgg {
     fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
         f(self);
         self.child.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.child.visit_mut(f);
     }
 }
 

@@ -261,7 +261,8 @@ impl HashJoin {
         runs: &mut Vec<RunHandle>,
     ) -> Result<()> {
         for w in writers.drain(..) {
-            let w = w.expect("writer present");
+            let w =
+                w.ok_or_else(|| StorageError::invalid("hash-join partition writer missing"))?;
             let handle = w.finish()?;
             let pages = ctx.db.disk().num_pages(handle.file)?;
             ctx.note_page_writes(op, pages);
@@ -366,7 +367,11 @@ impl Operator for HashJoin {
                             } else {
                                 self.build_writers[p]
                                     .as_mut()
-                                    .expect("writer present")
+                                    .ok_or_else(|| {
+                                        StorageError::invalid(
+                                            "hash-join build partition writer missing",
+                                        )
+                                    })?
                                     .append(&t)?;
                             }
                         }
@@ -422,7 +427,11 @@ impl Operator for HashJoin {
                             } else {
                                 self.probe_writers[p]
                                     .as_mut()
-                                    .expect("writer present")
+                                    .ok_or_else(|| {
+                                        StorageError::invalid(
+                                            "hash-join probe partition writer missing",
+                                        )
+                                    })?
                                     .append(&t)?;
                             }
                         }
@@ -472,8 +481,12 @@ impl Operator for HashJoin {
                         }
                         continue;
                     }
-                    let addr = self.probe_reader.as_ref().expect("reader open").position();
-                    let t = self.probe_reader.as_mut().expect("reader open").next()?;
+                    let reader = self
+                        .probe_reader
+                        .as_mut()
+                        .ok_or_else(|| StorageError::invalid("hash-join probe reader not open"))?;
+                    let addr = reader.position();
+                    let t = reader.next()?;
                     self.note_probe_io(ctx);
                     match t {
                         Some(t) => {
@@ -811,7 +824,10 @@ impl Operator for HashJoin {
             if self.cur_probe.is_some() {
                 // The recorded probe tuple was already consumed from the
                 // run; skip past it.
-                let r = self.probe_reader.as_mut().expect("reader open");
+                let r = self
+                    .probe_reader
+                    .as_mut()
+                    .ok_or_else(|| StorageError::invalid("hash-join probe reader not open"))?;
                 let _ = r.next()?;
                 self.note_probe_io(ctx);
             }
@@ -838,6 +854,12 @@ impl Operator for HashJoin {
         f(self);
         self.build.visit(f);
         self.probe.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.build.visit_mut(f);
+        self.probe.visit_mut(f);
     }
 }
 

@@ -112,7 +112,7 @@ impl IndexNlj {
         self.matches = self
             .index
             .as_ref()
-            .expect("index open")
+            .ok_or_else(|| StorageError::invalid("index-NLJ inner index not open"))?
             .lookup(key)?;
         let delta = ctx.db.ledger().snapshot().total_pages_read() - before;
         ctx.note_page_reads(self.op, delta);
@@ -121,7 +121,11 @@ impl IndexNlj {
 
     fn fetch_match(&mut self, ctx: &mut ExecContext, addr: TupleAddr) -> Result<Tuple> {
         let before = ctx.db.ledger().snapshot().total_pages_read();
-        let t = self.heap.as_ref().expect("heap open").fetch(addr)?;
+        let t = self
+            .heap
+            .as_ref()
+            .ok_or_else(|| StorageError::invalid("index-NLJ inner heap not open"))?
+            .fetch(addr)?;
         let delta = ctx.db.ledger().snapshot().total_pages_read() - before;
         ctx.note_page_reads(self.op, delta);
         Ok(t)
@@ -273,5 +277,10 @@ impl Operator for IndexNlj {
     fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
         f(self);
         self.outer.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.outer.visit_mut(f);
     }
 }

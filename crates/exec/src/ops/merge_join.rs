@@ -629,6 +629,12 @@ impl Operator for MergeJoin {
         self.left.visit(f);
         self.right.visit(f);
     }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.left.visit_mut(f);
+        self.right.visit_mut(f);
+    }
 }
 
 struct PacketDump {

@@ -134,4 +134,9 @@ impl Operator for Project {
         f(self);
         self.child.visit(f);
     }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.child.visit_mut(f);
+    }
 }

@@ -49,7 +49,11 @@ impl TableScan {
             self.heap = Some(ctx.db.open_table_heap(&self.table)?);
         }
         if self.cursor.is_none() {
-            self.cursor = Some(self.heap.as_ref().expect("heap opened").cursor());
+            let heap = self
+                .heap
+                .as_ref()
+                .ok_or_else(|| StorageError::invalid("scan heap not open"))?;
+            self.cursor = Some(heap.cursor());
         }
         Ok(())
     }
@@ -190,6 +194,10 @@ impl Operator for TableScan {
     }
 
     fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
+        f(self);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
         f(self);
     }
 }

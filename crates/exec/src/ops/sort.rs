@@ -251,14 +251,16 @@ impl ExternalSort {
         for (i, h) in self.heads.iter().enumerate() {
             if let Some(t) = h {
                 let k = self.sort_key(t)?;
-                if best.map_or(true, |(_, bk)| k < bk) {
+                if best.is_none_or(|(_, bk)| k < bk) {
                     best = Some((i, k));
                 }
             }
         }
         match best {
             Some((i, _)) => {
-                let t = self.heads[i].take().expect("head present");
+                let t = self.heads[i]
+                    .take()
+                    .ok_or_else(|| StorageError::invalid("sort merge head missing"))?;
                 self.advance_head(ctx, i)?;
                 Ok(Some(t))
             }
@@ -549,6 +551,11 @@ impl Operator for ExternalSort {
     fn visit(&self, f: &mut dyn FnMut(&dyn Operator)) {
         f(self);
         self.child.visit(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut dyn Operator)) {
+        f(self);
+        self.child.visit_mut(f);
     }
 }
 

@@ -363,6 +363,46 @@ impl PlanSpec {
         }
     }
 
+    /// Every catalog table this plan reads, in traversal order. Resume
+    /// validation checks each against the catalog before rebuilding the
+    /// plan, so a `SuspendedQuery` shipped to the wrong database fails
+    /// with a structured error instead of a mid-rebuild surprise.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            PlanSpec::TableScan { table } => out.push(table),
+            PlanSpec::Filter { input, .. }
+            | PlanSpec::Project { input, .. }
+            | PlanSpec::Sort { input, .. }
+            | PlanSpec::StreamAgg { input, .. }
+            | PlanSpec::HashAgg { input, .. }
+            | PlanSpec::Distinct { input } => input.collect_tables(out),
+            PlanSpec::IndexNlj {
+                outer, inner_table, ..
+            } => {
+                outer.collect_tables(out);
+                out.push(inner_table);
+            }
+            PlanSpec::BlockNlj { outer, inner, .. } => {
+                outer.collect_tables(out);
+                inner.collect_tables(out);
+            }
+            PlanSpec::MergeJoin { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            PlanSpec::HashJoin { build, probe, .. } => {
+                build.collect_tables(out);
+                probe.collect_tables(out);
+            }
+        }
+    }
+
     /// Number of operators in the plan.
     pub fn num_operators(&self) -> usize {
         let mut n = 1;

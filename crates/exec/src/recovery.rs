@@ -1,0 +1,306 @@
+//! Crash recovery for suspended queries.
+//!
+//! The suspend phase commits through a **generation-numbered manifest**: a
+//! small sidecar file next to the page files, replaced atomically
+//! (write-temp → fsync → rename → directory fsync) once the
+//! `SuspendedQuery` blob and every dump blob it references are durable.
+//! The manifest is therefore the single commit point — a crash at any
+//! suspend-phase write leaves either the previous manifest (old resumable
+//! state) or no manifest (clean "no suspend" state), never a torn mix.
+//!
+//! Recovery ([`QueryExecution::recover`](crate::QueryExecution::recover))
+//! reads the manifest, validates the `SuspendedQuery` (frame checksum,
+//! codec version, plan decode, catalog compatibility) and resumes it.
+//! Transient I/O errors are retried with bounded exponential backoff; a
+//! missing or corrupt dump blob degrades to the operator's GoBack fallback
+//! records when the suspend phase recorded an admissible contract chain,
+//! and surfaces as [`ResumeError::DumpUnavailable`] otherwise.
+
+use qsr_core::OpId;
+use qsr_storage::{
+    fnv1a, BlobId, Database, Decode, Decoder, Encode, Encoder, Result, StorageError,
+};
+use std::fmt;
+use std::time::Duration;
+
+/// Sidecar file name of the suspend manifest.
+pub const SUSPEND_MANIFEST: &str = "SUSPEND.manifest";
+
+/// Magic number opening a serialized manifest ("QSRM" little-endian).
+const MANIFEST_MAGIC: u32 = 0x4d52_5351;
+
+/// Manifest codec version.
+const MANIFEST_VERSION: u32 = 1;
+
+/// The commit record of a suspend: which `SuspendedQuery` blob is current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspendManifest {
+    /// Monotone suspend counter for this database directory. Each suspend
+    /// commits generation `n + 1` and then garbage-collects generation
+    /// `n`'s blobs.
+    pub generation: u64,
+    /// Blob holding the committed `SuspendedQuery`.
+    pub query: BlobId,
+}
+
+// Framed like `SuspendedQuery`: magic, version, checksum, length-prefixed
+// body. A bit flip anywhere in the file decodes to a clean error.
+impl Encode for SuspendManifest {
+    fn encode(&self, enc: &mut Encoder) {
+        let mut body = Encoder::new();
+        body.put_u64(self.generation);
+        self.query.encode(&mut body);
+        let body = body.finish();
+        enc.put_u32(MANIFEST_MAGIC);
+        enc.put_u32(MANIFEST_VERSION);
+        enc.put_u64(fnv1a(&body));
+        enc.put_bytes(&body);
+    }
+}
+
+impl Decode for SuspendManifest {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let magic = dec.get_u32()?;
+        if magic != MANIFEST_MAGIC {
+            return Err(StorageError::corrupt(format!(
+                "not a suspend manifest: bad magic {magic:#010x}"
+            )));
+        }
+        let version = dec.get_u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(StorageError::VersionMismatch {
+                what: "SuspendManifest".into(),
+                expected: MANIFEST_VERSION,
+                actual: version,
+            });
+        }
+        let expected = dec.get_u64()?;
+        let body = dec.get_bytes()?;
+        let actual = fnv1a(body);
+        if actual != expected {
+            return Err(StorageError::checksum_mismatch(
+                "SuspendManifest body",
+                expected,
+                actual,
+            ));
+        }
+        let mut bdec = Decoder::new(body);
+        let m = SuspendManifest {
+            generation: bdec.get_u64()?,
+            query: BlobId::decode(&mut bdec)?,
+        };
+        if !bdec.is_exhausted() {
+            return Err(StorageError::corrupt(format!(
+                "SuspendManifest body: {} trailing bytes",
+                bdec.remaining()
+            )));
+        }
+        Ok(m)
+    }
+}
+
+/// Read the committed manifest, if any. `Ok(None)` is the clean "no
+/// suspend happened" state.
+pub fn read_manifest(db: &Database) -> std::result::Result<Option<SuspendManifest>, ResumeError> {
+    let bytes = with_retries(|| db.disk().read_sidecar(SUSPEND_MANIFEST))
+        .map_err(ResumeError::Storage)?;
+    match bytes {
+        None => Ok(None),
+        Some(b) => SuspendManifest::decode_from_slice(&b)
+            .map(Some)
+            .map_err(ResumeError::ManifestCorrupt),
+    }
+}
+
+/// Atomically commit `manifest` as the current suspend state.
+pub fn commit_manifest(db: &Database, manifest: &SuspendManifest) -> Result<()> {
+    db.disk()
+        .write_sidecar_atomic(SUSPEND_MANIFEST, &manifest.encode_to_vec())
+}
+
+/// Remove the manifest, returning the directory to the clean "no suspend"
+/// state. Called after a resumed query runs to completion.
+pub fn clear_manifest(db: &Database) -> Result<()> {
+    db.disk().remove_sidecar(SUSPEND_MANIFEST)
+}
+
+/// Structured resume failures. Everything the resume path can hit maps to
+/// one of these, so callers can distinguish "retry elsewhere" from "state
+/// is gone" from "wrong database".
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The manifest file exists but does not decode (torn by a crash the
+    /// atomic-commit protocol should have prevented, or rotted on disk).
+    ManifestCorrupt(StorageError),
+    /// The committed `SuspendedQuery` blob is missing, fails its checksum,
+    /// or was written by an incompatible codec version.
+    SuspendedQueryUnreadable(StorageError),
+    /// The plan specification inside the `SuspendedQuery` does not decode.
+    IncompatiblePlan(String),
+    /// The plan references a table this database does not have.
+    MissingTable(String),
+    /// An operator's dump blob is missing or corrupt and no GoBack
+    /// fallback was recorded for it at suspend time.
+    DumpUnavailable {
+        /// The operator whose dump is gone.
+        op: OpId,
+        /// The underlying storage failure.
+        source: StorageError,
+    },
+    /// Any other storage failure (including transient errors that
+    /// exhausted their retry budget).
+    Storage(StorageError),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::ManifestCorrupt(e) => write!(f, "suspend manifest is corrupt: {e}"),
+            ResumeError::SuspendedQueryUnreadable(e) => {
+                write!(f, "SuspendedQuery is unreadable: {e}")
+            }
+            ResumeError::IncompatiblePlan(m) => write!(f, "plan spec does not decode: {m}"),
+            ResumeError::MissingTable(t) => {
+                write!(f, "plan references table '{t}' which this database lacks")
+            }
+            ResumeError::DumpUnavailable { op, source } => write!(
+                f,
+                "dump blob for {op} is unavailable and no GoBack fallback exists: {source}"
+            ),
+            ResumeError::Storage(e) => write!(f, "storage failure during resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::ManifestCorrupt(e)
+            | ResumeError::SuspendedQueryUnreadable(e)
+            | ResumeError::DumpUnavailable { source: e, .. }
+            | ResumeError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ResumeError {
+    fn from(e: StorageError) -> Self {
+        ResumeError::Storage(e)
+    }
+}
+
+// Legacy `Result<_, StorageError>` entry points funnel structured resume
+// failures back into the storage error space without losing the message.
+impl From<ResumeError> for StorageError {
+    fn from(e: ResumeError) -> Self {
+        match e {
+            ResumeError::ManifestCorrupt(s)
+            | ResumeError::SuspendedQueryUnreadable(s)
+            | ResumeError::Storage(s) => s,
+            ResumeError::IncompatiblePlan(m) => StorageError::corrupt(m),
+            ResumeError::MissingTable(t) => StorageError::NotFound(format!("table '{t}'")),
+            ResumeError::DumpUnavailable { op, source } => StorageError::corrupt(format!(
+                "dump blob for {op} unavailable ({source}) with no fallback"
+            )),
+        }
+    }
+}
+
+/// Maximum attempts [`with_retries`] makes before giving up.
+pub const MAX_RETRIES: u32 = 4;
+
+/// Run `f`, retrying transient I/O failures (and only those — corruption
+/// and missing objects fail immediately) with bounded exponential backoff:
+/// 1 ms, 2 ms, 4 ms between the [`MAX_RETRIES`] attempts.
+pub fn with_retries<T>(mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut delay = Duration::from_millis(1);
+    let mut attempt = 1;
+    loop {
+        match f() {
+            Err(e) if e.is_transient() && attempt < MAX_RETRIES => {
+                std::thread::sleep(delay);
+                delay *= 2;
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsr_storage::FileId;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn sample() -> SuspendManifest {
+        SuspendManifest {
+            generation: 3,
+            query: BlobId {
+                file: FileId(12),
+                len: 4096,
+                checksum: 0xFEED,
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_detects_damage() {
+        let m = sample();
+        let bytes = m.encode_to_vec();
+        assert_eq!(SuspendManifest::decode_from_slice(&bytes).unwrap(), m);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                SuspendManifest::decode_from_slice(&bad).is_err(),
+                "flip at byte {i} decoded silently"
+            );
+            assert!(
+                SuspendManifest::decode_from_slice(&bytes[..i]).is_err(),
+                "truncation to {i} bytes decoded silently"
+            );
+        }
+    }
+
+    #[test]
+    fn retries_stop_at_success_and_skip_permanent_errors() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32> = with_retries(|| {
+            let n = calls.fetch_add(1, Ordering::SeqCst);
+            if n < 2 {
+                Err(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "flaky",
+                )))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        let calls = AtomicU32::new(0);
+        let out: Result<u32> = with_retries(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(StorageError::corrupt("rot"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "corruption is not retried");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32> = with_retries(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "always",
+            )))
+        });
+        assert!(out.unwrap_err().is_transient());
+        assert_eq!(calls.load(Ordering::SeqCst), MAX_RETRIES);
+    }
+}

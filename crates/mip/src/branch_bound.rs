@@ -86,7 +86,7 @@ fn most_fractional_binary(lp: &LinearProgram, x: &[f64]) -> Option<usize> {
         let frac = (x[i] - x[i].round()).abs();
         if frac > INT_TOL {
             let dist = (x[i].fract() - 0.5).abs();
-            if best.map_or(true, |(_, d)| dist < d) {
+            if best.is_none_or(|(_, d)| dist < d) {
                 best = Some((i, dist));
             }
         }
@@ -143,7 +143,7 @@ pub fn solve_mip(lp: &LinearProgram, opts: &MipOptions) -> MipSolution {
                     }
                 }
                 let obj = lp.objective_value(&x);
-                let better = incumbent.as_ref().map_or(true, |(_, o)| obj < *o - 1e-12);
+                let better = incumbent.as_ref().is_none_or(|(_, o)| obj < *o - 1e-12);
                 if better {
                     incumbent = Some((x, obj));
                 }

@@ -120,11 +120,11 @@ impl LinearProgram {
         if x.len() != self.num_vars() {
             return false;
         }
-        for i in 0..self.num_vars() {
-            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+        for (i, &xi) in x.iter().enumerate() {
+            if xi < self.lower[i] - tol || xi > self.upper[i] + tol {
                 return false;
             }
-            if self.binary[i] && (x[i] - x[i].round()).abs() > tol {
+            if self.binary[i] && (xi - xi.round()).abs() > tol {
                 return false;
             }
         }

@@ -72,8 +72,8 @@ impl Tableau {
             let coeff = self.z[b];
             if coeff.abs() > 0.0 {
                 let row = self.a[r].clone();
-                for c in 0..=self.cols {
-                    self.z[c] -= coeff * row[c];
+                for (zc, &rc) in self.z.iter_mut().zip(&row) {
+                    *zc -= coeff * rc;
                 }
             }
         }
@@ -93,15 +93,15 @@ impl Tableau {
             }
             let f = self.a[rr][c];
             if f.abs() > 0.0 {
-                for cc in 0..=self.cols {
-                    self.a[rr][cc] -= f * prow[cc];
+                for (ac, &pc) in self.a[rr].iter_mut().zip(&prow) {
+                    *ac -= f * pc;
                 }
             }
         }
         let f = self.z[c];
         if f.abs() > 0.0 {
-            for cc in 0..=self.cols {
-                self.z[cc] -= f * prow[cc];
+            for (zc, &pc) in self.z.iter_mut().zip(&prow) {
+                *zc -= f * pc;
             }
         }
         self.basis[r] = c;
@@ -149,7 +149,7 @@ impl Tableau {
                     let ratio = self.rhs(r) / a;
                     if ratio < best_ratio - EPS
                         || (ratio < best_ratio + EPS
-                            && leave.map_or(true, |lr| self.basis[r] < self.basis[lr]))
+                            && leave.is_none_or(|lr| self.basis[r] < self.basis[lr]))
                     {
                         best_ratio = ratio;
                         leave = Some(r);
@@ -271,8 +271,8 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
 
     // Phase 1: minimize sum of artificials.
     if n_art > 0 {
-        for c in 0..cols {
-            t.z[c] = if is_artificial[c] { 1.0 } else { 0.0 };
+        for (zc, &art) in t.z.iter_mut().zip(&is_artificial) {
+            *zc = if art { 1.0 } else { 0.0 };
         }
         t.z[cols] = 0.0;
         t.price_out();
@@ -289,8 +289,8 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
         for r in 0..t.rows {
             if is_artificial[t.basis[r]] {
                 let mut pivoted = false;
-                for c in 0..cols {
-                    if !is_artificial[c] && t.a[r][c].abs() > 1e-7 {
+                for (c, &art) in is_artificial.iter().enumerate() {
+                    if !art && t.a[r][c].abs() > 1e-7 {
                         t.pivot(r, c);
                         pivoted = true;
                         break;
@@ -301,9 +301,9 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
                 let _ = pivoted;
             }
         }
-        for c in 0..cols {
-            if is_artificial[c] {
-                t.banned[c] = true;
+        for (bc, &art) in t.banned.iter_mut().zip(&is_artificial) {
+            if art {
+                *bc = true;
             }
         }
     }

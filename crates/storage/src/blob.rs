@@ -95,13 +95,22 @@ impl BlobStore {
             let take = remaining.min(PAGE_SIZE);
             out.extend_from_slice(&page.bytes()[..take]);
         }
-        if fnv1a(&out) != id.checksum {
-            return Err(StorageError::corrupt(format!(
-                "blob {:?} failed its checksum",
-                id.file
-            )));
+        let actual = fnv1a(&out);
+        if actual != id.checksum {
+            return Err(StorageError::checksum_mismatch(
+                format!("blob {:?}", id.file),
+                id.checksum,
+                actual,
+            ));
         }
         Ok(out)
+    }
+
+    /// Flush a blob's backing file to stable storage. Part of the suspend
+    /// commit protocol: every dump blob is synced before the manifest that
+    /// references it is renamed into place.
+    pub fn sync(&self, id: BlobId) -> Result<()> {
+        self.dm.sync_file(id.file)
     }
 
     /// Delete a blob.

@@ -8,6 +8,7 @@
 
 use crate::cost::CostLedger;
 use crate::error::{Result, StorageError};
+use crate::fault::{self, FaultInjector, WriteOutcome};
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -15,6 +16,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a file managed by the [`DiskManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,6 +39,10 @@ pub struct DiskManager {
     files: Mutex<HashMap<FileId, OpenFile>>,
     next_id: AtomicU64,
     ledger: CostLedger,
+    /// Optional fault injector consulted before every I/O event. Page
+    /// writes, file creates/deletes, and sidecar commit steps are write
+    /// events; page and sidecar reads are read events.
+    fault: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl DiskManager {
@@ -62,12 +68,40 @@ impl DiskManager {
             files: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(max_id),
             ledger,
+            fault: Mutex::new(None),
         })
     }
 
     /// The cost ledger charged by this manager.
     pub fn ledger(&self) -> &CostLedger {
         &self.ledger
+    }
+
+    /// Attach (or with `None`, detach) a fault injector. All subsequent
+    /// I/O through this manager consults it; see [`crate::fault`].
+    pub fn set_fault_injector(&self, fi: Option<Arc<FaultInjector>>) {
+        *self.fault.lock() = fi;
+    }
+
+    /// The currently attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.lock().clone()
+    }
+
+    /// Consult the injector for one write event of `len` payload bytes.
+    fn fault_write(&self, len: usize) -> Result<WriteOutcome> {
+        match self.fault_injector() {
+            Some(fi) => fi.before_write(len),
+            None => Ok(WriteOutcome::Proceed),
+        }
+    }
+
+    /// Consult the injector for one read event of `len` payload bytes.
+    fn fault_read(&self, len: usize) -> Result<Option<usize>> {
+        match self.fault_injector() {
+            Some(fi) => fi.before_read(len),
+            None => Ok(None),
+        }
     }
 
     /// Directory containing the files.
@@ -79,8 +113,13 @@ impl DiskManager {
         self.dir.join(format!("f{}.qsr", id.0))
     }
 
-    /// Create a new empty file and return its id.
+    /// Create a new empty file and return its id. Counts one write event.
     pub fn create_file(&self) -> Result<FileId> {
+        // A torn create is indistinguishable from a crash: either the
+        // directory entry exists or it does not.
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+            return Err(FaultInjector::halt_error());
+        }
         let id = FileId(self.next_id.fetch_add(1, Ordering::SeqCst));
         let path = self.path_for(id);
         let file = OpenOptions::new()
@@ -94,7 +133,7 @@ impl DiskManager {
 
     fn with_file<T>(&self, id: FileId, f: impl FnOnce(&mut OpenFile) -> Result<T>) -> Result<T> {
         let mut files = self.files.lock();
-        if !files.contains_key(&id) {
+        if let std::collections::hash_map::Entry::Vacant(e) = files.entry(id) {
             // Lazily reopen a file that exists on disk (e.g. after resume
             // in a fresh process over the same directory).
             let path = self.path_for(id);
@@ -109,15 +148,17 @@ impl DiskManager {
                     "{id} length {len} is not page-aligned"
                 )));
             }
-            files.insert(
-                id,
-                OpenFile {
+            e.insert(OpenFile {
                     file,
                     pages: len / PAGE_SIZE as u64,
-                },
-            );
+                });
         }
-        f(files.get_mut(&id).expect("file just inserted"))
+        match files.get_mut(&id) {
+            Some(of) => f(of),
+            // Unreachable (inserted just above), but the suspend/resume
+            // path must never panic on storage-layer surprises.
+            None => Err(StorageError::NotFound(format!("{id} vanished from cache"))),
+        }
     }
 
     /// Number of pages currently in `id`.
@@ -127,7 +168,8 @@ impl DiskManager {
 
     /// Read page `page_no` of file `id`. Charges one page read.
     pub fn read_page(&self, id: FileId, page_no: u64) -> Result<Page> {
-        let page = self.with_file(id, |of| {
+        let flip = self.fault_read(PAGE_SIZE)?;
+        let mut page = self.with_file(id, |of| {
             if page_no >= of.pages {
                 return Err(StorageError::invalid(format!(
                     "read past end of {id}: page {page_no} of {}",
@@ -140,6 +182,9 @@ impl DiskManager {
             of.file.read_exact(&mut buf)?;
             Ok(Page::from_bytes(&buf))
         })?;
+        if let Some(bit) = flip {
+            fault::flip_bit(page.bytes_mut(), bit);
+        }
         self.ledger.charge_read(1);
         Ok(page)
     }
@@ -147,6 +192,7 @@ impl DiskManager {
     /// Write page `page_no` of file `id` (must be ≤ current page count;
     /// writing at the count extends the file). Charges one page write.
     pub fn write_page(&self, id: FileId, page_no: u64, page: &Page) -> Result<()> {
+        let outcome = self.fault_write(PAGE_SIZE)?;
         self.with_file(id, |of| {
             if page_no > of.pages {
                 return Err(StorageError::invalid(format!(
@@ -156,11 +202,23 @@ impl DiskManager {
             }
             of.file
                 .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-            of.file.write_all(page.bytes())?;
-            if page_no == of.pages {
-                of.pages += 1;
+            match outcome {
+                WriteOutcome::Proceed => {
+                    of.file.write_all(page.bytes())?;
+                    if page_no == of.pages {
+                        of.pages += 1;
+                    }
+                    Ok(())
+                }
+                WriteOutcome::TornPrefix(keep) => {
+                    // Persist only the prefix that "hit the platter", make
+                    // it durable, and report the crash. The page count is
+                    // deliberately not updated: this handle is dead.
+                    of.file.write_all(&page.bytes()[..keep])?;
+                    let _ = of.file.sync_all();
+                    Err(FaultInjector::halt_error())
+                }
             }
-            Ok(())
         })?;
         self.ledger.charge_write(1);
         Ok(())
@@ -173,8 +231,11 @@ impl DiskManager {
         Ok(page_no)
     }
 
-    /// Delete file `id` from disk.
+    /// Delete file `id` from disk. Counts one write event.
     pub fn delete_file(&self, id: FileId) -> Result<()> {
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+            return Err(FaultInjector::halt_error());
+        }
         self.files.lock().remove(&id);
         let path = self.path_for(id);
         if path.exists() {
@@ -183,10 +244,102 @@ impl DiskManager {
         Ok(())
     }
 
+    /// Flush file `id`'s data to stable storage (fsync). Not counted as an
+    /// I/O event — the crash points on either side of it are the
+    /// neighbouring writes — but refuses to run in a halted process.
+    pub fn sync_file(&self, id: FileId) -> Result<()> {
+        if let Some(fi) = self.fault_injector() {
+            fi.check_alive()?;
+        }
+        self.with_file(id, |of| {
+            of.file.sync_all()?;
+            Ok(())
+        })
+    }
+
     /// Drop the in-memory handle for `id` (the file stays on disk and can
     /// be reopened lazily). Used when a suspended query releases memory.
     pub fn release_handle(&self, id: FileId) {
         self.files.lock().remove(&id);
+    }
+
+    fn sidecar_path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Atomically replace sidecar file `name` (a small named file next to
+    /// the page files — e.g. the suspend manifest) with `bytes`:
+    /// write `<name>.tmp` → fsync → rename over `name` → fsync directory.
+    ///
+    /// Counts **two** write events — the tmp-file write and the rename —
+    /// so the crash matrix exercises both halves of the commit protocol.
+    /// A crash before the rename leaves the previous `name` intact; the
+    /// rename itself is atomic, so there is no state in which `name`
+    /// holds a mix of old and new bytes.
+    pub fn write_sidecar_atomic(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let dst = self.sidecar_path(name);
+
+        // Event 1: the tmp-file write (can be torn).
+        let outcome = self.fault_write(bytes.len())?;
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        match outcome {
+            WriteOutcome::Proceed => {
+                f.write_all(bytes)?;
+                f.sync_all()?;
+            }
+            WriteOutcome::TornPrefix(keep) => {
+                f.write_all(&bytes[..keep])?;
+                let _ = f.sync_all();
+                return Err(FaultInjector::halt_error());
+            }
+        }
+        drop(f);
+
+        // Event 2: the rename. Atomic, so a torn rename is just a crash.
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+            return Err(FaultInjector::halt_error());
+        }
+        std::fs::rename(&tmp, &dst)?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Read sidecar file `name`. `Ok(None)` when it does not exist.
+    /// Counts one read event (with bit-flip injection applied).
+    pub fn read_sidecar(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        if let Some(fi) = self.fault_injector() {
+            fi.check_alive()?;
+        }
+        let path = self.sidecar_path(name);
+        let mut bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if let Some(bit) = self.fault_read(bytes.len())? {
+            fault::flip_bit(&mut bytes, bit);
+        }
+        Ok(Some(bytes))
+    }
+
+    /// Remove sidecar file `name` if present. Counts one write event.
+    pub fn remove_sidecar(&self, name: &str) -> Result<()> {
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+            return Err(FaultInjector::halt_error());
+        }
+        let path = self.sidecar_path(name);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -312,5 +465,120 @@ mod tests {
         m.append_page(f, &Page::zeroed()).unwrap();
         m.delete_file(f).unwrap();
         assert!(m.read_page(f, 0).is_err());
+    }
+
+    #[test]
+    fn injected_crash_kills_manager_until_cleared() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        let fi = std::sync::Arc::new(crate::fault::FaultInjector::new());
+        m.set_fault_injector(Some(fi.clone()));
+        // Event 1 is the page write below.
+        fi.fail_write(1, crate::fault::WriteFault::Crash);
+        assert!(m.append_page(f, &Page::zeroed()).is_err());
+        assert!(fi.halted());
+        assert!(m.create_file().is_err(), "all I/O dead after crash");
+        m.set_fault_injector(None);
+        m.append_page(f, &Page::zeroed()).unwrap();
+    }
+
+    #[test]
+    fn torn_page_write_leaves_unaligned_file() {
+        let d = tempdir::TempDir::new();
+        let f;
+        {
+            let m = DiskManager::open(d.path(), CostLedger::default()).unwrap();
+            f = m.create_file().unwrap();
+            m.append_page(f, &Page::zeroed()).unwrap();
+            let fi = std::sync::Arc::new(crate::fault::FaultInjector::seeded(3));
+            m.set_fault_injector(Some(fi));
+            m.fault_injector()
+                .unwrap()
+                .fail_write(1, crate::fault::WriteFault::Torn);
+            assert!(m.append_page(f, &Page::zeroed()).is_err());
+        }
+        // A fresh manager (the "restarted process") sees a corrupt file.
+        let m = DiskManager::open(d.path(), CostLedger::default()).unwrap();
+        let err = m.read_page(f, 0).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn read_bit_flip_corrupts_exactly_one_bit() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        m.append_page(f, &Page::zeroed()).unwrap();
+        let fi = std::sync::Arc::new(crate::fault::FaultInjector::seeded(9));
+        m.set_fault_injector(Some(fi.clone()));
+        fi.flip_read_bit(1);
+        let corrupt = m.read_page(f, 0).unwrap();
+        let ones: u32 = corrupt.bytes().iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one flipped bit");
+        let clean = m.read_page(f, 0).unwrap();
+        assert!(clean.bytes().iter().all(|&b| b == 0), "flip was one-shot");
+    }
+
+    #[test]
+    fn sidecar_commit_is_atomic_under_crashes() {
+        let (_d, m) = mgr();
+        m.write_sidecar_atomic("MANIFEST", b"generation-1").unwrap();
+        assert_eq!(
+            m.read_sidecar("MANIFEST").unwrap().as_deref(),
+            Some(&b"generation-1"[..])
+        );
+
+        let fi = std::sync::Arc::new(crate::fault::FaultInjector::new());
+        m.set_fault_injector(Some(fi.clone()));
+
+        // Crash during the tmp write: old contents survive.
+        fi.fail_write(1, crate::fault::WriteFault::Crash);
+        assert!(m.write_sidecar_atomic("MANIFEST", b"generation-2").is_err());
+        fi.clear();
+        assert_eq!(
+            m.read_sidecar("MANIFEST").unwrap().as_deref(),
+            Some(&b"generation-1"[..])
+        );
+
+        // Torn tmp write: old contents still survive (tmp never renamed).
+        fi.fail_write(1, crate::fault::WriteFault::Torn);
+        assert!(m.write_sidecar_atomic("MANIFEST", b"generation-2").is_err());
+        fi.clear();
+        assert_eq!(
+            m.read_sidecar("MANIFEST").unwrap().as_deref(),
+            Some(&b"generation-1"[..])
+        );
+
+        // Crash at the rename: old contents survive.
+        fi.fail_write(2, crate::fault::WriteFault::Crash);
+        assert!(m.write_sidecar_atomic("MANIFEST", b"generation-2").is_err());
+        fi.clear();
+        assert_eq!(
+            m.read_sidecar("MANIFEST").unwrap().as_deref(),
+            Some(&b"generation-1"[..])
+        );
+
+        // No fault: the swap happens.
+        m.write_sidecar_atomic("MANIFEST", b"generation-2").unwrap();
+        assert_eq!(
+            m.read_sidecar("MANIFEST").unwrap().as_deref(),
+            Some(&b"generation-2"[..])
+        );
+
+        m.remove_sidecar("MANIFEST").unwrap();
+        assert_eq!(m.read_sidecar("MANIFEST").unwrap(), None);
+        m.remove_sidecar("MANIFEST").unwrap();
+    }
+
+    #[test]
+    fn transient_write_fails_once_then_succeeds_on_retry() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        let fi = std::sync::Arc::new(crate::fault::FaultInjector::new());
+        m.set_fault_injector(Some(fi.clone()));
+        fi.fail_write(1, crate::fault::WriteFault::Transient(1));
+        let err = m.append_page(f, &Page::zeroed()).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        m.append_page(f, &Page::zeroed()).unwrap();
+        assert_eq!(m.num_pages(f).unwrap(), 1);
     }
 }

@@ -18,6 +18,26 @@ pub enum StorageError {
     AlreadyExists(String),
     /// The caller supplied inconsistent arguments (e.g. schema mismatch).
     InvalidArgument(String),
+    /// Stored bytes failed their integrity check. Carries the identity of
+    /// the object and both checksum values so recovery diagnostics can say
+    /// *which* blob or record rotted, not just that something did.
+    ChecksumMismatch {
+        /// What was being verified (blob id, record name, file).
+        what: String,
+        /// Checksum recorded at write time.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// Stored bytes were written by an incompatible codec version.
+    VersionMismatch {
+        /// What was being decoded.
+        what: String,
+        /// Version this build writes and reads.
+        expected: u32,
+        /// Version found on disk.
+        actual: u32,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -28,6 +48,22 @@ impl fmt::Display for StorageError {
             StorageError::NotFound(m) => write!(f, "not found: {m}"),
             StorageError::AlreadyExists(m) => write!(f, "already exists: {m}"),
             StorageError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            StorageError::ChecksumMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {what}: expected {expected:#018x}, got {actual:#018x}"
+            ),
+            StorageError::VersionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "version mismatch in {what}: this build reads v{expected}, found v{actual}"
+            ),
         }
     }
 }
@@ -57,6 +93,42 @@ impl StorageError {
     pub fn invalid(msg: impl Into<String>) -> Self {
         StorageError::InvalidArgument(msg.into())
     }
+
+    /// Helper for constructing a [`StorageError::ChecksumMismatch`] error.
+    pub fn checksum_mismatch(what: impl Into<String>, expected: u64, actual: u64) -> Self {
+        StorageError::ChecksumMismatch {
+            what: what.into(),
+            expected,
+            actual,
+        }
+    }
+
+    /// True for I/O failures worth retrying (interrupted syscalls, flaky
+    /// device timeouts). Corruption, version skew, and missing objects are
+    /// never transient — retrying them cannot help.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    /// True when the error indicates on-disk state that can never be read
+    /// back (corruption, checksum or version mismatch) as opposed to an
+    /// environmental failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Corrupt(_)
+                | StorageError::ChecksumMismatch { .. }
+                | StorageError::VersionMismatch { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -74,9 +146,40 @@ mod tests {
     }
 
     #[test]
+    fn checksum_and_version_mismatch_carry_identity() {
+        let e = StorageError::checksum_mismatch("blob file#3", 0xAB, 0xCD);
+        assert!(e.to_string().contains("blob file#3"), "{e}");
+        assert!(e.is_corruption());
+        assert!(!e.is_transient());
+
+        let e = StorageError::VersionMismatch {
+            what: "SuspendedQuery".into(),
+            expected: 2,
+            actual: 9,
+        };
+        assert_eq!(
+            e.to_string(),
+            "version mismatch in SuspendedQuery: this build reads v2, found v9"
+        );
+        assert!(e.is_corruption());
+    }
+
+    #[test]
+    fn transient_classification_follows_io_kind() {
+        let t = StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "flaky",
+        ));
+        assert!(t.is_transient());
+        let p = StorageError::Io(std::io::Error::other("dead disk"));
+        assert!(!p.is_transient());
+        assert!(!StorageError::corrupt("rot").is_transient());
+    }
+
+    #[test]
     fn io_error_converts_and_sources() {
         use std::error::Error;
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: StorageError = io.into();
         assert!(e.to_string().contains("boom"));
         assert!(e.source().is_some());

@@ -241,6 +241,7 @@ impl HeapCursor {
     }
 
     /// Return the next tuple, or `None` at end of file.
+    #[allow(clippy::should_implement_trait)] // fallible pull, not an Iterator
     pub fn next(&mut self) -> Result<Option<Tuple>> {
         loop {
             let need_page = match &self.cached_page {

@@ -108,7 +108,7 @@ impl SortedIndex {
     }
 
     fn page_count(&self) -> u64 {
-        (self.meta.entries + ENTRIES_PER_PAGE as u64 - 1) / ENTRIES_PER_PAGE as u64
+        self.meta.entries.div_ceil(ENTRIES_PER_PAGE as u64)
     }
 
     fn load_page(&self, page_no: u64) -> Result<(Page, usize)> {

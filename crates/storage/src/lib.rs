@@ -29,6 +29,7 @@ pub mod cost;
 pub mod db;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod page;
@@ -37,13 +38,14 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use blob::{BlobId, BlobStore};
+pub use blob::{fnv1a, BlobId, BlobStore};
 pub use catalog::{Catalog, TableInfo};
 pub use codec::{Decode, Decoder, Encode, Encoder};
 pub use cost::{CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
 pub use db::Database;
 pub use disk::{DiskManager, FileId};
 pub use error::{Result, StorageError};
+pub use fault::{FaultInjector, WriteFault, WriteOutcome};
 pub use heap::{HeapCursor, HeapFile, TupleAddr};
 pub use index::{IndexBuilder, IndexMeta, SortedIndex};
 pub use page::{pages_for_bytes, Page, PAGE_SIZE};

@@ -76,7 +76,7 @@ impl std::fmt::Debug for Page {
 /// Number of pages needed to hold `bytes` bytes (ceiling division, minimum
 /// one page for non-empty payloads).
 pub fn pages_for_bytes(bytes: usize) -> u64 {
-    ((bytes + PAGE_SIZE - 1) / PAGE_SIZE) as u64
+    bytes.div_ceil(PAGE_SIZE) as u64
 }
 
 #[cfg(test)]

@@ -133,6 +133,7 @@ impl RunReader {
     }
 
     /// Next tuple, or `None` at end of run.
+    #[allow(clippy::should_implement_trait)] // fallible pull, not an Iterator
     pub fn next(&mut self) -> Result<Option<Tuple>> {
         self.cursor.next()
     }

@@ -41,7 +41,7 @@ fn main() -> qsr::storage::Result<()> {
         match exec.next()? {
             Poll::Tuple(_) => {
                 produced += 1;
-                if produced % 250 == 0 {
+                if produced.is_multiple_of(250) {
                     let problem = exec.suspend_problem();
                     println!(
                         "{:>10} {:>14} {:>14} {:>8} {:>10}",

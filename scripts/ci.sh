@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Full local CI: lint gate plus the tier-1 verify from ROADMAP.md.
+# Runs entirely offline — all dependencies are vendored in shims/.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

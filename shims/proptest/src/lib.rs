@@ -1,0 +1,506 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest's API it uses: the
+//! `proptest!` macro (both `ident in strategy` and `ident: Type`
+//! parameter forms, plus `#![proptest_config(..)]`), `any::<T>()`,
+//! range and string strategies, `prop_map`, `prop_oneof!`,
+//! `proptest::collection::vec`, `proptest::bool::ANY`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for an offline harness:
+//! cases are generated from a seed derived from the test name, so runs
+//! are fully deterministic; there is no shrinking (failures report the
+//! case number and inputs via the panic message instead); and string
+//! "regex" strategies only honor a trailing `{m,n}` length bound, which
+//! is the only regex feature the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG handed to strategies while generating one case.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name` (deterministic).
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let h = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37_79b9)))
+    }
+
+    /// Uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// Uniform sample from a range (see [`rand::Rng::gen_range`]).
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: rand::SampleUniform,
+        R: rand::SampleRange<T>,
+    {
+        self.0.gen_range(range)
+    }
+
+    /// Bernoulli sample.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.0.gen_bool(p)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Object-safe strategy, for [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased strategy (output of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let ix = rng.gen_range(0..self.0.len());
+            self.0[ix].generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String strategy from a regex-ish pattern. Only a trailing
+    /// `{m,n}` repetition bound is honored (the workspace uses `".*"`
+    /// and `".{0,24}"`); everything else means "arbitrary chars".
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_len_bounds(self).unwrap_or((0, 32));
+            let len = rng.gen_range(min..=max);
+            // Mix ASCII with multi-byte and boundary code points so
+            // codec round-trip tests see interesting UTF-8.
+            (0..len)
+                .map(|_| match rng.gen_range(0..10u32) {
+                    0 => '\0',
+                    1 => '\u{7f}',
+                    2 => 'é',
+                    3 => '日',
+                    4 => '\u{10348}',
+                    5 => '\u{fffd}',
+                    _ => char::from_u32(rng.gen_range(0x20..0x7fu32)).unwrap_or('x'),
+                })
+                .collect()
+        }
+    }
+
+    fn parse_len_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let inner = pattern.strip_suffix('}')?;
+        let brace = inner.rfind('{')?;
+        let body = &inner[brace + 1..];
+        let (m, n) = body.split_once(',')?;
+        Some((m.trim().parse().ok()?, n.trim().parse().ok()?))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn string_pattern_bounds() {
+            let mut rng = TestRng::for_case("string_pattern_bounds", 0);
+            for _ in 0..200 {
+                let s = ".{0,24}".generate(&mut rng);
+                assert!(s.chars().count() <= 24);
+            }
+        }
+
+        #[test]
+        fn map_and_oneof() {
+            let mut rng = TestRng::for_case("map_and_oneof", 0);
+            let st = Union(vec![
+                (0..10u64).prop_map(|v| v as i64).boxed(),
+                (100..110u64).prop_map(|v| v as i64).boxed(),
+            ]);
+            for _ in 0..100 {
+                let v = st.generate(&mut rng);
+                assert!((0..10).contains(&v) || (100..110).contains(&v));
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "arbitrary value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Produce one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias toward boundary values now and then: they are
+                    // where codecs break.
+                    match rng.gen_range(0..16u32) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(u64::arbitrary(rng))
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = rng.gen_range(0..64usize);
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ".*".generate(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Uniform `true` / `false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// The canonical boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: BoolAny = BoolAny;
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Subset of proptest's `Config` honored by this harness.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test module needs, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property-test entry point. Supports `ident in strategy` and
+/// `ident: Type` parameters and an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr)) => {};
+    (@tests ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $crate::proptest!(@bind __rng, case, $body, $($params)*);
+            }
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    // Parameter binders: peel one `ident in strategy` or `ident: Type`
+    // parameter, bind it, recurse on the rest, then run the body.
+    (@bind $rng:ident, $case:ident, $body:block, ) => { $body };
+    (@bind $rng:ident, $case:ident, $body:block, $var:ident in $strat:expr) => {
+        $crate::proptest!(@bind $rng, $case, $body, $var in $strat,)
+    };
+    (@bind $rng:ident, $case:ident, $body:block, $var:ident in $strat:expr, $($rest:tt)*) => {
+        {
+            let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+            $crate::proptest!(@bind $rng, $case, $body, $($rest)*)
+        }
+    };
+    (@bind $rng:ident, $case:ident, $body:block, $var:ident : $ty:ty) => {
+        $crate::proptest!(@bind $rng, $case, $body, $var : $ty,)
+    };
+    (@bind $rng:ident, $case:ident, $body:block, $var:ident : $ty:ty, $($rest:tt)*) => {
+        {
+            let $var = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+            $crate::proptest!(@bind $rng, $case, $body, $($rest)*)
+        }
+    };
+    // No config attribute: use the default.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_work(v: u64, b: Vec<u8>, flag: bool) {
+            let _ = (v, b, flag);
+        }
+
+        #[test]
+        fn strategy_params_work(x in 3u32..9, s in ".{0,4}", z in crate::bool::ANY) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(s.chars().count() <= 4);
+            let _ = z;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_is_honored(vals in crate::collection::vec(any::<i64>(), 0..12)) {
+            prop_assert!(vals.len() < 12);
+        }
+    }
+
+    #[test]
+    fn oneof_compiles_and_generates() {
+        use crate::strategy::Strategy;
+        let st = prop_oneof![
+            any::<i64>().prop_map(|v| v.to_string()),
+            ".{1,3}".prop_map(|s| s),
+        ];
+        let mut rng = crate::TestRng::for_case("oneof", 1);
+        for _ in 0..50 {
+            let _ = st.generate(&mut rng);
+        }
+    }
+}

@@ -96,18 +96,49 @@ fn resume_with_corrupted_bytes_errors_cleanly() {
 }
 
 #[test]
-fn resume_with_missing_heap_dump_errors_cleanly() {
+fn resume_with_missing_heap_dump_degrades_to_goback_fallback() {
     let (_d, db, h) = suspended_join("nodump");
-    // Delete every blob file except the SuspendedQuery itself: the NLJ's
-    // dumped buffer disappears.
+    // Reference: a clean resume (reads in-memory nothing; the handle can be
+    // resumed repeatedly) establishes the expected continuation.
+    let mut clean = QueryExecution::resume(db.clone(), &h).unwrap();
+    let expected = clean.run_to_completion().unwrap();
+
+    // Delete every dump blob: the NLJ's dumped buffer disappears. The
+    // suspend phase recorded a GoBack fallback for the NLJ (its contract
+    // chain admits recompute), so resume must degrade, not fail — and must
+    // produce the identical continuation.
     let sq = qsr::core::SuspendedQuery::load(db.blobs(), h.blob).unwrap();
+    assert!(
+        !sq.fallbacks.is_empty(),
+        "suspend should have recorded a GoBack fallback for the dumped NLJ"
+    );
     for rec in sq.records.values() {
         if let Some(dump) = rec.heap_dump {
             db.blobs().delete(dump).unwrap();
         }
     }
-    let result = QueryExecution::resume_from_blob(db, h.blob);
-    assert!(result.is_err(), "missing heap dump must be detected");
+    let mut degraded = QueryExecution::resume_from_blob(db, h.blob)
+        .expect("missing dump with a recorded fallback must degrade to GoBack");
+    assert_eq!(degraded.run_to_completion().unwrap(), expected);
+}
+
+#[test]
+fn resume_with_missing_heap_dump_and_no_fallback_errors_cleanly() {
+    let (_d, db, h) = suspended_join("nodump-nofb");
+    // Strip the fallbacks and re-save: now a lost dump has no recourse.
+    let mut sq = qsr::core::SuspendedQuery::load(db.blobs(), h.blob).unwrap();
+    sq.fallbacks.clear();
+    let stripped = sq.save(db.blobs()).unwrap();
+    for rec in sq.records.values() {
+        if let Some(dump) = rec.heap_dump {
+            db.blobs().delete(dump).unwrap();
+        }
+    }
+    let result = QueryExecution::resume_validated(db, stripped);
+    assert!(
+        matches!(result, Err(qsr::exec::ResumeError::DumpUnavailable { .. })),
+        "missing heap dump without a fallback must surface as DumpUnavailable"
+    );
 }
 
 #[test]
