@@ -27,6 +27,17 @@ pub fn scaled(paper_count: u64) -> u64 {
     ((paper_count as f64 * scale()) as u64).max(16)
 }
 
+/// Buffer-pool capacity (frames) for experiment databases. Default 0 —
+/// an uncached passthrough pool, so every charged page I/O matches the
+/// paper's cost analysis bit-for-bit. Set `QSR_POOL_PAGES` (or pass
+/// `--pool-pages N` to `all_experiments`) to measure with caching on.
+pub fn pool_pages() -> usize {
+    std::env::var("QSR_POOL_PAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// A temporary experiment database; the directory is removed on drop.
 pub struct ExpDb {
     /// The database handle.
@@ -55,7 +66,7 @@ impl ExpDb {
             N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
         ));
         std::fs::create_dir_all(&dir)?;
-        let db = Database::open(&dir, model)?;
+        let db = Database::open_with_pool(&dir, model, pool_pages())?;
         Ok(Self { db, dir })
     }
 

@@ -1,8 +1,9 @@
 //! Execution context: the ambient state shared by every operator of one
 //! query — database handle, contract graph, work table, suspend trigger.
 
+use crate::writers::DumpPipeline;
 use qsr_core::{ContractGraph, OpId, WorkTable};
-use qsr_storage::{CostModel, Database};
+use qsr_storage::{BlobId, CostModel, Database, Encode, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -48,6 +49,10 @@ pub struct ExecContext {
     /// Used to measure the paper's "negligible overhead during execution"
     /// claim.
     pub checkpoints_enabled: bool,
+    /// Background writer pool installed by the driver for the duration of
+    /// the suspend phase; operators route dump blobs through it via
+    /// [`ExecContext::put_dump_value`]. `None` = serial writes.
+    dump_pipeline: Option<Arc<DumpPipeline>>,
 }
 
 impl ExecContext {
@@ -62,6 +67,30 @@ impl ExecContext {
             suspend_requested: false,
             cpu_tuple_cost: 0.0,
             checkpoints_enabled: true,
+            dump_pipeline: None,
+        }
+    }
+
+    /// Install the suspend-phase dump pipeline (driver-only).
+    pub fn set_dump_pipeline(&mut self, pipeline: Option<Arc<DumpPipeline>>) {
+        self.dump_pipeline = pipeline;
+    }
+
+    /// Detach the dump pipeline, if any (driver-only; done before the
+    /// fallback shadow passes, which delete scratch dumps and therefore
+    /// must write serially).
+    pub fn take_dump_pipeline(&mut self) -> Option<Arc<DumpPipeline>> {
+        self.dump_pipeline.take()
+    }
+
+    /// Store an operator dump blob. During a pipelined suspend the write
+    /// is handed to a background worker (the returned [`BlobId`] is
+    /// computed synchronously and is valid once the driver joins the
+    /// pipeline); otherwise this is a plain serial blob write.
+    pub fn put_dump_value<T: Encode>(&self, value: &T) -> Result<BlobId> {
+        match &self.dump_pipeline {
+            Some(p) => p.put_value(value),
+            None => self.db.blobs().put_value(value),
         }
     }
 

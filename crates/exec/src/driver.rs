@@ -26,6 +26,7 @@ use crate::plan::{build_plan, PlanSpec};
 use crate::recovery::{
     commit_manifest, read_manifest, with_retries, ResumeError, SuspendManifest,
 };
+use crate::writers::DumpPipeline;
 use qsr_core::{
     ContractGraph, OpId, OpSuspendInputs, OptimizeReport, PlanTopology, Strategy,
     SuspendOptimizer, SuspendPlan, SuspendPolicy, SuspendProblem, SuspendedQuery,
@@ -58,12 +59,19 @@ pub struct SuspendOptions {
     /// re-suspensions fall back to DumpState-heavy plans. Persisting costs
     /// a few hundred bytes — the default.
     pub persist_graph: bool,
+    /// Number of background writer threads flushing dump blobs (and dirty
+    /// cached pages) during the suspend phase. `0` writes everything
+    /// serially on the suspending thread — the paper's baseline. Either
+    /// way every byte is durable before the manifest rename commits the
+    /// suspend; the pipeline only overlaps the writes.
+    pub dump_writers: usize,
 }
 
 impl Default for SuspendOptions {
     fn default() -> Self {
         Self {
             persist_graph: true,
+            dump_writers: 4,
         }
     }
 }
@@ -258,19 +266,47 @@ impl QueryExecution {
             work_snapshot: self.ctx.work.snapshot().into_iter().collect(),
             ..Default::default()
         };
-        self.root
-            .suspend(&mut self.ctx, SuspendMode::Current, &report.plan, &mut sq)?;
+
+        // With dump_writers > 0, operator dump blobs are handed to a
+        // bounded pool of background writers instead of being written
+        // inline, overlapping the dumps of independent operators. The
+        // pipeline is joined before the manifest rename below, so the
+        // crash-safety protocol is unchanged.
+        let pipeline =
+            (options.dump_writers > 0).then(|| DumpPipeline::new(&self.db, options.dump_writers));
+        self.ctx.set_dump_pipeline(pipeline.clone());
+        let suspended = self
+            .root
+            .suspend(&mut self.ctx, SuspendMode::Current, &report.plan, &mut sq);
+        // Detach before the fallback shadow passes: they delete rejected
+        // scratch dumps, which must not still be in flight on a worker.
+        self.ctx.take_dump_pipeline();
+        if let Err(e) = suspended {
+            if let Some(p) = &pipeline {
+                let _ = p.finish();
+            }
+            return Err(e);
+        }
+        if let Some(p) = &pipeline {
+            p.finish()?;
+        }
         self.generate_fallbacks(&report.plan, &mut sq);
 
         let blob = sq.save(self.db.blobs())?;
 
         // Durability barrier: everything the manifest makes reachable must
-        // be stable before the rename that commits it.
+        // be stable before the rename that commits it. This includes any
+        // page still dirty in the shared buffer pool (run files, index
+        // pages): resume reopens the database with a fresh pool and reads
+        // from disk.
         self.db.blobs().sync(blob)?;
         for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
             if let Some(b) = rec.heap_dump {
                 self.db.blobs().sync(b)?;
             }
+        }
+        for file in self.db.pool().dirty_files() {
+            self.db.pool().sync_file(file)?;
         }
 
         let generation = prev.as_ref().map_or(1, |m| m.generation + 1);

@@ -12,9 +12,11 @@ pub mod operator;
 pub mod ops;
 pub mod plan;
 pub mod recovery;
+pub mod writers;
 
 pub use context::{ExecContext, SuspendTrigger};
-pub use driver::{QueryExecution, SuspendedHandle};
+pub use driver::{QueryExecution, SuspendOptions, SuspendedHandle};
+pub use writers::DumpPipeline;
 pub use recovery::{
     clear_manifest, read_manifest, with_retries, ResumeError, SuspendManifest, SUSPEND_MANIFEST,
 };

@@ -228,7 +228,7 @@ impl HashAgg {
     fn load_partition(&mut self, ctx: &mut ExecContext, part: usize) -> Result<()> {
         let mut table: HashMap<i64, Acc> = HashMap::new();
         let mut bytes = 0usize;
-        let mut r = RunReader::open(ctx.db.disk().clone(), self.runs[part]);
+        let mut r = RunReader::open(ctx.db.pool().clone(), self.runs[part]);
         while let Some(t) = r.next()? {
             let g = t.get(self.group_col).as_int()?;
             let v = t.get(self.agg_col).as_int()?;
@@ -271,7 +271,7 @@ impl Operator for HashAgg {
                 PHASE_PARTITION => {
                     while self.writers.len() < self.partitions {
                         self.writers
-                            .push(Some(RunWriter::create(ctx.db.disk().clone())?));
+                            .push(Some(RunWriter::create(ctx.db.pool().clone())?));
                     }
                     match self.child.next(ctx)? {
                         Poll::Tuple(t) => {
@@ -293,7 +293,7 @@ impl Operator for HashAgg {
                                         StorageError::invalid("hash-agg partition writer missing")
                                     })?
                                     .finish()?;
-                                let pages = ctx.db.disk().num_pages(handle.file)?;
+                                let pages = ctx.db.pool().num_pages(handle.file)?;
                                 ctx.note_page_writes(self.op, pages);
                                 self.runs.push(handle);
                             }
@@ -397,7 +397,7 @@ impl Operator for HashAgg {
             let handle = w
                 .ok_or_else(|| StorageError::invalid("hash-agg partition writer missing"))?
                 .finish()?;
-            let pages = ctx.db.disk().num_pages(handle.file)?;
+            let pages = ctx.db.pool().num_pages(handle.file)?;
             ctx.note_page_writes(self.op, pages);
             sealed.push(handle);
         }
@@ -451,7 +451,7 @@ impl Operator for HashAgg {
 
         let heap_dump = match strategy {
             Strategy::Dump if !self.groups.is_empty() => {
-                Some(ctx.db.blobs().put_value(&GroupsDump(self.groups.clone()))?)
+                Some(ctx.put_dump_value(&GroupsDump(self.groups.clone()))?)
             }
             _ => None,
         };
@@ -506,7 +506,7 @@ impl Operator for HashAgg {
                     self.writers = self
                         .runs
                         .drain(..)
-                        .map(|h| Some(RunWriter::reopen(ctx.db.disk().clone(), h)))
+                        .map(|h| Some(RunWriter::reopen(ctx.db.pool().clone(), h)))
                         .collect();
                 } else if self.phase == PHASE_AGG
                     && (self.emit_idx > 0 || self.cur_part < self.partitions)

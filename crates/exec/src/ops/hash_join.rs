@@ -242,9 +242,9 @@ impl HashJoin {
         Ok(())
     }
 
-    fn ensure_writers(writers: &mut Vec<Option<RunWriter>>, dm: &Arc<qsr_storage::DiskManager>, n: usize) -> Result<()> {
+    fn ensure_writers(writers: &mut Vec<Option<RunWriter>>, pool: &Arc<qsr_storage::BufferPool>, n: usize) -> Result<()> {
         while writers.len() < n {
-            writers.push(Some(RunWriter::create(dm.clone())?));
+            writers.push(Some(RunWriter::create(pool.clone())?));
         }
         Ok(())
     }
@@ -264,7 +264,7 @@ impl HashJoin {
             let w =
                 w.ok_or_else(|| StorageError::invalid("hash-join partition writer missing"))?;
             let handle = w.finish()?;
-            let pages = ctx.db.disk().num_pages(handle.file)?;
+            let pages = ctx.db.pool().num_pages(handle.file)?;
             ctx.note_page_writes(op, pages);
             runs.push(handle);
         }
@@ -275,7 +275,7 @@ impl HashJoin {
         self.table.clear();
         self.heap_bytes = 0;
         let handle = self.build_runs[part];
-        let mut r = RunReader::open(ctx.db.disk().clone(), handle);
+        let mut r = RunReader::open(ctx.db.pool().clone(), handle);
         while let Some(t) = r.next()? {
             let key = t.get(self.build_key).as_int()?;
             self.table_insert(key, t);
@@ -286,7 +286,7 @@ impl HashJoin {
 
     fn open_probe_reader(&mut self, ctx: &mut ExecContext, part: usize, at: Option<TupleAddr>) {
         let handle = self.probe_runs[part];
-        let mut r = RunReader::open(ctx.db.disk().clone(), handle);
+        let mut r = RunReader::open(ctx.db.pool().clone(), handle);
         if let Some(addr) = at {
             r.seek(addr);
         }
@@ -355,7 +355,7 @@ impl Operator for HashJoin {
             }
             match self.phase {
                 PHASE_BUILD => {
-                    Self::ensure_writers(&mut self.build_writers, ctx.db.disk(), self.partitions)?;
+                    Self::ensure_writers(&mut self.build_writers, ctx.db.pool(), self.partitions)?;
                     match self.build.next(ctx)? {
                         Poll::Tuple(t) => {
                             ctx.tick(self.op);
@@ -398,7 +398,7 @@ impl Operator for HashJoin {
                     }
                 }
                 PHASE_PROBE => {
-                    Self::ensure_writers(&mut self.probe_writers, ctx.db.disk(), self.partitions)?;
+                    Self::ensure_writers(&mut self.probe_writers, ctx.db.pool(), self.partitions)?;
                     // Hybrid: finish emitting matches of the current probe
                     // tuple before pulling the next one.
                     if self.hybrid {
@@ -645,7 +645,7 @@ impl Operator for HashJoin {
                 let mut pairs: Vec<(i64, Vec<Tuple>)> =
                     self.table.iter().map(|(k, v)| (*k, v.clone())).collect();
                 pairs.sort_by_key(|(k, _)| *k);
-                Some(ctx.db.blobs().put_value(&TableDump(pairs))?)
+                Some(ctx.put_dump_value(&TableDump(pairs))?)
             }
             _ => None,
         };
@@ -711,13 +711,13 @@ impl Operator for HashJoin {
                     self.build_writers = self
                         .build_runs
                         .drain(..)
-                        .map(|h| Some(RunWriter::reopen(ctx.db.disk().clone(), h)))
+                        .map(|h| Some(RunWriter::reopen(ctx.db.pool().clone(), h)))
                         .collect();
                 } else if self.phase == PHASE_PROBE {
                     self.probe_writers = self
                         .probe_runs
                         .drain(..)
-                        .map(|h| Some(RunWriter::reopen(ctx.db.disk().clone(), h)))
+                        .map(|h| Some(RunWriter::reopen(ctx.db.pool().clone(), h)))
                         .collect();
                 }
                 if let Some(blob) = dump {

@@ -146,12 +146,12 @@ impl ExternalSort {
             keyed.push((k, t));
         }
         keyed.sort_by_key(|(k, _)| *k);
-        let mut w = RunWriter::create(ctx.db.disk().clone())?;
+        let mut w = RunWriter::create(ctx.db.pool().clone())?;
         for (_, t) in &keyed {
             w.append(t)?;
         }
         let handle = w.finish()?;
-        let pages = ctx.db.disk().num_pages(handle.file)?;
+        let pages = ctx.db.pool().num_pages(handle.file)?;
         ctx.note_page_writes(self.op, pages);
         self.runs.push(handle);
         self.heap_bytes = 0;
@@ -193,7 +193,7 @@ impl ExternalSort {
         self.readers = self
             .runs
             .iter()
-            .map(|&h| RunReader::open(ctx.db.disk().clone(), h))
+            .map(|&h| RunReader::open(ctx.db.pool().clone(), h))
             .collect();
         self.heads = vec![None; self.runs.len()];
         self.head_addrs = vec![None; self.runs.len()];
@@ -444,11 +444,9 @@ impl Operator for ExternalSort {
             };
 
         let heap_dump = match strategy {
-            Strategy::Dump if self.phase == PHASE_BUILD && !self.buf.is_empty() => Some(
-                ctx.db
-                    .blobs()
-                    .put_value(&BufferDump(self.buf.clone()))?,
-            ),
+            Strategy::Dump if self.phase == PHASE_BUILD && !self.buf.is_empty() => {
+                Some(ctx.put_dump_value(&BufferDump(self.buf.clone()))?)
+            }
             _ => None,
         };
         sq.put_record(OpSuspendRecord {
@@ -515,7 +513,7 @@ impl Operator for ExternalSort {
             self.readers = self
                 .runs
                 .iter()
-                .map(|&h| RunReader::open(ctx.db.disk().clone(), h))
+                .map(|&h| RunReader::open(ctx.db.pool().clone(), h))
                 .collect();
             self.heads = vec![None; self.runs.len()];
             self.head_addrs = control.head_addrs.clone();

@@ -7,7 +7,8 @@
 //! this is where the suspend/resume cost of DumpState comes from.
 
 use crate::codec::{Decode, Decoder, Encode, Encoder};
-use crate::disk::{DiskManager, FileId};
+use crate::bufpool::BufferPool;
+use crate::disk::FileId;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PAGE_SIZE};
 use std::sync::Arc;
@@ -51,25 +52,25 @@ impl Decode for BlobId {
     }
 }
 
-/// Page-charged blob storage over a [`DiskManager`].
+/// Page-charged blob storage routed through the shared [`BufferPool`].
 #[derive(Clone)]
 pub struct BlobStore {
-    dm: Arc<DiskManager>,
+    pool: Arc<BufferPool>,
 }
 
 impl BlobStore {
-    /// Create a blob store over `dm`.
-    pub fn new(dm: Arc<DiskManager>) -> Self {
-        Self { dm }
+    /// Create a blob store over `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        Self { pool }
     }
 
     /// Write `bytes` as a new blob. Charges one page write per page.
     pub fn put(&self, bytes: &[u8]) -> Result<BlobId> {
-        let file = self.dm.create_file()?;
+        let file = self.pool.create_file()?;
         for chunk in bytes.chunks(PAGE_SIZE) {
             let mut page = Page::zeroed();
             page.bytes_mut()[..chunk.len()].copy_from_slice(chunk);
-            self.dm.append_page(file, &page)?;
+            self.pool.append_page(file, &page)?;
         }
         Ok(BlobId {
             file,
@@ -80,7 +81,7 @@ impl BlobStore {
 
     /// Read a blob back. Charges one page read per page.
     pub fn get(&self, id: BlobId) -> Result<Vec<u8>> {
-        let pages = self.dm.num_pages(id.file)?;
+        let pages = self.pool.num_pages(id.file)?;
         let expected_pages = crate::page::pages_for_bytes(id.len as usize);
         if pages < expected_pages {
             return Err(StorageError::corrupt(format!(
@@ -90,7 +91,7 @@ impl BlobStore {
         }
         let mut out = Vec::with_capacity(id.len as usize);
         for p in 0..expected_pages {
-            let page = self.dm.read_page(id.file, p)?;
+            let page = self.pool.read_page(id.file, p)?;
             let remaining = id.len as usize - out.len();
             let take = remaining.min(PAGE_SIZE);
             out.extend_from_slice(&page.bytes()[..take]);
@@ -110,12 +111,12 @@ impl BlobStore {
     /// commit protocol: every dump blob is synced before the manifest that
     /// references it is renamed into place.
     pub fn sync(&self, id: BlobId) -> Result<()> {
-        self.dm.sync_file(id.file)
+        self.pool.sync_file(id.file)
     }
 
     /// Delete a blob.
     pub fn delete(&self, id: BlobId) -> Result<()> {
-        self.dm.delete_file(id.file)
+        self.pool.delete_file(id.file)
     }
 
     /// Encode a value and store it as a blob.
@@ -153,12 +154,13 @@ mod tests {
         }
     }
 
-    fn store() -> (TempDir, BlobStore, Arc<DiskManager>) {
+    fn store() -> (TempDir, BlobStore, Arc<crate::disk::DiskManager>) {
         let d = TempDir::new();
         let dm = Arc::new(
-            DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap(),
+            crate::disk::DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0)))
+                .unwrap(),
         );
-        (d, BlobStore::new(dm.clone()), dm)
+        (d, BlobStore::new(BufferPool::passthrough(dm.clone())), dm)
     }
 
     #[test]

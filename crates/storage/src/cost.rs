@@ -85,6 +85,50 @@ impl Decode for CostModel {
     }
 }
 
+/// Buffer-pool traffic counters, folded into the ledger so experiments
+/// read cache effectiveness from the same place they read I/O cost. Only
+/// *misses* and *write-backs* produce charged page I/O; hits are absorbed
+/// by the cache and cost nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page requests served from the buffer pool without disk I/O.
+    pub hits: u64,
+    /// Page requests that went to disk (each charged one page read).
+    pub misses: u64,
+    /// Frames evicted to make room (pinned frames are never counted).
+    pub evictions: u64,
+    /// Dirty frames written back to disk (each charged one page write).
+    pub write_backs: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all pool reads (0.0 when the pool saw no reads).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.write_backs += other.write_backs;
+    }
+
+    fn saturating_sub(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            write_backs: self.write_backs.saturating_sub(earlier.write_backs),
+        }
+    }
+}
+
 /// Raw counters for one phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseCost {
@@ -117,6 +161,8 @@ pub struct CostSnapshot {
     phases: [PhaseCost; 3],
     /// Cost model in effect when the snapshot was taken.
     pub model: CostModel,
+    /// Buffer-pool counters at snapshot time (zero when no pool is in use).
+    pub cache: CacheStats,
 }
 
 impl CostSnapshot {
@@ -156,6 +202,7 @@ impl CostSnapshot {
                 .saturating_sub(earlier.phases[i].pages_written);
             out.phases[i].direct_cost = self.phases[i].direct_cost - earlier.phases[i].direct_cost;
         }
+        out.cache = self.cache.saturating_sub(&earlier.cache);
         out
     }
 }
@@ -163,6 +210,7 @@ impl CostSnapshot {
 #[derive(Debug, Default)]
 struct LedgerInner {
     phases: [PhaseCost; 3],
+    cache: CacheStats,
     active: usize,
 }
 
@@ -217,6 +265,18 @@ impl CostLedger {
         self.charge(0, 0, cost);
     }
 
+    /// Record buffer-pool traffic (called by the
+    /// [`BufferPool`](crate::bufpool::BufferPool); zero fields are fine).
+    pub fn note_cache(&self, hits: u64, misses: u64, evictions: u64, write_backs: u64) {
+        let mut g = self.inner.lock();
+        g.cache.add(&CacheStats {
+            hits,
+            misses,
+            evictions,
+            write_backs,
+        });
+    }
+
     fn charge(&self, reads: u64, writes: u64, direct: f64) {
         let mut g = self.inner.lock();
         let active = g.active;
@@ -232,6 +292,7 @@ impl CostLedger {
         CostSnapshot {
             phases: g.phases,
             model: self.model,
+            cache: g.cache,
         }
     }
 
@@ -239,6 +300,7 @@ impl CostLedger {
     pub fn reset(&self) {
         let mut g = self.inner.lock();
         g.phases = [PhaseCost::default(); 3];
+        g.cache = CacheStats::default();
     }
 
     /// Merge another snapshot's counters into this ledger (used when
@@ -248,6 +310,7 @@ impl CostLedger {
         for (i, p) in snap.phases.iter().enumerate() {
             g.phases[i].add(p);
         }
+        g.cache.add(&snap.cache);
     }
 }
 

@@ -2,6 +2,7 @@
 //! ledger, and blob store — the single handle higher layers hold.
 
 use crate::blob::BlobStore;
+use crate::bufpool::BufferPool;
 use crate::catalog::{Catalog, TableInfo};
 use crate::cost::{CostLedger, CostModel};
 use crate::disk::DiskManager;
@@ -18,18 +19,38 @@ use std::sync::Arc;
 /// one place experiments read simulated costs from.
 pub struct Database {
     dm: Arc<DiskManager>,
+    pool: Arc<BufferPool>,
     catalog: Mutex<Catalog>,
     blobs: BlobStore,
 }
 
 impl Database {
-    /// Open (or create) a database at `dir` with the given cost model.
+    /// Open (or create) a database at `dir` with the given cost model and
+    /// no page caching (a capacity-0 passthrough pool): charged I/O is
+    /// bit-for-bit what the paper's cost analysis expects.
     pub fn open(dir: impl AsRef<Path>, model: CostModel) -> Result<Arc<Self>> {
+        Self::open_with_pool(dir, model, 0)
+    }
+
+    /// Open (or create) a database at `dir` with a buffer pool of
+    /// `pool_pages` frames shared by every page consumer (`pool_pages`
+    /// 0 = uncached passthrough).
+    pub fn open_with_pool(
+        dir: impl AsRef<Path>,
+        model: CostModel,
+        pool_pages: usize,
+    ) -> Result<Arc<Self>> {
         let ledger = CostLedger::new(model);
         let dm = Arc::new(DiskManager::open(dir.as_ref(), ledger)?);
+        let pool = BufferPool::new(dm.clone(), pool_pages);
         let catalog = Mutex::new(Catalog::open(dir.as_ref())?);
-        let blobs = BlobStore::new(dm.clone());
-        Ok(Arc::new(Self { dm, catalog, blobs }))
+        let blobs = BlobStore::new(pool.clone());
+        Ok(Arc::new(Self {
+            dm,
+            pool,
+            catalog,
+            blobs,
+        }))
     }
 
     /// Open with the default (paper-calibrated) cost model.
@@ -40,6 +61,11 @@ impl Database {
     /// The disk manager.
     pub fn disk(&self) -> &Arc<DiskManager> {
         &self.dm
+    }
+
+    /// The shared buffer pool all page consumers go through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// The cost ledger.
@@ -70,7 +96,7 @@ impl Database {
     /// Open the heap file of a table.
     pub fn open_table_heap(&self, name: &str) -> Result<HeapFile> {
         let info = self.table(name)?;
-        Ok(HeapFile::open(self.dm.clone(), info.file, info.tuple_count))
+        Ok(HeapFile::open(self.pool.clone(), info.file, info.tuple_count))
     }
 
     /// Open a sorted index of a table on the given column index.
@@ -86,7 +112,7 @@ impl Database {
                     "index on column {column} of table '{name}'"
                 ))
             })?;
-        Ok(SortedIndex::open(self.dm.clone(), meta))
+        Ok(SortedIndex::open(self.pool.clone(), meta))
     }
 }
 
@@ -130,7 +156,7 @@ mod tests {
         let db = Database::open_default(&d.0).unwrap();
 
         let schema = Schema::new(vec![Column::new("key", DataType::Int)]);
-        let mut heap = HeapFile::create(db.disk().clone()).unwrap();
+        let mut heap = HeapFile::create(db.pool().clone()).unwrap();
         for k in 0..50 {
             heap.append(&Tuple::new(vec![Value::Int(k)])).unwrap();
         }
@@ -162,7 +188,7 @@ mod tests {
         let d = TempDir::new();
         {
             let db = Database::open_default(&d.0).unwrap();
-            let mut heap = HeapFile::create(db.disk().clone()).unwrap();
+            let mut heap = HeapFile::create(db.pool().clone()).unwrap();
             heap.append(&Tuple::new(vec![Value::Int(1)])).unwrap();
             heap.finish().unwrap();
             db.with_catalog_mut(|c| {

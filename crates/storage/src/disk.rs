@@ -34,9 +34,14 @@ struct OpenFile {
 }
 
 /// Manages numbered page files in a database directory.
+///
+/// The file table maps ids to individually locked handles, so I/O on
+/// *different* files proceeds in parallel (the map lock is only held long
+/// enough to fetch a handle). This is what lets the suspend-dump write
+/// pipeline overlap blob writes across worker threads.
 pub struct DiskManager {
     dir: PathBuf,
-    files: Mutex<HashMap<FileId, OpenFile>>,
+    files: Mutex<HashMap<FileId, Arc<Mutex<OpenFile>>>>,
     next_id: AtomicU64,
     ledger: CostLedger,
     /// Optional fault injector consulted before every I/O event. Page
@@ -55,12 +60,20 @@ impl DiskManager {
         let mut max_id = 0u64;
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
-            if let Some(stem) = entry.path().file_stem().and_then(|s| s.to_str()) {
-                if let Some(num) = stem.strip_prefix("f") {
-                    if let Ok(id) = num.parse::<u64>() {
-                        max_id = max_id.max(id + 1);
-                    }
-                }
+            // Only exact `f<digits>.qsr` names participate in numbering.
+            // Sidecars (`SUSPEND.manifest`, `*.tmp`, the catalog) and any
+            // stray files must neither bump `next_id` (`f9.tmp` is not
+            // file 9) nor reset it.
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(num) = name.strip_prefix('f').and_then(|r| r.strip_suffix(".qsr")) else {
+                continue;
+            };
+            if num.is_empty() || !num.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            if let Ok(id) = num.parse::<u64>() {
+                max_id = max_id.max(id + 1);
             }
         }
         Ok(Self {
@@ -127,38 +140,46 @@ impl DiskManager {
             .read(true)
             .write(true)
             .open(&path)?;
-        self.files.lock().insert(id, OpenFile { file, pages: 0 });
+        self.files
+            .lock()
+            .insert(id, Arc::new(Mutex::new(OpenFile { file, pages: 0 })));
         Ok(id)
     }
 
-    fn with_file<T>(&self, id: FileId, f: impl FnOnce(&mut OpenFile) -> Result<T>) -> Result<T> {
+    /// Fetch (lazily reopening if needed) the lock-guarded handle for
+    /// `id`. The map lock is released before any I/O happens, so distinct
+    /// files never serialize on each other.
+    fn file_handle(&self, id: FileId) -> Result<Arc<Mutex<OpenFile>>> {
         let mut files = self.files.lock();
-        if let std::collections::hash_map::Entry::Vacant(e) = files.entry(id) {
-            // Lazily reopen a file that exists on disk (e.g. after resume
-            // in a fresh process over the same directory).
-            let path = self.path_for(id);
-            let file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(&path)
-                .map_err(|_| StorageError::NotFound(format!("{id} at {}", path.display())))?;
-            let len = file.metadata()?.len();
-            if len % PAGE_SIZE as u64 != 0 {
-                return Err(StorageError::corrupt(format!(
-                    "{id} length {len} is not page-aligned"
-                )));
-            }
-            e.insert(OpenFile {
-                    file,
-                    pages: len / PAGE_SIZE as u64,
-                });
+        if let Some(h) = files.get(&id) {
+            return Ok(h.clone());
         }
-        match files.get_mut(&id) {
-            Some(of) => f(of),
-            // Unreachable (inserted just above), but the suspend/resume
-            // path must never panic on storage-layer surprises.
-            None => Err(StorageError::NotFound(format!("{id} vanished from cache"))),
+        // Lazily reopen a file that exists on disk (e.g. after resume
+        // in a fresh process over the same directory).
+        let path = self.path_for(id);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|_| StorageError::NotFound(format!("{id} at {}", path.display())))?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::corrupt(format!(
+                "{id} length {len} is not page-aligned"
+            )));
         }
+        let h = Arc::new(Mutex::new(OpenFile {
+            file,
+            pages: len / PAGE_SIZE as u64,
+        }));
+        files.insert(id, h.clone());
+        Ok(h)
+    }
+
+    fn with_file<T>(&self, id: FileId, f: impl FnOnce(&mut OpenFile) -> Result<T>) -> Result<T> {
+        let h = self.file_handle(id)?;
+        let mut of = h.lock();
+        f(&mut of)
     }
 
     /// Number of pages currently in `id`.
@@ -189,45 +210,60 @@ impl DiskManager {
         Ok(page)
     }
 
+    fn write_locked(
+        &self,
+        of: &mut OpenFile,
+        id: FileId,
+        page_no: u64,
+        page: &Page,
+        outcome: WriteOutcome,
+    ) -> Result<()> {
+        if page_no > of.pages {
+            return Err(StorageError::invalid(format!(
+                "write would leave a hole in {id}: page {page_no} of {}",
+                of.pages
+            )));
+        }
+        of.file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        match outcome {
+            WriteOutcome::Proceed => {
+                of.file.write_all(page.bytes())?;
+                if page_no == of.pages {
+                    of.pages += 1;
+                }
+                Ok(())
+            }
+            WriteOutcome::TornPrefix(keep) => {
+                // Persist only the prefix that "hit the platter", make
+                // it durable, and report the crash. The page count is
+                // deliberately not updated: this handle is dead.
+                of.file.write_all(&page.bytes()[..keep])?;
+                let _ = of.file.sync_all();
+                Err(FaultInjector::halt_error())
+            }
+        }
+    }
+
     /// Write page `page_no` of file `id` (must be ≤ current page count;
     /// writing at the count extends the file). Charges one page write.
     pub fn write_page(&self, id: FileId, page_no: u64, page: &Page) -> Result<()> {
         let outcome = self.fault_write(PAGE_SIZE)?;
-        self.with_file(id, |of| {
-            if page_no > of.pages {
-                return Err(StorageError::invalid(format!(
-                    "write would leave a hole in {id}: page {page_no} of {}",
-                    of.pages
-                )));
-            }
-            of.file
-                .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-            match outcome {
-                WriteOutcome::Proceed => {
-                    of.file.write_all(page.bytes())?;
-                    if page_no == of.pages {
-                        of.pages += 1;
-                    }
-                    Ok(())
-                }
-                WriteOutcome::TornPrefix(keep) => {
-                    // Persist only the prefix that "hit the platter", make
-                    // it durable, and report the crash. The page count is
-                    // deliberately not updated: this handle is dead.
-                    of.file.write_all(&page.bytes()[..keep])?;
-                    let _ = of.file.sync_all();
-                    Err(FaultInjector::halt_error())
-                }
-            }
-        })?;
+        self.with_file(id, |of| self.write_locked(of, id, page_no, page, outcome))?;
         self.ledger.charge_write(1);
         Ok(())
     }
 
-    /// Append a page to file `id`, returning its page number.
+    /// Append a page to file `id`, returning its page number. Atomic
+    /// under the file's lock, so concurrent appenders cannot clobber each
+    /// other's slot. Charges one page write.
     pub fn append_page(&self, id: FileId, page: &Page) -> Result<u64> {
-        let page_no = self.num_pages(id)?;
-        self.write_page(id, page_no, page)?;
+        let outcome = self.fault_write(PAGE_SIZE)?;
+        let page_no = self.with_file(id, |of| {
+            let page_no = of.pages;
+            self.write_locked(of, id, page_no, page, outcome)?;
+            Ok(page_no)
+        })?;
+        self.ledger.charge_write(1);
         Ok(page_no)
     }
 
@@ -456,6 +492,68 @@ mod tests {
         let id1 = m.create_file().unwrap();
         assert!(id1.0 > id0.0, "new ids must not clobber existing files");
         assert_eq!(m.num_pages(id0).unwrap(), 1);
+    }
+
+    #[test]
+    fn numbering_ignores_sidecars_and_stray_files() {
+        let d = tempdir::TempDir::new();
+        let id0;
+        {
+            let m = DiskManager::open(d.path(), CostLedger::default()).unwrap();
+            id0 = m.create_file().unwrap();
+            m.append_page(id0, &Page::zeroed()).unwrap();
+        }
+        // Files that must not participate in numbering: sidecars, tmp
+        // leftovers, and lookalikes such as `f9.tmp` (not file 9).
+        for junk in [
+            "SUSPEND.manifest",
+            "SUSPEND.manifest.tmp",
+            "f9.tmp",
+            "f9.qsr.tmp",
+            "fabc.qsr",
+            "f.qsr",
+            "catalog.bin",
+        ] {
+            std::fs::write(d.path().join(junk), b"junk").unwrap();
+        }
+        let m = DiskManager::open(d.path(), CostLedger::default()).unwrap();
+        let id1 = m.create_file().unwrap();
+        assert_eq!(id1.0, id0.0 + 1, "junk files must not inflate next_id");
+        assert_eq!(m.num_pages(id0).unwrap(), 1, "real file still readable");
+    }
+
+    #[test]
+    fn parallel_writes_to_distinct_files_land_intact() {
+        let (_d, m) = mgr();
+        let m = std::sync::Arc::new(m);
+        let ids: Vec<FileId> = (0..4).map(|_| m.create_file().unwrap()).collect();
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20u32 {
+                        let mut p = Page::zeroed();
+                        p.write_u32(0, id.0 as u32 * 1000 + i);
+                        m.append_page(id, &p).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for &id in &ids {
+            assert_eq!(m.num_pages(id).unwrap(), 20);
+            for i in 0..20u32 {
+                assert_eq!(
+                    m.read_page(id, i as u64).unwrap().read_u32(0),
+                    id.0 as u32 * 1000 + i
+                );
+            }
+        }
+        let snap = m.ledger().snapshot();
+        assert_eq!(snap.phase(Phase::Execute).pages_written, 80);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! relation (paper §4).
 
 use crate::codec::{Decode, Decoder, Encode, Encoder};
-use crate::disk::{DiskManager, FileId};
+use crate::bufpool::BufferPool;
+use crate::disk::FileId;
 use crate::error::{Result, StorageError};
 use crate::heap::TupleAddr;
 use crate::page::{Page, PAGE_SIZE};
@@ -41,15 +42,15 @@ impl Decode for IndexMeta {
 
 /// Builds a sorted index from `(key, addr)` pairs.
 pub struct IndexBuilder {
-    dm: Arc<DiskManager>,
+    pool: Arc<BufferPool>,
     entries: Vec<(i64, TupleAddr)>,
 }
 
 impl IndexBuilder {
     /// Start building an index.
-    pub fn new(dm: Arc<DiskManager>) -> Self {
+    pub fn new(pool: Arc<BufferPool>) -> Self {
         Self {
-            dm,
+            pool,
             entries: Vec::new(),
         }
     }
@@ -62,7 +63,7 @@ impl IndexBuilder {
     /// Sort, write out, and seal the index.
     pub fn finish(mut self) -> Result<IndexMeta> {
         self.entries.sort_by_key(|&(k, a)| (k, a));
-        let file = self.dm.create_file()?;
+        let file = self.pool.create_file()?;
         for chunk in self.entries.chunks(ENTRIES_PER_PAGE) {
             let mut page = Page::zeroed();
             page.write_u16(0, chunk.len() as u16);
@@ -73,7 +74,7 @@ impl IndexBuilder {
                 page.bytes_mut()[off + 16..off + 18].copy_from_slice(&addr.slot.to_le_bytes());
                 off += ENTRY_SIZE;
             }
-            self.dm.append_page(file, &page)?;
+            self.pool.append_page(file, &page)?;
         }
         Ok(IndexMeta {
             file,
@@ -84,7 +85,7 @@ impl IndexBuilder {
 
 /// Read-side handle to a sealed sorted index.
 pub struct SortedIndex {
-    dm: Arc<DiskManager>,
+    pool: Arc<BufferPool>,
     meta: IndexMeta,
 }
 
@@ -98,8 +99,8 @@ fn read_entry(page: &Page, i: usize) -> (i64, TupleAddr) {
 
 impl SortedIndex {
     /// Open a sealed index.
-    pub fn open(dm: Arc<DiskManager>, meta: IndexMeta) -> Self {
-        Self { dm, meta }
+    pub fn open(pool: Arc<BufferPool>, meta: IndexMeta) -> Self {
+        Self { pool, meta }
     }
 
     /// Index metadata.
@@ -111,8 +112,8 @@ impl SortedIndex {
         self.meta.entries.div_ceil(ENTRIES_PER_PAGE as u64)
     }
 
-    fn load_page(&self, page_no: u64) -> Result<(Page, usize)> {
-        let page = self.dm.read_page(self.meta.file, page_no)?;
+    fn load_page(&self, page_no: u64) -> Result<(Arc<Page>, usize)> {
+        let page = self.pool.read_page(self.meta.file, page_no)?;
         let count = page.read_u16(0) as usize;
         if count > ENTRIES_PER_PAGE {
             return Err(StorageError::corrupt(format!(
@@ -199,12 +200,13 @@ mod tests {
         }
     }
 
-    fn dm() -> (TempDir, Arc<DiskManager>) {
+    fn dm() -> (TempDir, Arc<BufferPool>) {
         let d = TempDir::new();
         let m = Arc::new(
-            DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap(),
+            crate::disk::DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0)))
+                .unwrap(),
         );
-        (d, m)
+        (d, BufferPool::passthrough(m))
     }
 
     fn addr(n: u64) -> TupleAddr {
@@ -270,9 +272,9 @@ mod tests {
         }
         let meta = b.finish().unwrap();
         let idx = SortedIndex::open(dm.clone(), meta);
-        let before = dm.ledger().snapshot();
+        let before = dm.disk().ledger().snapshot();
         idx.lookup(54_321).unwrap();
-        let delta = dm.ledger().snapshot().since(&before);
+        let delta = dm.disk().ledger().snapshot().since(&before);
         // ~220 pages => binary search touches at most ~9 + 2 pages.
         assert!(
             delta.total_pages_read() <= 12,

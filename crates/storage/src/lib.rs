@@ -23,6 +23,7 @@
 //! which is what makes the paper's experiments reproducible on any host.
 
 pub mod blob;
+pub mod bufpool;
 pub mod catalog;
 pub mod codec;
 pub mod cost;
@@ -39,9 +40,10 @@ pub mod tuple;
 pub mod value;
 
 pub use blob::{fnv1a, BlobId, BlobStore};
+pub use bufpool::{BufferPool, PinGuard};
 pub use catalog::{Catalog, TableInfo};
 pub use codec::{Decode, Decoder, Encode, Encoder};
-pub use cost::{CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
+pub use cost::{CacheStats, CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
 pub use db::Database;
 pub use disk::{DiskManager, FileId};
 pub use error::{Result, StorageError};

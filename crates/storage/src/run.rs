@@ -9,7 +9,8 @@
 //! points*).
 
 use crate::codec::{Decode, Decoder, Encode, Encoder};
-use crate::disk::{DiskManager, FileId};
+use crate::bufpool::BufferPool;
+use crate::disk::FileId;
 use crate::error::Result;
 use crate::heap::{HeapCursor, HeapFile, TupleAddr};
 use crate::tuple::Tuple;
@@ -47,9 +48,9 @@ pub struct RunWriter {
 
 impl RunWriter {
     /// Start a new run.
-    pub fn create(dm: Arc<DiskManager>) -> Result<Self> {
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
         Ok(Self {
-            heap: HeapFile::create(dm)?,
+            heap: HeapFile::create(pool)?,
         })
     }
 
@@ -57,9 +58,9 @@ impl RunWriter {
     /// operator resumes a partially written partition). Appends continue
     /// on fresh pages; the sealed tail page keeps its short count, which
     /// readers handle naturally.
-    pub fn reopen(dm: Arc<DiskManager>, handle: RunHandle) -> Self {
+    pub fn reopen(pool: Arc<BufferPool>, handle: RunHandle) -> Self {
         Self {
-            heap: HeapFile::open(dm, handle.file, handle.tuples),
+            heap: HeapFile::open(pool, handle.file, handle.tuples),
         }
     }
 
@@ -102,8 +103,8 @@ pub struct RunReader {
 
 impl RunReader {
     /// Open a reader at the beginning of the run.
-    pub fn open(dm: Arc<DiskManager>, handle: RunHandle) -> Self {
-        let heap = HeapFile::open(dm, handle.file, handle.tuples);
+    pub fn open(pool: Arc<BufferPool>, handle: RunHandle) -> Self {
+        let heap = HeapFile::open(pool, handle.file, handle.tuples);
         Self {
             cursor: heap.cursor(),
             handle,
@@ -111,8 +112,8 @@ impl RunReader {
     }
 
     /// Open a reader positioned at `addr`.
-    pub fn open_at(dm: Arc<DiskManager>, handle: RunHandle, addr: TupleAddr) -> Self {
-        let mut r = Self::open(dm, handle);
+    pub fn open_at(pool: Arc<BufferPool>, handle: RunHandle, addr: TupleAddr) -> Self {
+        let mut r = Self::open(pool, handle);
         r.cursor.seek(addr);
         r
     }
@@ -146,8 +147,8 @@ impl RunReader {
 
 /// Delete a sealed run's backing file (used when an operator's
 /// disk-resident state is finally garbage).
-pub fn delete_run(dm: &DiskManager, handle: RunHandle) -> Result<()> {
-    dm.delete_file(handle.file)
+pub fn delete_run(pool: &BufferPool, handle: RunHandle) -> Result<()> {
+    pool.delete_file(handle.file)
 }
 
 #[cfg(test)]
@@ -175,12 +176,13 @@ mod tests {
         }
     }
 
-    fn dm() -> (TempDir, Arc<DiskManager>) {
+    fn dm() -> (TempDir, Arc<BufferPool>) {
         let d = TempDir::new();
         let m = Arc::new(
-            DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap(),
+            crate::disk::DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0)))
+                .unwrap(),
         );
-        (d, m)
+        (d, BufferPool::passthrough(m))
     }
 
     fn tup(k: i64) -> Tuple {

@@ -93,7 +93,7 @@ pub fn generate_table(db: &Arc<Database>, spec: &TableSpec) -> Result<TableInfo>
         keys.shuffle(&mut rng);
     }
     let schema = experiment_schema(&spec.name);
-    let mut heap = HeapFile::create(db.disk().clone())?;
+    let mut heap = HeapFile::create(db.pool().clone())?;
     for &key in &keys {
         let sel = rng.gen_range(0..1000i64);
         heap.append(&Tuple::new(vec![
@@ -127,7 +127,7 @@ pub fn generate_skewed_table(db: &Arc<Database>, spec: &TableSpec) -> Result<Tab
     }
     let schema = experiment_schema(&spec.name);
     let switch = (spec.rows as f64 * SKEW_SWITCH_FRACTION) as u64;
-    let mut heap = HeapFile::create(db.disk().clone())?;
+    let mut heap = HeapFile::create(db.pool().clone())?;
     for (i, &key) in keys.iter().enumerate() {
         let p_pass = if (i as u64) < switch {
             SKEW_SEL_LOW
@@ -164,7 +164,7 @@ pub fn generate_skewed_table(db: &Arc<Database>, spec: &TableSpec) -> Result<Tab
 pub fn build_index(db: &Arc<Database>, table: &str, column: usize) -> Result<()> {
     let info = db.table(table)?;
     let heap = db.open_table_heap(table)?;
-    let mut builder = IndexBuilder::new(db.disk().clone());
+    let mut builder = IndexBuilder::new(db.pool().clone());
     let mut cursor = heap.cursor();
     while let Some((addr, t)) = cursor.next_with_addr()? {
         builder.add(t.get(column).as_int()?, addr);

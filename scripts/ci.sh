@@ -7,3 +7,13 @@ cd "$(dirname "$0")/.."
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# Release-mode suite: the buffer pool and the parallel dump pipeline are
+# concurrency-sensitive; optimized codegen shakes out timing-dependent
+# bugs the dev profile can mask.
+cargo test --workspace --release -q
+
+# Bench smoke: cached-vs-uncached scan-join ledger counters and serial
+# vs pipelined suspend wall-clock. Asserts the >=5x cached-read reduction
+# and writes BENCH_pr2.json.
+cargo run --release -p qsr-bench --bin bench_pr2

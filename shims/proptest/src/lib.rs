@@ -167,6 +167,23 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
     /// String strategy from a regex-ish pattern. Only a trailing
     /// `{m,n}` repetition bound is honored (the workspace uses `".*"`
     /// and `".{0,24}"`); everything else means "arbitrary chars".

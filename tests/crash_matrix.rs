@@ -9,8 +9,8 @@
 //! reference — never a torn in-between state, never a panic.
 
 use qsr::core::{OpId, SuspendPolicy};
-use qsr::exec::{PlanSpec, Predicate, QueryExecution, SuspendTrigger};
-use qsr::storage::{Database, FaultInjector, Tuple, WriteFault};
+use qsr::exec::{PlanSpec, Predicate, QueryExecution, SuspendOptions, SuspendTrigger};
+use qsr::storage::{CostModel, Database, FaultInjector, Tuple, WriteFault};
 use qsr::workload::{generate_table, TableSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -80,11 +80,19 @@ fn trigger() -> SuspendTrigger {
 }
 
 /// Run to the suspend point in a fresh directory, returning the tuples
-/// delivered before the suspend and the still-open execution.
-fn run_to_suspend_point(tag: &str) -> (TempDir, Arc<Database>, Vec<Tuple>, QueryExecution) {
+/// delivered before the suspend and the still-open execution. With
+/// `pool_pages > 0` the database runs over a caching buffer pool; the
+/// tables are flushed to disk before returning so fault ordinals cover
+/// only suspend-phase writes (the load is durably committed, as it would
+/// be in a real deployment).
+fn run_to_suspend_point_with(
+    tag: &str,
+    pool_pages: usize,
+) -> (TempDir, Arc<Database>, Vec<Tuple>, QueryExecution) {
     let dir = TempDir::new(tag);
-    let db = Database::open_default(&dir.0).unwrap();
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), pool_pages).unwrap();
     populate(&db);
+    db.pool().flush_all().unwrap();
     let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
     exec.set_trigger(Some(trigger()));
     let (prefix, done) = exec.run().unwrap();
@@ -92,12 +100,16 @@ fn run_to_suspend_point(tag: &str) -> (TempDir, Arc<Database>, Vec<Tuple>, Query
     (dir, db, prefix, exec)
 }
 
+fn run_to_suspend_point(tag: &str) -> (TempDir, Arc<Database>, Vec<Tuple>, QueryExecution) {
+    run_to_suspend_point_with(tag, 0)
+}
+
 /// Dry run: count how many write events the suspend phase issues.
-fn count_suspend_writes() -> u64 {
-    let (_dir, db, _prefix, exec) = run_to_suspend_point("dry");
+fn count_suspend_writes_with(options: &SuspendOptions, pool_pages: usize) -> u64 {
+    let (_dir, db, _prefix, exec) = run_to_suspend_point_with("dry", pool_pages);
     let fi = Arc::new(FaultInjector::seeded(0));
     db.disk().set_fault_injector(Some(fi.clone()));
-    exec.suspend(&SuspendPolicy::AllDump).unwrap();
+    exec.suspend_with(&SuspendPolicy::AllDump, options).unwrap();
     let writes = fi.writes_observed();
     db.disk().set_fault_injector(None);
     assert!(writes > 0, "suspend must write something");
@@ -106,8 +118,14 @@ fn count_suspend_writes() -> u64 {
 
 /// One matrix cell: crash at suspend-phase write event `k`, then restart
 /// from disk and check the invariant.
-fn crash_at(k: u64, fault: WriteFault, reference: &[Tuple]) {
-    let (dir, db, prefix, exec) = run_to_suspend_point("cell");
+fn crash_at_with(
+    k: u64,
+    fault: WriteFault,
+    reference: &[Tuple],
+    options: &SuspendOptions,
+    pool_pages: usize,
+) {
+    let (dir, db, prefix, exec) = run_to_suspend_point_with("cell", pool_pages);
     let fi = Arc::new(FaultInjector::seeded(0xC0FFEE + k));
     fi.fail_write(k, fault);
     db.disk().set_fault_injector(Some(fi.clone()));
@@ -115,7 +133,7 @@ fn crash_at(k: u64, fault: WriteFault, reference: &[Tuple]) {
     // The suspend either dies at the injected fault or — when the crash
     // point lands after the manifest rename — reports success; both are
     // legal. What matters is the state left on disk.
-    let _ = exec.suspend(&SuspendPolicy::AllDump);
+    let _ = exec.suspend_with(&SuspendPolicy::AllDump, options);
 
     // "Process death": drop every handle, then reopen from the directory
     // alone. The fresh Database has no fault injector.
@@ -152,22 +170,97 @@ fn crash_at(k: u64, fault: WriteFault, reference: &[Tuple]) {
     }
 }
 
-#[test]
-fn crash_matrix_every_suspend_write() {
+/// Crash at every suspend-phase write ordinal under `options`/`pool_pages`,
+/// alternating whole-process crashes with torn writes so both halves of
+/// the fault model are exercised at every other ordinal.
+fn run_matrix(options: &SuspendOptions, pool_pages: usize) {
     let reference = reference_output();
     assert!(!reference.is_empty());
-    let writes = count_suspend_writes();
-    // Every write event of the suspend phase is a crash point; alternate
-    // whole-process crashes with torn writes so both halves of the fault
-    // model are exercised at every other ordinal.
+    let writes = count_suspend_writes_with(options, pool_pages);
     for k in 1..=writes {
         let fault = if k % 2 == 0 {
             WriteFault::Torn
         } else {
             WriteFault::Crash
         };
-        crash_at(k, fault, &reference);
+        crash_at_with(k, fault, &reference, options, pool_pages);
     }
+}
+
+#[test]
+fn crash_matrix_every_suspend_write() {
+    // Default options: dump blobs flushed by the parallel writer pipeline.
+    // Which physical write lands at ordinal `k` is scheduling-dependent,
+    // but the invariant is state-based and must hold at every ordinal.
+    run_matrix(&SuspendOptions::default(), 0);
+}
+
+#[test]
+fn crash_matrix_serial_baseline() {
+    // The seed's serial write path (`dump_writers: 0`) stays covered.
+    run_matrix(
+        &SuspendOptions {
+            dump_writers: 0,
+            ..SuspendOptions::default()
+        },
+        0,
+    );
+}
+
+#[test]
+fn crash_matrix_with_buffer_pool() {
+    // A caching pool defers page writes until eviction or the suspend
+    // barrier; every ordinal of that reshuffled write sequence must still
+    // leave resumable-or-clean state (recovery reopens with a cold pool,
+    // so anything lost to the crash must have been redundant).
+    run_matrix(&SuspendOptions::default(), 64);
+}
+
+#[test]
+fn serial_and_parallel_suspends_issue_identical_write_counts() {
+    // The pipeline overlaps writes; it must not add, drop, or merge any.
+    // Equal totals keep the fault-injection ordinal space — and therefore
+    // the crash matrix — identical across the two modes.
+    let serial = count_suspend_writes_with(
+        &SuspendOptions {
+            dump_writers: 0,
+            ..SuspendOptions::default()
+        },
+        0,
+    );
+    for writers in [1, 4, 8] {
+        let parallel = count_suspend_writes_with(
+            &SuspendOptions {
+                dump_writers: writers,
+                ..SuspendOptions::default()
+            },
+            0,
+        );
+        assert_eq!(
+            serial, parallel,
+            "suspend with {writers} writers changed the write-event count"
+        );
+    }
+}
+
+#[test]
+fn cached_suspend_recovers_in_fresh_process() {
+    // Suspend over a warm buffer pool, then "crash" the process cleanly
+    // (drop loses every dirty frame) and recover from disk alone with an
+    // uncached database: the suspend barrier must have flushed everything
+    // the manifest references.
+    let (dir, db, prefix, exec) = run_to_suspend_point_with("cached", 64);
+    exec.suspend(&SuspendPolicy::AllDump).unwrap();
+    drop(db);
+
+    let db = Database::open_default(&dir.0).unwrap();
+    let mut resumed = QueryExecution::recover(db)
+        .unwrap()
+        .expect("committed suspend must be recoverable");
+    let suffix = resumed.run_to_completion().unwrap();
+    let mut all = prefix;
+    all.extend(suffix);
+    assert_eq!(all, reference_output());
 }
 
 #[test]

@@ -222,6 +222,7 @@ fn resume_without_persisted_graph_reforms_gradually() {
             &SuspendPolicy::Optimized { budget: None },
             &SuspendOptions {
                 persist_graph: false,
+                ..SuspendOptions::default()
             },
         )
         .unwrap();
