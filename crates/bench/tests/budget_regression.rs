@@ -1,0 +1,107 @@
+//! Regression pin for the figure14 budget assertion: the optimizer's
+//! suspend-cost budget must bound the *measured* suspend-phase cost at
+//! every fraction. The GoBack-fallback shadow passes write scratch dump
+//! blobs during the suspend wall-clock; those are insurance I/O charged to
+//! [`Phase::Fallback`], not to the budgeted suspend phase — this test
+//! pins that accounting so the budget contract cannot silently regress.
+
+use qsr_bench::harness::{after, measure, ExpDb};
+use qsr_core::SuspendPolicy;
+use qsr_exec::{PlanSpec, Predicate};
+use qsr_storage::Phase;
+
+/// A small fixed-size replica of the figure14 plan: three left-deep block
+/// NLJs over a selectivity-0.1 filter. Sizes are hard-coded (no QSR_SCALE)
+/// so the pin is deterministic regardless of environment.
+fn fig14_plan() -> PlanSpec {
+    PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::BlockNlj {
+                outer: Box::new(PlanSpec::Filter {
+                    input: Box::new(PlanSpec::TableScan { table: "a".into() }),
+                    predicate: Predicate::IntLt { col: 1, value: 100 },
+                }),
+                inner: Box::new(PlanSpec::TableScan { table: "b".into() }),
+                outer_key: 0,
+                inner_key: 0,
+                buffer_tuples: 400,
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "c".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 800,
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "d".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 1200,
+    }
+}
+
+#[test]
+fn budgeted_suspend_cost_bounds_measured_at_all_four_fractions() {
+    let exp = ExpDb::new("budget-pin").unwrap();
+    for t in ["a", "b", "c"] {
+        exp.table(t, 8_000).unwrap();
+    }
+    exp.table("d", 600).unwrap();
+    let spec = fig14_plan();
+    // Suspend with the top NLJ's buffer 70% full (the filtered stream is
+    // ~800 tuples, under the 1200-tuple buffer).
+    let trigger = after(0, 560);
+
+    let dump = measure(&exp.db, &spec, trigger.clone(), &SuspendPolicy::AllDump).unwrap();
+    let full = dump.suspend_time;
+    assert!(full > 0.0, "calibration run must actually suspend");
+
+    for frac in [0.25, 0.5, 0.75, 1.0] {
+        let budget = full * frac;
+        let m = measure(
+            &exp.db,
+            &spec,
+            trigger.clone(),
+            &SuspendPolicy::Optimized {
+                budget: Some(budget),
+            },
+        )
+        .unwrap();
+        // Same slack the figure14 experiment allows: commit bookkeeping
+        // (SuspendedQuery blob + manifest) rides on top of the budgeted
+        // operator dumps.
+        assert!(
+            m.suspend_time <= budget + full * 0.05 + 10.0,
+            "fraction {frac}: budget {budget:.1} violated by measured suspend {:.1}",
+            m.suspend_time
+        );
+    }
+}
+
+#[test]
+fn fallback_insurance_is_charged_to_its_own_phase() {
+    let exp = ExpDb::new("fallback-phase").unwrap();
+    for t in ["a", "b", "c"] {
+        exp.table(t, 8_000).unwrap();
+    }
+    exp.table("d", 600).unwrap();
+
+    exp.db.ledger().reset();
+    let mut exec =
+        qsr_exec::QueryExecution::start(exp.db.clone(), fig14_plan()).unwrap();
+    exec.set_trigger(Some(after(0, 560)));
+    let (_, done) = exec.run().unwrap();
+    assert!(!done);
+    let handle = exec.suspend(&SuspendPolicy::AllDump).unwrap();
+    let snap = exp.db.ledger().snapshot();
+
+    // All-dump on a deep NLJ stack records at least one GoBack fallback,
+    // whose shadow pass performs no charged-to-Suspend I/O.
+    assert!(
+        snap.phase(Phase::Fallback).pages_written > 0,
+        "expected fallback shadow passes to write insurance state"
+    );
+    assert!(
+        snap.phase_cost(Phase::Suspend) > 0.0,
+        "dump suspend must charge the suspend phase"
+    );
+    drop(handle);
+}

@@ -29,6 +29,24 @@ pub enum SuspendTrigger {
     },
 }
 
+/// External observer of work-unit boundaries, installed by test harnesses
+/// (the differential oracle) to raise suspends at *exact* tick ordinals
+/// without knowing operator ids in advance. Called on every
+/// [`ExecContext::tick`]; returning `true` raises a suspend request, same
+/// as a fired [`SuspendTrigger`].
+pub trait WorkUnitObserver: Send {
+    /// `op` is the ticking operator, `seq` the 1-based global work-unit
+    /// sequence number within this execution segment (it restarts at 0 on
+    /// resume, since resume builds a fresh context).
+    fn on_work_unit(&mut self, op: OpId, seq: u64) -> bool;
+}
+
+impl<F: FnMut(OpId, u64) -> bool + Send> WorkUnitObserver for F {
+    fn on_work_unit(&mut self, op: OpId, seq: u64) -> bool {
+        self(op, seq)
+    }
+}
+
 /// Ambient per-query execution state.
 pub struct ExecContext {
     /// The database (disk, ledger, blobs, catalog).
@@ -39,7 +57,10 @@ pub struct ExecContext {
     pub work: WorkTable,
     /// Per-operator tick counters (tuples consumed/produced), for triggers.
     ticks: HashMap<OpId, u64>,
+    /// Global work-unit counter across all operators (one per tick).
+    work_units: u64,
     trigger: Option<SuspendTrigger>,
+    observer: Option<Box<dyn WorkUnitObserver>>,
     suspend_requested: bool,
     /// Per-tuple CPU cost charged as work (0 by default: the experiments
     /// are I/O-dominated, like the paper's).
@@ -63,7 +84,9 @@ impl ExecContext {
             graph: ContractGraph::new(),
             work: WorkTable::new(),
             ticks: HashMap::new(),
+            work_units: 0,
             trigger: None,
+            observer: None,
             suspend_requested: false,
             cpu_tuple_cost: 0.0,
             checkpoints_enabled: true,
@@ -104,6 +127,16 @@ impl ExecContext {
         self.trigger = t;
     }
 
+    /// Install (or clear) the work-unit observer.
+    pub fn set_work_unit_observer(&mut self, obs: Option<Box<dyn WorkUnitObserver>>) {
+        self.observer = obs;
+    }
+
+    /// Total work units ticked by this execution segment so far.
+    pub fn work_units(&self) -> u64 {
+        self.work_units
+    }
+
     /// Raise a suspend request (the paper's suspend exception). Operators
     /// observe it at their next blocking step and unwind with
     /// `Poll::Suspended`.
@@ -134,8 +167,14 @@ impl ExecContext {
         let c = self.ticks.entry(op).or_insert(0);
         *c += 1;
         let count = *c;
+        self.work_units += 1;
         if self.cpu_tuple_cost > 0.0 {
             self.work.charge(op, self.cpu_tuple_cost);
+        }
+        if let Some(obs) = &mut self.observer {
+            if obs.on_work_unit(op, self.work_units) {
+                self.suspend_requested = true;
+            }
         }
         if !self.suspend_requested {
             match &self.trigger {
@@ -243,6 +282,26 @@ mod tests {
         c.note_page_writes(OpId(3), 2);
         // Default model: read 1.0, write 2.5.
         assert_eq!(c.work.get(OpId(3)), 10.0 + 5.0);
+    }
+
+    #[test]
+    fn observer_sees_global_sequence_and_raises_suspend() {
+        let (_d, mut c) = ctx();
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let log = seen.clone();
+        c.set_work_unit_observer(Some(Box::new(move |op: OpId, seq: u64| {
+            log.lock().unwrap().push((op, seq));
+            seq == 3
+        })));
+        assert!(!c.tick(OpId(1)));
+        assert!(!c.tick(OpId(2)));
+        assert!(c.tick(OpId(1))); // observer fires at global seq 3
+        assert!(c.suspend_pending());
+        assert_eq!(c.work_units(), 3);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(OpId(1), 1), (OpId(2), 2), (OpId(1), 3)]
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! [`QueryExecution::resume`] reverses the process; the resumed execution
 //! delivers exactly the tuples following the last pre-suspend output.
 
-use crate::context::{ExecContext, SuspendTrigger};
+use crate::context::{ExecContext, SuspendTrigger, WorkUnitObserver};
 use crate::operator::{Operator, Poll, SuspendMode};
 use crate::plan::{build_plan, PlanSpec};
 use crate::recovery::{
@@ -171,6 +171,18 @@ impl QueryExecution {
         self.ctx.request_suspend();
     }
 
+    /// Install a work-unit observer (oracle harness hook): called on every
+    /// tick; returning `true` raises a suspend request at that boundary.
+    pub fn set_work_unit_observer(&mut self, obs: Option<Box<dyn WorkUnitObserver>>) {
+        self.ctx.set_work_unit_observer(obs);
+    }
+
+    /// Work units ticked by this execution segment (restarts at 0 after
+    /// resume, which builds a fresh context).
+    pub fn work_units(&self) -> u64 {
+        self.ctx.work_units()
+    }
+
     /// Pull the next output tuple.
     #[allow(clippy::should_implement_trait)] // fallible pull, not an Iterator
     pub fn next(&mut self) -> Result<Poll> {
@@ -290,7 +302,15 @@ impl QueryExecution {
         if let Some(p) = &pipeline {
             p.finish()?;
         }
+        // Fallback insurance is charged to its own phase: the optimizer's
+        // suspend-cost estimate budgets the chosen plan, not the
+        // best-effort shadow passes that record a dump-free GoBack
+        // fallback per dumped operator. Keeping those writes out of
+        // `Phase::Suspend` keeps "measured suspend time ≤ budget"
+        // meaningful (they still count toward total overhead).
+        self.db.ledger().set_phase(Phase::Fallback);
         self.generate_fallbacks(&report.plan, &mut sq);
+        self.db.ledger().set_phase(Phase::Suspend);
 
         let blob = sq.save(self.db.blobs())?;
 

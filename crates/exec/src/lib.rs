@@ -14,7 +14,7 @@ pub mod plan;
 pub mod recovery;
 pub mod writers;
 
-pub use context::{ExecContext, SuspendTrigger};
+pub use context::{ExecContext, SuspendTrigger, WorkUnitObserver};
 pub use driver::{QueryExecution, SuspendOptions, SuspendedHandle};
 pub use writers::DumpPipeline;
 pub use recovery::{

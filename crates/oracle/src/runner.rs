@@ -1,0 +1,422 @@
+//! Scenario execution: golden runs, interference, recovery ladders.
+
+use crate::scenario::{Mode, Scenario};
+use qsr_exec::{QueryExecution, SuspendOptions};
+use qsr_storage::{CostModel, Database, FaultInjector, Tuple};
+use qsr_workload::corpus;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Seed of every injector the oracle attaches. Torn-write prefix lengths
+/// and read-flip bit positions derive from it, so a repro token replays
+/// the exact same corruption without carrying the seed along.
+pub const FI_SEED: u64 = 0xFA01D;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-oracle-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).expect("create oracle temp dir");
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+type OracleResult<T> = Result<T, String>;
+
+fn ctx_err<T>(what: &str, e: impl std::fmt::Display) -> OracleResult<T> {
+    Err(format!("{what}: {e}"))
+}
+
+/// The oracle: caches golden runs per corpus case and checks scenarios
+/// against them.
+#[derive(Default)]
+pub struct Oracle {
+    /// Per-case golden output and total work units of an uninterrupted run.
+    golden: HashMap<String, (Vec<Tuple>, u64)>,
+}
+
+impl Oracle {
+    /// A fresh oracle with an empty golden cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn open(dir: &Path, pool_pages: usize) -> OracleResult<Arc<Database>> {
+        Database::open_with_pool(dir, CostModel::default(), pool_pages)
+            .map_err(|e| format!("open database: {e}"))
+    }
+
+    /// Fresh database with the corpus loaded and durably flushed, so fault
+    /// ordinals cover only suspend/resume I/O, never the load.
+    fn setup(dir: &Path, pool_pages: usize) -> OracleResult<Arc<Database>> {
+        let db = Self::open(dir, pool_pages)?;
+        corpus::populate(&db).map_err(|e| format!("populate corpus: {e}"))?;
+        db.pool()
+            .flush_all()
+            .map_err(|e| format!("flush corpus: {e}"))?;
+        Ok(db)
+    }
+
+    fn plan_of(case: &str) -> OracleResult<qsr_exec::PlanSpec> {
+        corpus::case_by_name(case)
+            .map(|c| c.plan)
+            .ok_or_else(|| format!("unknown corpus case {case:?}"))
+    }
+
+    /// Golden output of `case` (uninterrupted run), cached.
+    pub fn golden(&mut self, case: &str) -> OracleResult<Vec<Tuple>> {
+        self.golden_entry(case).map(|(t, _)| t)
+    }
+
+    /// Total work units an uninterrupted run of `case` ticks — the sweep
+    /// space is `1..=total`.
+    pub fn total_work_units(&mut self, case: &str) -> OracleResult<u64> {
+        self.golden_entry(case).map(|(_, u)| u)
+    }
+
+    fn golden_entry(&mut self, case: &str) -> OracleResult<(Vec<Tuple>, u64)> {
+        if let Some(e) = self.golden.get(case) {
+            return Ok(e.clone());
+        }
+        let dir = TempDir::new("golden");
+        let db = Self::setup(&dir.0, 0)?;
+        let mut exec = QueryExecution::start(db, Self::plan_of(case)?)
+            .map_err(|e| format!("golden start: {e}"))?;
+        let tuples = exec
+            .run_to_completion()
+            .map_err(|e| format!("golden run: {e}"))?;
+        if tuples.is_empty() {
+            return Err(format!("golden run of {case:?} produced no output"));
+        }
+        let entry = (tuples, exec.work_units());
+        self.golden.insert(case.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// Arm the work-unit observer to raise a suspend `b` units from now.
+    fn arm(exec: &mut QueryExecution, b: u64) {
+        let threshold = exec.work_units() + b.max(1);
+        exec.set_work_unit_observer(Some(Box::new(move |_op, seq: u64| seq >= threshold)));
+    }
+
+    fn diff(s: &Scenario, what: &str, got: &[Tuple], golden: &[Tuple]) -> OracleResult<()> {
+        if got == golden {
+            return Ok(());
+        }
+        let first = got
+            .iter()
+            .zip(golden)
+            .position(|(a, b)| a != b)
+            .unwrap_or(got.len().min(golden.len()));
+        Err(format!(
+            "{what}: output diverges from golden run ({} vs {} tuples, first difference at {first}) [{s}]",
+            got.len(),
+            golden.len(),
+        ))
+    }
+
+    /// Check one scenario. `Ok(())` means the interfered run delivered the
+    /// golden output (or walked a legal recovery ladder that did). The
+    /// error string names the first divergence and embeds the repro token.
+    pub fn check(&mut self, s: &Scenario) -> OracleResult<()> {
+        let golden = self.golden(&s.case)?;
+        match &s.mode {
+            Mode::Sweep { boundary } => self.check_chain(s, &[*boundary], &golden),
+            Mode::Chain { boundaries } => self.check_chain(s, boundaries, &golden),
+            Mode::Fault {
+                boundary,
+                during_resume,
+                schedule,
+            } => self.check_fault(s, *boundary, *during_resume, schedule, &golden),
+        }
+    }
+
+    /// Suspend at each boundary in turn (fault-free), resuming through a
+    /// fresh database handle each time — the "different process" the paper
+    /// promises resume works from.
+    fn check_chain(
+        &mut self,
+        s: &Scenario,
+        boundaries: &[u64],
+        golden: &[Tuple],
+    ) -> OracleResult<()> {
+        let dir = TempDir::new(&s.case);
+        let mut db = Self::setup(&dir.0, s.pool_pages)?;
+        let mut exec = match QueryExecution::start(db.clone(), Self::plan_of(&s.case)?) {
+            Ok(e) => e,
+            Err(e) => return ctx_err("start", e),
+        };
+        let policy = s.policy.to_suspend_policy();
+        let options = SuspendOptions {
+            dump_writers: s.dump_writers,
+            ..SuspendOptions::default()
+        };
+        let mut collected = Vec::new();
+        for (i, &b) in boundaries.iter().enumerate() {
+            Self::arm(&mut exec, b);
+            let (tuples, done) = match exec.run() {
+                Ok(r) => r,
+                Err(e) => return ctx_err(&format!("segment {i} run [{s}]"), e),
+            };
+            collected.extend(tuples);
+            if done {
+                // Boundary beyond the end of the query: the sweep ran off
+                // the tail, which is a legal (trivial) scenario.
+                return Self::diff(s, &format!("segment {i} ran to completion"), &collected, golden);
+            }
+            if let Err(e) = exec.suspend_with(&policy, &options) {
+                return ctx_err(&format!("suspend {i} [{s}]"), e);
+            }
+            drop(db);
+            db = Self::open(&dir.0, s.pool_pages)?;
+            exec = match QueryExecution::recover(db.clone()) {
+                Ok(Some(r)) => r,
+                Ok(None) => {
+                    return Err(format!(
+                        "recover {i}: committed suspend left no manifest [{s}]"
+                    ))
+                }
+                Err(e) => return ctx_err(&format!("recover {i} [{s}]"), e),
+            };
+        }
+        match exec.run_to_completion() {
+            Ok(suffix) => collected.extend(suffix),
+            Err(e) => return ctx_err(&format!("final segment [{s}]"), e),
+        }
+        Self::diff(s, "suspend/resume chain", &collected, golden)
+    }
+
+    /// One suspend under a scripted fault schedule, then the recovery
+    /// ladder: clean recovery must match golden; a typed failure must be
+    /// followed by a successful fallback (retry or full re-execution) that
+    /// matches golden. Panics and silent divergence are the only failures.
+    fn check_fault(
+        &mut self,
+        s: &Scenario,
+        boundary: u64,
+        during_resume: bool,
+        schedule: &qsr_storage::FaultSchedule,
+        golden: &[Tuple],
+    ) -> OracleResult<()> {
+        let dir = TempDir::new(&s.case);
+        let db = Self::setup(&dir.0, s.pool_pages)?;
+        let plan = Self::plan_of(&s.case)?;
+        let mut exec = match QueryExecution::start(db.clone(), plan.clone()) {
+            Ok(e) => e,
+            Err(e) => return ctx_err("start", e),
+        };
+        let policy = s.policy.to_suspend_policy();
+        let options = SuspendOptions {
+            dump_writers: s.dump_writers,
+            ..SuspendOptions::default()
+        };
+        Self::arm(&mut exec, boundary);
+        let (prefix, done) = match exec.run() {
+            Ok(r) => r,
+            Err(e) => return ctx_err(&format!("pre-suspend run [{s}]"), e),
+        };
+        if done {
+            return Self::diff(s, "ran to completion before boundary", &prefix, golden);
+        }
+
+        if !during_resume {
+            // Faults strike the suspend phase.
+            let fi = Arc::new(FaultInjector::seeded(FI_SEED));
+            schedule.apply(&fi);
+            db.disk().set_fault_injector(Some(fi));
+            let suspend_ok = exec.suspend_with(&policy, &options).is_ok();
+            drop(db);
+
+            // "Process restart": reopen from the directory, injector-free.
+            let db = Self::open(&dir.0, s.pool_pages)?;
+            match QueryExecution::recover(db.clone()) {
+                Ok(Some(mut resumed)) => {
+                    let mut all = prefix;
+                    match resumed.run_to_completion() {
+                        Ok(suffix) => all.extend(suffix),
+                        Err(e) => return ctx_err(&format!("post-recovery run [{s}]"), e),
+                    }
+                    Self::diff(s, "recovery after suspend-phase fault", &all, golden)
+                }
+                Ok(None) => {
+                    if suspend_ok {
+                        return Err(format!(
+                            "suspend reported success but recovery sees no manifest [{s}]"
+                        ));
+                    }
+                    // Uncommitted suspend: the query restarts from scratch
+                    // and must re-deliver the full golden output.
+                    Self::diff(s, "fresh rerun after failed suspend", &Self::rerun(db, &plan)?, golden)
+                }
+                Err(resume_err) => {
+                    // Typed failure: the contract requires a successful
+                    // fallback re-execution from scratch.
+                    let _ = qsr_exec::clear_manifest(&db);
+                    Self::diff(
+                        s,
+                        &format!("fallback rerun after typed recovery error ({resume_err})"),
+                        &Self::rerun(db, &plan)?,
+                        golden,
+                    )
+                }
+            }
+        } else {
+            // Clean suspend; faults strike the recovery / resume phase.
+            if let Err(e) = exec.suspend_with(&policy, &options) {
+                return ctx_err(&format!("clean suspend [{s}]"), e);
+            }
+            drop(db);
+
+            let db = Self::open(&dir.0, s.pool_pages)?;
+            let fi = Arc::new(FaultInjector::seeded(FI_SEED));
+            schedule.apply(&fi);
+            db.disk().set_fault_injector(Some(fi));
+            let recovered = QueryExecution::recover(db.clone());
+            // The fault window is the resume phase only; lift it before
+            // the continuation runs.
+            db.disk().set_fault_injector(None);
+            match recovered {
+                Ok(Some(mut resumed)) => {
+                    let mut all = prefix;
+                    match resumed.run_to_completion() {
+                        Ok(suffix) => all.extend(suffix),
+                        Err(e) => return ctx_err(&format!("post-resume run [{s}]"), e),
+                    }
+                    Self::diff(s, "resume under fault schedule", &all, golden)
+                }
+                Ok(None) => Err(format!(
+                    "committed suspend invisible to recovery under read faults [{s}]"
+                )),
+                Err(resume_err) => {
+                    // Typed failure: a clean retry from a fresh process
+                    // must succeed — resume never damages the on-disk
+                    // suspend state — and the output must match.
+                    drop(db);
+                    let db = Self::open(&dir.0, s.pool_pages)?;
+                    let mut resumed = match QueryExecution::recover(db) {
+                        Ok(Some(r)) => r,
+                        Ok(None) => {
+                            return Err(format!(
+                                "manifest lost after failed resume ({resume_err}) [{s}]"
+                            ))
+                        }
+                        Err(e) => {
+                            return Err(format!(
+                                "clean retry after typed resume error ({resume_err}) failed: {e} [{s}]"
+                            ))
+                        }
+                    };
+                    let mut all = prefix;
+                    match resumed.run_to_completion() {
+                        Ok(suffix) => all.extend(suffix),
+                        Err(e) => return ctx_err(&format!("retry run [{s}]"), e),
+                    }
+                    Self::diff(
+                        s,
+                        &format!("retry after typed resume error ({resume_err})"),
+                        &all,
+                        golden,
+                    )
+                }
+            }
+        }
+    }
+
+    fn rerun(db: Arc<Database>, plan: &qsr_exec::PlanSpec) -> OracleResult<Vec<Tuple>> {
+        let mut fresh = match QueryExecution::start(db, plan.clone()) {
+            Ok(e) => e,
+            Err(e) => return ctx_err("fresh rerun start", e),
+        };
+        fresh
+            .run_to_completion()
+            .map_err(|e| format!("fresh rerun: {e}"))
+    }
+
+    /// Measure how many write and read events the targeted phase of a
+    /// fault-mode scenario issues, fault-free. Randomized schedules draw
+    /// their ordinals from these windows so most scheduled faults actually
+    /// fire instead of landing past the end of the phase.
+    pub fn probe_fault_windows(
+        &mut self,
+        s: &Scenario,
+        boundary: u64,
+        during_resume: bool,
+    ) -> OracleResult<(u64, u64)> {
+        let dir = TempDir::new("probe");
+        let db = Self::setup(&dir.0, s.pool_pages)?;
+        let mut exec = QueryExecution::start(db.clone(), Self::plan_of(&s.case)?)
+            .map_err(|e| format!("probe start: {e}"))?;
+        let options = SuspendOptions {
+            dump_writers: s.dump_writers,
+            ..SuspendOptions::default()
+        };
+        Self::arm(&mut exec, boundary);
+        let (_, done) = exec.run().map_err(|e| format!("probe run: {e}"))?;
+        if done {
+            return Ok((0, 0));
+        }
+        let fi = Arc::new(FaultInjector::seeded(FI_SEED));
+        if !during_resume {
+            db.disk().set_fault_injector(Some(fi.clone()));
+            exec.suspend_with(&s.policy.to_suspend_policy(), &options)
+                .map_err(|e| format!("probe suspend: {e}"))?;
+            return Ok((fi.writes_observed(), fi.reads_observed()));
+        }
+        exec.suspend_with(&s.policy.to_suspend_policy(), &options)
+            .map_err(|e| format!("probe suspend: {e}"))?;
+        drop(db);
+        let db = Self::open(&dir.0, s.pool_pages)?;
+        db.disk().set_fault_injector(Some(fi.clone()));
+        let r = QueryExecution::recover(db.clone());
+        db.disk().set_fault_injector(None);
+        match r {
+            Ok(Some(_)) => Ok((fi.writes_observed(), fi.reads_observed())),
+            Ok(None) => Err("probe: committed suspend invisible".into()),
+            Err(e) => Err(format!("probe recover: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Mode, Policy};
+
+    #[test]
+    fn sweep_scenario_passes_on_healthy_code() {
+        let mut oracle = Oracle::new();
+        let s = Scenario {
+            case: "sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Dump,
+            mode: Mode::Sweep { boundary: 5 },
+        };
+        oracle.check(&s).unwrap();
+    }
+
+    #[test]
+    fn boundary_past_end_is_trivially_ok() {
+        let mut oracle = Oracle::new();
+        let total = oracle.total_work_units("distinct").unwrap();
+        let s = Scenario {
+            case: "distinct".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Dump,
+            mode: Mode::Sweep { boundary: total + 100 },
+        };
+        oracle.check(&s).unwrap();
+    }
+}

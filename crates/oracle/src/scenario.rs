@@ -1,0 +1,306 @@
+//! Scenario descriptions and their repro-token syntax.
+
+use qsr_storage::{FaultSchedule, WriteFault};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which suspend policy the scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// `SuspendPolicy::AllDump` — every operator dumps.
+    Dump,
+    /// `SuspendPolicy::Optimized { budget: None }` — the MIP picks a mix
+    /// of DumpState and GoBack strategies.
+    Optimized,
+}
+
+impl Policy {
+    /// The executable policy.
+    pub fn to_suspend_policy(self) -> qsr_core::SuspendPolicy {
+        match self {
+            Policy::Dump => qsr_core::SuspendPolicy::AllDump,
+            Policy::Optimized => qsr_core::SuspendPolicy::Optimized { budget: None },
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            Policy::Dump => "dump",
+            Policy::Optimized => "opt",
+        }
+    }
+}
+
+/// What kind of interference the scenario applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// One suspend at work-unit boundary `boundary` (1-based, counted from
+    /// the start of the execution segment), then resume and finish.
+    Sweep {
+        /// Suspend boundary.
+        boundary: u64,
+    },
+    /// A chain of suspends: each entry is a boundary *relative to the
+    /// start of its segment* (execution restarts its work-unit counter
+    /// after every resume).
+    Chain {
+        /// Per-segment boundaries, depth ≤ 3.
+        boundaries: Vec<u64>,
+    },
+    /// One suspend at `boundary` with a scripted fault schedule active
+    /// during the suspend phase (`during_resume: false`) or the recovery /
+    /// resume phase (`during_resume: true`).
+    Fault {
+        /// Suspend boundary.
+        boundary: u64,
+        /// Phase under fault.
+        during_resume: bool,
+        /// The concrete schedule (tokens embed it verbatim, so replay
+        /// needs no probing).
+        schedule: FaultSchedule,
+    },
+}
+
+/// A fully specified oracle scenario. `Display` renders the repro token;
+/// `FromStr` parses it back — `QSR_ORACLE_CASE='<token>'` replays exactly
+/// this scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Corpus case name (see `qsr_workload::corpus`).
+    pub case: String,
+    /// Buffer-pool frames (0 = uncached passthrough).
+    pub pool_pages: usize,
+    /// Parallel dump writers (0 = serial suspend).
+    pub dump_writers: usize,
+    /// Suspend policy.
+    pub policy: Policy,
+    /// Interference mode.
+    pub mode: Mode,
+}
+
+fn fault_token(f: WriteFault) -> String {
+    match f {
+        WriteFault::Crash => "crash".into(),
+        WriteFault::Torn => "torn".into(),
+        WriteFault::Transient(n) => format!("t{n}"),
+        WriteFault::Permanent => "perm".into(),
+    }
+}
+
+fn parse_fault(s: &str) -> Result<WriteFault, String> {
+    match s {
+        "crash" => Ok(WriteFault::Crash),
+        "torn" => Ok(WriteFault::Torn),
+        "perm" => Ok(WriteFault::Permanent),
+        t => t
+            .strip_prefix('t')
+            .and_then(|n| n.parse().ok())
+            .map(WriteFault::Transient)
+            .ok_or_else(|| format!("bad write-fault token {t:?}")),
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "case={};pool={};writers={};policy={}",
+            self.case,
+            self.pool_pages,
+            self.dump_writers,
+            self.policy.token()
+        )?;
+        match &self.mode {
+            Mode::Sweep { boundary } => write!(f, ";mode=sweep:{boundary}"),
+            Mode::Chain { boundaries } => {
+                let bs: Vec<String> = boundaries.iter().map(|b| b.to_string()).collect();
+                write!(f, ";mode=chain:{}", bs.join(","))
+            }
+            Mode::Fault {
+                boundary,
+                during_resume,
+                schedule,
+            } => {
+                write!(
+                    f,
+                    ";mode=fault:{boundary}:{}",
+                    if *during_resume { "resume" } else { "suspend" }
+                )?;
+                if let Some((ord, fault)) = schedule.write_fault {
+                    write!(f, ";wf={ord}:{}", fault_token(fault))?;
+                }
+                if let Some(ord) = schedule.read_flip {
+                    write!(f, ";rf={ord}")?;
+                }
+                if let Some((ord, count)) = schedule.read_transient {
+                    write!(f, ";rt={ord}:{count}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut case = None;
+        let mut pool = None;
+        let mut writers = None;
+        let mut policy = None;
+        let mut mode: Option<Mode> = None;
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad token part {part:?}"))?;
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("bad number in {part:?}"))
+            };
+            match key {
+                "case" => case = Some(value.to_string()),
+                "pool" => pool = Some(num(value)? as usize),
+                "writers" => writers = Some(num(value)? as usize),
+                "policy" => {
+                    policy = Some(match value {
+                        "dump" => Policy::Dump,
+                        "opt" => Policy::Optimized,
+                        p => return Err(format!("unknown policy {p:?}")),
+                    })
+                }
+                "mode" => {
+                    let (kind, rest) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad mode {value:?}"))?;
+                    mode = Some(match kind {
+                        "sweep" => Mode::Sweep { boundary: num(rest)? },
+                        "chain" => Mode::Chain {
+                            boundaries: rest
+                                .split(',')
+                                .map(num)
+                                .collect::<Result<Vec<_>, _>>()?,
+                        },
+                        "fault" => {
+                            let (b, phase) = rest
+                                .split_once(':')
+                                .ok_or_else(|| format!("bad fault mode {rest:?}"))?;
+                            Mode::Fault {
+                                boundary: num(b)?,
+                                during_resume: match phase {
+                                    "resume" => true,
+                                    "suspend" => false,
+                                    p => return Err(format!("unknown fault phase {p:?}")),
+                                },
+                                schedule: FaultSchedule::default(),
+                            }
+                        }
+                        k => return Err(format!("unknown mode {k:?}")),
+                    });
+                }
+                "wf" | "rf" | "rt" => {
+                    let Some(Mode::Fault { schedule, .. }) = mode.as_mut() else {
+                        return Err(format!("{key}= outside a fault mode"));
+                    };
+                    match key {
+                        "wf" => {
+                            let (ord, fault) = value
+                                .split_once(':')
+                                .ok_or_else(|| format!("bad wf {value:?}"))?;
+                            schedule.write_fault = Some((num(ord)?, parse_fault(fault)?));
+                        }
+                        "rf" => schedule.read_flip = Some(num(value)?),
+                        "rt" => {
+                            let (ord, count) = value
+                                .split_once(':')
+                                .ok_or_else(|| format!("bad rt {value:?}"))?;
+                            schedule.read_transient = Some((num(ord)?, num(count)? as u32));
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                k => return Err(format!("unknown key {k:?}")),
+            }
+        }
+        Ok(Scenario {
+            case: case.ok_or("missing case=")?,
+            pool_pages: pool.ok_or("missing pool=")?,
+            dump_writers: writers.ok_or("missing writers=")?,
+            policy: policy.ok_or("missing policy=")?,
+            mode: mode.ok_or("missing mode=")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &Scenario) {
+        let token = s.to_string();
+        let back: Scenario = token.parse().unwrap_or_else(|e| panic!("{token}: {e}"));
+        assert_eq!(&back, s, "token {token}");
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        roundtrip(&Scenario {
+            case: "sort".into(),
+            pool_pages: 64,
+            dump_writers: 4,
+            policy: Policy::Dump,
+            mode: Mode::Sweep { boundary: 17 },
+        });
+        roundtrip(&Scenario {
+            case: "hash-join".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Optimized,
+            mode: Mode::Chain {
+                boundaries: vec![3, 9, 2],
+            },
+        });
+        roundtrip(&Scenario {
+            case: "merge-join".into(),
+            pool_pages: 64,
+            dump_writers: 0,
+            policy: Policy::Dump,
+            mode: Mode::Fault {
+                boundary: 12,
+                during_resume: true,
+                schedule: FaultSchedule {
+                    write_fault: Some((3, WriteFault::Transient(6))),
+                    read_flip: Some(9),
+                    read_transient: Some((4, 2)),
+                },
+            },
+        });
+        roundtrip(&Scenario {
+            case: "distinct".into(),
+            pool_pages: 0,
+            dump_writers: 4,
+            policy: Policy::Dump,
+            mode: Mode::Fault {
+                boundary: 1,
+                during_resume: false,
+                schedule: FaultSchedule {
+                    write_fault: Some((7, WriteFault::Crash)),
+                    ..Default::default()
+                },
+            },
+        });
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "",
+            "case=sort",
+            "case=sort;pool=0;writers=0;policy=dump;mode=warp:3",
+            "case=sort;pool=0;writers=0;policy=zzz;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;mode=sweep:3;wf=1:crash",
+            "case=sort;pool=x;writers=0;policy=dump;mode=sweep:3",
+        ] {
+            assert!(bad.parse::<Scenario>().is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -21,19 +21,31 @@ pub enum Phase {
     Execute,
     /// Carrying out a suspend plan.
     Suspend,
+    /// GoBack-fallback insurance I/O: the shadow suspend passes that
+    /// record a dump-free fallback for each dumped operator. This work
+    /// happens during the suspend phase wall-clock but is *not* part of
+    /// the budgeted suspend cost the optimizer estimates — the optimizer
+    /// budgets the chosen suspend plan, and fallback insurance is
+    /// best-effort extra (see `DESIGN.md` §12 and the figure14 budget
+    /// assertion). It still counts toward total overhead.
+    Fallback,
     /// Reconstructing state after a suspend.
     Resume,
 }
 
 impl Phase {
     /// All phases, in lifecycle order.
-    pub const ALL: [Phase; 3] = [Phase::Execute, Phase::Suspend, Phase::Resume];
+    pub const ALL: [Phase; 4] = [Phase::Execute, Phase::Suspend, Phase::Fallback, Phase::Resume];
+
+    /// Number of phases (array dimension of per-phase counters).
+    pub const COUNT: usize = Self::ALL.len();
 
     fn idx(self) -> usize {
         match self {
             Phase::Execute => 0,
             Phase::Suspend => 1,
-            Phase::Resume => 2,
+            Phase::Fallback => 2,
+            Phase::Resume => 3,
         }
     }
 }
@@ -158,7 +170,7 @@ impl PhaseCost {
 /// An immutable snapshot of the ledger, with per-phase counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostSnapshot {
-    phases: [PhaseCost; 3],
+    phases: [PhaseCost; Phase::COUNT],
     /// Cost model in effect when the snapshot was taken.
     pub model: CostModel,
     /// Buffer-pool counters at snapshot time (zero when no pool is in use).
@@ -194,7 +206,7 @@ impl CostSnapshot {
     /// Difference `self - earlier`, phase by phase (counters saturate at 0).
     pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         let mut out = *self;
-        for i in 0..3 {
+        for i in 0..Phase::COUNT {
             out.phases[i].pages_read =
                 self.phases[i].pages_read.saturating_sub(earlier.phases[i].pages_read);
             out.phases[i].pages_written = self.phases[i]
@@ -209,7 +221,7 @@ impl CostSnapshot {
 
 #[derive(Debug, Default)]
 struct LedgerInner {
-    phases: [PhaseCost; 3],
+    phases: [PhaseCost; Phase::COUNT],
     cache: CacheStats,
     active: usize,
 }
@@ -299,7 +311,7 @@ impl CostLedger {
     /// Reset all counters to zero (phase is kept).
     pub fn reset(&self) {
         let mut g = self.inner.lock();
-        g.phases = [PhaseCost::default(); 3];
+        g.phases = [PhaseCost::default(); Phase::COUNT];
         g.cache = CacheStats::default();
     }
 

@@ -8,7 +8,7 @@
 
 use crate::cost::CostLedger;
 use crate::error::{Result, StorageError};
-use crate::fault::{self, FaultInjector, WriteOutcome};
+use crate::fault::{self, FaultInjector, WriteKind, WriteOutcome};
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -101,10 +101,11 @@ impl DiskManager {
         self.fault.lock().clone()
     }
 
-    /// Consult the injector for one write event of `len` payload bytes.
-    fn fault_write(&self, len: usize) -> Result<WriteOutcome> {
+    /// Consult the injector for one write event of `len` payload bytes
+    /// against `target` (a file or sidecar name), classified as `kind`.
+    fn fault_write(&self, target: &str, kind: WriteKind, len: usize) -> Result<WriteOutcome> {
         match self.fault_injector() {
-            Some(fi) => fi.before_write(len),
+            Some(fi) => fi.before_write_at(Some((target, kind)), len),
             None => Ok(WriteOutcome::Proceed),
         }
     }
@@ -129,8 +130,12 @@ impl DiskManager {
     /// Create a new empty file and return its id. Counts one write event.
     pub fn create_file(&self) -> Result<FileId> {
         // A torn create is indistinguishable from a crash: either the
-        // directory entry exists or it does not.
-        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+        // directory entry exists or it does not. The label peeks the next
+        // id (exact whenever creates are not racing each other, which
+        // covers every recording test; ordering across racing creates is
+        // scheduling-dependent anyway).
+        let label = format!("f{}.qsr", self.next_id.load(Ordering::SeqCst));
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(&label, WriteKind::Create, 0)? {
             return Err(FaultInjector::halt_error());
         }
         let id = FileId(self.next_id.fetch_add(1, Ordering::SeqCst));
@@ -247,7 +252,7 @@ impl DiskManager {
     /// Write page `page_no` of file `id` (must be ≤ current page count;
     /// writing at the count extends the file). Charges one page write.
     pub fn write_page(&self, id: FileId, page_no: u64, page: &Page) -> Result<()> {
-        let outcome = self.fault_write(PAGE_SIZE)?;
+        let outcome = self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Page, PAGE_SIZE)?;
         self.with_file(id, |of| self.write_locked(of, id, page_no, page, outcome))?;
         self.ledger.charge_write(1);
         Ok(())
@@ -257,7 +262,7 @@ impl DiskManager {
     /// under the file's lock, so concurrent appenders cannot clobber each
     /// other's slot. Charges one page write.
     pub fn append_page(&self, id: FileId, page: &Page) -> Result<u64> {
-        let outcome = self.fault_write(PAGE_SIZE)?;
+        let outcome = self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Page, PAGE_SIZE)?;
         let page_no = self.with_file(id, |of| {
             let page_no = of.pages;
             self.write_locked(of, id, page_no, page, outcome)?;
@@ -269,7 +274,9 @@ impl DiskManager {
 
     /// Delete file `id` from disk. Counts one write event.
     pub fn delete_file(&self, id: FileId) -> Result<()> {
-        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+        if let WriteOutcome::TornPrefix(_) =
+            self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Delete, 0)?
+        {
             return Err(FaultInjector::halt_error());
         }
         self.files.lock().remove(&id);
@@ -317,7 +324,7 @@ impl DiskManager {
         let dst = self.sidecar_path(name);
 
         // Event 1: the tmp-file write (can be torn).
-        let outcome = self.fault_write(bytes.len())?;
+        let outcome = self.fault_write(name, WriteKind::SidecarWrite, bytes.len())?;
         let mut f = OpenOptions::new()
             .create(true)
             .write(true)
@@ -337,7 +344,7 @@ impl DiskManager {
         drop(f);
 
         // Event 2: the rename. Atomic, so a torn rename is just a crash.
-        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(name, WriteKind::SidecarRename, 0)? {
             return Err(FaultInjector::halt_error());
         }
         std::fs::rename(&tmp, &dst)?;
@@ -367,7 +374,7 @@ impl DiskManager {
 
     /// Remove sidecar file `name` if present. Counts one write event.
     pub fn remove_sidecar(&self, name: &str) -> Result<()> {
-        if let WriteOutcome::TornPrefix(_) = self.fault_write(0)? {
+        if let WriteOutcome::TornPrefix(_) = self.fault_write(name, WriteKind::SidecarRemove, 0)? {
             return Err(FaultInjector::halt_error());
         }
         let path = self.sidecar_path(name);

@@ -64,6 +64,39 @@ pub enum WriteOutcome {
     TornPrefix(usize),
 }
 
+/// The operation class of one recorded write event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WriteKind {
+    /// File creation.
+    Create,
+    /// A page write or append (the buffer pool turns buffered appends
+    /// into ordered write-backs, so both record as `Page`).
+    Page,
+    /// File deletion.
+    Delete,
+    /// The tmp-file half of an atomic sidecar commit.
+    SidecarWrite,
+    /// The rename half of an atomic sidecar commit.
+    SidecarRename,
+    /// Sidecar removal.
+    SidecarRemove,
+}
+
+/// One recorded write event: which target it hit, what it was, and how
+/// many payload bytes it carried. Recorded (when enabled) by the disk
+/// manager alongside fault consultation, so tests can compare the exact
+/// per-file write sequences of two executions (e.g. a serial vs a
+/// pipelined suspend).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteEvent {
+    /// Target label: the page-file name (`f12.qsr`) or sidecar name.
+    pub target: String,
+    /// Operation class.
+    pub kind: WriteKind,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
 #[derive(Default)]
 struct State {
     writes: u64,
@@ -74,6 +107,9 @@ struct State {
     /// Read ordinals that fail with a transient error.
     read_transients: HashMap<u64, ()>,
     halted: bool,
+    /// When true, labeled write events are appended to `events`.
+    recording: bool,
+    events: Vec<WriteEvent>,
 }
 
 /// Scriptable, deterministic I/O fault injector. See the module docs for
@@ -89,9 +125,11 @@ impl Default for FaultInjector {
     }
 }
 
-/// SplitMix64 step — used to derive which bit a read-flip corrupts, so the
-/// flipped bit varies across ordinals but is identical across runs.
-fn splitmix64(x: u64) -> u64 {
+/// SplitMix64 step — used to derive which bit a read-flip corrupts (and by
+/// [`FaultSchedule::from_seed`] and the oracle harness as a deterministic
+/// PRNG), so derived values vary across ordinals but are identical across
+/// runs.
+pub fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -179,6 +217,21 @@ impl FaultInjector {
         *self.state.lock() = State::default();
     }
 
+    /// Turn labeled write-event recording on or off. Turning it on clears
+    /// any previously recorded events, so a recording window starts empty.
+    pub fn record_events(&self, on: bool) {
+        let mut st = self.state.lock();
+        st.recording = on;
+        if on {
+            st.events.clear();
+        }
+    }
+
+    /// Drain the recorded write events (oldest first).
+    pub fn take_events(&self) -> Vec<WriteEvent> {
+        std::mem::take(&mut self.state.lock().events)
+    }
+
     /// The error every I/O call returns once the injector has halted.
     pub fn halt_error() -> StorageError {
         Self::crashed_err()
@@ -214,9 +267,30 @@ impl FaultInjector {
     /// manager is now dead); `TornPrefix(k)` means persist only the first
     /// `k` bytes and halt.
     pub fn before_write(&self, payload_len: usize) -> Result<WriteOutcome> {
+        self.before_write_at(None, payload_len)
+    }
+
+    /// [`FaultInjector::before_write`] with a target label and operation
+    /// class, recorded when event recording is on. The disk manager calls
+    /// this form for every write event; `before_write` is the unlabeled
+    /// convenience used by direct unit tests.
+    pub fn before_write_at(
+        &self,
+        event: Option<(&str, WriteKind)>,
+        payload_len: usize,
+    ) -> Result<WriteOutcome> {
         let mut st = self.state.lock();
         if st.halted {
             return Err(Self::crashed_err());
+        }
+        if st.recording {
+            if let Some((target, kind)) = event {
+                st.events.push(WriteEvent {
+                    target: target.to_string(),
+                    kind,
+                    len: payload_len,
+                });
+            }
         }
         st.writes += 1;
         let ordinal = st.writes;
@@ -280,6 +354,85 @@ impl std::fmt::Debug for FaultInjector {
 pub fn flip_bit(bytes: &mut [u8], bit: usize) {
     bytes[bit / 8] ^= 1 << (bit % 8);
 }
+
+/// A concrete, replayable fault schedule: at most one write fault and at
+/// most one read fault, each at an explicit 1-based ordinal. Schedules are
+/// derived deterministically from a seed ([`FaultSchedule::from_seed`]) —
+/// no wall-clock entropy — so a failing schedule reproduces bit-identically
+/// from its seed, and a shrinker can minimize the ordinals directly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// Scripted write fault, if any: `(ordinal, fault)`.
+    pub write_fault: Option<(u64, WriteFault)>,
+    /// Scripted read bit-flip ordinal, if any.
+    pub read_flip: Option<u64>,
+    /// Scripted transient read failures, if any: `(ordinal, count)`.
+    pub read_transient: Option<(u64, u32)>,
+}
+
+impl FaultSchedule {
+    /// Derive a schedule from `seed`. Write-fault ordinals land in
+    /// `1..=write_window`, read-fault ordinals in `1..=read_window`; a
+    /// window of 0 disables that fault class. The mapping is pure — the
+    /// same seed always yields the same schedule.
+    pub fn from_seed(seed: u64, write_window: u64, read_window: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(1);
+            splitmix64(x ^ seed.rotate_left(17))
+        };
+        let mut out = FaultSchedule::default();
+        if write_window > 0 {
+            let ordinal = 1 + next() % write_window;
+            out.write_fault = Some((
+                ordinal,
+                match next() % 5 {
+                    0 => WriteFault::Crash,
+                    1 => WriteFault::Torn,
+                    2 => WriteFault::Transient(1 + (next() % 3) as u32),
+                    3 => WriteFault::Transient(MAX_SCHEDULED_TRANSIENTS),
+                    _ => WriteFault::Permanent,
+                },
+            ));
+        }
+        if read_window > 0 {
+            match next() % 3 {
+                0 => out.read_flip = Some(1 + next() % read_window),
+                1 => out.read_transient = Some((1 + next() % read_window, 1 + (next() % 3) as u32)),
+                _ => {
+                    // Both: a flip and, later, a transient burst.
+                    out.read_flip = Some(1 + next() % read_window);
+                    out.read_transient =
+                        Some((1 + next() % read_window, MAX_SCHEDULED_TRANSIENTS));
+                }
+            }
+        }
+        out
+    }
+
+    /// Script this schedule into `fi` (ordinals count from the injector's
+    /// current position — attach/clear first for 1-based scripting).
+    pub fn apply(&self, fi: &FaultInjector) {
+        if let Some((ordinal, fault)) = self.write_fault {
+            fi.fail_write(ordinal, fault);
+        }
+        if let Some(ordinal) = self.read_flip {
+            fi.flip_read_bit(ordinal);
+        }
+        if let Some((ordinal, count)) = self.read_transient {
+            fi.fail_reads_transiently(ordinal, count);
+        }
+    }
+
+    /// True when the schedule scripts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.write_fault.is_none() && self.read_flip.is_none() && self.read_transient.is_none()
+    }
+}
+
+/// Transient-burst length that exhausts the resume path's bounded retry
+/// budget (`with_retries` makes 4 attempts; a burst this long outlasts it).
+pub const MAX_SCHEDULED_TRANSIENTS: u32 = 6;
 
 #[cfg(test)]
 mod tests {

@@ -47,7 +47,10 @@ pub use cost::{CacheStats, CostLedger, CostModel, CostSnapshot, Phase, PhaseCost
 pub use db::Database;
 pub use disk::{DiskManager, FileId};
 pub use error::{Result, StorageError};
-pub use fault::{FaultInjector, WriteFault, WriteOutcome};
+pub use fault::{
+    splitmix64, FaultInjector, FaultSchedule, WriteEvent, WriteFault, WriteKind, WriteOutcome,
+    MAX_SCHEDULED_TRANSIENTS,
+};
 pub use heap::{HeapCursor, HeapFile, TupleAddr};
 pub use index::{IndexBuilder, IndexMeta, SortedIndex};
 pub use page::{pages_for_bytes, Page, PAGE_SIZE};

@@ -1,0 +1,170 @@
+//! Property tests for the cost ledger's cache accounting.
+//!
+//! Three invariants, each over arbitrary interleavings of appends,
+//! overwrites, and reads:
+//!
+//! 1. every read requested through a caching pool is classified exactly
+//!    once — `hits + misses` equals the number of successful `read_page`
+//!    calls;
+//! 2. write-backs never exceed the number of dirtying operations — the
+//!    pool may coalesce repeated writes to one frame, never amplify them;
+//! 3. a capacity-0 (passthrough) pool charges the ledger identically to
+//!    driving the [`DiskManager`] directly — the pool abstraction is
+//!    cost-transparent when it caches nothing.
+
+use proptest::prelude::*;
+use qsr_storage::{BufferPool, CacheStats, CostLedger, CostModel, DiskManager, Page};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new() -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-ledgerprops-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn pool(capacity: usize) -> (TempDir, Arc<BufferPool>) {
+    let d = TempDir::new();
+    let dm =
+        Arc::new(DiskManager::open(&d.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap());
+    (d, BufferPool::new(dm, capacity))
+}
+
+fn stamped(v: u32) -> Page {
+    let mut p = Page::zeroed();
+    p.write_u32(0, v);
+    p
+}
+
+/// One scripted operation: 0 = append, 1 = overwrite, 2 = read.
+type Op = (u8, u64, u32);
+
+fn op_seq() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..3, 0u64..8, any::<u32>()), 1..80)
+}
+
+proptest! {
+    #[test]
+    fn every_requested_read_is_a_hit_or_a_miss(ops in op_seq(), cap in 1usize..6) {
+        let (_d, pool) = pool(cap);
+        let f = pool.create_file().unwrap();
+        let before = pool.disk().ledger().snapshot();
+        let mut requested_reads = 0u64;
+        for (op, page, val) in ops {
+            let n = pool.num_pages(f).unwrap();
+            match op {
+                0 => {
+                    pool.append_page(f, &stamped(val)).unwrap();
+                }
+                1 if n > 0 => {
+                    pool.write_page(f, page % n, &stamped(val)).unwrap();
+                }
+                2 if n > 0 => {
+                    pool.read_page(f, page % n).unwrap();
+                    requested_reads += 1;
+                }
+                _ => {}
+            }
+        }
+        let delta = pool.disk().ledger().snapshot().since(&before);
+        prop_assert_eq!(
+            delta.cache.hits + delta.cache.misses,
+            requested_reads,
+            "classified reads != requested reads (stats: {:?})",
+            delta.cache
+        );
+        // A classified miss is exactly a charged disk read: nothing reads
+        // the disk without being counted a miss, and vice versa.
+        prop_assert_eq!(delta.cache.misses, delta.total_pages_read());
+    }
+
+    #[test]
+    fn write_backs_never_exceed_dirtying_ops(ops in op_seq(), cap in 1usize..6) {
+        let (_d, pool) = pool(cap);
+        let f = pool.create_file().unwrap();
+        let before = pool.disk().ledger().snapshot();
+        let mut dirtied = 0u64;
+        for (op, page, val) in ops {
+            let n = pool.num_pages(f).unwrap();
+            match op {
+                0 => {
+                    pool.append_page(f, &stamped(val)).unwrap();
+                    dirtied += 1;
+                }
+                1 if n > 0 => {
+                    pool.write_page(f, page % n, &stamped(val)).unwrap();
+                    dirtied += 1;
+                }
+                2 if n > 0 => {
+                    pool.read_page(f, page % n).unwrap();
+                }
+                _ => {}
+            }
+        }
+        pool.flush_all().unwrap();
+        let delta = pool.disk().ledger().snapshot().since(&before);
+        prop_assert!(
+            delta.cache.write_backs <= dirtied,
+            "{} write-backs from only {} dirtying ops: the pool amplified writes",
+            delta.cache.write_backs,
+            dirtied
+        );
+        // Every page the pool wrote to disk was a write-back of a dirtied
+        // frame (nothing else writes in this workload).
+        prop_assert_eq!(delta.cache.write_backs, delta.total_pages_written());
+    }
+
+    #[test]
+    fn passthrough_pool_charges_identical_to_direct_disk(ops in op_seq()) {
+        let (_dp, pool) = pool(0);
+        let dd = TempDir::new();
+        let dm = Arc::new(
+            DiskManager::open(&dd.0, CostLedger::new(CostModel::symmetric(1.0))).unwrap(),
+        );
+        let fp = pool.create_file().unwrap();
+        let fd = dm.create_file().unwrap();
+        let pool_before = pool.disk().ledger().snapshot();
+        let disk_before = dm.ledger().snapshot();
+        for (op, page, val) in ops {
+            let n = pool.num_pages(fp).unwrap();
+            prop_assert_eq!(n, dm.num_pages(fd).unwrap());
+            match op {
+                0 => {
+                    pool.append_page(fp, &stamped(val)).unwrap();
+                    dm.append_page(fd, &stamped(val)).unwrap();
+                }
+                1 if n > 0 => {
+                    pool.write_page(fp, page % n, &stamped(val)).unwrap();
+                    dm.write_page(fd, page % n, &stamped(val)).unwrap();
+                }
+                2 if n > 0 => {
+                    let a = pool.read_page(fp, page % n).unwrap().read_u32(0);
+                    let b = dm.read_page(fd, page % n).unwrap().read_u32(0);
+                    prop_assert_eq!(a, b);
+                }
+                _ => {}
+            }
+        }
+        let p = pool.disk().ledger().snapshot().since(&pool_before);
+        let d = dm.ledger().snapshot().since(&disk_before);
+        prop_assert_eq!(p.total_pages_read(), d.total_pages_read());
+        prop_assert_eq!(p.total_pages_written(), d.total_pages_written());
+        prop_assert_eq!(p.total_cost(), d.total_cost());
+        // A passthrough pool is invisible to the cache statistics.
+        prop_assert_eq!(p.cache, CacheStats::default());
+        prop_assert_eq!(d.cache, CacheStats::default());
+    }
+}

@@ -1,0 +1,216 @@
+//! Deterministic query corpus for the differential suspend-point oracle.
+//!
+//! Each case is a small plan over tiny fixed-seed tables, sized so that an
+//! exhaustive stride-1 suspend-point sweep (one suspend/resume per work
+//! unit) stays affordable in CI while still driving every operator through
+//! its interesting states: the block-NLJ outer buffer refills three times,
+//! the sort spills multiple runs, the hash join spills partitions, the
+//! hybrid partition stays resident, and the aggregates cross group
+//! boundaries. The corpus spans all six stateful operators — block NLJ,
+//! index NLJ, sort, merge join, hash join, hash aggregate — plus the
+//! pass-through ones (filter, project, streaming aggregate, distinct) as
+//! composites.
+
+use crate::gen::{build_index, generate_table, TableSpec};
+use qsr_exec::{AggFn, PlanSpec, Predicate};
+use qsr_storage::{Database, Result};
+use std::sync::Arc;
+
+/// One oracle workload: a named deterministic plan over the corpus tables.
+pub struct OracleCase {
+    /// Stable case name, used in repro tokens (`QSR_ORACLE_CASE=<name>`).
+    pub name: &'static str,
+    /// The plan to execute.
+    pub plan: PlanSpec,
+}
+
+/// Generate the corpus tables (fixed seeds; fully deterministic) and the
+/// index the index-NLJ case probes. Safe to call on any fresh database.
+pub fn populate(db: &Arc<Database>) -> Result<()> {
+    // `oa` is the driving table; `ob` joins it on overlapping keys (both
+    // key sets are permutations of a 0-based range, so ob's 20 keys all
+    // match); `oc` is presorted for the merge-join's right side.
+    generate_table(db, &TableSpec::new("oa", 48).payload(24).seed(11))?;
+    generate_table(db, &TableSpec::new("ob", 20).payload(24).seed(12))?;
+    generate_table(db, &TableSpec::new("oc", 16).payload(24).seed(13).sorted())?;
+    build_index(db, "ob", 0)?;
+    Ok(())
+}
+
+fn scan(table: &str) -> Box<PlanSpec> {
+    Box::new(PlanSpec::TableScan {
+        table: table.into(),
+    })
+}
+
+fn sel_filter(table: &str, value: i64) -> Box<PlanSpec> {
+    Box::new(PlanSpec::Filter {
+        input: scan(table),
+        predicate: Predicate::IntLt { col: 1, value },
+    })
+}
+
+/// The oracle cases. Names are stable across versions: repro tokens embed
+/// them, so renaming a case invalidates recorded repros.
+pub fn cases() -> Vec<OracleCase> {
+    vec![
+        OracleCase {
+            name: "block-nlj",
+            plan: PlanSpec::BlockNlj {
+                outer: sel_filter("oa", 700),
+                inner: scan("ob"),
+                outer_key: 0,
+                inner_key: 0,
+                buffer_tuples: 12,
+            },
+        },
+        OracleCase {
+            name: "index-nlj",
+            plan: PlanSpec::IndexNlj {
+                outer: sel_filter("oa", 700),
+                inner_table: "ob".into(),
+                outer_key: 0,
+                inner_key: 0,
+            },
+        },
+        OracleCase {
+            name: "sort",
+            plan: PlanSpec::Sort {
+                input: Box::new(PlanSpec::Project {
+                    input: scan("oa"),
+                    columns: vec![1, 0],
+                }),
+                key: 0,
+                buffer_tuples: 12,
+            },
+        },
+        OracleCase {
+            name: "merge-join",
+            plan: PlanSpec::MergeJoin {
+                left: Box::new(PlanSpec::Sort {
+                    input: scan("oa"),
+                    key: 0,
+                    buffer_tuples: 16,
+                }),
+                // `oc` is presorted on its key: exercises the sorted-scan
+                // path on one side while the other resumes mid-sort.
+                right: scan("oc"),
+                left_key: 0,
+                right_key: 0,
+            },
+        },
+        OracleCase {
+            name: "hash-join",
+            plan: PlanSpec::HashJoin {
+                build: scan("ob"),
+                probe: scan("oa"),
+                build_key: 0,
+                probe_key: 0,
+                partitions: 3,
+                hybrid: true,
+            },
+        },
+        OracleCase {
+            name: "hash-agg",
+            plan: PlanSpec::HashAgg {
+                input: scan("oa"),
+                group_col: 1,
+                agg_col: 0,
+                func: AggFn::Sum,
+                partitions: 3,
+            },
+        },
+        OracleCase {
+            name: "stream-agg",
+            plan: PlanSpec::StreamAgg {
+                input: Box::new(PlanSpec::Sort {
+                    input: scan("oa"),
+                    key: 1,
+                    buffer_tuples: 12,
+                }),
+                group_col: Some(1),
+                agg_col: 0,
+                func: AggFn::Max,
+            },
+        },
+        OracleCase {
+            name: "distinct",
+            plan: PlanSpec::Distinct {
+                input: Box::new(PlanSpec::Sort {
+                    input: Box::new(PlanSpec::Project {
+                        input: scan("ob"),
+                        columns: vec![1],
+                    }),
+                    key: 0,
+                    buffer_tuples: 8,
+                }),
+            },
+        },
+    ]
+}
+
+/// Look up a case by name (repro-token replay).
+pub fn case_by_name(name: &str) -> Option<OracleCase> {
+    cases().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsr_exec::QueryExecution;
+    use qsr_storage::Tuple;
+
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let p = std::env::temp_dir().join(format!(
+                "qsr-corpus-test-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            ));
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn run_all(dir: &std::path::Path) -> Vec<(String, Vec<Tuple>)> {
+        let db = Database::open_default(dir).unwrap();
+        populate(&db).unwrap();
+        cases()
+            .into_iter()
+            .map(|c| {
+                let mut exec = QueryExecution::start(db.clone(), c.plan).unwrap();
+                let (rows, done) = exec.run().unwrap();
+                assert!(done, "case {} must finish uninterrupted", c.name);
+                assert!(!rows.is_empty(), "case {} produced no output", c.name);
+                (c.name.to_string(), rows)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corpus_runs_and_is_deterministic_across_databases() {
+        let d1 = TempDir::new();
+        let d2 = TempDir::new();
+        assert_eq!(run_all(&d1.0), run_all(&d2.0));
+    }
+
+    #[test]
+    fn case_names_are_unique_and_resolvable() {
+        let names: Vec<_> = cases().iter().map(|c| c.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(case_by_name(n).is_some());
+        }
+        assert!(case_by_name("no-such-case").is_none());
+    }
+}

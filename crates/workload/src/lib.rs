@@ -18,8 +18,10 @@
 //! holding a deterministic pseudo-random value in `0..1000`; the predicate
 //! `sel < 1000*s` then selects the desired fraction, uniformly spread.
 
+pub mod corpus;
 pub mod gen;
 
+pub use corpus::{case_by_name, cases, populate, OracleCase};
 pub use gen::{
     build_index, generate_skewed_table, generate_table, TableSpec, SKEW_SEL_HIGH, SKEW_SEL_LOW,
     SKEW_SWITCH_FRACTION,

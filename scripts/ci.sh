@@ -17,3 +17,12 @@ cargo test --workspace --release -q
 # vs pipelined suspend wall-clock. Asserts the >=5x cached-read reduction
 # and writes BENCH_pr2.json.
 cargo run --release -p qsr-bench --bin bench_pr2
+
+# Differential suspend-point oracle, bounded CI shape: stride-1 sweep
+# over the corpus plus 32 seeded fault schedules (the workspace test run
+# above already covers the default seed; this pins an explicit one so
+# printed repro tokens stay valid across environments). Set
+# QSR_ORACLE_FULL=1 for the widened nightly-style run.
+QSR_ORACLE_SEED=219803630 QSR_ORACLE_FAULTS=32 \
+    cargo test --release -q --test oracle_sweep
+cargo run --release -p qsr-bench --bin oracle_smoke

@@ -1,0 +1,215 @@
+//! Differential suspend-point oracle driver.
+//!
+//! Every corpus query is run twice — once uninterrupted (the golden run),
+//! once under interference — and the delivered tuple sequences must be
+//! bit-identical. Three interference families:
+//!
+//! 1. an exhaustive sweep suspending at every `QSR_ORACLE_STRIDE`-th
+//!    work-unit boundary (default 1: *every* boundary) under every
+//!    pool × writers configuration,
+//! 2. multi-suspend chains (suspend → resume → suspend …) to depth 3,
+//! 3. `QSR_ORACLE_FAULTS` randomized fault schedules (default 32; seeded,
+//!    no wall-clock entropy) striking the suspend or resume phase.
+//!
+//! On failure the harness prints a repro line
+//! (`QSR_ORACLE_SEED=… QSR_ORACLE_CASE='…'`), greedily shrinks the
+//! scenario, prints the minimized token, and panics. Replaying: set
+//! `QSR_ORACLE_CASE` to a printed token and rerun this test — only the
+//! replay runs, everything else skips. `QSR_ORACLE_FULL=1` widens the
+//! fault budget and chain coverage for a nightly-style run.
+
+use qsr::oracle::{shrink, Mode, Oracle, Policy, Scenario};
+use qsr::storage::{splitmix64, FaultSchedule};
+
+const DEFAULT_SEED: u64 = 0x0D1F_F5EE;
+
+struct Config {
+    seed: u64,
+    stride: u64,
+    faults: u64,
+    full: bool,
+    replay: Option<String>,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config() -> Config {
+    let full = std::env::var("QSR_ORACLE_FULL").is_ok_and(|v| v == "1");
+    Config {
+        seed: env_u64("QSR_ORACLE_SEED", DEFAULT_SEED),
+        stride: env_u64("QSR_ORACLE_STRIDE", 1).max(1),
+        faults: env_u64("QSR_ORACLE_FAULTS", if full { 128 } else { 32 }),
+        full,
+        replay: std::env::var("QSR_ORACLE_CASE").ok().filter(|s| !s.is_empty()),
+    }
+}
+
+/// The pool-pages × dump-writers matrix every family covers.
+const CONFIGS: [(usize, usize); 4] = [(0, 0), (0, 4), (64, 0), (64, 4)];
+
+/// Report a failing scenario: print the repro token, shrink, print the
+/// minimized token, panic.
+fn fail_with_repro(oracle: &mut Oracle, s: &Scenario, seed: u64, err: &str) -> ! {
+    eprintln!("oracle failure: {err}");
+    eprintln!("repro: QSR_ORACLE_SEED={seed} QSR_ORACLE_CASE='{s}' cargo test --release --test oracle_sweep");
+    let min = shrink(oracle, s);
+    if min != *s {
+        eprintln!("minimized: QSR_ORACLE_SEED={seed} QSR_ORACLE_CASE='{min}'");
+    }
+    panic!("oracle scenario failed: {min}");
+}
+
+fn check_or_die(oracle: &mut Oracle, s: &Scenario, seed: u64) {
+    if let Err(e) = oracle.check(s) {
+        fail_with_repro(oracle, s, seed, &e);
+    }
+}
+
+/// Replay a single scenario token from the environment. When
+/// `QSR_ORACLE_CASE` is unset this test is a no-op; when set, the other
+/// oracle tests skip and only the replay runs.
+#[test]
+fn replay_repro_token() {
+    let cfg = config();
+    let Some(token) = cfg.replay else { return };
+    let s: Scenario = token
+        .parse()
+        .unwrap_or_else(|e| panic!("bad QSR_ORACLE_CASE token {token:?}: {e}"));
+    let mut oracle = Oracle::new();
+    check_or_die(&mut oracle, &s, cfg.seed);
+}
+
+#[test]
+fn exhaustive_suspend_point_sweep() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    for case in qsr::workload::cases() {
+        let total = oracle
+            .total_work_units(case.name)
+            .unwrap_or_else(|e| panic!("golden run of {}: {e}", case.name));
+        for (pool_pages, dump_writers) in CONFIGS {
+            let mut boundary = 1;
+            while boundary <= total {
+                // Alternate policies across the sweep so both the
+                // all-dump and the MIP-optimized suspend paths see every
+                // region of the boundary space.
+                let policy = if boundary % 2 == 0 {
+                    Policy::Optimized
+                } else {
+                    Policy::Dump
+                };
+                let s = Scenario {
+                    case: case.name.to_string(),
+                    pool_pages,
+                    dump_writers,
+                    policy,
+                    mode: Mode::Sweep { boundary },
+                };
+                check_or_die(&mut oracle, &s, cfg.seed);
+                boundary += cfg.stride;
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_suspend_chains_to_depth_three() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    let configs: &[(usize, usize)] = if cfg.full { &CONFIGS } else { &[(0, 0), (64, 4)] };
+    for case in qsr::workload::cases() {
+        let total = oracle.total_work_units(case.name).unwrap();
+        let step = (total / 4).max(1);
+        // Fixed chains splitting the query into roughly equal segments,
+        // plus one seeded-random chain per case.
+        let mut chains = vec![vec![step, step], vec![step, step, step]];
+        let mut x = cfg.seed ^ splitmix64(case.name.len() as u64);
+        let mut next = move || {
+            x = splitmix64(x);
+            x
+        };
+        chains.push(vec![
+            1 + next() % total.max(1),
+            1 + next() % step,
+            1 + next() % step,
+        ]);
+        for (pool_pages, dump_writers) in configs.iter().copied() {
+            for boundaries in &chains {
+                let s = Scenario {
+                    case: case.name.to_string(),
+                    pool_pages,
+                    dump_writers,
+                    policy: if boundaries.len() % 2 == 0 {
+                        Policy::Optimized
+                    } else {
+                        Policy::Dump
+                    },
+                    mode: Mode::Chain {
+                        boundaries: boundaries.clone(),
+                    },
+                };
+                check_or_die(&mut oracle, &s, cfg.seed);
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_fault_schedules() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    let cases = qsr::workload::cases();
+    let mut x = cfg.seed;
+    let mut next = move || {
+        x = splitmix64(x);
+        x
+    };
+    for i in 0..cfg.faults {
+        let case = &cases[(next() % cases.len() as u64) as usize];
+        let total = oracle.total_work_units(case.name).unwrap();
+        let (pool_pages, dump_writers) = CONFIGS[(next() % CONFIGS.len() as u64) as usize];
+        let during_resume = next() % 2 == 1;
+        let boundary = 1 + next() % total.max(1);
+        let policy = if next() % 2 == 0 { Policy::Dump } else { Policy::Optimized };
+        let shape = Scenario {
+            case: case.name.to_string(),
+            pool_pages,
+            dump_writers,
+            policy,
+            mode: Mode::Fault {
+                boundary,
+                during_resume,
+                schedule: FaultSchedule::default(),
+            },
+        };
+        // Size the fault windows to the I/O the targeted phase actually
+        // issues, so scheduled ordinals usually land inside the phase.
+        let (writes, reads) = oracle
+            .probe_fault_windows(&shape, boundary, during_resume)
+            .unwrap_or_else(|e| panic!("fault probe {i} [{shape}]: {e}"));
+        let schedule = FaultSchedule::from_seed(cfg.seed.wrapping_add(i), writes, reads);
+        let s = Scenario {
+            mode: Mode::Fault {
+                boundary,
+                during_resume,
+                schedule,
+            },
+            ..shape
+        };
+        check_or_die(&mut oracle, &s, cfg.seed);
+    }
+}
