@@ -1,0 +1,270 @@
+//! PR 4 bench smoke: deadline-bounded suspend across the degradation
+//! ladder. Sweeps the suspend deadline from a sliver of the full
+//! all-dump cost up to the full cost, records which ladder rung
+//! committed at each budget, and asserts the measured suspend-phase
+//! cost never exceeds the budget by more than the commit bookkeeping
+//! (SuspendedQuery blob + manifest rename — the same slack the
+//! budget-regression pin allows). A second sweep squeezes the disk
+//! quota instead of the clock and records the committed rung or the
+//! typed clean abort at each headroom. Emits `BENCH_pr4.json` in the
+//! current directory. All numbers are simulated ledger cost units, so
+//! the output is deterministic and hardware-independent.
+
+use qsr_core::{OpId, SuspendPolicy};
+use qsr_exec::{PlanSpec, Predicate, QueryExecution, SuspendOptions, SuspendTrigger};
+use qsr_storage::{CostModel, Database, Phase, Result, Tuple};
+use qsr_workload::{generate_table, TableSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDb {
+    db: Arc<Database>,
+    dir: PathBuf,
+}
+
+impl TempDb {
+    fn new(tag: &str) -> Result<Self> {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "qsr-bench-pr4-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let db = Database::open_with_pool(&dir, CostModel::default(), 0)?;
+        for (name, rows) in [("a", 8_000u64), ("b", 8_000), ("c", 8_000), ("d", 600)] {
+            generate_table(&db, &TableSpec::new(name, rows).payload(64).seed(rows))?;
+        }
+        Ok(Self { db, dir })
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The budget-regression plan: three left-deep block NLJs over a
+/// selectivity-0.1 filter. Deep enough that the all-dump suspend carries
+/// several large buffers, so the deadline sweep has rungs to descend.
+fn plan() -> PlanSpec {
+    PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::BlockNlj {
+                outer: Box::new(PlanSpec::Filter {
+                    input: Box::new(PlanSpec::TableScan { table: "a".into() }),
+                    predicate: Predicate::IntLt { col: 1, value: 100 },
+                }),
+                inner: Box::new(PlanSpec::TableScan { table: "b".into() }),
+                outer_key: 0,
+                inner_key: 0,
+                buffer_tuples: 400,
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "c".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 800,
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "d".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 1200,
+    }
+}
+
+fn trigger() -> SuspendTrigger {
+    SuspendTrigger::AfterOpTuples { op: OpId(0), n: 560 }
+}
+
+/// Run to the suspend point; returns the db and the prefix tuples.
+fn run_to_suspend_point(tag: &str) -> Result<(TempDb, Vec<Tuple>, QueryExecution)> {
+    let t = TempDb::new(tag)?;
+    t.db.pool().flush_all()?;
+    t.db.ledger().reset();
+    let mut exec = QueryExecution::start(t.db.clone(), plan())?;
+    exec.set_trigger(Some(trigger()));
+    let (prefix, done) = exec.run()?;
+    assert!(!done, "trigger must fire mid-query");
+    Ok((t, prefix, exec))
+}
+
+fn golden() -> Result<Vec<Tuple>> {
+    let t = TempDb::new("golden")?;
+    let mut exec = QueryExecution::start(t.db.clone(), plan())?;
+    exec.run_to_completion()
+}
+
+struct SweepRow {
+    budget: f64,
+    rung: &'static str,
+    suspend_cost: f64,
+    fallback_cost: f64,
+    resume_cost: f64,
+}
+
+/// One deadline-bounded suspend/resume; verifies golden output and the
+/// budget bound, returns the committed rung and per-phase costs.
+fn deadline_point(budget: f64, full: f64, reference: &[Tuple]) -> Result<SweepRow> {
+    let (t, prefix, exec) = run_to_suspend_point("deadline")?;
+    t.db.ledger().set_phase(Phase::Suspend);
+    let handle = exec.suspend_with(
+        &SuspendPolicy::Optimized { budget: None },
+        &SuspendOptions {
+            dump_writers: 0,
+            deadline: Some(budget),
+            ..SuspendOptions::default()
+        },
+    )?;
+    let snap = t.db.ledger().snapshot();
+    let suspend_cost = snap.phase_cost(Phase::Suspend);
+    let fallback_cost = snap.phase_cost(Phase::Fallback);
+    // Commit bookkeeping (SuspendedQuery blob + manifest rename) rides on
+    // top of the budgeted dumps — the budget-regression slack.
+    assert!(
+        suspend_cost <= budget + full * 0.05 + 10.0,
+        "budget {budget:.1}: rung {} overran with suspend cost {suspend_cost:.1}",
+        handle.rung.name()
+    );
+    let mut resumed = QueryExecution::resume(t.db.clone(), &handle)?;
+    let rest = resumed.run_to_completion()?;
+    let mut all = prefix;
+    all.extend(rest);
+    assert_eq!(all, reference, "budget {budget:.1}: output diverged");
+    let resume_cost = t.db.ledger().snapshot().phase_cost(Phase::Resume);
+    Ok(SweepRow {
+        budget,
+        rung: handle.rung.name(),
+        suspend_cost,
+        fallback_cost,
+        resume_cost,
+    })
+}
+
+struct QuotaRow {
+    headroom: u64,
+    outcome: String,
+    suspend_cost: f64,
+}
+
+/// One quota-squeezed suspend: cap the disk at `used + headroom` for the
+/// suspend window, record the committed rung or the typed clean abort,
+/// and verify the directory still delivers golden output either way.
+fn quota_point(headroom: u64, reference: &[Tuple]) -> Result<QuotaRow> {
+    let (t, prefix, exec) = run_to_suspend_point("quota")?;
+    let dm = t.db.disk();
+    dm.set_quota(Some(dm.used_bytes().saturating_add(headroom)));
+    t.db.ledger().set_phase(Phase::Suspend);
+    let result = exec.suspend_with(&SuspendPolicy::AllDump, &SuspendOptions {
+        dump_writers: 0,
+        ..SuspendOptions::default()
+    });
+    t.db.disk().set_quota(None);
+    let suspend_cost = t.db.ledger().snapshot().phase_cost(Phase::Suspend);
+    let outcome = match result {
+        Ok(handle) => {
+            let mut resumed = QueryExecution::resume(t.db.clone(), &handle)?;
+            let rest = resumed.run_to_completion()?;
+            let mut all = prefix;
+            all.extend(rest);
+            assert_eq!(all, reference, "headroom {headroom}: output diverged");
+            handle.rung.name().to_string()
+        }
+        Err(e) => {
+            assert!(
+                e.is_resource_pressure(),
+                "headroom {headroom}: abort must be typed resource pressure, got {e}"
+            );
+            // Clean abort: the directory must still run from scratch.
+            let mut fresh = QueryExecution::start(t.db.clone(), plan())?;
+            let all = fresh.run_to_completion()?;
+            assert_eq!(all, reference, "headroom {headroom}: rerun diverged");
+            "clean-abort".to_string()
+        }
+    };
+    Ok(QuotaRow {
+        headroom,
+        outcome,
+        suspend_cost,
+    })
+}
+
+fn main() -> Result<()> {
+    let reference = golden()?;
+
+    // Calibrate: the full, unconstrained all-dump suspend cost.
+    let (cal, _, exec) = run_to_suspend_point("calibrate")?;
+    cal.db.ledger().set_phase(Phase::Suspend);
+    let handle = exec.suspend_with(&SuspendPolicy::AllDump, &SuspendOptions {
+        dump_writers: 0,
+        ..SuspendOptions::default()
+    })?;
+    let full = cal.db.ledger().snapshot().phase_cost(Phase::Suspend);
+    assert!(full > 0.0, "calibration suspend must cost something");
+    eprintln!(
+        "full all-dump suspend: {full:.1} cost units (rung {})",
+        handle.rung.name()
+    );
+    drop(cal);
+
+    let mut rows = Vec::new();
+    for frac in [0.02, 0.25, 0.5, 0.75, 1.0] {
+        let row = deadline_point(full * frac, full, &reference)?;
+        eprintln!(
+            "deadline {frac:>4}x ({:>8.1}): rung {:<17} suspend {:>8.1}  fallback {:>8.1}  resume {:>8.1}",
+            row.budget, row.rung, row.suspend_cost, row.fallback_cost, row.resume_cost
+        );
+        rows.push(row);
+    }
+    assert!(
+        rows.iter().all(|r| !r.rung.is_empty()),
+        "every deadline must commit some rung (quota untouched)"
+    );
+
+    const PAGE: u64 = 4096;
+    let mut quota_rows = Vec::new();
+    for headroom in [0, 2 * PAGE, 16 * PAGE, 256 * PAGE, 4096 * PAGE] {
+        let row = quota_point(headroom, &reference)?;
+        eprintln!(
+            "quota headroom {:>10}: {:<17} suspend cost {:>8.1}",
+            row.headroom, row.outcome, row.suspend_cost
+        );
+        quota_rows.push(row);
+    }
+    assert_eq!(
+        quota_rows[0].outcome, "clean-abort",
+        "zero headroom must abort cleanly"
+    );
+    assert_ne!(
+        quota_rows.last().unwrap().outcome,
+        "clean-abort",
+        "a generous quota must commit a suspend"
+    );
+
+    let deadline_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{ "budget": {:.2}, "rung": "{}", "suspend_cost": {:.2}, "fallback_cost": {:.2}, "resume_cost": {:.2} }}"#,
+                r.budget, r.rung, r.suspend_cost, r.fallback_cost, r.resume_cost
+            )
+        })
+        .collect();
+    let quota_json: Vec<String> = quota_rows
+        .iter()
+        .map(|r| {
+            format!(
+                r#"    {{ "headroom_bytes": {}, "outcome": "{}", "suspend_cost": {:.2} }}"#,
+                r.headroom, r.outcome, r.suspend_cost
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"full_alldump_suspend_cost\": {full:.2},\n  \"deadline_sweep\": [\n{}\n  ],\n  \"quota_sweep\": [\n{}\n  ]\n}}\n",
+        deadline_json.join(",\n"),
+        quota_json.join(",\n"),
+    );
+    std::fs::write("BENCH_pr4.json", &json)?;
+    println!("{json}");
+    Ok(())
+}

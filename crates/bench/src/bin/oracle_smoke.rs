@@ -29,7 +29,14 @@ fn main() {
             pool_pages: 64,
             dump_writers: 4,
             policy: Policy::Optimized,
+            quota: None,
             mode: Mode::Sweep { boundary },
+        };
+        let pressured = Scenario {
+            quota: Some(2 * 4096),
+            pool_pages: 0,
+            dump_writers: 0,
+            ..sweep.clone()
         };
         let shape = Scenario {
             mode: Mode::Fault {
@@ -54,7 +61,7 @@ fn main() {
                 continue;
             }
         };
-        for s in [&sweep, &fault] {
+        for s in [&sweep, &pressured, &fault] {
             if let Err(e) = oracle.check(s) {
                 eprintln!("{:<12} FAIL [{s}]: {e}", case.name);
                 failures += 1;

@@ -8,7 +8,7 @@
 //! `DESIGN.md` §1). Set `QSR_SCALE=1.0` for paper-scale runs.
 
 use qsr_core::{OpId, SuspendPolicy};
-use qsr_exec::{PlanSpec, Predicate, QueryExecution, SuspendTrigger};
+use qsr_exec::{PlanSpec, Predicate, QueryExecution, SuspendOptions, SuspendTrigger};
 use qsr_storage::{CostModel, Database, Phase, Result};
 use qsr_workload::{generate_skewed_table, generate_table, TableSpec};
 use std::path::PathBuf;
@@ -36,6 +36,29 @@ pub fn pool_pages() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// Suspend I/O deadline in simulated cost units applied to every measured
+/// suspend (`QSR_SUSPEND_DEADLINE`, or `--suspend-deadline C` to
+/// `all_experiments`). Under a deadline the driver's degradation ladder
+/// may commit a cheaper rung than the requested policy; the measured
+/// suspend/resume split shifts accordingly. Default: unconstrained.
+pub fn suspend_deadline() -> Option<f64> {
+    std::env::var("QSR_SUSPEND_DEADLINE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Disk-quota headroom in bytes armed for each measured suspend window
+/// (`QSR_DISK_QUOTA`, or `--disk-quota BYTES` to `all_experiments`): the
+/// disk is capped at `used + headroom` while the suspend runs, then
+/// uncapped. Tight headrooms force ladder descent; a headroom no rung
+/// fits surfaces as the suspend's typed clean-abort error. Default: no
+/// quota.
+pub fn disk_quota_headroom() -> Option<u64> {
+    std::env::var("QSR_DISK_QUOTA")
+        .ok()
+        .and_then(|v| v.parse().ok())
 }
 
 /// A temporary experiment database; the directory is removed on drop.
@@ -151,7 +174,19 @@ pub fn measure(
         let snap = db.ledger().snapshot();
         (snap.total_cost(), 0.0, 0.0, 0.0)
     } else {
-        let handle = exec.suspend(policy)?;
+        if let Some(headroom) = disk_quota_headroom() {
+            let dm = db.disk();
+            dm.set_quota(Some(dm.used_bytes().saturating_add(headroom)));
+        }
+        let suspended = exec.suspend_with(
+            policy,
+            &SuspendOptions {
+                deadline: suspend_deadline(),
+                ..SuspendOptions::default()
+            },
+        );
+        db.disk().set_quota(None);
+        let handle = suspended?;
         let mut resumed = QueryExecution::resume(db.clone(), &handle)?;
         let rest = resumed.run_to_completion()?;
         let mut combined = prefix.clone();

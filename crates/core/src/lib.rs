@@ -39,8 +39,10 @@ pub mod work;
 pub use graph::{Checkpoint, Contract, ContractGraph, Migration, SideSnapshot};
 pub use ids::{CkptId, CtrId, OpId};
 pub use optimizer::{
-    OpSuspendInputs, OptimizeReport, SuspendOptimizer, SuspendPolicy, SuspendProblem,
+    GoBackCandidate, OpSuspendInputs, OptimizeReport, SolverKind, SuspendOptimizer,
+    SuspendPolicy, SuspendProblem,
 };
+pub use qsr_mip::{SolveBudget, SolveStats};
 pub use suspended::{OpSuspendRecord, Strategy, SuspendPlan, SuspendedQuery};
 pub use topology::{PlanTopology, TopoNode};
 pub use work::WorkTable;

@@ -29,7 +29,7 @@ use crate::graph::{ChainResolution, Contract, ContractGraph, SideSnapshot};
 use crate::ids::OpId;
 use crate::suspended::{Strategy, SuspendPlan};
 use crate::topology::PlanTopology;
-use qsr_mip::{ConstraintOp, LinearProgram, MipOptions, MipSolution, VarId};
+use qsr_mip::{ConstraintOp, LinearProgram, MipSolution, SolveBudget, SolveStats, VarId};
 use qsr_storage::{pages_for_bytes, CostModel, Result, StorageError, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
@@ -108,6 +108,10 @@ pub struct OptimizeReport {
     pub elapsed: std::time::Duration,
     /// Branch-and-bound nodes (MIP path only).
     pub nodes: usize,
+    /// Anytime-solver statistics (MIP path only; default elsewhere). When
+    /// `stats.budget_exhausted` is set the plan is a best-effort incumbent
+    /// or a rounded relaxation, not a proved optimum.
+    pub stats: SolveStats,
 }
 
 /// Which engine produced a suspend plan.
@@ -275,33 +279,72 @@ impl SuspendOptimizer {
     /// instead of the dense simplex (see `structured`).
     pub const STRUCTURED_THRESHOLD: usize = 600;
 
-    /// Choose a suspend plan under `policy`.
+    /// The solver budget in effect when the caller specifies none: the
+    /// `QSR_SOLVE_NODES` environment knob (a node cap), or the solver's
+    /// own defensive default.
+    pub fn default_solve_budget() -> SolveBudget {
+        match std::env::var("QSR_SOLVE_NODES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) => SolveBudget::nodes(n),
+            None => SolveBudget::default(),
+        }
+    }
+
+    /// Choose a suspend plan under `policy` with the default solve budget.
     pub fn choose(
         policy: &SuspendPolicy,
         problem: &SuspendProblem,
         graph: &ContractGraph,
     ) -> Result<OptimizeReport> {
+        Self::choose_with_budget(policy, problem, graph, &Self::default_solve_budget())
+    }
+
+    /// Choose a suspend plan under `policy`, bounding the MIP search by
+    /// `solve_budget`. The result is always *some* plan: on budget expiry
+    /// the anytime solver's incumbent or rounded relaxation is used, and
+    /// [`OptimizeReport::stats`] says so.
+    pub fn choose_with_budget(
+        policy: &SuspendPolicy,
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        solve_budget: &SolveBudget,
+    ) -> Result<OptimizeReport> {
         let start = Instant::now();
         let report = match policy {
             SuspendPolicy::AllDump => {
                 let plan = Self::all_dump(problem);
-                Self::report(problem, graph, plan, SolverKind::Policy, start, 0)
+                Self::report(problem, graph, plan, SolverKind::Policy, start, SolveStats::default())
             }
             SuspendPolicy::AllGoBack => {
                 let plan = Self::all_goback(problem, graph);
-                Self::report(problem, graph, plan, SolverKind::Policy, start, 0)
+                Self::report(problem, graph, plan, SolverKind::Policy, start, SolveStats::default())
             }
-            SuspendPolicy::Fixed(plan) => {
-                Self::report(problem, graph, plan.clone(), SolverKind::Policy, start, 0)
-            }
+            SuspendPolicy::Fixed(plan) => Self::report(
+                problem,
+                graph,
+                plan.clone(),
+                SolverKind::Policy,
+                start,
+                SolveStats::default(),
+            ),
             SuspendPolicy::Optimized { budget } => {
                 let cands = problem.candidates(graph);
                 if cands.len() > Self::STRUCTURED_THRESHOLD {
                     let plan = crate::structured::solve(problem, graph, &cands, *budget)?;
-                    Self::report(problem, graph, plan, SolverKind::Structured, start, 0)
+                    Self::report(
+                        problem,
+                        graph,
+                        plan,
+                        SolverKind::Structured,
+                        start,
+                        SolveStats::default(),
+                    )
                 } else {
-                    let (plan, nodes) = Self::solve_mip(problem, graph, &cands, *budget)?;
-                    Self::report(problem, graph, plan, SolverKind::Mip, start, nodes)
+                    let (plan, stats) =
+                        Self::solve_mip_budgeted(problem, graph, &cands, *budget, solve_budget)?;
+                    Self::report(problem, graph, plan, SolverKind::Mip, start, stats)
                 }
             }
         };
@@ -314,7 +357,7 @@ impl SuspendOptimizer {
         plan: SuspendPlan,
         solver: SolverKind,
         start: Instant,
-        nodes: usize,
+        stats: SolveStats,
     ) -> OptimizeReport {
         let (s, r) = problem.evaluate(graph, &plan);
         OptimizeReport {
@@ -323,7 +366,8 @@ impl SuspendOptimizer {
             est_resume_cost: r,
             solver,
             elapsed: start.elapsed(),
-            nodes,
+            nodes: stats.nodes,
+            stats,
         }
     }
 
@@ -385,15 +429,48 @@ impl SuspendOptimizer {
         plan
     }
 
-    /// Build and solve the §5 MIP. Returns the plan and branch-and-bound
-    /// node count. On budget infeasibility, falls back to all-GoBack (the
-    /// cheapest-suspend plan available).
+    /// Build and solve the §5 MIP with the default solve budget. Returns
+    /// the plan and branch-and-bound node count. On budget infeasibility,
+    /// falls back to all-GoBack (the cheapest-suspend plan available).
     pub fn solve_mip(
         problem: &SuspendProblem,
         graph: &ContractGraph,
         cands: &[GoBackCandidate],
         budget: Option<f64>,
     ) -> Result<(SuspendPlan, usize)> {
+        let (plan, stats) =
+            Self::solve_mip_budgeted(problem, graph, cands, budget, &SolveBudget::default())?;
+        Ok((plan, stats.nodes))
+    }
+
+    /// A pure heuristic plan: round the root LP relaxation without any
+    /// branch-and-bound (a zero-node [`SolveBudget`]). This is the
+    /// degradation ladder's second rung — cheaper than a full solve, still
+    /// budget-aware, always terminates after one LP.
+    pub fn heuristic_rounded(
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        budget: Option<f64>,
+    ) -> Result<OptimizeReport> {
+        let start = Instant::now();
+        let cands = problem.candidates(graph);
+        let (plan, stats) =
+            Self::solve_mip_budgeted(problem, graph, &cands, budget, &SolveBudget::nodes(0))?;
+        Ok(Self::report(problem, graph, plan, SolverKind::Mip, start, stats))
+    }
+
+    /// Build the §5 MIP and solve it with the anytime solver under
+    /// `solve_budget`. Always produces a plan: a proved optimum, a
+    /// budget-expired incumbent, a rounded relaxation, or — when the
+    /// program is infeasible (suspend budget below even the cheapest
+    /// suspend) — the all-GoBack plan.
+    pub fn solve_mip_budgeted(
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        cands: &[GoBackCandidate],
+        budget: Option<f64>,
+        solve_budget: &SolveBudget,
+    ) -> Result<(SuspendPlan, SolveStats)> {
         let mut lp = LinearProgram::new();
         let mut var_of: HashMap<(OpId, OpId), VarId> = HashMap::new();
         let mut vars_of_op: BTreeMap<OpId, Vec<(OpId, VarId)>> = BTreeMap::new();
@@ -471,8 +548,9 @@ impl SuspendOptimizer {
             }
         }
 
-        match qsr_mip::solve_mip(&lp, &MipOptions::default()) {
-            MipSolution::Optimal { x, nodes, .. } => {
+        let (sol, stats) = qsr_mip::solve_mip_with_stats(&lp, solve_budget);
+        match sol {
+            MipSolution::Optimal { x, .. } | MipSolution::Heuristic { x, .. } => {
                 let mut plan = Self::all_dump(problem);
                 for c in cands {
                     let v = var_of[&(c.i, c.j)];
@@ -480,13 +558,14 @@ impl SuspendOptimizer {
                         plan.set(c.i, Strategy::GoBack { to: c.j });
                     }
                 }
-                Ok((plan, nodes))
+                Ok((plan, stats))
             }
             MipSolution::Infeasible => {
-                // Budget below even the cheapest suspend: best effort is
-                // all-GoBack (minimal suspend-time work; paper Figure 14's
-                // leftmost points).
-                Ok((Self::all_goback(problem, graph), 0))
+                // Budget below even the cheapest suspend (or the solve
+                // budget expired before any feasible point was found):
+                // best effort is all-GoBack (minimal suspend-time work;
+                // paper Figure 14's leftmost points).
+                Ok((Self::all_goback(problem, graph), stats))
             }
             MipSolution::Unbounded => Err(StorageError::invalid(
                 "suspend-plan MIP unbounded: negative cost cycle in inputs",
@@ -803,6 +882,83 @@ mod tests {
         assert!(
             !cands.iter().any(|c| c.j == OpId(1)),
             "no chain may anchor at a barrier checkpoint"
+        );
+    }
+
+    #[test]
+    fn zero_node_budget_still_yields_a_valid_plan() {
+        // A zero-node solve budget forces the rounded-relaxation path; the
+        // result must still be a complete plan over every operator, and
+        // the stats must say the answer is heuristic.
+        let f = fixture(100.0, 8192 * 100, 8192 * 100);
+        let report = SuspendOptimizer::choose_with_budget(
+            &SuspendPolicy::Optimized { budget: None },
+            &f.problem,
+            &f.graph,
+            &SolveBudget::nodes(0),
+        )
+        .unwrap();
+        assert_eq!(report.plan.len(), 5, "plan must cover all operators");
+        assert_eq!(report.solver, SolverKind::Mip);
+        assert!(report.stats.budget_exhausted || report.stats.nodes == 0);
+        // Whatever came out must evaluate without panicking.
+        let _ = f.problem.evaluate(&f.graph, &report.plan);
+    }
+
+    #[test]
+    fn anytime_plan_never_beats_the_proved_optimum() {
+        let f = fixture(1_000.0, 8192 * 40, 8192 * 40);
+        let full = SuspendOptimizer::choose_with_budget(
+            &SuspendPolicy::Optimized { budget: None },
+            &f.problem,
+            &f.graph,
+            &SolveBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(!full.stats.budget_exhausted);
+        let best = full.est_suspend_cost + full.est_resume_cost;
+        for nodes in [0usize, 1, 2, 3] {
+            let r = SuspendOptimizer::choose_with_budget(
+                &SuspendPolicy::Optimized { budget: None },
+                &f.problem,
+                &f.graph,
+                &SolveBudget::nodes(nodes),
+            )
+            .unwrap();
+            let total = r.est_suspend_cost + r.est_resume_cost;
+            assert!(
+                total >= best - 1e-6,
+                "budget {nodes}: anytime total {total} beats optimum {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_rounded_is_one_lp_deep() {
+        let f = fixture(100.0, 8192 * 100, 8192 * 100);
+        let report = SuspendOptimizer::heuristic_rounded(&f.problem, &f.graph, None).unwrap();
+        assert_eq!(report.stats.nodes, 0, "no branch-and-bound nodes allowed");
+        assert_eq!(report.plan.len(), 5);
+    }
+
+    #[test]
+    fn budgeted_suspend_constraint_respected_by_heuristic() {
+        // Same setup as budget_forces_goback, through the anytime path
+        // with a tiny solve budget: the plan must still respect the
+        // suspend budget (or be the all-GoBack fallback, which trivially
+        // does).
+        let f = fixture(10_000.0, 8192, 8192);
+        let r = SuspendOptimizer::choose_with_budget(
+            &SuspendPolicy::Optimized { budget: Some(1.0) },
+            &f.problem,
+            &f.graph,
+            &SolveBudget::nodes(0),
+        )
+        .unwrap();
+        assert!(
+            r.est_suspend_cost <= 1.0 + 1e-9,
+            "heuristic plan blows the suspend budget: {}",
+            r.est_suspend_cost
         );
     }
 

@@ -3,7 +3,11 @@
 
 use crate::writers::DumpPipeline;
 use qsr_core::{ContractGraph, OpId, WorkTable};
-use qsr_storage::{BlobId, CostModel, Database, Encode, Result};
+use qsr_storage::{
+    fnv1a, pages_for_bytes, BlobId, CostModel, CostSnapshot, Database, Encode, Result,
+    StorageError,
+};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -47,6 +51,30 @@ impl<F: FnMut(OpId, u64) -> bool + Send> WorkUnitObserver for F {
     }
 }
 
+/// Live I/O-charge watchdog installed by the suspend driver for one
+/// degradation-ladder rung: before each dump-blob write the spend since
+/// `baseline` (plus the upcoming blob's own write cost) is compared
+/// against `budget`, and an overrun surfaces as a typed
+/// [`StorageError::DeadlineExceeded`] — the signal that triggers the next
+/// rung. Commit bookkeeping (the `SuspendedQuery` blob, the manifest
+/// rename) is deliberately not guarded: the ladder's cheapest rung must
+/// always be able to commit.
+#[derive(Debug, Clone)]
+pub struct DumpWatchdog {
+    /// The suspend I/O budget for this rung, in cost units.
+    pub budget: f64,
+    /// Ledger snapshot taken at rung start; spend is measured against it.
+    pub baseline: CostSnapshot,
+}
+
+/// Checksum-keyed cache of dump blobs salvaged from a failed
+/// degradation-ladder rung: blobs whose bytes validated after the failure
+/// are reused by the next rung instead of being rewritten (keyed by
+/// `(checksum, len)` — the same identity [`BlobId`] carries). Entries are
+/// consumed on reuse; whatever remains after the ladder settles is
+/// orphaned and deleted.
+pub type SalvageCache = HashMap<(u64, u64), BlobId>;
+
 /// Ambient per-query execution state.
 pub struct ExecContext {
     /// The database (disk, ledger, blobs, catalog).
@@ -74,6 +102,12 @@ pub struct ExecContext {
     /// the suspend phase; operators route dump blobs through it via
     /// [`ExecContext::put_dump_value`]. `None` = serial writes.
     dump_pipeline: Option<Arc<DumpPipeline>>,
+    /// Per-rung I/O watchdog (driver-installed; see [`DumpWatchdog`]).
+    watchdog: Option<DumpWatchdog>,
+    /// Salvaged dump blobs from failed ladder rungs, reusable by checksum.
+    /// Interior mutability because consumption happens inside the `&self`
+    /// dump-write path.
+    salvage: RefCell<SalvageCache>,
 }
 
 impl ExecContext {
@@ -91,7 +125,29 @@ impl ExecContext {
             cpu_tuple_cost: 0.0,
             checkpoints_enabled: true,
             dump_pipeline: None,
+            watchdog: None,
+            salvage: RefCell::new(SalvageCache::new()),
         }
+    }
+
+    /// Install (or clear) the per-rung suspend watchdog (driver-only).
+    pub fn set_watchdog(&mut self, watchdog: Option<DumpWatchdog>) {
+        self.watchdog = watchdog;
+    }
+
+    /// Merge salvaged blobs into the reuse cache (driver-only, between
+    /// degradation-ladder rungs).
+    pub fn add_salvage(&mut self, blobs: impl IntoIterator<Item = BlobId>) {
+        let mut cache = self.salvage.borrow_mut();
+        for b in blobs {
+            cache.insert((b.checksum, b.len), b);
+        }
+    }
+
+    /// Drain the salvage cache (driver-only, after the ladder settles).
+    /// Whatever is still here was never reused and is orphaned.
+    pub fn take_salvage(&mut self) -> SalvageCache {
+        std::mem::take(&mut *self.salvage.borrow_mut())
     }
 
     /// Install the suspend-phase dump pipeline (driver-only).
@@ -110,10 +166,38 @@ impl ExecContext {
     /// is handed to a background worker (the returned [`BlobId`] is
     /// computed synchronously and is valid once the driver joins the
     /// pipeline); otherwise this is a plain serial blob write.
+    ///
+    /// Two degradation-ladder mechanisms hook in here, where every dump
+    /// byte passes: the [`DumpWatchdog`] rejects the write with a typed
+    /// [`StorageError::DeadlineExceeded`] when the rung's I/O budget
+    /// cannot cover it, and the salvage cache returns an already-durable
+    /// blob with identical bytes (checksum + length) from a failed
+    /// earlier rung without writing anything.
     pub fn put_dump_value<T: Encode>(&self, value: &T) -> Result<BlobId> {
+        let bytes = value.encode_to_vec();
+        if let Some(wd) = &self.watchdog {
+            let spent = self
+                .db
+                .ledger()
+                .snapshot()
+                .since(&wd.baseline)
+                .total_cost();
+            let upcoming =
+                pages_for_bytes(bytes.len()) as f64 * self.db.ledger().model().write_page;
+            if spent + upcoming > wd.budget {
+                return Err(StorageError::DeadlineExceeded {
+                    spent,
+                    budget: wd.budget,
+                });
+            }
+        }
+        let key = (fnv1a(&bytes), bytes.len() as u64);
+        if let Some(id) = self.salvage.borrow_mut().remove(&key) {
+            return Ok(id);
+        }
         match &self.dump_pipeline {
-            Some(p) => p.put_value(value),
-            None => self.db.blobs().put_value(value),
+            Some(p) => p.put_encoded(bytes),
+            None => self.db.blobs().put(&bytes),
         }
     }
 

@@ -20,15 +20,15 @@
 //! [`QueryExecution::resume`] reverses the process; the resumed execution
 //! delivers exactly the tuples following the last pre-suspend output.
 
-use crate::context::{ExecContext, SuspendTrigger, WorkUnitObserver};
+use crate::context::{DumpWatchdog, ExecContext, SuspendTrigger, WorkUnitObserver};
 use crate::operator::{Operator, Poll, SuspendMode};
 use crate::plan::{build_plan, PlanSpec};
 use crate::recovery::{
-    commit_manifest, read_manifest, with_retries, ResumeError, SuspendManifest,
+    clear_manifest, commit_manifest, read_manifest, with_retries, ResumeError, SuspendManifest,
 };
 use crate::writers::DumpPipeline;
 use qsr_core::{
-    ContractGraph, OpId, OpSuspendInputs, OptimizeReport, PlanTopology, Strategy,
+    ContractGraph, OpId, OpSuspendInputs, OptimizeReport, PlanTopology, SolveBudget, Strategy,
     SuspendOptimizer, SuspendPlan, SuspendPolicy, SuspendProblem, SuspendedQuery,
 };
 use qsr_storage::{
@@ -47,6 +47,8 @@ pub struct SuspendedHandle {
     /// Generation number the suspend committed under (see
     /// [`SuspendManifest`]).
     pub generation: u64,
+    /// The degradation-ladder rung that actually committed.
+    pub rung: Rung,
 }
 
 /// Options for the suspend phase.
@@ -65,6 +67,19 @@ pub struct SuspendOptions {
     /// way every byte is durable before the manifest rename commits the
     /// suspend; the pipeline only overlaps the writes.
     pub dump_writers: usize,
+    /// Suspend I/O deadline in simulated cost units. When set, each
+    /// degradation-ladder rung runs under a live watchdog: a rung whose
+    /// dump I/O would overrun the deadline fails with a typed
+    /// [`StorageError::DeadlineExceeded`] and the driver steps down to the
+    /// next, cheaper rung. It also feeds the optimizer's suspend-budget
+    /// constraint when the policy does not carry one (admission control:
+    /// plans are chosen to fit the deadline before any I/O is spent).
+    /// `None` disables both — the pre-ladder behavior.
+    pub deadline: Option<f64>,
+    /// Node/pivot budget for the anytime MIP solver. `None` uses
+    /// [`SuspendOptimizer::default_solve_budget`] (the `QSR_SOLVE_NODES`
+    /// environment knob, or the solver default).
+    pub solve_budget: Option<SolveBudget>,
 }
 
 impl Default for SuspendOptions {
@@ -72,6 +87,55 @@ impl Default for SuspendOptions {
         Self {
             persist_graph: true,
             dump_writers: 4,
+            deadline: None,
+            solve_budget: None,
+        }
+    }
+}
+
+/// One rung of the suspend degradation ladder, in descending order of
+/// plan quality: the requested policy, the LP-rounded heuristic, the
+/// all-DumpState strawman, the all-GoBack minimum. Each rung is
+/// individually crash-safe (the manifest commits only at the end of a
+/// fully successful rung); a rung failing with a *non-halting* error —
+/// [`StorageError::NoSpace`], [`StorageError::DeadlineExceeded`], an
+/// exhausted transient — hands over to the next rung, which salvages the
+/// failed rung's checksum-valid dump blobs instead of rewriting them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// The caller's policy, solved under the anytime budget.
+    Requested,
+    /// One LP, zero branch-and-bound nodes, forced rounding.
+    HeuristicRounded,
+    /// Every operator dumps.
+    AllDump,
+    /// Every operator goes back; near-zero dump I/O.
+    AllGoBack,
+}
+
+impl Rung {
+    /// Stable label for logs and benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rung::Requested => "requested",
+            Rung::HeuristicRounded => "heuristic-rounded",
+            Rung::AllDump => "all-dump",
+            Rung::AllGoBack => "all-goback",
+        }
+    }
+    /// The ladder for `policy`: start at the requested plan, then only
+    /// strictly cheaper rungs (never climb back up), ending at AllGoBack.
+    fn ladder(policy: &SuspendPolicy) -> Vec<Rung> {
+        match policy {
+            SuspendPolicy::Optimized { .. } => vec![
+                Rung::Requested,
+                Rung::HeuristicRounded,
+                Rung::AllDump,
+                Rung::AllGoBack,
+            ],
+            SuspendPolicy::Fixed(_) => vec![Rung::Requested, Rung::AllDump, Rung::AllGoBack],
+            SuspendPolicy::AllDump => vec![Rung::Requested, Rung::AllGoBack],
+            SuspendPolicy::AllGoBack => vec![Rung::Requested],
         }
     }
 }
@@ -253,6 +317,18 @@ impl QueryExecution {
     /// previous suspend (or a clean "no suspend" state) fully intact; a
     /// crash after it leaves the new suspend committed. Only after the
     /// commit are the previous generation's blobs garbage-collected.
+    ///
+    /// Under resource pressure — a disk quota ([`StorageError::NoSpace`]),
+    /// an I/O deadline ([`SuspendOptions::deadline`]), a permanent device
+    /// fault — the attempt walks a **degradation ladder** ([`Rung`]):
+    /// requested plan → LP-rounded heuristic → all-DumpState → all-GoBack
+    /// → typed clean abort. Each rung is individually crash-safe; a failed
+    /// rung's checksum-valid dump blobs are salvaged and reused by the
+    /// next rung, orphaned ones deleted. Every rung after the first
+    /// charges its I/O to [`Phase::Fallback`], keeping the committed
+    /// suspend's `Phase::Suspend` spend comparable to the budget. Halting
+    /// faults (crash, torn write) return immediately — the process is
+    /// dead and recovery owns the directory.
     pub fn suspend_with(
         mut self,
         policy: &SuspendPolicy,
@@ -260,7 +336,9 @@ impl QueryExecution {
     ) -> Result<SuspendedHandle> {
         self.db.ledger().set_phase(Phase::Suspend);
         let problem = self.suspend_problem();
-        let report = SuspendOptimizer::choose(policy, &problem, &self.ctx.graph)?;
+        let solve_budget = options
+            .solve_budget
+            .unwrap_or_else(SuspendOptimizer::default_solve_budget);
 
         // The previous generation (if any) seeds the new generation number
         // and is garbage-collected after the new manifest commits. An
@@ -268,6 +346,161 @@ impl QueryExecution {
         // suspend (its blobs leak, its manifest is overwritten).
         let prev = read_manifest(&self.db).ok().flatten();
 
+        let rungs = Rung::ladder(policy);
+        let last = rungs.len() - 1;
+        let mut last_err: Option<StorageError> = None;
+        for (i, rung) in rungs.iter().enumerate() {
+            // Only the first rung is the budgeted suspend proper; all
+            // insurance I/O below it is kept out of `Phase::Suspend`.
+            let phase = if i == 0 { Phase::Suspend } else { Phase::Fallback };
+            self.db.ledger().set_phase(phase);
+            let report = match self.rung_report(rung, policy, &problem, options, &solve_budget) {
+                Ok(r) => r,
+                Err(e) => {
+                    if self.halted() {
+                        return Err(e);
+                    }
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            // Admission control: when the plan's own estimate already
+            // exceeds the deadline there is no point paying for its dumps
+            // — skip straight to a cheaper rung. The final rung is always
+            // attempted; the estimate is a model, not a measurement.
+            if let Some(d) = options.deadline {
+                if i < last && report.est_suspend_cost > d {
+                    last_err = Some(StorageError::DeadlineExceeded {
+                        spent: report.est_suspend_cost,
+                        budget: d,
+                    });
+                    continue;
+                }
+            }
+            if let Some(budget) = options.deadline {
+                self.ctx.set_watchdog(Some(DumpWatchdog {
+                    budget,
+                    baseline: self.db.ledger().snapshot(),
+                }));
+            }
+            let use_pipeline = i == 0 && options.dump_writers > 0;
+            let attempt = self.attempt_rung(&report, options, use_pipeline, phase, prev.as_ref());
+            self.ctx.set_watchdog(None);
+            match attempt {
+                Ok((mut handle, sq)) => {
+                    handle.rung = *rung;
+                    // Commit point passed. Reclaim in strictly safe order:
+                    // salvage orphans first (never referenced by any
+                    // manifest), then the superseded generation.
+                    self.db.ledger().set_phase(Phase::Fallback);
+                    for id in self.ctx.take_salvage().into_values() {
+                        let _ = self.db.blobs().delete(id);
+                    }
+                    if let Some(old) = prev {
+                        Self::gc_generation(&self.db, &old, &sq);
+                    }
+                    self.root.close(&mut self.ctx)?;
+                    self.db.ledger().set_phase(Phase::Execute);
+                    return Ok(handle);
+                }
+                Err(failure) => {
+                    let (e, partial) = *failure;
+                    if self.halted() {
+                        return Err(e);
+                    }
+                    // Non-halting failure: salvage what this rung already
+                    // paid for, then step down.
+                    self.db.ledger().set_phase(Phase::Fallback);
+                    self.salvage_rung(&partial);
+                    last_err = Some(e);
+                }
+            }
+        }
+
+        // Clean abort: every rung failed. The previous generation's
+        // manifest was never touched (commit happens only at the end of a
+        // successful rung), so on-disk state is exactly the pre-suspend
+        // state; delete the salvaged blobs nothing will ever reference and
+        // surface the last rung's typed error.
+        self.db.ledger().set_phase(Phase::Fallback);
+        for id in self.ctx.take_salvage().into_values() {
+            let _ = self.db.blobs().delete(id);
+        }
+        let _ = self.root.close(&mut self.ctx);
+        self.db.ledger().set_phase(Phase::Execute);
+        Err(last_err
+            .unwrap_or_else(|| StorageError::invalid("suspend aborted: no ladder rung available")))
+    }
+
+    /// True when the fault injector has halted all I/O (a crash or torn
+    /// write fired): the simulated process is dead, no cleanup can run,
+    /// and recovery owns the directory.
+    fn halted(&self) -> bool {
+        self.db
+            .disk()
+            .fault_injector()
+            .is_some_and(|fi| fi.halted())
+    }
+
+    /// Choose the plan for one ladder rung. The requested rung honors the
+    /// caller's policy (with the deadline as suspend-budget constraint
+    /// when the policy carries none); lower rungs use progressively
+    /// cheaper fixed strategies.
+    fn rung_report(
+        &self,
+        rung: &Rung,
+        policy: &SuspendPolicy,
+        problem: &SuspendProblem,
+        options: &SuspendOptions,
+        solve_budget: &SolveBudget,
+    ) -> Result<OptimizeReport> {
+        let budget_of = |b: &Option<f64>| b.or(options.deadline);
+        match rung {
+            Rung::Requested => {
+                let effective = match policy {
+                    SuspendPolicy::Optimized { budget } => SuspendPolicy::Optimized {
+                        budget: budget_of(budget),
+                    },
+                    other => other.clone(),
+                };
+                SuspendOptimizer::choose_with_budget(
+                    &effective,
+                    problem,
+                    &self.ctx.graph,
+                    solve_budget,
+                )
+            }
+            Rung::HeuristicRounded => {
+                let budget = match policy {
+                    SuspendPolicy::Optimized { budget } => budget_of(budget),
+                    _ => options.deadline,
+                };
+                SuspendOptimizer::heuristic_rounded(problem, &self.ctx.graph, budget)
+            }
+            Rung::AllDump => {
+                SuspendOptimizer::choose(&SuspendPolicy::AllDump, problem, &self.ctx.graph)
+            }
+            Rung::AllGoBack => {
+                SuspendOptimizer::choose(&SuspendPolicy::AllGoBack, problem, &self.ctx.graph)
+            }
+        }
+    }
+
+    /// Carry out one ladder rung end to end: walk the tree under the
+    /// rung's plan, record fallbacks, persist the `SuspendedQuery`, sync
+    /// everything it references, and commit the manifest. On failure the
+    /// partial [`SuspendedQuery`] comes back with the error so the caller
+    /// can salvage the dump blobs it references.
+    #[allow(clippy::type_complexity)]
+    fn attempt_rung(
+        &mut self,
+        report: &OptimizeReport,
+        options: &SuspendOptions,
+        use_pipeline: bool,
+        phase: Phase,
+        prev: Option<&SuspendManifest>,
+    ) -> std::result::Result<(SuspendedHandle, SuspendedQuery), Box<(StorageError, SuspendedQuery)>>
+    {
         let mut sq = SuspendedQuery {
             plan_bytes: self.spec.encode_to_vec(),
             suspend_plan: report.plan.clone(),
@@ -283,9 +516,10 @@ impl QueryExecution {
         // bounded pool of background writers instead of being written
         // inline, overlapping the dumps of independent operators. The
         // pipeline is joined before the manifest rename below, so the
-        // crash-safety protocol is unchanged.
-        let pipeline =
-            (options.dump_writers > 0).then(|| DumpPipeline::new(&self.db, options.dump_writers));
+        // crash-safety protocol is unchanged. Retry rungs always write
+        // serially: they interleave with salvage reuse and run on the
+        // emergency path where predictability beats overlap.
+        let pipeline = use_pipeline.then(|| DumpPipeline::new(&self.db, options.dump_writers));
         self.ctx.set_dump_pipeline(pipeline.clone());
         let suspended = self
             .root
@@ -297,10 +531,12 @@ impl QueryExecution {
             if let Some(p) = &pipeline {
                 let _ = p.finish();
             }
-            return Err(e);
+            return Err(Box::new((e, sq)));
         }
         if let Some(p) = &pipeline {
-            p.finish()?;
+            if let Err(e) = p.finish() {
+                return Err(Box::new((e, sq)));
+            }
         }
         // Fallback insurance is charged to its own phase: the optimizer's
         // suspend-cost estimate budgets the chosen plan, not the
@@ -310,15 +546,49 @@ impl QueryExecution {
         // meaningful (they still count toward total overhead).
         self.db.ledger().set_phase(Phase::Fallback);
         self.generate_fallbacks(&report.plan, &mut sq);
-        self.db.ledger().set_phase(Phase::Suspend);
+        self.db.ledger().set_phase(phase);
 
-        let blob = sq.save(self.db.blobs())?;
+        let blob = match sq.save(self.db.blobs()) {
+            Ok(b) => b,
+            Err(e) => return Err(Box::new((e, sq))),
+        };
 
         // Durability barrier: everything the manifest makes reachable must
         // be stable before the rename that commits it. This includes any
         // page still dirty in the shared buffer pool (run files, index
         // pages): resume reopens the database with a fresh pool and reads
         // from disk.
+        if let Err(e) = self.sync_rung(&sq, blob) {
+            // The just-saved `SuspendedQuery` blob is referenced by
+            // nothing yet; reclaim it so a failed rung leaks no files.
+            let _ = self.db.blobs().delete(blob);
+            return Err(Box::new((e, sq)));
+        }
+
+        let generation = prev.map_or(1, |m| m.generation + 1);
+        if let Err(e) = commit_manifest(
+            &self.db,
+            &SuspendManifest {
+                generation,
+                query: blob,
+            },
+        ) {
+            let _ = self.db.blobs().delete(blob);
+            return Err(Box::new((e, sq)));
+        }
+        Ok((
+            SuspendedHandle {
+                blob,
+                report: report.clone(),
+                generation,
+                rung: Rung::Requested, // overwritten by the ladder loop
+            },
+            sq,
+        ))
+    }
+
+    /// Flush and fsync everything a rung's manifest would reference.
+    fn sync_rung(&self, sq: &SuspendedQuery, blob: BlobId) -> Result<()> {
         self.db.blobs().sync(blob)?;
         for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
             if let Some(b) = rec.heap_dump {
@@ -328,22 +598,32 @@ impl QueryExecution {
         for file in self.db.pool().dirty_files() {
             self.db.pool().sync_file(file)?;
         }
+        Ok(())
+    }
 
-        let generation = prev.as_ref().map_or(1, |m| m.generation + 1);
-        commit_manifest(&self.db, &SuspendManifest { generation, query: blob })?;
-
-        // Commit point passed: reclaim the previous generation.
-        if let Some(old) = prev {
-            Self::gc_generation(&self.db, &old, &sq);
+    /// After a rung fails: read back every dump blob its partial
+    /// `SuspendedQuery` references. Blobs whose checksum validates go into
+    /// the salvage cache — the next rung reuses them byte-for-byte instead
+    /// of rewriting; blobs that do not read back cleanly (torn by the
+    /// failure) are orphans and deleted immediately. Either way no file
+    /// from a failed rung is left unaccounted for.
+    fn salvage_rung(&mut self, partial: &SuspendedQuery) {
+        let mut valid = Vec::new();
+        for rec in partial
+            .records
+            .values()
+            .chain(partial.fallbacks.values().flatten())
+        {
+            if let Some(b) = rec.heap_dump {
+                match self.db.blobs().get(b) {
+                    Ok(_) => valid.push(b),
+                    Err(_) => {
+                        let _ = self.db.blobs().delete(b);
+                    }
+                }
+            }
         }
-
-        self.root.close(&mut self.ctx)?;
-        self.db.ledger().set_phase(Phase::Execute);
-        Ok(SuspendedHandle {
-            blob,
-            report,
-            generation,
-        })
+        self.ctx.add_salvage(valid);
     }
 
     /// For each operator whose primary record dumps heap state, check
@@ -419,6 +699,14 @@ impl QueryExecution {
     /// operator aux/control bytes are never touched — the new generation
     /// may share them. Best-effort: errors are ignored; a crash mid-GC
     /// leaks blobs but never loses committed state.
+    ///
+    /// Ordering invariant: dump blobs are deleted *before* the old
+    /// `SuspendedQuery` blob. The old query blob is the only index of the
+    /// old generation's dumps — deleting it first and crashing would leak
+    /// dumps with no record to re-enumerate them, while this order lets a
+    /// future GC pass resume from the surviving query blob. At every
+    /// intermediate point the newly committed manifest names the one valid
+    /// generation.
     fn gc_generation(db: &Database, old: &SuspendManifest, new_sq: &SuspendedQuery) {
         let Ok(old_sq) = SuspendedQuery::load(db.blobs(), old.query) else {
             return;
@@ -441,6 +729,37 @@ impl QueryExecution {
             }
         }
         let _ = db.blobs().delete(old.query);
+    }
+
+    /// Retire the committed generation after a successful resume (or when
+    /// the resumed query ran to completion): remove the manifest, then
+    /// delete the generation's blobs. The manifest removal is the
+    /// retirement commit point — a crash *before* it leaves the generation
+    /// fully resumable, a crash anywhere *after* it leaves the clean "no
+    /// suspend" state (the remaining deletes only reclaim blobs no
+    /// manifest references). The generation's records are enumerated
+    /// before the manifest goes away, mirroring [`Self::gc_generation`]'s
+    /// "index blob last" ordering; at every step there is at most one
+    /// loadable generation and it is exactly what the manifest names.
+    ///
+    /// No-op when no manifest exists. An unreadable manifest or query blob
+    /// degrades to removing the manifest alone (the blobs leak, committed
+    /// state is never at risk).
+    pub fn retire_generation(db: &Database) -> Result<()> {
+        let Some(m) = read_manifest(db).ok().flatten() else {
+            return Ok(());
+        };
+        let old_sq = SuspendedQuery::load(db.blobs(), m.query).ok();
+        clear_manifest(db)?;
+        if let Some(sq) = old_sq {
+            for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
+                if let Some(b) = rec.heap_dump {
+                    let _ = db.blobs().delete(b);
+                }
+            }
+        }
+        let _ = db.blobs().delete(m.query);
+        Ok(())
     }
 
     /// Recover from a database directory: if a committed suspend manifest

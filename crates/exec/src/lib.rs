@@ -14,8 +14,8 @@ pub mod plan;
 pub mod recovery;
 pub mod writers;
 
-pub use context::{ExecContext, SuspendTrigger, WorkUnitObserver};
-pub use driver::{QueryExecution, SuspendOptions, SuspendedHandle};
+pub use context::{DumpWatchdog, ExecContext, SalvageCache, SuspendTrigger, WorkUnitObserver};
+pub use driver::{QueryExecution, Rung, SuspendOptions, SuspendedHandle};
 pub use writers::DumpPipeline;
 pub use recovery::{
     clear_manifest, read_manifest, with_retries, ResumeError, SuspendManifest, SUSPEND_MANIFEST,

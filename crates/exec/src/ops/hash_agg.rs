@@ -391,18 +391,23 @@ impl Operator for HashAgg {
     ) -> Result<()> {
         let strategy = plan.get(self.op);
 
-        // Seal any in-progress partitions.
-        let mut sealed = self.runs.clone();
-        for w in self.writers.drain(..) {
-            let handle = w
-                .ok_or_else(|| StorageError::invalid("hash-agg partition writer missing"))?
-                .finish()?;
+        // Seal any in-progress partitions, in place: a writer leaves the
+        // vec only after its flush succeeded and its handle is recorded
+        // in `self.runs`, so a suspend attempt failing here or in a later
+        // operator can be retried by the next degradation-ladder rung
+        // without losing buffered tuples or already-sealed handles.
+        while let Some(slot) = self.writers.first_mut() {
+            let w = slot
+                .as_mut()
+                .ok_or_else(|| StorageError::invalid("hash-agg partition writer missing"))?;
+            let handle = w.seal()?;
             let pages = ctx.db.pool().num_pages(handle.file)?;
             ctx.note_page_writes(self.op, pages);
-            sealed.push(handle);
+            self.runs.push(handle);
+            self.writers.remove(0);
         }
         let current = HaControl {
-            runs: sealed,
+            runs: self.runs.clone(),
             ..self.control()
         };
 

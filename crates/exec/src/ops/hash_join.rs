@@ -254,19 +254,26 @@ impl HashJoin {
         self.table.entry(key).or_default().push(t);
     }
 
+    /// Seal in-progress partition writers into `runs`, in place. A writer
+    /// leaves the vec only after its flush succeeded and its handle is
+    /// recorded in `runs`, so a seal that fails mid-way (quota, injected
+    /// fault) can be retried by a later degradation-ladder rung without
+    /// losing buffered tuples or already-sealed handles.
     fn seal_writers(
         ctx: &mut ExecContext,
         op: OpId,
         writers: &mut Vec<Option<RunWriter>>,
         runs: &mut Vec<RunHandle>,
     ) -> Result<()> {
-        for w in writers.drain(..) {
-            let w =
-                w.ok_or_else(|| StorageError::invalid("hash-join partition writer missing"))?;
-            let handle = w.finish()?;
+        while let Some(slot) = writers.first_mut() {
+            let w = slot
+                .as_mut()
+                .ok_or_else(|| StorageError::invalid("hash-join partition writer missing"))?;
+            let handle = w.seal()?;
             let pages = ctx.db.pool().num_pages(handle.file)?;
             ctx.note_page_writes(op, pages);
             runs.push(handle);
+            writers.remove(0);
         }
         Ok(())
     }
@@ -572,11 +579,15 @@ impl Operator for HashJoin {
         // Seal any in-progress partition writers; their handles are part
         // of the recorded state either way (Dump keeps them; GoBack to a
         // phase-start checkpoint discards in-phase partials, but sealing
-        // first is harmless and keeps the accounting simple).
-        let mut sealed_build = self.build_runs.clone();
-        let mut sealed_probe = self.probe_runs.clone();
-        Self::seal_writers(ctx, self.op, &mut self.build_writers, &mut sealed_build)?;
-        Self::seal_writers(ctx, self.op, &mut self.probe_writers, &mut sealed_probe)?;
+        // first is harmless and keeps the accounting simple). Sealing
+        // mutates `self` so that a suspend attempt failing *here or in
+        // any later operator* leaves the sealed handles recorded — a
+        // retried walk (the next ladder rung) resumes sealing where this
+        // one stopped instead of dropping runs already on disk.
+        Self::seal_writers(ctx, self.op, &mut self.build_writers, &mut self.build_runs)?;
+        Self::seal_writers(ctx, self.op, &mut self.probe_writers, &mut self.probe_runs)?;
+        let sealed_build = self.build_runs.clone();
+        let sealed_probe = self.probe_runs.clone();
 
         let current_control = HjControl {
             build_runs: sealed_build.clone(),

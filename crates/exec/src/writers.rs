@@ -69,7 +69,13 @@ impl DumpPipeline {
     /// created and the blob id (length + checksum) computed on the calling
     /// thread; page writes and the fsync happen on a worker.
     pub fn put_value<T: Encode>(&self, value: &T) -> Result<BlobId> {
-        let bytes = value.encode_to_vec();
+        self.put_encoded(value.encode_to_vec())
+    }
+
+    /// Schedule pre-encoded `bytes` as a new dump blob (the caller already
+    /// serialized the payload — e.g. to consult the salvage cache by
+    /// checksum before paying for a write).
+    pub fn put_encoded(&self, bytes: Vec<u8>) -> Result<BlobId> {
         let file = self.pool.create_file()?;
         let id = BlobId {
             file,

@@ -22,6 +22,8 @@ pub mod branch_bound;
 pub mod problem;
 pub mod simplex;
 
-pub use branch_bound::{solve_mip, MipOptions, MipSolution};
+pub use branch_bound::{
+    solve_mip, solve_mip_with_stats, MipOptions, MipSolution, SolveBudget, SolveStats,
+};
 pub use problem::{Constraint, ConstraintOp, LinearProgram, VarId};
-pub use simplex::{solve_lp, LpOutcome, LpSolution};
+pub use simplex::{solve_lp, solve_lp_counted, LpOutcome, LpSolution};

@@ -166,6 +166,16 @@ impl Tableau {
 
 /// Solve the continuous relaxation of `lp`.
 pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
+    solve_lp_counted(lp).0
+}
+
+/// Like [`solve_lp`], but also report how many simplex pivots the solve
+/// performed (both phases combined). The pivot count is the work unit the
+/// anytime MIP budget meters, so callers that enforce a [`SolveBudget`]
+/// need it surfaced.
+///
+/// [`SolveBudget`]: crate::branch_bound::SolveBudget
+pub fn solve_lp_counted(lp: &LinearProgram) -> (LpOutcome, usize) {
     let n = lp.num_vars();
     let lower = lp.lower_bounds();
     let upper = lp.upper_bounds();
@@ -279,11 +289,11 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
         if !t.optimize() {
             // Phase-1 objective is bounded below by 0; unbounded cannot
             // happen, but be defensive.
-            return LpOutcome::Infeasible;
+            return (LpOutcome::Infeasible, t.pivots);
         }
         let phase1_obj = -t.z[cols];
         if phase1_obj > 1e-7 {
-            return LpOutcome::Infeasible;
+            return (LpOutcome::Infeasible, t.pivots);
         }
         // Drive any remaining basic artificials out of the basis.
         for r in 0..t.rows {
@@ -317,7 +327,7 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
     }
     t.price_out();
     if !t.optimize() {
-        return LpOutcome::Unbounded;
+        return (LpOutcome::Unbounded, t.pivots);
     }
 
     // Extract solution: shifted basics from RHS, then un-shift.
@@ -327,7 +337,7 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
     }
     let x: Vec<f64> = (0..n).map(|i| y[i] + lower[i]).collect();
     let objective = lp.objective_value(&x);
-    LpOutcome::Optimal(LpSolution { x, objective })
+    (LpOutcome::Optimal(LpSolution { x, objective }), t.pivots)
 }
 
 #[cfg(test)]
@@ -439,6 +449,19 @@ mod tests {
         }
         let s = solve_lp(&lp).expect_optimal();
         assert!(near(s.objective, -2.0), "got {}", s.objective);
+    }
+
+    #[test]
+    fn pivot_counts_are_reported() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-3.0, 0.0, f64::INFINITY);
+        let y = lp.add_var(-5.0, 0.0, f64::INFINITY);
+        lp.add_constraint(vec![(x, 1.0)], Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Le, 18.0);
+        let (outcome, pivots) = solve_lp_counted(&lp);
+        outcome.expect_optimal();
+        assert!(pivots > 0, "a non-trivial solve must pivot at least once");
     }
 
     #[test]

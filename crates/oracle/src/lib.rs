@@ -19,6 +19,12 @@
 //!   asserts the paper's recovery ladder: clean recovery with identical
 //!   output, or a typed [`ResumeError`](qsr_exec::ResumeError) followed by
 //!   a successful fallback re-execution that still matches the golden run.
+//! * **Disk pressure** — a scenario may carry a quota headroom
+//!   ([`Scenario::quota`]): the runner caps the disk at
+//!   `used_bytes + headroom` for the suspend attempt, driving the
+//!   suspend driver's degradation ladder. A committed suspend (at any
+//!   rung) must resume to golden output; a clean abort must leave the
+//!   pre-suspend on-disk state, verified by re-running from it.
 //!
 //! Every scenario serializes to a one-line repro token
 //! (`QSR_ORACLE_CASE=…`); a failing randomized run prints its token and a

@@ -110,6 +110,18 @@ impl Oracle {
         exec.set_work_unit_observer(Some(Box::new(move |_op, seq: u64| seq >= threshold)));
     }
 
+    /// Install the scenario's disk quota immediately before a suspend
+    /// attempt: `used_bytes + headroom`, so the headroom is exactly the
+    /// space the suspend phase may consume. No-op without a quota. The
+    /// caller lifts it (`set_quota(None)`) once the attempt settles so
+    /// execution and resume stay unconstrained.
+    fn arm_quota(db: &Database, quota: Option<u64>) {
+        if let Some(headroom) = quota {
+            let dm = db.disk();
+            dm.set_quota(Some(dm.used_bytes().saturating_add(headroom)));
+        }
+    }
+
     fn diff(s: &Scenario, what: &str, got: &[Tuple], golden: &[Tuple]) -> OracleResult<()> {
         if got == golden {
             return Ok(());
@@ -153,7 +165,8 @@ impl Oracle {
     ) -> OracleResult<()> {
         let dir = TempDir::new(&s.case);
         let mut db = Self::setup(&dir.0, s.pool_pages)?;
-        let mut exec = match QueryExecution::start(db.clone(), Self::plan_of(&s.case)?) {
+        let plan = Self::plan_of(&s.case)?;
+        let mut exec = match QueryExecution::start(db.clone(), plan.clone()) {
             Ok(e) => e,
             Err(e) => return ctx_err("start", e),
         };
@@ -163,6 +176,9 @@ impl Oracle {
             ..SuspendOptions::default()
         };
         let mut collected = Vec::new();
+        // Tuples delivered up to the last *committed* suspend — the resume
+        // point a clean-aborted later suspend must fall back to.
+        let mut committed = 0usize;
         for (i, &b) in boundaries.iter().enumerate() {
             Self::arm(&mut exec, b);
             let (tuples, done) = match exec.run() {
@@ -175,9 +191,48 @@ impl Oracle {
                 // the tail, which is a legal (trivial) scenario.
                 return Self::diff(s, &format!("segment {i} ran to completion"), &collected, golden);
             }
-            if let Err(e) = exec.suspend_with(&policy, &options) {
-                return ctx_err(&format!("suspend {i} [{s}]"), e);
+            Self::arm_quota(&db, s.quota);
+            let suspended = exec.suspend_with(&policy, &options);
+            db.disk().set_quota(None);
+            if let Err(e) = suspended {
+                if s.quota.is_none() {
+                    return ctx_err(&format!("suspend {i} [{s}]"), e);
+                }
+                // Clean abort under disk pressure. The contract: on-disk
+                // state is exactly the pre-suspend state — the previously
+                // committed generation, or no suspend at all. Recover from
+                // a fresh handle and finish the query from there.
+                drop(db);
+                let db = Self::open(&dir.0, s.pool_pages)?;
+                return match QueryExecution::recover(db.clone()) {
+                    Ok(Some(mut resumed)) => {
+                        let mut all = collected[..committed].to_vec();
+                        match resumed.run_to_completion() {
+                            Ok(suffix) => all.extend(suffix),
+                            Err(e2) => return ctx_err(&format!("post-abort resume [{s}]"), e2),
+                        }
+                        Self::diff(
+                            s,
+                            &format!("prior-generation resume after clean-abort suspend ({e})"),
+                            &all,
+                            golden,
+                        )
+                    }
+                    Ok(None) if i == 0 => Self::diff(
+                        s,
+                        &format!("fresh rerun after clean-abort suspend ({e})"),
+                        &Self::rerun(db, &plan)?,
+                        golden,
+                    ),
+                    Ok(None) => Err(format!(
+                        "clean-abort suspend {i} lost the prior committed generation [{s}]"
+                    )),
+                    Err(re) => Err(format!(
+                        "recovery after clean-abort suspend ({e}) failed: {re} [{s}]"
+                    )),
+                };
             }
+            committed = collected.len();
             drop(db);
             db = Self::open(&dir.0, s.pool_pages)?;
             exec = match QueryExecution::recover(db.clone()) {
@@ -231,10 +286,12 @@ impl Oracle {
         }
 
         if !during_resume {
-            // Faults strike the suspend phase.
+            // Faults strike the suspend phase (under the scenario's disk
+            // quota, when set — pressure and faults compound).
             let fi = Arc::new(FaultInjector::seeded(FI_SEED));
             schedule.apply(&fi);
             db.disk().set_fault_injector(Some(fi));
+            Self::arm_quota(&db, s.quota);
             let suspend_ok = exec.suspend_with(&policy, &options).is_ok();
             drop(db);
 
@@ -273,8 +330,32 @@ impl Oracle {
             }
         } else {
             // Clean suspend; faults strike the recovery / resume phase.
-            if let Err(e) = exec.suspend_with(&policy, &options) {
-                return ctx_err(&format!("clean suspend [{s}]"), e);
+            Self::arm_quota(&db, s.quota);
+            let suspended = exec.suspend_with(&policy, &options);
+            db.disk().set_quota(None);
+            if let Err(e) = suspended {
+                if s.quota.is_none() {
+                    return ctx_err(&format!("clean suspend [{s}]"), e);
+                }
+                // Disk pressure aborted the suspend before the fault
+                // window even opened: the only legal on-disk state is "no
+                // suspend", and a fresh rerun must deliver golden.
+                drop(db);
+                let db = Self::open(&dir.0, s.pool_pages)?;
+                return match QueryExecution::recover(db.clone()) {
+                    Ok(None) => Self::diff(
+                        s,
+                        &format!("fresh rerun after clean-abort suspend ({e})"),
+                        &Self::rerun(db, &plan)?,
+                        golden,
+                    ),
+                    Ok(Some(_)) => Err(format!(
+                        "clean-abort suspend ({e}) left a loadable manifest [{s}]"
+                    )),
+                    Err(re) => Err(format!(
+                        "recovery after clean-abort suspend ({e}): {re} [{s}]"
+                    )),
+                };
             }
             drop(db);
 
@@ -401,6 +482,7 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             policy: Policy::Dump,
+            quota: None,
             mode: Mode::Sweep { boundary: 5 },
         };
         oracle.check(&s).unwrap();
@@ -415,7 +497,39 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             policy: Policy::Dump,
+            quota: None,
             mode: Mode::Sweep { boundary: total + 100 },
+        };
+        oracle.check(&s).unwrap();
+    }
+
+    #[test]
+    fn zero_headroom_forces_clean_abort_and_rerun() {
+        // Headroom 0: even the all-GoBack rung cannot persist its
+        // `SuspendedQuery` blob, so the ladder must abort cleanly and the
+        // oracle's fresh rerun must still deliver golden output.
+        let mut oracle = Oracle::new();
+        let s = Scenario {
+            case: "sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Optimized,
+            quota: Some(0),
+            mode: Mode::Sweep { boundary: 5 },
+        };
+        oracle.check(&s).unwrap();
+    }
+
+    #[test]
+    fn generous_headroom_suspends_normally() {
+        let mut oracle = Oracle::new();
+        let s = Scenario {
+            case: "sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Optimized,
+            quota: Some(64 * 1024 * 1024),
+            mode: Mode::Sweep { boundary: 5 },
         };
         oracle.check(&s).unwrap();
     }

@@ -74,6 +74,13 @@ pub struct Scenario {
     pub dump_writers: usize,
     /// Suspend policy.
     pub policy: Policy,
+    /// Disk-quota headroom in bytes for the suspend phase (`None` =
+    /// unlimited). The runner installs `used_bytes + headroom` as the
+    /// quota immediately before each suspend attempt and lifts it after,
+    /// so the headroom is exactly the space the suspend may consume —
+    /// small values force the degradation ladder, `Some(0)` forces a
+    /// clean abort.
+    pub quota: Option<u64>,
     /// Interference mode.
     pub mode: Mode,
 }
@@ -84,6 +91,7 @@ fn fault_token(f: WriteFault) -> String {
         WriteFault::Torn => "torn".into(),
         WriteFault::Transient(n) => format!("t{n}"),
         WriteFault::Permanent => "perm".into(),
+        WriteFault::NoSpace => "nospace".into(),
     }
 }
 
@@ -92,6 +100,7 @@ fn parse_fault(s: &str) -> Result<WriteFault, String> {
         "crash" => Ok(WriteFault::Crash),
         "torn" => Ok(WriteFault::Torn),
         "perm" => Ok(WriteFault::Permanent),
+        "nospace" => Ok(WriteFault::NoSpace),
         t => t
             .strip_prefix('t')
             .and_then(|n| n.parse().ok())
@@ -110,6 +119,9 @@ impl fmt::Display for Scenario {
             self.dump_writers,
             self.policy.token()
         )?;
+        if let Some(q) = self.quota {
+            write!(f, ";quota={q}")?;
+        }
         match &self.mode {
             Mode::Sweep { boundary } => write!(f, ";mode=sweep:{boundary}"),
             Mode::Chain { boundaries } => {
@@ -149,6 +161,7 @@ impl FromStr for Scenario {
         let mut pool = None;
         let mut writers = None;
         let mut policy = None;
+        let mut quota = None;
         let mut mode: Option<Mode> = None;
         for part in s.split(';').filter(|p| !p.is_empty()) {
             let (key, value) = part
@@ -168,6 +181,7 @@ impl FromStr for Scenario {
                         p => return Err(format!("unknown policy {p:?}")),
                     })
                 }
+                "quota" => quota = Some(num(value)?),
                 "mode" => {
                     let (kind, rest) = value
                         .split_once(':')
@@ -226,6 +240,7 @@ impl FromStr for Scenario {
             pool_pages: pool.ok_or("missing pool=")?,
             dump_writers: writers.ok_or("missing writers=")?,
             policy: policy.ok_or("missing policy=")?,
+            quota,
             mode: mode.ok_or("missing mode=")?,
         })
     }
@@ -248,6 +263,7 @@ mod tests {
             pool_pages: 64,
             dump_writers: 4,
             policy: Policy::Dump,
+            quota: None,
             mode: Mode::Sweep { boundary: 17 },
         });
         roundtrip(&Scenario {
@@ -255,6 +271,7 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             policy: Policy::Optimized,
+            quota: Some(8192),
             mode: Mode::Chain {
                 boundaries: vec![3, 9, 2],
             },
@@ -264,6 +281,7 @@ mod tests {
             pool_pages: 64,
             dump_writers: 0,
             policy: Policy::Dump,
+            quota: None,
             mode: Mode::Fault {
                 boundary: 12,
                 during_resume: true,
@@ -279,6 +297,7 @@ mod tests {
             pool_pages: 0,
             dump_writers: 4,
             policy: Policy::Dump,
+            quota: None,
             mode: Mode::Fault {
                 boundary: 1,
                 during_resume: false,
@@ -288,6 +307,46 @@ mod tests {
                 },
             },
         });
+        // The disk-pressure family: a quota headroom combined with a
+        // scripted NoSpace ordinal.
+        roundtrip(&Scenario {
+            case: "sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Optimized,
+            quota: Some(0),
+            mode: Mode::Fault {
+                boundary: 5,
+                during_resume: false,
+                schedule: FaultSchedule {
+                    write_fault: Some((2, WriteFault::NoSpace)),
+                    ..Default::default()
+                },
+            },
+        });
+    }
+
+    #[test]
+    fn nospace_token_spells_out() {
+        let s = Scenario {
+            case: "sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Optimized,
+            quota: Some(4096),
+            mode: Mode::Fault {
+                boundary: 3,
+                during_resume: false,
+                schedule: FaultSchedule {
+                    write_fault: Some((2, WriteFault::NoSpace)),
+                    ..Default::default()
+                },
+            },
+        };
+        let token = s.to_string();
+        assert!(token.contains("quota=4096"), "token {token}");
+        assert!(token.contains("wf=2:nospace"), "token {token}");
+        assert_eq!(token.parse::<Scenario>().unwrap(), s);
     }
 
     #[test]
@@ -299,6 +358,8 @@ mod tests {
             "case=sort;pool=0;writers=0;policy=zzz;mode=sweep:3",
             "case=sort;pool=0;writers=0;policy=dump;mode=sweep:3;wf=1:crash",
             "case=sort;pool=x;writers=0;policy=dump;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;quota=lots;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;mode=fault:3:suspend;wf=1:nospce",
         ] {
             assert!(bad.parse::<Scenario>().is_err(), "accepted {bad:?}");
         }

@@ -49,6 +49,18 @@ fn bisect_down(v: u64) -> Vec<u64> {
     c
 }
 
+/// Like [`bisect_down`] but targeting 0 — quota headrooms are meaningful
+/// all the way down to "no space at all".
+fn bisect_to_zero(v: u64) -> Vec<u64> {
+    let mut c: Vec<u64> = [0, v / 2, v.saturating_sub(1)]
+        .into_iter()
+        .filter(|&x| x != v)
+        .collect();
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
 /// Minimize `failing` (which must currently fail `oracle.check`). Returns
 /// the simplest still-failing variant found within the trial budget.
 pub fn shrink(oracle: &mut Oracle, failing: &Scenario) -> Scenario {
@@ -70,6 +82,14 @@ pub fn shrink(oracle: &mut Oracle, failing: &Scenario) -> Scenario {
     if best.policy != Policy::Dump {
         let mut c = best.clone();
         c.policy = Policy::Dump;
+        sh.try_adopt(&mut best, c);
+    }
+    if best.quota.is_some() {
+        // Dropping the quota removes the whole disk-pressure subsystem
+        // from the repro; failing that, the magnitude pass below squeezes
+        // the headroom toward zero.
+        let mut c = best.clone();
+        c.quota = None;
         sh.try_adopt(&mut best, c);
     }
 
@@ -123,6 +143,13 @@ pub fn shrink(oracle: &mut Oracle, failing: &Scenario) -> Scenario {
     // Magnitudes: bisect every ordinal down while the failure survives.
     loop {
         let before = best.clone();
+        if let Some(q) = best.quota {
+            for nq in bisect_to_zero(q) {
+                let mut c = best.clone();
+                c.quota = Some(nq);
+                sh.try_adopt(&mut best, c);
+            }
+        }
         match best.mode.clone() {
             Mode::Sweep { boundary } => {
                 for b in bisect_down(boundary) {
@@ -209,5 +236,12 @@ mod tests {
         assert_eq!(bisect_down(10), vec![1, 5, 9]);
         assert_eq!(bisect_down(2), vec![1]);
         assert!(bisect_down(1).is_empty());
+    }
+
+    #[test]
+    fn bisect_to_zero_targets_zero() {
+        assert_eq!(bisect_to_zero(10), vec![0, 5, 9]);
+        assert_eq!(bisect_to_zero(1), vec![0]);
+        assert!(bisect_to_zero(0).is_empty());
     }
 }

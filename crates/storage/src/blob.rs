@@ -64,13 +64,20 @@ impl BlobStore {
         Self { pool }
     }
 
-    /// Write `bytes` as a new blob. Charges one page write per page.
+    /// Write `bytes` as a new blob. Charges one page write per page. If a
+    /// page write fails (disk quota, injected fault), the partial backing
+    /// file is deleted best-effort so a rejected blob never leaks an
+    /// unreferenced file — the degradation ladder retries with a cheaper
+    /// plan and must start from accounted-for state.
     pub fn put(&self, bytes: &[u8]) -> Result<BlobId> {
         let file = self.pool.create_file()?;
         for chunk in bytes.chunks(PAGE_SIZE) {
             let mut page = Page::zeroed();
             page.bytes_mut()[..chunk.len()].copy_from_slice(chunk);
-            self.pool.append_page(file, &page)?;
+            if let Err(e) = self.pool.append_page(file, &page) {
+                let _ = self.pool.delete_file(file);
+                return Err(e);
+            }
         }
         Ok(BlobId {
             file,

@@ -43,6 +43,11 @@ impl Encoder {
         self.buf
     }
 
+    /// Borrow the bytes written so far without consuming the encoder.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Write a single byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);

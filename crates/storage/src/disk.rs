@@ -48,6 +48,11 @@ pub struct DiskManager {
     /// writes, file creates/deletes, and sidecar commit steps are write
     /// events; page and sidecar reads are read events.
     fault: Mutex<Option<Arc<FaultInjector>>>,
+    /// Optional byte quota over all page files. `None` = unlimited.
+    quota: Mutex<Option<u64>>,
+    /// Bytes currently held by page files (sidecars are exempt: they are
+    /// tiny, bounded in number, and the commit protocol depends on them).
+    used_bytes: AtomicU64,
 }
 
 impl DiskManager {
@@ -58,6 +63,7 @@ impl DiskManager {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let mut max_id = 0u64;
+        let mut used = 0u64;
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
             // Only exact `f<digits>.qsr` names participate in numbering.
@@ -74,6 +80,7 @@ impl DiskManager {
             }
             if let Ok(id) = num.parse::<u64>() {
                 max_id = max_id.max(id + 1);
+                used += entry.metadata().map(|m| m.len()).unwrap_or(0);
             }
         }
         Ok(Self {
@@ -82,7 +89,43 @@ impl DiskManager {
             next_id: AtomicU64::new(max_id),
             ledger,
             fault: Mutex::new(None),
+            quota: Mutex::new(None),
+            used_bytes: AtomicU64::new(used),
         })
+    }
+
+    /// Set (or with `None`, lift) the byte quota over page files. Once the
+    /// quota is reached, file-extending page writes fail with a typed
+    /// [`StorageError::NoSpace`]; overwrites of existing pages, deletes,
+    /// and sidecar commits still proceed, so a full disk can always be
+    /// drained back below quota.
+    pub fn set_quota(&self, quota: Option<u64>) {
+        *self.quota.lock() = quota;
+    }
+
+    /// The byte quota in effect, if any.
+    pub fn quota(&self) -> Option<u64> {
+        *self.quota.lock()
+    }
+
+    /// Bytes currently held by page files under this manager.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Reject a file-extending write when it would push `used_bytes` past
+    /// the quota.
+    fn check_quota_extend(&self) -> Result<()> {
+        if let Some(q) = *self.quota.lock() {
+            let used = self.used_bytes.load(Ordering::SeqCst);
+            if used + PAGE_SIZE as u64 > q {
+                return Err(StorageError::NoSpace {
+                    requested: PAGE_SIZE as u64,
+                    available: q.saturating_sub(used),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The cost ledger charged by this manager.
@@ -251,28 +294,45 @@ impl DiskManager {
 
     /// Write page `page_no` of file `id` (must be ≤ current page count;
     /// writing at the count extends the file). Charges one page write.
+    ///
+    /// The ledger is charged *before* the quota check: a quota-rejected
+    /// write was still attempted, and hiding it from `CacheStats` and the
+    /// write-event record would make disk-pressure incidents invisible to
+    /// exactly the accounting meant to diagnose them.
     pub fn write_page(&self, id: FileId, page_no: u64, page: &Page) -> Result<()> {
         let outcome = self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Page, PAGE_SIZE)?;
-        self.with_file(id, |of| self.write_locked(of, id, page_no, page, outcome))?;
         self.ledger.charge_write(1);
-        Ok(())
+        self.with_file(id, |of| {
+            let extends = page_no == of.pages;
+            if extends {
+                self.check_quota_extend()?;
+            }
+            self.write_locked(of, id, page_no, page, outcome)?;
+            if extends {
+                self.used_bytes.fetch_add(PAGE_SIZE as u64, Ordering::SeqCst);
+            }
+            Ok(())
+        })
     }
 
     /// Append a page to file `id`, returning its page number. Atomic
     /// under the file's lock, so concurrent appenders cannot clobber each
-    /// other's slot. Charges one page write.
+    /// other's slot. Charges one page write (before the quota check; see
+    /// [`DiskManager::write_page`]).
     pub fn append_page(&self, id: FileId, page: &Page) -> Result<u64> {
         let outcome = self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Page, PAGE_SIZE)?;
-        let page_no = self.with_file(id, |of| {
-            let page_no = of.pages;
-            self.write_locked(of, id, page_no, page, outcome)?;
-            Ok(page_no)
-        })?;
         self.ledger.charge_write(1);
-        Ok(page_no)
+        self.with_file(id, |of| {
+            let page_no = of.pages;
+            self.check_quota_extend()?;
+            self.write_locked(of, id, page_no, page, outcome)?;
+            self.used_bytes.fetch_add(PAGE_SIZE as u64, Ordering::SeqCst);
+            Ok(page_no)
+        })
     }
 
-    /// Delete file `id` from disk. Counts one write event.
+    /// Delete file `id` from disk, reclaiming its bytes from the quota.
+    /// Counts one write event.
     pub fn delete_file(&self, id: FileId) -> Result<()> {
         if let WriteOutcome::TornPrefix(_) =
             self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Delete, 0)?
@@ -282,7 +342,15 @@ impl DiskManager {
         self.files.lock().remove(&id);
         let path = self.path_for(id);
         if path.exists() {
+            let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             std::fs::remove_file(path)?;
+            // Saturating: torn writes can leave partial bytes that were
+            // never counted as a full page.
+            let _ = self
+                .used_bytes
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
+                    Some(u.saturating_sub(len))
+                });
         }
         Ok(())
     }
@@ -685,5 +753,89 @@ mod tests {
         assert!(err.is_transient(), "{err}");
         m.append_page(f, &Page::zeroed()).unwrap();
         assert_eq!(m.num_pages(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn quota_rejects_extending_write_with_typed_nospace() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        m.set_quota(Some(PAGE_SIZE as u64));
+        m.append_page(f, &Page::zeroed()).unwrap();
+        assert_eq!(m.used_bytes(), PAGE_SIZE as u64);
+        let err = m.append_page(f, &Page::zeroed()).unwrap_err();
+        match err {
+            StorageError::NoSpace { available, .. } => assert_eq!(available, 0),
+            other => panic!("expected NoSpace, got {other}"),
+        }
+        assert_eq!(m.num_pages(f).unwrap(), 1, "rejected write left no page");
+    }
+
+    #[test]
+    fn quota_permits_overwrites_of_existing_pages() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        m.append_page(f, &Page::zeroed()).unwrap();
+        m.set_quota(Some(PAGE_SIZE as u64)); // exactly full
+        let mut p = Page::zeroed();
+        p.write_u32(0, 42);
+        m.write_page(f, 0, &p).unwrap();
+        assert_eq!(m.read_page(f, 0).unwrap().read_u32(0), 42);
+    }
+
+    #[test]
+    fn quota_exempts_sidecars_so_commit_protocol_survives_full_disk() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        m.set_quota(Some(PAGE_SIZE as u64));
+        m.append_page(f, &Page::zeroed()).unwrap();
+        // Disk is at quota; the manifest commit path must still work.
+        m.write_sidecar_atomic("SUSPEND.manifest", b"gen-1").unwrap();
+        assert_eq!(
+            m.read_sidecar("SUSPEND.manifest").unwrap().as_deref(),
+            Some(&b"gen-1"[..])
+        );
+    }
+
+    #[test]
+    fn delete_reclaims_quota() {
+        let (_d, m) = mgr();
+        let a = m.create_file().unwrap();
+        m.set_quota(Some(PAGE_SIZE as u64));
+        m.append_page(a, &Page::zeroed()).unwrap();
+        let b = m.create_file().unwrap();
+        assert!(m.append_page(b, &Page::zeroed()).is_err(), "disk full");
+        m.delete_file(a).unwrap();
+        assert_eq!(m.used_bytes(), 0);
+        m.append_page(b, &Page::zeroed()).unwrap();
+    }
+
+    #[test]
+    fn used_bytes_rescanned_on_reopen() {
+        let d = tempdir::TempDir::new();
+        let f;
+        {
+            let m = DiskManager::open(d.path(), CostLedger::default()).unwrap();
+            f = m.create_file().unwrap();
+            m.append_page(f, &Page::zeroed()).unwrap();
+            m.append_page(f, &Page::zeroed()).unwrap();
+        }
+        let m = DiskManager::open(d.path(), CostLedger::default()).unwrap();
+        assert_eq!(m.used_bytes(), 2 * PAGE_SIZE as u64);
+        m.set_quota(Some(2 * PAGE_SIZE as u64));
+        assert!(m.append_page(f, &Page::zeroed()).is_err());
+    }
+
+    #[test]
+    fn quota_rejected_write_is_still_charged_to_the_ledger() {
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        m.set_quota(Some(0));
+        assert!(m.append_page(f, &Page::zeroed()).is_err());
+        let snap = m.ledger().snapshot();
+        assert_eq!(
+            snap.phase(Phase::Execute).pages_written,
+            1,
+            "a quota-rejected write must still show up in accounting"
+        );
     }
 }

@@ -38,6 +38,25 @@ pub enum StorageError {
         /// Version found on disk.
         actual: u32,
     },
+    /// A write was rejected because it would exceed the disk byte quota
+    /// (or the simulated device is full). Not transient — retrying the
+    /// same write cannot help — but the process is alive: callers can
+    /// degrade to a cheaper plan or abort cleanly.
+    NoSpace {
+        /// Bytes the rejected write needed.
+        requested: u64,
+        /// Bytes still available under the quota at rejection time.
+        available: u64,
+    },
+    /// An I/O budget (the suspend deadline) was exhausted mid-operation.
+    /// Like [`StorageError::NoSpace`], the process is alive and the caller
+    /// is expected to degrade or abort cleanly.
+    DeadlineExceeded {
+        /// Cost units spent so far in the budgeted phase.
+        spent: f64,
+        /// The budget that was exceeded.
+        budget: f64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -63,6 +82,17 @@ impl fmt::Display for StorageError {
             } => write!(
                 f,
                 "version mismatch in {what}: this build reads v{expected}, found v{actual}"
+            ),
+            StorageError::NoSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "no space: write of {requested} bytes exceeds quota ({available} bytes available)"
+            ),
+            StorageError::DeadlineExceeded { spent, budget } => write!(
+                f,
+                "deadline exceeded: spent {spent:.1} cost units against a budget of {budget:.1}"
             ),
         }
     }
@@ -129,6 +159,17 @@ impl StorageError {
                 | StorageError::VersionMismatch { .. }
         )
     }
+
+    /// True for resource-pressure failures ([`StorageError::NoSpace`] and
+    /// [`StorageError::DeadlineExceeded`]): the process is alive and retry
+    /// is pointless, but a *cheaper* attempt may still succeed — these are
+    /// the errors the suspend degradation ladder steps down on.
+    pub fn is_resource_pressure(&self) -> bool {
+        matches!(
+            self,
+            StorageError::NoSpace { .. } | StorageError::DeadlineExceeded { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +215,32 @@ mod tests {
         let p = StorageError::Io(std::io::Error::other("dead disk"));
         assert!(!p.is_transient());
         assert!(!StorageError::corrupt("rot").is_transient());
+    }
+
+    #[test]
+    fn pressure_errors_classify_and_format() {
+        let e = StorageError::NoSpace {
+            requested: 8192,
+            available: 100,
+        };
+        assert!(e.is_resource_pressure());
+        assert!(!e.is_transient());
+        assert!(!e.is_corruption());
+        assert_eq!(
+            e.to_string(),
+            "no space: write of 8192 bytes exceeds quota (100 bytes available)"
+        );
+
+        let e = StorageError::DeadlineExceeded {
+            spent: 12.5,
+            budget: 10.0,
+        };
+        assert!(e.is_resource_pressure());
+        assert!(!e.is_transient());
+        assert!(e
+            .to_string()
+            .contains("spent 12.5 cost units against a budget of 10.0"));
+        assert!(!StorageError::corrupt("rot").is_resource_pressure());
     }
 
     #[test]

@@ -49,8 +49,13 @@ pub enum WriteFault {
     /// retries through. Models a flaky device or interrupted syscall.
     Transient(u32),
     /// Fail the write with a non-retryable I/O error but keep the process
-    /// alive. Models a full disk or revoked permission.
+    /// alive. Models revoked permission or a dying device.
     Permanent,
+    /// Fail the write with a typed [`StorageError::NoSpace`] and keep the
+    /// process alive. Models disk exhaustion striking exactly this write —
+    /// the error the suspend degradation ladder steps down on, so this
+    /// fault kind lets tests drive every ladder rung from any ordinal.
+    NoSpace,
 }
 
 /// What the storage layer should do with one write event.
@@ -315,6 +320,10 @@ impl FaultInjector {
             Some(WriteFault::Permanent) => Err(StorageError::Io(std::io::Error::other(format!(
                 "fault injection: permanent write failure at ordinal {ordinal}"
             )))),
+            Some(WriteFault::NoSpace) => Err(StorageError::NoSpace {
+                requested: payload_len as u64,
+                available: 0,
+            }),
         }
     }
 
@@ -386,11 +395,12 @@ impl FaultSchedule {
             let ordinal = 1 + next() % write_window;
             out.write_fault = Some((
                 ordinal,
-                match next() % 5 {
+                match next() % 6 {
                     0 => WriteFault::Crash,
                     1 => WriteFault::Torn,
                     2 => WriteFault::Transient(1 + (next() % 3) as u32),
                     3 => WriteFault::Transient(MAX_SCHEDULED_TRANSIENTS),
+                    4 => WriteFault::NoSpace,
                     _ => WriteFault::Permanent,
                 },
             ));
@@ -496,6 +506,21 @@ mod tests {
         let e = fi.before_write(8).unwrap_err();
         assert!(!e.is_transient());
         assert!(!fi.halted());
+        assert_eq!(fi.before_write(8).unwrap(), WriteOutcome::Proceed);
+    }
+
+    #[test]
+    fn nospace_fault_is_typed_and_does_not_halt() {
+        let fi = FaultInjector::new();
+        fi.fail_write(1, WriteFault::NoSpace);
+        let e = fi.before_write(4096).unwrap_err();
+        assert!(
+            matches!(e, StorageError::NoSpace { requested: 4096, .. }),
+            "{e}"
+        );
+        assert!(e.is_resource_pressure());
+        assert!(!e.is_transient());
+        assert!(!fi.halted(), "disk pressure must not kill the process");
         assert_eq!(fi.before_write(8).unwrap(), WriteOutcome::Proceed);
     }
 

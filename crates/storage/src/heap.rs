@@ -130,12 +130,17 @@ impl HeapFile {
     }
 
     fn flush_tail(&mut self) -> Result<()> {
-        if let Some(tail) = self.tail.take() {
+        // The tail is cleared only after the page lands: a failed append
+        // (quota, injected fault) keeps the buffered tuples so a later
+        // retry — e.g. a cheaper degradation-ladder rung re-sealing a
+        // partition — can flush them instead of silently losing them.
+        if let Some(tail) = &self.tail {
             let mut page = Page::zeroed();
             page.write_u16(0, tail.count);
-            let body = tail.buf.finish();
-            page.bytes_mut()[PAGE_HEADER..PAGE_HEADER + body.len()].copy_from_slice(&body);
+            let body = tail.buf.as_slice();
+            page.bytes_mut()[PAGE_HEADER..PAGE_HEADER + body.len()].copy_from_slice(body);
             self.pool.append_page(self.file, &page)?;
+            self.tail = None;
         }
         Ok(())
     }

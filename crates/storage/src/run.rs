@@ -84,13 +84,21 @@ impl RunWriter {
         self.heap.pages()
     }
 
-    /// Flush and seal the run.
-    pub fn finish(mut self) -> Result<RunHandle> {
+    /// Flush and seal the run without consuming the writer. On failure
+    /// the unflushed tail stays buffered, so sealing can be retried (the
+    /// degradation ladder re-seals partitions after a `NoSpace` rung).
+    /// Sealing twice is a no-op returning the same handle.
+    pub fn seal(&mut self) -> Result<RunHandle> {
         self.heap.finish()?;
         Ok(RunHandle {
             file: self.heap.file_id(),
             tuples: self.heap.tuple_count(),
         })
+    }
+
+    /// Flush and seal the run.
+    pub fn finish(mut self) -> Result<RunHandle> {
+        self.seal()
     }
 }
 

@@ -18,6 +18,14 @@ cargo test --workspace --release -q
 # and writes BENCH_pr2.json.
 cargo run --release -p qsr-bench --bin bench_pr2
 
+# Degradation smoke: crash/torn/NoSpace at every write ordinal of a
+# pressured suspend, of generation GC, and of generation retirement
+# (tests/degradation_matrix.rs), then the deadline + quota ladder sweep
+# bench. Asserts no rung overruns its budget beyond the commit
+# bookkeeping and writes BENCH_pr4.json.
+cargo test --release -q --test degradation_matrix
+cargo run --release -p qsr-bench --bin bench_pr4
+
 # Differential suspend-point oracle, bounded CI shape: stride-1 sweep
 # over the corpus plus 32 seeded fault schedules (the workspace test run
 # above already covers the default seed; this pins an explicit one so

@@ -1,0 +1,486 @@
+//! Degradation-ladder matrix: drive the suspend driver through every
+//! ladder rung — via disk quotas, scripted `NoSpace` faults, and I/O
+//! deadlines — and inject crash/torn/NoSpace faults at every write
+//! ordinal of a pressured suspend, every write ordinal of generation GC,
+//! and every write ordinal of generation retirement.
+//!
+//! The invariant everywhere: after a fault the directory holds either a
+//! committed, fully resumable generation or the clean pre-suspend state —
+//! never a mix, never an unreadable manifest, never a panic. A resumed
+//! query's output concatenated with its pre-suspend prefix must be
+//! byte-identical to an uninterrupted run.
+
+use qsr::core::{OpId, SuspendOptimizer, SuspendPolicy};
+use qsr::exec::{
+    PlanSpec, Predicate, QueryExecution, Rung, SuspendOptions, SuspendTrigger,
+};
+use qsr::storage::{CostModel, Database, FaultInjector, Tuple, WriteFault, PAGE_SIZE};
+use qsr::workload::{generate_table, TableSpec};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-degrade-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic tables so write-event ordinals line up across the matrix.
+fn populate(db: &Arc<Database>) {
+    generate_table(db, &TableSpec::new("r", 800).payload(16).seed(11)).unwrap();
+    generate_table(db, &TableSpec::new("s", 200).payload(16).seed(12)).unwrap();
+}
+
+/// Sort over block-NLJ over filtered scans — the same dump-heavy shape the
+/// crash matrix uses, so every rung has real state to dump or roll back.
+fn plan() -> PlanSpec {
+    PlanSpec::Sort {
+        input: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+                predicate: Predicate::IntLt { col: 1, value: 500 },
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 150,
+        }),
+        key: 0,
+        buffer_tuples: 4096,
+    }
+}
+
+fn reference_output() -> Vec<Tuple> {
+    let dir = TempDir::new("ref");
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    let mut exec = QueryExecution::start(db, plan()).unwrap();
+    exec.run_to_completion().unwrap()
+}
+
+fn trigger() -> SuspendTrigger {
+    SuspendTrigger::AfterOpTuples { op: OpId(1), n: 250 }
+}
+
+/// Run to the suspend point in a fresh directory (serial, uncached — the
+/// deterministic baseline the ordinal matrices need).
+fn run_to_suspend_point(tag: &str) -> (TempDir, Arc<Database>, Vec<Tuple>, QueryExecution) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    exec.set_trigger(Some(trigger()));
+    let (prefix, done) = exec.run().unwrap();
+    assert!(!done, "trigger must fire before the query completes");
+    (dir, db, prefix, exec)
+}
+
+fn serial_options() -> SuspendOptions {
+    SuspendOptions {
+        dump_writers: 0,
+        ..SuspendOptions::default()
+    }
+}
+
+/// Cap the disk at `used + headroom` bytes.
+fn arm_quota(db: &Database, headroom: u64) {
+    let dm = db.disk();
+    dm.set_quota(Some(dm.used_bytes().saturating_add(headroom)));
+}
+
+/// Assert the post-fault directory invariant: recovery either resumes a
+/// committed generation whose output completes `prefix` into `reference`,
+/// or reports clean state and a from-scratch rerun delivers `reference`.
+fn assert_resumable_or_clean(dir: &TempDir, prefix: &[Tuple], reference: &[Tuple], what: &str) {
+    let db = Database::open_default(&dir.0).unwrap();
+    match QueryExecution::recover(db.clone()) {
+        Ok(Some(mut resumed)) => {
+            let suffix = resumed.run_to_completion().unwrap();
+            let mut all = prefix.to_vec();
+            all.extend(suffix);
+            assert_eq!(all, reference, "{what}: resumed output diverges");
+        }
+        Ok(None) => {
+            let mut fresh = QueryExecution::start(db, plan()).unwrap();
+            let all = fresh.run_to_completion().unwrap();
+            assert_eq!(all, reference, "{what}: fresh rerun diverges");
+        }
+        Err(e) => panic!("{what}: recovery errored: {e}"),
+    }
+}
+
+/// The smallest quota headroom (in pages) at which a pressured suspend
+/// under `policy` still commits. Everything below forces a clean abort;
+/// the first commit must land on the cheapest admissible rung.
+fn smallest_committing_headroom(policy: &SuspendPolicy) -> u64 {
+    for pages in 1..=32u64 {
+        let (_dir, db, _prefix, exec) = run_to_suspend_point("probe");
+        arm_quota(&db, pages * PAGE_SIZE as u64);
+        if exec.suspend_with(policy, &serial_options()).is_ok() {
+            return pages * PAGE_SIZE as u64;
+        }
+    }
+    panic!("no headroom up to 32 pages admits even the all-GoBack rung");
+}
+
+#[test]
+fn every_ladder_rung_commits_under_engineered_pressure() {
+    let reference = reference_output();
+    let mut seen: HashSet<Rung> = HashSet::new();
+
+    // Rung 0: no pressure at all — the requested plan commits as-is.
+    {
+        let (dir, db, prefix, exec) = run_to_suspend_point("r0");
+        let h = exec
+            .suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options())
+            .unwrap();
+        assert_eq!(h.rung, Rung::Requested);
+        seen.insert(h.rung);
+        drop(db);
+        assert_resumable_or_clean(&dir, &prefix, &reference, "no-pressure suspend");
+    }
+
+    // Rung 1: a one-shot NoSpace kills the requested plan's first write;
+    // the LP-rounded heuristic is fault-free and commits.
+    {
+        let (dir, db, prefix, exec) = run_to_suspend_point("r1");
+        let fi = Arc::new(FaultInjector::seeded(1));
+        fi.fail_write(1, WriteFault::NoSpace);
+        db.disk().set_fault_injector(Some(fi));
+        let h = exec
+            .suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options())
+            .unwrap();
+        assert_eq!(h.rung, Rung::HeuristicRounded);
+        seen.insert(h.rung);
+        drop(db);
+        assert_resumable_or_clean(&dir, &prefix, &reference, "nospace → heuristic rung");
+    }
+
+    // Rung 2: a Fixed policy's ladder skips the heuristic; the same
+    // one-shot fault lands the commit on the all-DumpState rung.
+    {
+        let (dir, db, prefix, exec) = run_to_suspend_point("r2");
+        let fixed = SuspendOptimizer::choose(
+            &SuspendPolicy::AllDump,
+            &exec.suspend_problem(),
+            &exec.ctx().graph,
+        )
+        .unwrap()
+        .plan;
+        let fi = Arc::new(FaultInjector::seeded(2));
+        fi.fail_write(1, WriteFault::NoSpace);
+        db.disk().set_fault_injector(Some(fi));
+        let h = exec
+            .suspend_with(&SuspendPolicy::Fixed(fixed), &serial_options())
+            .unwrap();
+        assert_eq!(h.rung, Rung::AllDump);
+        seen.insert(h.rung);
+        drop(db);
+        assert_resumable_or_clean(&dir, &prefix, &reference, "nospace → all-dump rung");
+    }
+
+    // Rung 3: the AllDump ladder is [Requested, AllGoBack]; killing the
+    // dump rung's very first write (the blob-file create, so nothing is
+    // salvageable) lands the commit on the all-GoBack rung.
+    {
+        let (dir, db, prefix, exec) = run_to_suspend_point("r3");
+        let fi = Arc::new(FaultInjector::seeded(4));
+        fi.fail_write(1, WriteFault::NoSpace);
+        db.disk().set_fault_injector(Some(fi));
+        let h = exec
+            .suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        assert_eq!(h.rung, Rung::AllGoBack);
+        seen.insert(h.rung);
+        drop(db);
+        assert_resumable_or_clean(&dir, &prefix, &reference, "nospace → all-goback rung");
+    }
+
+    assert_eq!(seen.len(), 4, "all four ladder rungs must have committed");
+}
+
+#[test]
+fn minimal_quota_headroom_commits_some_rung_and_resumes() {
+    // Sweep quota headrooms from nothing upward: below the minimal
+    // headroom every attempt must abort cleanly (pre-suspend state),
+    // at and above it the suspend commits at whatever rung fits — and
+    // either way the delivered output matches the reference.
+    let reference = reference_output();
+    let minimal = smallest_committing_headroom(&SuspendPolicy::AllDump);
+    for headroom in [0, minimal.saturating_sub(PAGE_SIZE as u64), minimal] {
+        let (dir, db, prefix, exec) = run_to_suspend_point("min");
+        arm_quota(&db, headroom);
+        let outcome = exec.suspend_with(&SuspendPolicy::AllDump, &serial_options());
+        db.disk().set_quota(None);
+        if headroom >= minimal {
+            assert!(outcome.is_ok(), "minimal headroom {headroom} must commit");
+        } else {
+            let err = outcome.expect_err("sub-minimal headroom must abort");
+            assert!(err.is_resource_pressure(), "typed pressure, got {err}");
+        }
+        drop(db);
+        assert_resumable_or_clean(&dir, &prefix, &reference, &format!("headroom {headroom}"));
+    }
+}
+
+#[test]
+fn tiny_deadline_admission_control_skips_to_goback() {
+    // A deadline far below the all-dump plan's estimate: admission
+    // control must skip the dump-bearing rung without spending its I/O
+    // and commit the final all-GoBack rung.
+    let reference = reference_output();
+    let (dir, db, prefix, exec) = run_to_suspend_point("deadline");
+    let fi = Arc::new(FaultInjector::seeded(3));
+    db.disk().set_fault_injector(Some(fi.clone()));
+    let before = fi.writes_observed();
+    let h = exec
+        .suspend_with(
+            &SuspendPolicy::AllDump,
+            &SuspendOptions {
+                deadline: Some(0.5),
+                ..serial_options()
+            },
+        )
+        .unwrap();
+    assert_eq!(h.rung, Rung::AllGoBack);
+    // Admission control is the point: the skipped rungs must not have
+    // written anything. Everything observed belongs to the committed rung.
+    let spent = fi.writes_observed() - before;
+    let goback_only = {
+        let (_d2, db2, _p2, exec2) = run_to_suspend_point("deadline-ref");
+        let fi2 = Arc::new(FaultInjector::seeded(3));
+        db2.disk().set_fault_injector(Some(fi2.clone()));
+        exec2
+            .suspend_with(&SuspendPolicy::AllGoBack, &serial_options())
+            .unwrap();
+        fi2.writes_observed()
+    };
+    assert_eq!(
+        spent, goback_only,
+        "skipped rungs must not consume write events"
+    );
+    drop(db);
+    assert_resumable_or_clean(&dir, &prefix, &reference, "deadline admission control");
+}
+
+#[test]
+fn scripted_nospace_at_every_write_ordinal_still_commits() {
+    // A one-shot NoSpace can strike any write of the suspend phase; the
+    // ladder always has a fault-free rung left, so every ordinal must end
+    // in a committed, resumable suspend.
+    let reference = reference_output();
+    let writes = {
+        let (_dir, db, _prefix, exec) = run_to_suspend_point("dry");
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        exec.suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options())
+            .unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0);
+    for k in 1..=writes {
+        let (dir, db, prefix, exec) = run_to_suspend_point("cell");
+        let fi = Arc::new(FaultInjector::seeded(0xA0 + k));
+        fi.fail_write(k, WriteFault::NoSpace);
+        db.disk().set_fault_injector(Some(fi));
+        exec.suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options())
+            .unwrap_or_else(|e| panic!("nospace at write {k}: suspend aborted: {e}"));
+        drop(db);
+        assert_resumable_or_clean(&dir, &prefix, &reference, &format!("nospace at write {k}"));
+    }
+}
+
+#[test]
+fn fault_matrix_under_disk_pressure() {
+    // The pressured ladder (quota forcing descent to all-GoBack) under a
+    // crash, torn write, or second NoSpace at every write ordinal it
+    // issues — rung boundaries included. Every cell must leave resumable
+    // or clean state.
+    let reference = reference_output();
+    // AllDump under the minimal headroom: rung 0 genuinely runs out of
+    // space partway, so the write window spans a failing rung, the salvage
+    // sweep at the rung boundary, and the committing all-GoBack rung.
+    let headroom = smallest_committing_headroom(&SuspendPolicy::AllDump);
+    let writes = {
+        let (_dir, db, _prefix, exec) = run_to_suspend_point("pdry");
+        arm_quota(&db, headroom);
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        exec.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0, "pressured ladder must issue write events");
+    for k in 1..=writes {
+        for fault in [WriteFault::Crash, WriteFault::Torn, WriteFault::NoSpace] {
+            let (dir, db, prefix, exec) = run_to_suspend_point("pcell");
+            arm_quota(&db, headroom);
+            let fi = Arc::new(FaultInjector::seeded(0xBAD + k));
+            fi.fail_write(k, fault);
+            db.disk().set_fault_injector(Some(fi));
+            // Commit, clean abort, or halt are all legal; what matters is
+            // the state left behind.
+            let _ = exec.suspend_with(&SuspendPolicy::AllDump, &serial_options());
+            drop(db);
+            assert_resumable_or_clean(
+                &dir,
+                &prefix,
+                &reference,
+                &format!("{fault:?} at pressured write {k}"),
+            );
+        }
+    }
+}
+
+/// Crash at every write ordinal of a *second* suspend — whose tail is the
+/// GC of the first generation — and assert exactly one valid generation
+/// survives: recovery resumes generation 1 or generation 2, never a mix,
+/// never an error.
+#[test]
+fn gc_crash_matrix_keeps_exactly_one_valid_generation() {
+    let reference = reference_output();
+
+    // Shape of one run: suspend (gen 1) → resume → 40 more root tuples →
+    // suspend (gen 2, GC of gen 1 at its tail).
+    let second_trigger = SuspendTrigger::AfterOpTuples { op: OpId(0), n: 40 };
+    let writes = {
+        let (_dir, db, _prefix, exec) = run_to_suspend_point("gdry");
+        exec.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        let mut resumed = QueryExecution::recover(db.clone()).unwrap().unwrap();
+        resumed.set_trigger(Some(second_trigger.clone()));
+        let (_mid, done) = resumed.run().unwrap();
+        assert!(!done);
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        resumed
+            .suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0);
+
+    for k in 1..=writes {
+        let fault = if k % 2 == 0 { WriteFault::Torn } else { WriteFault::Crash };
+        let (dir, db, prefix, exec) = run_to_suspend_point("gcell");
+        exec.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        let mut resumed = QueryExecution::recover(db.clone()).unwrap().unwrap();
+        resumed.set_trigger(Some(second_trigger.clone()));
+        let (mid, done) = resumed.run().unwrap();
+        assert!(!done);
+        let fi = Arc::new(FaultInjector::seeded(0x6C + k));
+        fi.fail_write(k, fault);
+        db.disk().set_fault_injector(Some(fi));
+        let _ = resumed.suspend_with(&SuspendPolicy::AllDump, &serial_options());
+        drop(db);
+
+        // Exactly one generation must load. Which one decides how much of
+        // the mid-segment the resumed run re-delivers.
+        let db = Database::open_default(&dir.0).unwrap();
+        let manifest = qsr::exec::read_manifest(&db)
+            .unwrap_or_else(|e| panic!("{fault:?} at gc write {k}: manifest unreadable: {e}"))
+            .unwrap_or_else(|| panic!("{fault:?} at gc write {k}: both generations lost"));
+        assert!(
+            manifest.generation == 1 || manifest.generation == 2,
+            "{fault:?} at gc write {k}: unexpected generation {}",
+            manifest.generation
+        );
+        let mut resumed = QueryExecution::recover(db)
+            .unwrap_or_else(|e| panic!("{fault:?} at gc write {k}: recovery errored: {e}"))
+            .unwrap();
+        let suffix = resumed.run_to_completion().unwrap();
+        let mut all = prefix.clone();
+        if manifest.generation == 2 {
+            all.extend(mid.iter().cloned());
+        }
+        all.extend(suffix);
+        assert_eq!(
+            all, reference,
+            "{fault:?} at gc write {k}: generation {} output diverges",
+            manifest.generation
+        );
+    }
+}
+
+/// Crash at every write ordinal of generation retirement: before the
+/// manifest removal the generation must still resume; after it the state
+/// must read as cleanly un-suspended. Never an error, never a half-retired
+/// generation that loads garbage.
+#[test]
+fn retire_crash_matrix_is_all_or_nothing() {
+    let reference = reference_output();
+    let writes = {
+        let (_dir, db, _prefix, exec) = run_to_suspend_point("rdry");
+        exec.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        QueryExecution::retire_generation(&db).unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0, "retirement must issue write events");
+
+    for k in 1..=writes {
+        let fault = if k % 2 == 0 { WriteFault::Torn } else { WriteFault::Crash };
+        let (dir, db, prefix, exec) = run_to_suspend_point("rcell");
+        exec.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        let fi = Arc::new(FaultInjector::seeded(0x2E + k));
+        fi.fail_write(k, fault);
+        db.disk().set_fault_injector(Some(fi));
+        let _ = QueryExecution::retire_generation(&db);
+        drop(db);
+        assert_resumable_or_clean(
+            &dir,
+            &prefix,
+            &reference,
+            &format!("{fault:?} at retire write {k}"),
+        );
+    }
+}
+
+#[test]
+fn clean_abort_leaves_no_new_files_and_typed_error() {
+    // Headroom 0: every rung fails, the ladder aborts. The typed error
+    // must be resource pressure, the directory must hold no manifest, and
+    // the salvage sweep must have deleted every blob the failed rungs
+    // wrote (quota accounting back to its pre-suspend level).
+    let (dir, db, _prefix, exec) = run_to_suspend_point("abort");
+    let used_before = db.disk().used_bytes();
+    arm_quota(&db, 0);
+    let err = exec
+        .suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options())
+        .expect_err("zero headroom must abort the ladder");
+    assert!(
+        err.is_resource_pressure(),
+        "abort error must be typed pressure, got {err}"
+    );
+    db.disk().set_quota(None);
+    assert_eq!(
+        db.disk().used_bytes(),
+        used_before,
+        "clean abort must release every byte the failed rungs wrote"
+    );
+    drop(db);
+    let db = Database::open_default(&dir.0).unwrap();
+    assert!(
+        QueryExecution::recover(db).unwrap().is_none(),
+        "clean abort must leave no manifest"
+    );
+}

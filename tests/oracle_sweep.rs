@@ -111,6 +111,7 @@ fn exhaustive_suspend_point_sweep() {
                     pool_pages,
                     dump_writers,
                     policy,
+                    quota: None,
                     mode: Mode::Sweep { boundary },
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
@@ -155,12 +156,99 @@ fn multi_suspend_chains_to_depth_three() {
                     } else {
                         Policy::Dump
                     },
+                    quota: None,
                     mode: Mode::Chain {
                         boundaries: boundaries.clone(),
                     },
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
             }
+        }
+    }
+}
+
+/// Disk-pressure family: sweep quota headrooms from "nothing fits" (clean
+/// abort + rerun) through "only the cheapest rungs fit" up to "everything
+/// fits", at the MIP-optimized policy whose ladder has all four rungs.
+/// Every headroom must deliver golden output — via a committed suspend at
+/// whatever rung the quota admits, or via clean abort and re-execution.
+#[test]
+fn degradation_ladder_quota_sweep() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    const PAGE: u64 = 4096;
+    let headrooms: &[u64] = &[0, PAGE, 2 * PAGE, 4 * PAGE, 16 * PAGE, 64 * PAGE, 1024 * PAGE];
+    for case in qsr::workload::cases() {
+        let total = oracle
+            .total_work_units(case.name)
+            .unwrap_or_else(|e| panic!("golden run of {}: {e}", case.name));
+        let boundary = (total / 2).max(1);
+        for &headroom in headrooms {
+            for policy in [Policy::Optimized, Policy::Dump] {
+                let s = Scenario {
+                    case: case.name.to_string(),
+                    pool_pages: 0,
+                    dump_writers: 0,
+                    policy,
+                    quota: Some(headroom),
+                    mode: Mode::Sweep { boundary },
+                };
+                check_or_die(&mut oracle, &s, cfg.seed);
+            }
+        }
+    }
+}
+
+/// Scripted `NoSpace` at every write ordinal of the suspend phase: rung 0
+/// loses exactly one write (the fault is one-shot), so the ladder steps
+/// down once and the next rung — salvaging rung 0's valid blobs — must
+/// still commit a resumable suspend that delivers golden output.
+#[test]
+fn scripted_nospace_at_every_suspend_write() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    // hash-join and hash-agg pin the in-place partition-writer sealing:
+    // a NoSpace on the first suspend write once lost the unflushed tail
+    // page, and the retry rung committed a run set missing tuples.
+    for case in ["sort", "hash-join", "hash-agg"] {
+        let total = oracle
+            .total_work_units(case)
+            .unwrap_or_else(|e| panic!("golden run of {case}: {e}"));
+        let boundary = (total / 2).max(1);
+        let shape = Scenario {
+            case: case.to_string(),
+            pool_pages: 0,
+            dump_writers: 0,
+            policy: Policy::Optimized,
+            quota: None,
+            mode: Mode::Fault {
+                boundary,
+                during_resume: false,
+                schedule: FaultSchedule::default(),
+            },
+        };
+        let (writes, _) = oracle
+            .probe_fault_windows(&shape, boundary, false)
+            .unwrap_or_else(|e| panic!("nospace probe [{shape}]: {e}"));
+        for ord in 1..=writes.max(1) {
+            let s = Scenario {
+                mode: Mode::Fault {
+                    boundary,
+                    during_resume: false,
+                    schedule: FaultSchedule {
+                        write_fault: Some((ord, qsr::storage::WriteFault::NoSpace)),
+                        ..Default::default()
+                    },
+                },
+                ..shape.clone()
+            };
+            check_or_die(&mut oracle, &s, cfg.seed);
         }
     }
 }
@@ -185,11 +273,15 @@ fn randomized_fault_schedules() {
         let during_resume = next() % 2 == 1;
         let boundary = 1 + next() % total.max(1);
         let policy = if next() % 2 == 0 { Policy::Dump } else { Policy::Optimized };
+        // One in four randomized fault runs also squeezes the disk: a
+        // seeded quota headroom compounds the scripted fault schedule.
+        let quota = (next() % 4 == 0).then(|| next() % (256 * 1024));
         let shape = Scenario {
             case: case.name.to_string(),
             pool_pages,
             dump_writers,
             policy,
+            quota,
             mode: Mode::Fault {
                 boundary,
                 during_resume,
