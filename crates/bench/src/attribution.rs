@@ -1,0 +1,353 @@
+//! Per-operator I/O attribution derived from a trace capture.
+//!
+//! Consumes the [`TraceRecord`] stream of a full-capture [`Tracer`]
+//! (`qsr_storage::Tracer::take_full`) and folds it into one row per
+//! operator: dump pages (fresh vs. salvage-reused, split by the phase
+//! that paid for them), execution read/write pages, and a best-effort
+//! per-operator cache hit-rate. The cache columns come from the ledger
+//! snapshots each record carries: the pool-counter delta between two
+//! consecutive records is attributed to the operator of the later record
+//! (the one whose work observed the delta), so they are an attribution
+//! heuristic, not an exact ledger decomposition — the exact decomposition
+//! is the phase table the ledger itself keeps.
+
+use qsr_storage::{Phase, TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+
+/// One operator's attributed I/O.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpAttribution {
+    /// Fresh dump pages written while `Phase::Suspend` was active (the
+    /// budgeted suspend proper).
+    pub dump_pages_suspend: u64,
+    /// Fresh dump pages written under `Phase::Fallback` (retry rungs,
+    /// shadow fallback passes).
+    pub dump_pages_fallback: u64,
+    /// Dump pages satisfied from the salvage cache — zero fresh I/O.
+    pub dump_pages_reused: u64,
+    /// Execution/resume page reads attributed to this operator.
+    pub exec_read_pages: u64,
+    /// Execution/resume page writes attributed to this operator.
+    pub exec_write_pages: u64,
+    /// Buffer-pool hits observed across this operator's records.
+    pub cache_hits: u64,
+    /// Buffer-pool misses observed across this operator's records.
+    pub cache_misses: u64,
+}
+
+impl OpAttribution {
+    /// Pool hit fraction for this operator's records, `None` when its
+    /// records saw no pool traffic at all (same semantics as
+    /// [`qsr_storage::CacheStats::hit_rate`]).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
+        }
+    }
+}
+
+/// The derived table: per-operator rows plus the non-operator remainder.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionTable {
+    /// Rows keyed by operator id.
+    pub ops: BTreeMap<u32, OpAttribution>,
+    /// Non-operator suspend-metadata pages (`SuspendedQuery` blob,
+    /// partition-seal tail flushes), keyed by label. Owned strings so the
+    /// same table can be folded from an in-memory capture (static labels)
+    /// or re-read from a JSONL sink.
+    pub meta_pages: BTreeMap<String, u64>,
+}
+
+impl AttributionTable {
+    /// Fresh dump pages charged while `phase` was active, over all ops.
+    pub fn dump_pages(&self, phase: Phase) -> u64 {
+        self.ops
+            .values()
+            .map(|a| match phase {
+                Phase::Suspend => a.dump_pages_suspend,
+                Phase::Fallback => a.dump_pages_fallback,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// All meta pages (every label).
+    pub fn total_meta_pages(&self) -> u64 {
+        self.meta_pages.values().sum()
+    }
+}
+
+/// Fold a record stream into the attribution table.
+pub fn attribute(records: &[TraceRecord]) -> AttributionTable {
+    let mut table = AttributionTable::default();
+    let mut prev_cache: Option<(u64, u64)> = None;
+    for r in records {
+        let cache_now = (r.ledger.cache.hits, r.ledger.cache.misses);
+        let (dh, dm) = match prev_cache {
+            Some((ph, pm)) => (cache_now.0.saturating_sub(ph), cache_now.1.saturating_sub(pm)),
+            None => (0, 0),
+        };
+        prev_cache = Some(cache_now);
+        match &r.event {
+            TraceEvent::OpDump {
+                op, pages, reused, ..
+            } => {
+                let row = table.ops.entry(*op).or_default();
+                if *reused {
+                    row.dump_pages_reused += pages;
+                } else if r.phase == Phase::Suspend {
+                    row.dump_pages_suspend += pages;
+                } else {
+                    row.dump_pages_fallback += pages;
+                }
+                row.cache_hits += dh;
+                row.cache_misses += dm;
+            }
+            TraceEvent::OpIo { op, reads, writes } => {
+                let row = table.ops.entry(*op).or_default();
+                row.exec_read_pages += reads;
+                row.exec_write_pages += writes;
+                row.cache_hits += dh;
+                row.cache_misses += dm;
+            }
+            TraceEvent::MetaWrite { label, pages } => {
+                *table.meta_pages.entry(label.to_string()).or_default() += pages;
+            }
+            _ => {}
+        }
+    }
+    table
+}
+
+/// Fold a JSONL flight-recorder file (the `QSR_TRACE` sink format) into
+/// the same table [`attribute`] derives from an in-memory capture.
+/// `{"failure": ...}` markers carry no I/O and are skipped; a malformed
+/// line is an error naming its line number. Sessions appended to one file
+/// (seq restarting at 0) fold together: the saturating cache delta zeroes
+/// itself across the counter reset.
+pub fn from_jsonl(text: &str) -> Result<AttributionTable, String> {
+    use crate::json::{parse, Json};
+    let mut table = AttributionTable::default();
+    let mut prev_cache: Option<(u64, u64)> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| format!("line {line_no}: not a JSON object"))?;
+        if obj.len() == 1 && obj.contains_key("failure") {
+            continue;
+        }
+        let get = |parent: &'static str, key: &'static str| -> Result<Json, String> {
+            obj.get(parent)
+                .and_then(|p| p.get(key))
+                .cloned()
+                .ok_or_else(|| format!("line {line_no}: missing {parent}.{key}"))
+        };
+        let num = |parent: &'static str, key: &'static str| -> Result<u64, String> {
+            get(parent, key)?
+                .as_u64()
+                .ok_or_else(|| format!("line {line_no}: {parent}.{key} is not a number"))
+        };
+        let cache = obj
+            .get("ledger")
+            .and_then(|l| l.get("cache"))
+            .ok_or_else(|| format!("line {line_no}: missing ledger.cache"))?;
+        let hits = cache
+            .get("hits")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {line_no}: missing ledger.cache.hits"))?;
+        let misses = cache
+            .get("misses")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {line_no}: missing ledger.cache.misses"))?;
+        let (dh, dm) = match prev_cache {
+            Some((ph, pm)) => (hits.saturating_sub(ph), misses.saturating_sub(pm)),
+            None => (0, 0),
+        };
+        prev_cache = Some((hits, misses));
+        let phase = obj
+            .get("phase")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing phase"))?
+            .to_string();
+        let event = obj
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing event"))?;
+        match event {
+            "OpDump" => {
+                let op = num("data", "op")? as u32;
+                let pages = num("data", "pages")?;
+                let reused = get("data", "reused")?
+                    .as_bool()
+                    .ok_or_else(|| format!("line {line_no}: data.reused is not a bool"))?;
+                let row = table.ops.entry(op).or_default();
+                if reused {
+                    row.dump_pages_reused += pages;
+                } else if phase == "suspend" {
+                    row.dump_pages_suspend += pages;
+                } else {
+                    row.dump_pages_fallback += pages;
+                }
+                row.cache_hits += dh;
+                row.cache_misses += dm;
+            }
+            "OpIo" => {
+                let row = table.ops.entry(num("data", "op")? as u32).or_default();
+                row.exec_read_pages += num("data", "reads")?;
+                row.exec_write_pages += num("data", "writes")?;
+                row.cache_hits += dh;
+                row.cache_misses += dm;
+            }
+            "MetaWrite" => {
+                let label = get("data", "label")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {line_no}: data.label is not a string"))?
+                    .to_string();
+                *table.meta_pages.entry(label).or_default() += num("data", "pages")?;
+            }
+            _ => {}
+        }
+    }
+    Ok(table)
+}
+
+/// Render the table as markdown (one row per operator, then meta rows).
+pub fn render(table: &AttributionTable) -> String {
+    let mut out = String::from(
+        "| op | dump@suspend | dump@fallback | dump reused | exec reads | exec writes | cache hit-rate |\n\
+         |----|--------------|---------------|-------------|------------|-------------|----------------|\n",
+    );
+    for (op, a) in &table.ops {
+        let hr = match a.cache_hit_rate() {
+            Some(v) => format!("{v:.3}"),
+            None => "idle".to_string(),
+        };
+        out.push_str(&format!(
+            "| {op} | {} | {} | {} | {} | {} | {hr} |\n",
+            a.dump_pages_suspend,
+            a.dump_pages_fallback,
+            a.dump_pages_reused,
+            a.exec_read_pages,
+            a.exec_write_pages,
+        ));
+    }
+    for (label, pages) in &table.meta_pages {
+        out.push_str(&format!("| meta:{label} | {pages} | - | - | - | - | - |\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsr_storage::{CostLedger, CostModel, Tracer};
+
+    fn tracer() -> (CostLedger, std::sync::Arc<Tracer>) {
+        let ledger = CostLedger::new(CostModel::default());
+        let t = std::sync::Arc::new(Tracer::new(ledger.clone()));
+        t.enable_full_capture();
+        ledger.set_tracer(&t);
+        (ledger, t)
+    }
+
+    #[test]
+    fn dumps_split_by_phase_and_reuse() {
+        let (ledger, t) = tracer();
+        ledger.set_phase(Phase::Suspend);
+        t.emit(TraceEvent::OpDump {
+            op: 1,
+            strategy: "dump",
+            bytes: 10,
+            pages: 3,
+            reused: false,
+        });
+        t.emit(TraceEvent::OpDump {
+            op: 1,
+            strategy: "dump",
+            bytes: 10,
+            pages: 2,
+            reused: true,
+        });
+        ledger.set_phase(Phase::Fallback);
+        t.emit(TraceEvent::OpDump {
+            op: 2,
+            strategy: "dump",
+            bytes: 10,
+            pages: 5,
+            reused: false,
+        });
+        t.emit(TraceEvent::MetaWrite {
+            label: "suspended-query",
+            pages: 1,
+        });
+        let table = attribute(&t.take_full());
+        assert_eq!(table.ops[&1].dump_pages_suspend, 3);
+        assert_eq!(table.ops[&1].dump_pages_reused, 2);
+        assert_eq!(table.ops[&2].dump_pages_fallback, 5);
+        assert_eq!(table.dump_pages(Phase::Suspend), 3);
+        assert_eq!(table.dump_pages(Phase::Fallback), 5);
+        assert_eq!(table.total_meta_pages(), 1);
+    }
+
+    #[test]
+    fn op_io_accumulates_and_renders() {
+        let (_ledger, t) = tracer();
+        t.emit(TraceEvent::OpIo {
+            op: 4,
+            reads: 7,
+            writes: 0,
+        });
+        t.emit(TraceEvent::OpIo {
+            op: 4,
+            reads: 0,
+            writes: 2,
+        });
+        let table = attribute(&t.take_full());
+        let row = table.ops[&4];
+        assert_eq!(row.exec_read_pages, 7);
+        assert_eq!(row.exec_write_pages, 2);
+        // No pool traffic in any snapshot: the idle case must not read
+        // as a 0.0 hit rate.
+        assert_eq!(row.cache_hit_rate(), None);
+        let md = render(&table);
+        assert!(md.contains("| 4 | 0 | 0 | 0 | 7 | 2 | idle |"), "{md}");
+    }
+
+    #[test]
+    fn jsonl_fold_matches_in_memory_semantics() {
+        let text = concat!(
+            r#"{"seq":0,"phase":"suspend","event":"OpDump","data":{"op":1,"strategy":"dump","bytes":10,"pages":3,"reused":false},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+            r#"{"seq":1,"phase":"suspend","event":"OpDump","data":{"op":1,"strategy":"dump","bytes":10,"pages":2,"reused":true},"ledger":{"cache":{"hits":1,"misses":2}}}"#,
+            "\n",
+            r#"{"seq":2,"phase":"fallback","event":"OpDump","data":{"op":2,"strategy":"dump","bytes":10,"pages":5,"reused":false},"ledger":{"cache":{"hits":1,"misses":2}}}"#,
+            "\n",
+            r#"{"failure":"suspend aborted cleanly: quota"}"#,
+            "\n",
+            r#"{"seq":3,"phase":"suspend","event":"MetaWrite","data":{"label":"suspended-query","pages":1},"ledger":{"cache":{"hits":1,"misses":2}}}"#,
+            "\n",
+        );
+        let t = from_jsonl(text).unwrap();
+        assert_eq!(t.ops[&1].dump_pages_suspend, 3);
+        assert_eq!(t.ops[&1].dump_pages_reused, 2);
+        // The hits/misses delta between records 0 and 1 lands on op 1.
+        assert_eq!(t.ops[&1].cache_hit_rate(), Some(1.0 / 3.0));
+        assert_eq!(t.ops[&2].dump_pages_fallback, 5);
+        assert_eq!(t.meta_pages["suspended-query"], 1);
+        assert_eq!(t.dump_pages(Phase::Suspend), 3);
+        assert_eq!(t.dump_pages(Phase::Fallback), 5);
+
+        // Malformed attribution-relevant fields are errors naming the line.
+        let bad = r#"{"seq":0,"phase":"suspend","event":"OpDump","data":{"op":1},"ledger":{"cache":{"hits":0,"misses":0}}}"#;
+        let err = from_jsonl(bad).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

@@ -14,12 +14,11 @@ use qsr_workload::{generate_skewed_table, generate_table, TableSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-/// Experiment scale factor relative to the paper (default 0.01).
+/// Experiment scale factor relative to the paper (default 0.01). A
+/// malformed `QSR_SCALE` is a hard configuration error, not a silent
+/// fall-through to the default.
 pub fn scale() -> f64 {
-    std::env::var("QSR_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.01)
+    qsr_storage::env_parse::<f64>("QSR_SCALE").unwrap_or(0.01)
 }
 
 /// Scale a paper-sized count.
@@ -32,10 +31,7 @@ pub fn scaled(paper_count: u64) -> u64 {
 /// paper's cost analysis bit-for-bit. Set `QSR_POOL_PAGES` (or pass
 /// `--pool-pages N` to `all_experiments`) to measure with caching on.
 pub fn pool_pages() -> usize {
-    std::env::var("QSR_POOL_PAGES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    qsr_storage::env_parse::<usize>("QSR_POOL_PAGES").unwrap_or(0)
 }
 
 /// Suspend I/O deadline in simulated cost units applied to every measured
@@ -44,9 +40,7 @@ pub fn pool_pages() -> usize {
 /// may commit a cheaper rung than the requested policy; the measured
 /// suspend/resume split shifts accordingly. Default: unconstrained.
 pub fn suspend_deadline() -> Option<f64> {
-    std::env::var("QSR_SUSPEND_DEADLINE")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    qsr_storage::env_parse::<f64>("QSR_SUSPEND_DEADLINE")
 }
 
 /// Disk-quota headroom in bytes armed for each measured suspend window
@@ -56,9 +50,7 @@ pub fn suspend_deadline() -> Option<f64> {
 /// fits surfaces as the suspend's typed clean-abort error. Default: no
 /// quota.
 pub fn disk_quota_headroom() -> Option<u64> {
-    std::env::var("QSR_DISK_QUOTA")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    qsr_storage::env_parse::<u64>("QSR_DISK_QUOTA")
 }
 
 /// A temporary experiment database; the directory is removed on drop.
@@ -90,6 +82,9 @@ impl ExpDb {
         ));
         std::fs::create_dir_all(&dir)?;
         let db = Database::open_with_pool(&dir, model, pool_pages())?;
+        // With QSR_TRACE set (or --trace-json on all_experiments), every
+        // experiment database gets a flight recorder + JSONL sink.
+        qsr_storage::install_env_tracer(&db)?;
         Ok(Self { db, dir })
     }
 

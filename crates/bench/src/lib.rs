@@ -7,7 +7,9 @@
 //! `all_experiments` runs the suite and emits `EXPERIMENTS.md`-ready
 //! markdown. Criterion microbenchmarks live in `benches/`.
 
+pub mod attribution;
 pub mod experiments;
 pub mod harness;
+pub mod json;
 
 pub use harness::*;

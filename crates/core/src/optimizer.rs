@@ -29,8 +29,12 @@ use crate::graph::{ChainResolution, Contract, ContractGraph, SideSnapshot};
 use crate::ids::OpId;
 use crate::suspended::{Strategy, SuspendPlan};
 use crate::topology::PlanTopology;
-use qsr_mip::{ConstraintOp, LinearProgram, MipSolution, SolveBudget, SolveStats, VarId};
-use qsr_storage::{pages_for_bytes, CostModel, Result, StorageError, PAGE_SIZE};
+use qsr_mip::{
+    ConstraintOp, LinearProgram, MipSolution, SolveBudget, SolveObserver, SolveStats, VarId,
+};
+use qsr_storage::{
+    pages_for_bytes, CostModel, Result, StorageError, TraceEvent, Tracer, PAGE_SIZE,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Instant;
 
@@ -274,6 +278,26 @@ impl SuspendProblem {
 /// The suspend-plan chooser.
 pub struct SuspendOptimizer;
 
+/// Adapter forwarding [`SolveObserver`] callbacks into the trace journal
+/// (`qsr-mip` has no dependencies, so it cannot emit directly).
+struct MipTraceObserver<'a>(&'a Tracer);
+
+impl SolveObserver for MipTraceObserver<'_> {
+    fn on_root(&self, pivots: usize) {
+        self.0.emit(TraceEvent::MipPivot { pivots });
+    }
+    fn on_node(&self, nodes: usize, pivots: usize, bound: f64) {
+        self.0.emit(TraceEvent::MipNode {
+            nodes,
+            pivots,
+            bound,
+        });
+    }
+    fn on_incumbent(&self, objective: f64, nodes: usize) {
+        self.0.emit(TraceEvent::MipIncumbent { objective, nodes });
+    }
+}
+
 impl SuspendOptimizer {
     /// Number of MIP variables above which the structured solver is used
     /// instead of the dense simplex (see `structured`).
@@ -281,12 +305,10 @@ impl SuspendOptimizer {
 
     /// The solver budget in effect when the caller specifies none: the
     /// `QSR_SOLVE_NODES` environment knob (a node cap), or the solver's
-    /// own defensive default.
+    /// own defensive default. A malformed value is a hard error naming
+    /// the variable, not a silent fall-through.
     pub fn default_solve_budget() -> SolveBudget {
-        match std::env::var("QSR_SOLVE_NODES")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-        {
+        match qsr_storage::env_parse::<usize>("QSR_SOLVE_NODES") {
             Some(n) => SolveBudget::nodes(n),
             None => SolveBudget::default(),
         }
@@ -301,6 +323,22 @@ impl SuspendOptimizer {
         Self::choose_with_budget(policy, problem, graph, &Self::default_solve_budget())
     }
 
+    /// [`Self::choose`], emitting solver progress to `tracer` when present.
+    pub fn choose_traced(
+        policy: &SuspendPolicy,
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        tracer: Option<&Tracer>,
+    ) -> Result<OptimizeReport> {
+        Self::choose_with_budget_traced(
+            policy,
+            problem,
+            graph,
+            &Self::default_solve_budget(),
+            tracer,
+        )
+    }
+
     /// Choose a suspend plan under `policy`, bounding the MIP search by
     /// `solve_budget`. The result is always *some* plan: on budget expiry
     /// the anytime solver's incumbent or rounded relaxation is used, and
@@ -310,6 +348,18 @@ impl SuspendOptimizer {
         problem: &SuspendProblem,
         graph: &ContractGraph,
         solve_budget: &SolveBudget,
+    ) -> Result<OptimizeReport> {
+        Self::choose_with_budget_traced(policy, problem, graph, solve_budget, None)
+    }
+
+    /// [`Self::choose_with_budget`], emitting `MipPivot` / `MipNode` /
+    /// `MipIncumbent` events to `tracer` while the branch-and-bound runs.
+    pub fn choose_with_budget_traced(
+        policy: &SuspendPolicy,
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        solve_budget: &SolveBudget,
+        tracer: Option<&Tracer>,
     ) -> Result<OptimizeReport> {
         let start = Instant::now();
         let report = match policy {
@@ -342,8 +392,14 @@ impl SuspendOptimizer {
                         SolveStats::default(),
                     )
                 } else {
-                    let (plan, stats) =
-                        Self::solve_mip_budgeted(problem, graph, &cands, *budget, solve_budget)?;
+                    let (plan, stats) = Self::solve_mip_budgeted_observed(
+                        problem,
+                        graph,
+                        &cands,
+                        *budget,
+                        solve_budget,
+                        tracer,
+                    )?;
                     Self::report(problem, graph, plan, SolverKind::Mip, start, stats)
                 }
             }
@@ -452,10 +508,27 @@ impl SuspendOptimizer {
         graph: &ContractGraph,
         budget: Option<f64>,
     ) -> Result<OptimizeReport> {
+        Self::heuristic_rounded_traced(problem, graph, budget, None)
+    }
+
+    /// [`Self::heuristic_rounded`], emitting the root-LP pivot count to
+    /// `tracer` when present.
+    pub fn heuristic_rounded_traced(
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        budget: Option<f64>,
+        tracer: Option<&Tracer>,
+    ) -> Result<OptimizeReport> {
         let start = Instant::now();
         let cands = problem.candidates(graph);
-        let (plan, stats) =
-            Self::solve_mip_budgeted(problem, graph, &cands, budget, &SolveBudget::nodes(0))?;
+        let (plan, stats) = Self::solve_mip_budgeted_observed(
+            problem,
+            graph,
+            &cands,
+            budget,
+            &SolveBudget::nodes(0),
+            tracer,
+        )?;
         Ok(Self::report(problem, graph, plan, SolverKind::Mip, start, stats))
     }
 
@@ -470,6 +543,17 @@ impl SuspendOptimizer {
         cands: &[GoBackCandidate],
         budget: Option<f64>,
         solve_budget: &SolveBudget,
+    ) -> Result<(SuspendPlan, SolveStats)> {
+        Self::solve_mip_budgeted_observed(problem, graph, cands, budget, solve_budget, None)
+    }
+
+    fn solve_mip_budgeted_observed(
+        problem: &SuspendProblem,
+        graph: &ContractGraph,
+        cands: &[GoBackCandidate],
+        budget: Option<f64>,
+        solve_budget: &SolveBudget,
+        tracer: Option<&Tracer>,
     ) -> Result<(SuspendPlan, SolveStats)> {
         let mut lp = LinearProgram::new();
         let mut var_of: HashMap<(OpId, OpId), VarId> = HashMap::new();
@@ -548,7 +632,12 @@ impl SuspendOptimizer {
             }
         }
 
-        let (sol, stats) = qsr_mip::solve_mip_with_stats(&lp, solve_budget);
+        let observer = tracer.map(MipTraceObserver);
+        let (sol, stats) = qsr_mip::solve_mip_observed(
+            &lp,
+            solve_budget,
+            observer.as_ref().map(|o| o as &dyn SolveObserver),
+        );
         match sol {
             MipSolution::Optimal { x, .. } | MipSolution::Heuristic { x, .. } => {
                 let mut plan = Self::all_dump(problem);

@@ -5,7 +5,7 @@ use crate::writers::DumpPipeline;
 use qsr_core::{ContractGraph, OpId, WorkTable};
 use qsr_storage::{
     fnv1a, pages_for_bytes, BlobId, CostModel, CostSnapshot, Database, Encode, Result,
-    StorageError,
+    StorageError, TraceEvent,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -168,13 +168,27 @@ impl ExecContext {
     /// pipeline); otherwise this is a plain serial blob write.
     ///
     /// Two degradation-ladder mechanisms hook in here, where every dump
-    /// byte passes: the [`DumpWatchdog`] rejects the write with a typed
-    /// [`StorageError::DeadlineExceeded`] when the rung's I/O budget
-    /// cannot cover it, and the salvage cache returns an already-durable
-    /// blob with identical bytes (checksum + length) from a failed
-    /// earlier rung without writing anything.
-    pub fn put_dump_value<T: Encode>(&self, value: &T) -> Result<BlobId> {
+    /// byte passes: the salvage cache returns an already-durable blob with
+    /// identical bytes (checksum + length) from a failed earlier rung
+    /// without writing anything — a free reuse the watchdog must never
+    /// veto, so it is consulted *first* — and the [`DumpWatchdog`] rejects
+    /// a fresh write with a typed [`StorageError::DeadlineExceeded`] when
+    /// the rung's I/O budget cannot cover it.
+    pub fn put_dump_value<T: Encode>(&self, op: OpId, value: &T) -> Result<BlobId> {
         let bytes = value.encode_to_vec();
+        let nbytes = bytes.len() as u64;
+        let pages = pages_for_bytes(bytes.len()) as u64;
+        let key = (fnv1a(&bytes), nbytes);
+        if let Some(id) = self.salvage.borrow_mut().remove(&key) {
+            self.db.ledger().trace(|| TraceEvent::OpDump {
+                op: op.0,
+                strategy: "dump",
+                bytes: nbytes,
+                pages,
+                reused: true,
+            });
+            return Ok(id);
+        }
         if let Some(wd) = &self.watchdog {
             let spent = self
                 .db
@@ -182,23 +196,64 @@ impl ExecContext {
                 .snapshot()
                 .since(&wd.baseline)
                 .total_cost();
-            let upcoming =
-                pages_for_bytes(bytes.len()) as f64 * self.db.ledger().model().write_page;
+            let upcoming = pages as f64 * self.db.ledger().model().write_page;
             if spent + upcoming > wd.budget {
+                self.db.ledger().trace(|| TraceEvent::WatchdogVeto {
+                    spent,
+                    budget: wd.budget,
+                    upcoming,
+                });
                 return Err(StorageError::DeadlineExceeded {
                     spent,
                     budget: wd.budget,
                 });
             }
         }
-        let key = (fnv1a(&bytes), bytes.len() as u64);
-        if let Some(id) = self.salvage.borrow_mut().remove(&key) {
-            return Ok(id);
-        }
-        match &self.dump_pipeline {
+        let id = match &self.dump_pipeline {
             Some(p) => p.put_encoded(bytes),
             None => self.db.blobs().put(&bytes),
+        }?;
+        self.db.ledger().trace(|| TraceEvent::OpDump {
+            op: op.0,
+            strategy: "dump",
+            bytes: nbytes,
+            pages,
+            reused: false,
+        });
+        Ok(id)
+    }
+
+    /// Watchdog admission check for non-dump suspend-phase writes
+    /// (partition seals, writer flushes): `pages` page-writes are about to
+    /// be charged to the suspend phase outside the dump-blob path, so they
+    /// face the same per-rung budget veto as [`Self::put_dump_value`] —
+    /// otherwise a rung could overrun its I/O budget through writes the
+    /// watchdog never sees.
+    pub fn guard_suspend_write(&self, pages: u64) -> Result<()> {
+        if pages == 0 {
+            return Ok(());
         }
+        if let Some(wd) = &self.watchdog {
+            let spent = self
+                .db
+                .ledger()
+                .snapshot()
+                .since(&wd.baseline)
+                .total_cost();
+            let upcoming = pages as f64 * self.db.ledger().model().write_page;
+            if spent + upcoming > wd.budget {
+                self.db.ledger().trace(|| TraceEvent::WatchdogVeto {
+                    spent,
+                    budget: wd.budget,
+                    upcoming,
+                });
+                return Err(StorageError::DeadlineExceeded {
+                    spent,
+                    budget: wd.budget,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The cost model in effect.
@@ -285,6 +340,11 @@ impl ExecContext {
         if pages > 0 {
             self.work
                 .charge(op, pages as f64 * self.cost_model().read_page);
+            self.db.ledger().trace(|| TraceEvent::OpIo {
+                op: op.0,
+                reads: pages,
+                writes: 0,
+            });
         }
     }
 
@@ -293,6 +353,11 @@ impl ExecContext {
         if pages > 0 {
             self.work
                 .charge(op, pages as f64 * self.cost_model().write_page);
+            self.db.ledger().trace(|| TraceEvent::OpIo {
+                op: op.0,
+                reads: 0,
+                writes: pages,
+            });
         }
     }
 }

@@ -32,7 +32,8 @@ use qsr_core::{
     SuspendOptimizer, SuspendPlan, SuspendPolicy, SuspendProblem, SuspendedQuery,
 };
 use qsr_storage::{
-    BlobId, Database, Decode, Encode, FileId, Phase, Result, Schema, StorageError, Tuple,
+    pages_for_bytes, BlobId, Database, Decode, Encode, FileId, Phase, Result, Schema,
+    StorageError, TraceEvent, Tuple,
 };
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -354,9 +355,16 @@ impl QueryExecution {
             // insurance I/O below it is kept out of `Phase::Suspend`.
             let phase = if i == 0 { Phase::Suspend } else { Phase::Fallback };
             self.db.ledger().set_phase(phase);
+            self.db
+                .ledger()
+                .trace(|| TraceEvent::RungStart { rung: rung.name() });
             let report = match self.rung_report(rung, policy, &problem, options, &solve_budget) {
                 Ok(r) => r,
                 Err(e) => {
+                    self.db.ledger().trace(|| TraceEvent::RungAbort {
+                        rung: rung.name(),
+                        reason: format!("optimize failed: {e}"),
+                    });
                     if self.halted() {
                         return Err(e);
                     }
@@ -364,12 +372,24 @@ impl QueryExecution {
                     continue;
                 }
             };
+            self.db.ledger().trace(|| TraceEvent::RungPlan {
+                rung: rung.name(),
+                est_suspend: report.est_suspend_cost,
+                est_resume: report.est_resume_cost,
+            });
             // Admission control: when the plan's own estimate already
             // exceeds the deadline there is no point paying for its dumps
             // — skip straight to a cheaper rung. The final rung is always
             // attempted; the estimate is a model, not a measurement.
             if let Some(d) = options.deadline {
                 if i < last && report.est_suspend_cost > d {
+                    self.db.ledger().trace(|| TraceEvent::RungAbort {
+                        rung: rung.name(),
+                        reason: format!(
+                            "admission: estimated suspend cost {:.3} exceeds deadline {:.3}",
+                            report.est_suspend_cost, d
+                        ),
+                    });
                     last_err = Some(StorageError::DeadlineExceeded {
                         spent: report.est_suspend_cost,
                         budget: d,
@@ -389,6 +409,10 @@ impl QueryExecution {
             match attempt {
                 Ok((mut handle, sq)) => {
                     handle.rung = *rung;
+                    self.db.ledger().trace(|| TraceEvent::RungCommit {
+                        rung: rung.name(),
+                        generation: handle.generation,
+                    });
                     // Commit point passed. Reclaim in strictly safe order:
                     // salvage orphans first (never referenced by any
                     // manifest), then the superseded generation.
@@ -405,6 +429,10 @@ impl QueryExecution {
                 }
                 Err(failure) => {
                     let (e, partial) = *failure;
+                    self.db.ledger().trace(|| TraceEvent::RungAbort {
+                        rung: rung.name(),
+                        reason: e.to_string(),
+                    });
                     if self.halted() {
                         return Err(e);
                     }
@@ -428,8 +456,14 @@ impl QueryExecution {
         }
         let _ = self.root.close(&mut self.ctx);
         self.db.ledger().set_phase(Phase::Execute);
-        Err(last_err
-            .unwrap_or_else(|| StorageError::invalid("suspend aborted: no ladder rung available")))
+        let err = last_err
+            .unwrap_or_else(|| StorageError::invalid("suspend aborted: no ladder rung available"));
+        // Freeze the flight-recorder tail on the typed clean abort so the
+        // events leading up to it survive alongside the error.
+        if let Some(t) = self.db.tracer() {
+            t.record_failure(&format!("suspend aborted cleanly: {err}"));
+        }
+        Err(err)
     }
 
     /// True when the fault injector has halted all I/O (a crash or torn
@@ -455,6 +489,8 @@ impl QueryExecution {
         solve_budget: &SolveBudget,
     ) -> Result<OptimizeReport> {
         let budget_of = |b: &Option<f64>| b.or(options.deadline);
+        let tracer = self.db.tracer();
+        let tracer = tracer.as_deref();
         match rung {
             Rung::Requested => {
                 let effective = match policy {
@@ -463,11 +499,12 @@ impl QueryExecution {
                     },
                     other => other.clone(),
                 };
-                SuspendOptimizer::choose_with_budget(
+                SuspendOptimizer::choose_with_budget_traced(
                     &effective,
                     problem,
                     &self.ctx.graph,
                     solve_budget,
+                    tracer,
                 )
             }
             Rung::HeuristicRounded => {
@@ -475,14 +512,20 @@ impl QueryExecution {
                     SuspendPolicy::Optimized { budget } => budget_of(budget),
                     _ => options.deadline,
                 };
-                SuspendOptimizer::heuristic_rounded(problem, &self.ctx.graph, budget)
+                SuspendOptimizer::heuristic_rounded_traced(problem, &self.ctx.graph, budget, tracer)
             }
-            Rung::AllDump => {
-                SuspendOptimizer::choose(&SuspendPolicy::AllDump, problem, &self.ctx.graph)
-            }
-            Rung::AllGoBack => {
-                SuspendOptimizer::choose(&SuspendPolicy::AllGoBack, problem, &self.ctx.graph)
-            }
+            Rung::AllDump => SuspendOptimizer::choose_traced(
+                &SuspendPolicy::AllDump,
+                problem,
+                &self.ctx.graph,
+                tracer,
+            ),
+            Rung::AllGoBack => SuspendOptimizer::choose_traced(
+                &SuspendPolicy::AllGoBack,
+                problem,
+                &self.ctx.graph,
+                tracer,
+            ),
         }
     }
 
@@ -552,6 +595,13 @@ impl QueryExecution {
             Ok(b) => b,
             Err(e) => return Err(Box::new((e, sq))),
         };
+        // The serialized SuspendedQuery is the one non-operator page write
+        // of a committing rung; journaling it closes the per-phase
+        // attribution sum (dump pages + seal pages + this).
+        self.db.ledger().trace(|| TraceEvent::MetaWrite {
+            label: "suspended-query",
+            pages: pages_for_bytes(blob.len as usize) as u64,
+        });
 
         // Durability barrier: everything the manifest makes reachable must
         // be stable before the rename that commits it. This includes any
@@ -768,8 +818,18 @@ impl QueryExecution {
     /// nothing but the directory.
     pub fn recover(db: Arc<Database>) -> std::result::Result<Option<Self>, ResumeError> {
         match read_manifest(&db)? {
-            None => Ok(None),
-            Some(m) => Self::resume_validated(db, m.query).map(Some),
+            None => {
+                db.ledger().trace(|| TraceEvent::RecoveryStep {
+                    step: "no suspend manifest; clean start".to_string(),
+                });
+                Ok(None)
+            }
+            Some(m) => {
+                db.ledger().trace(|| TraceEvent::RecoveryStep {
+                    step: format!("manifest generation {} found; resuming", m.generation),
+                });
+                Self::resume_validated(db, m.query).map(Some)
+            }
         }
     }
 
@@ -796,6 +856,14 @@ impl QueryExecution {
     ) -> std::result::Result<Self, ResumeError> {
         db.ledger().set_phase(Phase::Resume);
         let out = Self::resume_validated_inner(&db, blob);
+        if let Err(e) = &out {
+            // Attach the flight-recorder tail to the failure out-of-band
+            // (the ResumeError shape is frozen; callers fetch the tail via
+            // Database::tracer / Tracer::failure_tail).
+            if let Some(t) = db.tracer() {
+                t.record_failure(&format!("resume failed: {e}"));
+            }
+        }
         db.ledger().set_phase(Phase::Execute);
         out
     }
@@ -811,6 +879,13 @@ impl QueryExecution {
                 ResumeError::Storage(e)
             }
         })?;
+        db.ledger().trace(|| TraceEvent::RecoveryStep {
+            step: format!(
+                "suspended query loaded: {} records, {} fallbacks",
+                sq.records.len(),
+                sq.fallbacks.len()
+            ),
+        });
         let spec = PlanSpec::decode_from_slice(&sq.plan_bytes)
             .map_err(|e| ResumeError::IncompatiblePlan(e.to_string()))?;
         for t in spec.tables() {
@@ -835,6 +910,12 @@ impl QueryExecution {
                     };
                     match sq.fallbacks.remove(&op) {
                         Some(recs) => {
+                            db.ledger().trace(|| TraceEvent::RecoveryStep {
+                                step: format!(
+                                    "dump blob for op {} unreadable; substituting GoBack fallback",
+                                    op.0
+                                ),
+                            });
                             for r in recs {
                                 sq.put_record(r);
                             }

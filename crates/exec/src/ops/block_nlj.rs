@@ -330,7 +330,7 @@ impl Operator for BlockNlj {
         let strategy = plan.get(self.op);
         match (mode, strategy) {
             (SuspendMode::Current, Strategy::Dump) => {
-                let blob = ctx.put_dump_value(&BufferDump(self.buffer.clone()))?;
+                let blob = ctx.put_dump_value(self.op, &BufferDump(self.buffer.clone()))?;
                 sq.put_record(OpSuspendRecord {
                     op: self.op,
                     strategy,
@@ -395,7 +395,7 @@ impl Operator for BlockNlj {
                             target
                         };
                         let blob =
-                            ctx.put_dump_value(&BufferDump(self.buffer.clone()))?;
+                            ctx.put_dump_value(self.op, &BufferDump(self.buffer.clone()))?;
                         sq.put_record(OpSuspendRecord {
                             op: self.op,
                             strategy: strat,

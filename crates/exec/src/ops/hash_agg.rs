@@ -400,7 +400,17 @@ impl Operator for HashAgg {
             let w = slot
                 .as_mut()
                 .ok_or_else(|| StorageError::invalid("hash-agg partition writer missing"))?;
+            // Non-dump suspend write: admit the tail flush against the
+            // rung's I/O budget (see ExecContext::guard_suspend_write).
+            let pending = w.pending_pages();
+            ctx.guard_suspend_write(pending)?;
             let handle = w.seal()?;
+            if pending > 0 {
+                ctx.db.ledger().trace(|| qsr_storage::TraceEvent::MetaWrite {
+                    label: "partition-seal",
+                    pages: pending,
+                });
+            }
             let pages = ctx.db.pool().num_pages(handle.file)?;
             ctx.note_page_writes(self.op, pages);
             self.runs.push(handle);
@@ -456,7 +466,7 @@ impl Operator for HashAgg {
 
         let heap_dump = match strategy {
             Strategy::Dump if !self.groups.is_empty() => {
-                Some(ctx.put_dump_value(&GroupsDump(self.groups.clone()))?)
+                Some(ctx.put_dump_value(self.op, &GroupsDump(self.groups.clone()))?)
             }
             _ => None,
         };

@@ -269,7 +269,19 @@ impl HashJoin {
             let w = slot
                 .as_mut()
                 .ok_or_else(|| StorageError::invalid("hash-join partition writer missing"))?;
+            // Suspend-time seals write outside the dump-blob path; admit
+            // the flush against the rung's I/O budget before committing,
+            // so a rung cannot overrun via writes the dump watchdog never
+            // sees (no-op during execution, when no watchdog is armed).
+            let pending = w.pending_pages();
+            ctx.guard_suspend_write(pending)?;
             let handle = w.seal()?;
+            if pending > 0 {
+                ctx.db.ledger().trace(|| qsr_storage::TraceEvent::MetaWrite {
+                    label: "partition-seal",
+                    pages: pending,
+                });
+            }
             let pages = ctx.db.pool().num_pages(handle.file)?;
             ctx.note_page_writes(op, pages);
             runs.push(handle);
@@ -656,7 +668,7 @@ impl Operator for HashJoin {
                 let mut pairs: Vec<(i64, Vec<Tuple>)> =
                     self.table.iter().map(|(k, v)| (*k, v.clone())).collect();
                 pairs.sort_by_key(|(k, _)| *k);
-                Some(ctx.put_dump_value(&TableDump(pairs))?)
+                Some(ctx.put_dump_value(self.op, &TableDump(pairs))?)
             }
             _ => None,
         };

@@ -480,7 +480,7 @@ impl Operator for MergeJoin {
 
         let heap_dump = match strategy {
             Strategy::Dump if !self.lpacket.is_empty() || !self.rpacket.is_empty() => {
-                Some(ctx.put_dump_value(&PacketDump {
+                Some(ctx.put_dump_value(self.op, &PacketDump {
                     left: self.lpacket.clone(),
                     right: self.rpacket.clone(),
                 })?)

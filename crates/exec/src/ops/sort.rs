@@ -445,7 +445,7 @@ impl Operator for ExternalSort {
 
         let heap_dump = match strategy {
             Strategy::Dump if self.phase == PHASE_BUILD && !self.buf.is_empty() => {
-                Some(ctx.put_dump_value(&BufferDump(self.buf.clone()))?)
+                Some(ctx.put_dump_value(self.op, &BufferDump(self.buf.clone()))?)
             }
             _ => None,
         };

@@ -23,7 +23,8 @@ pub mod problem;
 pub mod simplex;
 
 pub use branch_bound::{
-    solve_mip, solve_mip_with_stats, MipOptions, MipSolution, SolveBudget, SolveStats,
+    solve_mip, solve_mip_observed, solve_mip_with_stats, MipOptions, MipSolution, SolveBudget,
+    SolveObserver, SolveStats,
 };
 pub use problem::{Constraint, ConstraintOp, LinearProgram, VarId};
 pub use simplex::{solve_lp, solve_lp_counted, LpOutcome, LpSolution};

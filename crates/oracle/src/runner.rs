@@ -53,8 +53,13 @@ impl Oracle {
     }
 
     fn open(dir: &Path, pool_pages: usize) -> OracleResult<Arc<Database>> {
-        Database::open_with_pool(dir, CostModel::default(), pool_pages)
-            .map_err(|e| format!("open database: {e}"))
+        let db = Database::open_with_pool(dir, CostModel::default(), pool_pages)
+            .map_err(|e| format!("open database: {e}"))?;
+        // With QSR_TRACE set, every database handle the oracle opens gets
+        // a flight recorder + JSONL sink, so a repro token replays with
+        // its trace attached.
+        qsr_storage::install_env_tracer(&db).map_err(|e| format!("install tracer: {e}"))?;
+        Ok(db)
     }
 
     /// Fresh database with the corpus loaded and durably flushed, so fault

@@ -266,6 +266,11 @@ impl BufferPool {
                 }
                 g.frames.remove(&(vf, vp));
                 self.dm.ledger().note_cache(0, 0, 1, 0);
+                self.dm.ledger().trace(|| crate::trace::TraceEvent::PoolEvict {
+                    file: vf.0,
+                    page: vp,
+                    dirty: vdirty,
+                });
             }
         }
         g.tick += 1;
@@ -309,6 +314,10 @@ impl BufferPool {
         }
         if written > 0 {
             self.dm.ledger().note_cache(0, 0, 0, written);
+            self.dm.ledger().trace(|| crate::trace::TraceEvent::PoolWriteBack {
+                file: id.0,
+                pages: written,
+            });
         }
         Ok(written)
     }

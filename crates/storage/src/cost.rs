@@ -11,8 +11,10 @@
 
 use crate::codec::{Decode, Decoder, Encode, Encoder};
 use crate::error::Result;
+use crate::trace::{TraceEvent, Tracer};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
 
 /// The query-lifecycle phase work is charged to (Figure 3 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,14 +116,22 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit fraction over all pool reads (0.0 when the pool saw no reads).
-    pub fn hit_rate(&self) -> f64 {
+    /// Hit fraction over all pool reads, or `None` when the pool saw no
+    /// reads at all. The distinction matters: an idle pool (no traffic)
+    /// and a thrashing pool (all misses) are different conditions, and
+    /// the old `0.0`-for-both return conflated them.
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / total as f64
+            Some(self.hits as f64 / total as f64)
         }
+    }
+
+    /// True when the pool saw no read traffic at all.
+    pub fn is_idle(&self) -> bool {
+        self.hits + self.misses == 0
     }
 
     fn add(&mut self, other: &CacheStats) {
@@ -226,6 +236,17 @@ struct LedgerInner {
     active: usize,
 }
 
+/// Shared tracer registration. The ledger holds only a [`Weak`] so the
+/// tracer (which itself holds a ledger clone to snapshot at emit time)
+/// never forms a reference cycle; the strong `Arc<Tracer>` lives on the
+/// [`Database`](crate::Database). The `enabled` flag keeps the off path
+/// to one relaxed atomic load — the zero-overhead-off guarantee.
+#[derive(Debug, Default)]
+struct TracerSlot {
+    enabled: AtomicBool,
+    slot: Mutex<Weak<Tracer>>,
+}
+
 /// Thread-safe cost ledger shared by every storage object of a database.
 ///
 /// The *active phase* is a piece of ambient state: the lifecycle driver
@@ -234,6 +255,7 @@ struct LedgerInner {
 #[derive(Debug, Clone)]
 pub struct CostLedger {
     inner: Arc<Mutex<LedgerInner>>,
+    tracer: Arc<TracerSlot>,
     model: CostModel,
 }
 
@@ -243,6 +265,7 @@ impl CostLedger {
     pub fn new(model: CostModel) -> Self {
         Self {
             inner: Arc::new(Mutex::new(LedgerInner::default())),
+            tracer: Arc::new(TracerSlot::default()),
             model,
         }
     }
@@ -252,9 +275,56 @@ impl CostLedger {
         &self.model
     }
 
-    /// Switch the active phase; subsequent charges go to `phase`.
+    /// Register a tracer: subsequent phase transitions and
+    /// [`CostLedger::trace`] closures emit into it. The ledger keeps only
+    /// a weak reference — the caller owns the tracer's lifetime.
+    pub fn set_tracer(&self, tracer: &Arc<Tracer>) {
+        *self.tracer.slot.lock() = Arc::downgrade(tracer);
+        self.tracer.enabled.store(true, Ordering::Release);
+    }
+
+    /// Deregister the tracer; emit sites go back to the one-atomic-load
+    /// disabled path.
+    pub fn clear_tracer(&self) {
+        self.tracer.enabled.store(false, Ordering::Release);
+        *self.tracer.slot.lock() = Weak::new();
+    }
+
+    /// The registered tracer, if one is installed and still alive.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        if !self.tracer.enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        self.tracer.slot.lock().upgrade()
+    }
+
+    /// Emit a trace event if (and only if) a tracer is installed. The
+    /// closure defers event construction, so with tracing off this is a
+    /// single relaxed atomic load and nothing else.
+    pub fn trace(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.tracer() {
+            t.emit(f());
+        }
+    }
+
+    /// Switch the active phase; subsequent charges go to `phase`. Emits
+    /// `PhaseExit`/`PhaseEnter` (after releasing the counter lock) when
+    /// the phase actually changes.
     pub fn set_phase(&self, phase: Phase) {
-        self.inner.lock().active = phase.idx();
+        let old = {
+            let mut g = self.inner.lock();
+            let old = g.active;
+            g.active = phase.idx();
+            old
+        };
+        if old != phase.idx() {
+            if let Some(t) = self.tracer() {
+                t.emit(TraceEvent::PhaseExit {
+                    phase: Phase::ALL[old],
+                });
+                t.emit(TraceEvent::PhaseEnter { phase });
+            }
+        }
     }
 
     /// The currently active phase.

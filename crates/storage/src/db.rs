@@ -9,6 +9,7 @@ use crate::disk::DiskManager;
 use crate::error::Result;
 use crate::heap::HeapFile;
 use crate::index::{IndexMeta, SortedIndex};
+use crate::trace::Tracer;
 use parking_lot::Mutex;
 use std::path::Path;
 use std::sync::Arc;
@@ -22,6 +23,9 @@ pub struct Database {
     pool: Arc<BufferPool>,
     catalog: Mutex<Catalog>,
     blobs: BlobStore,
+    /// The strong owner of an installed tracer; the ledger only holds a
+    /// weak reference (see [`CostLedger::set_tracer`]).
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl Database {
@@ -50,7 +54,26 @@ impl Database {
             pool,
             catalog,
             blobs,
+            tracer: Mutex::new(None),
         }))
+    }
+
+    /// Install (or with `None`, remove) a tracer. The database owns the
+    /// strong reference; the cost ledger gets a weak one so every layer
+    /// with ledger access can emit. With no tracer installed, emit sites
+    /// cost one atomic load and ledger totals are bit-identical to a
+    /// build that never heard of tracing.
+    pub fn install_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        match &tracer {
+            Some(t) => self.ledger().set_tracer(t),
+            None => self.ledger().clear_tracer(),
+        }
+        *self.tracer.lock() = tracer;
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.lock().clone()
     }
 
     /// Open with the default (paper-calibrated) cost model.

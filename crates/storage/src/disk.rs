@@ -9,6 +9,7 @@
 use crate::cost::CostLedger;
 use crate::error::{Result, StorageError};
 use crate::fault::{self, FaultInjector, WriteKind, WriteOutcome};
+use crate::trace::TraceEvent;
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -146,19 +147,58 @@ impl DiskManager {
 
     /// Consult the injector for one write event of `len` payload bytes
     /// against `target` (a file or sidecar name), classified as `kind`.
+    /// A fault that fires here (not the dead-process echo after a halt)
+    /// is journaled as a `FaultInjected` trace event.
     fn fault_write(&self, target: &str, kind: WriteKind, len: usize) -> Result<WriteOutcome> {
-        match self.fault_injector() {
-            Some(fi) => fi.before_write_at(Some((target, kind)), len),
-            None => Ok(WriteOutcome::Proceed),
+        let Some(fi) = self.fault_injector() else {
+            return Ok(WriteOutcome::Proceed);
+        };
+        let was_halted = fi.halted();
+        let out = fi.before_write_at(Some((target, kind)), len);
+        let label = match &out {
+            Ok(WriteOutcome::Proceed) => None,
+            Ok(WriteOutcome::TornPrefix(_)) => Some("torn-write"),
+            Err(_) if was_halted => None,
+            Err(e) if e.is_resource_pressure() => Some("nospace-write"),
+            Err(e) if e.is_transient() => Some("transient-write"),
+            Err(_) => Some("failed-write"),
+        };
+        if let Some(kind) = label {
+            let ordinal = fi.writes_observed();
+            self.ledger.trace(|| TraceEvent::FaultInjected {
+                target: target.to_string(),
+                kind,
+                ordinal,
+            });
         }
+        out
     }
 
     /// Consult the injector for one read event of `len` payload bytes.
+    /// Fired faults (bit flips, transient failures) are journaled like
+    /// write faults.
     fn fault_read(&self, len: usize) -> Result<Option<usize>> {
-        match self.fault_injector() {
-            Some(fi) => fi.before_read(len),
-            None => Ok(None),
+        let Some(fi) = self.fault_injector() else {
+            return Ok(None);
+        };
+        let was_halted = fi.halted();
+        let out = fi.before_read(len);
+        let label = match &out {
+            Ok(None) => None,
+            Ok(Some(_)) => Some("read-bit-flip"),
+            Err(_) if was_halted => None,
+            Err(e) if e.is_transient() => Some("transient-read"),
+            Err(_) => Some("failed-read"),
+        };
+        if let Some(kind) = label {
+            let ordinal = fi.reads_observed();
+            self.ledger.trace(|| TraceEvent::FaultInjected {
+                target: String::new(),
+                kind,
+                ordinal,
+            });
         }
+        out
     }
 
     /// Directory containing the files.

@@ -150,6 +150,12 @@ impl HeapFile {
         self.flush_tail()
     }
 
+    /// True when a partially filled page is still buffered in memory (the
+    /// page [`Self::finish`] would write).
+    pub fn has_unflushed_tail(&self) -> bool {
+        self.tail.is_some()
+    }
+
     /// Open a sequential cursor at the beginning.
     pub fn cursor(&self) -> HeapCursor {
         HeapCursor::new(self.pool.clone(), self.file)

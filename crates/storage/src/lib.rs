@@ -29,6 +29,7 @@ pub mod codec;
 pub mod cost;
 pub mod db;
 pub mod disk;
+pub mod env;
 pub mod error;
 pub mod fault;
 pub mod heap;
@@ -36,6 +37,7 @@ pub mod index;
 pub mod page;
 pub mod run;
 pub mod schema;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 
@@ -46,6 +48,7 @@ pub use codec::{Decode, Decoder, Encode, Encoder};
 pub use cost::{CacheStats, CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
 pub use db::Database;
 pub use disk::{DiskManager, FileId};
+pub use env::{env_flag, env_parse, parse_env_flag, parse_env_value};
 pub use error::{Result, StorageError};
 pub use fault::{
     splitmix64, FaultInjector, FaultSchedule, WriteEvent, WriteFault, WriteKind, WriteOutcome,
@@ -56,5 +59,6 @@ pub use index::{IndexBuilder, IndexMeta, SortedIndex};
 pub use page::{pages_for_bytes, Page, PAGE_SIZE};
 pub use run::{RunHandle, RunReader, RunWriter};
 pub use schema::{Column, Schema};
+pub use trace::{install_env_tracer, record_json, TraceEvent, TraceRecord, Tracer};
 pub use tuple::Tuple;
 pub use value::{DataType, Value};

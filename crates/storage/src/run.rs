@@ -84,6 +84,13 @@ impl RunWriter {
         self.heap.pages()
     }
 
+    /// Pages [`Self::seal`] would still write (0 or 1: the buffered tail).
+    /// Lets a suspend-time caller pass the exact upcoming write volume to
+    /// an I/O-budget admission check before committing to the seal.
+    pub fn pending_pages(&self) -> u64 {
+        u64::from(self.heap.has_unflushed_tail())
+    }
+
     /// Flush and seal the run without consuming the writer. On failure
     /// the unflushed tail stays buffered, so sealing can be retried (the
     /// degradation ladder re-seals partitions after a `NoSpace` rung).

@@ -56,6 +56,36 @@ fn op_seq() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec((0u8..3, 0u64..8, any::<u32>()), 1..80)
 }
 
+/// `hit_rate` must distinguish "the pool was never asked anything" from
+/// "every lookup missed": `None` for an idle pool, `Some(0.0)` for an
+/// all-miss workload. A plain `0.0` for both would make a cold cache and
+/// an unused cache indistinguishable in every derived report.
+#[test]
+fn hit_rate_distinguishes_idle_from_all_miss() {
+    assert_eq!(CacheStats::default().hit_rate(), None, "idle pool must be None, not 0.0");
+
+    // Populate through one pool, flush, then read through a second cold
+    // pool over the same disk: the first read of each page must miss.
+    let (_d, warm) = pool(4);
+    let f = warm.create_file().unwrap();
+    warm.append_page(f, &stamped(1)).unwrap();
+    warm.append_page(f, &stamped(2)).unwrap();
+    warm.flush_all().unwrap();
+    let cold = BufferPool::new(warm.disk().clone(), 4);
+    let before = cold.disk().ledger().snapshot();
+    cold.read_page(f, 0).unwrap();
+    cold.read_page(f, 1).unwrap();
+    let all_miss = cold.disk().ledger().snapshot().since(&before).cache;
+    assert_eq!((all_miss.hits, all_miss.misses), (0, 2));
+    assert_eq!(all_miss.hit_rate(), Some(0.0), "all-miss must be Some(0.0), not None");
+
+    // A re-read of a cached page moves the rate strictly above zero.
+    cold.read_page(f, 0).unwrap();
+    let mixed = cold.disk().ledger().snapshot().since(&before).cache;
+    assert_eq!((mixed.hits, mixed.misses), (1, 2));
+    assert_eq!(mixed.hit_rate(), Some(1.0 / 3.0));
+}
+
 proptest! {
     #[test]
     fn every_requested_read_is_a_hit_or_a_miss(ops in op_seq(), cap in 1usize..6) {

@@ -1,0 +1,128 @@
+//! The suspend-lifecycle flight recorder, end to end: run the same
+//! suspend/resume cycle with and without a tracer installed and show the
+//! cost ledger is bit-identical; capture the full event stream plus a
+//! JSONL sink; fold it into the per-operator I/O attribution table; then
+//! force a clean ladder abort and read back the frozen failure tail.
+//!
+//! ```sh
+//! cargo run --example flight_recorder
+//! ```
+
+use qsr::core::{OpId, SuspendPolicy};
+use qsr::exec::{PlanSpec, Predicate, QueryExecution, SuspendTrigger};
+use qsr::storage::{Database, Tracer, Tuple};
+use qsr::workload::{generate_table, TableSpec};
+use qsr_bench::attribution;
+use std::sync::Arc;
+
+fn plan() -> PlanSpec {
+    PlanSpec::Sort {
+        input: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+                predicate: Predicate::IntLt { col: 1, value: 500 },
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 150,
+        }),
+        key: 0,
+        buffer_tuples: 4096,
+    }
+}
+
+fn fresh_db(dir: &std::path::Path) -> Arc<Database> {
+    std::fs::create_dir_all(dir).unwrap();
+    let db = Database::open_default(dir).unwrap();
+    generate_table(&db, &TableSpec::new("r", 800).payload(16).seed(11)).unwrap();
+    generate_table(&db, &TableSpec::new("s", 200).payload(16).seed(12)).unwrap();
+    db
+}
+
+/// One full cycle on `db`: run to the trigger, suspend, recover, finish.
+fn suspend_resume_cycle(db: &Arc<Database>) -> Vec<Tuple> {
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(1),
+        n: 250,
+    }));
+    let (mut out, done) = exec.run().unwrap();
+    assert!(!done);
+    exec.suspend(&SuspendPolicy::AllDump).unwrap();
+    let mut resumed = QueryExecution::recover(db.clone()).unwrap().unwrap();
+    out.extend(resumed.run_to_completion().unwrap());
+    out
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("qsr-flight-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Baseline: the cycle with no tracer installed.
+    let plain_db = fresh_db(&base.join("plain"));
+    let plain_out = suspend_resume_cycle(&plain_db);
+    let plain_snap = plain_db.ledger().snapshot();
+    println!("untraced cycle: {} tuples", plain_out.len());
+
+    // The same cycle with full capture and a JSONL sink armed. Tracing
+    // must not perturb the query or the ledger by a single unit.
+    let sink = base.join("trace.jsonl");
+    let traced_db = fresh_db(&base.join("traced"));
+    let tracer = Arc::new(Tracer::new(traced_db.ledger().clone()));
+    tracer.enable_full_capture();
+    tracer.set_json_sink(&sink).unwrap();
+    traced_db.install_tracer(Some(tracer.clone()));
+    let traced_out = suspend_resume_cycle(&traced_db);
+    assert_eq!(plain_out, traced_out, "tracing changed the query output");
+    assert_eq!(
+        plain_snap,
+        traced_db.ledger().snapshot(),
+        "tracing changed the cost ledger"
+    );
+    println!("traced cycle:   identical output, bit-identical ledger");
+
+    let records = tracer.take_full();
+    println!("\ncaptured {} events; first three:", records.len());
+    for r in records.iter().take(3) {
+        println!("  #{} [{:?}] {:?}", r.seq, r.phase, r.event);
+    }
+    let jsonl = std::fs::read_to_string(&sink).unwrap();
+    println!(
+        "JSONL sink: {} lines, e.g.\n  {}",
+        jsonl.lines().count(),
+        jsonl.lines().next().unwrap()
+    );
+
+    // Per-operator I/O attribution, folded two ways: from the in-memory
+    // capture and from the sink file. Both spell the same table.
+    let table = attribution::attribute(&records);
+    let from_disk = attribution::from_jsonl(&jsonl).unwrap();
+    assert_eq!(attribution::render(&table), attribution::render(&from_disk));
+    println!("\nper-operator attribution:\n{}", attribution::render(&table));
+
+    // Failure tail: a zero-headroom disk quota fails every ladder rung;
+    // the suspend aborts cleanly and the ring freezes the lead-up.
+    let abort_db = fresh_db(&base.join("abort"));
+    let abort_tracer = Arc::new(Tracer::new(abort_db.ledger().clone()));
+    abort_db.install_tracer(Some(abort_tracer.clone()));
+    let mut exec = QueryExecution::start(abort_db.clone(), plan()).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(1),
+        n: 250,
+    }));
+    let (_, done) = exec.run().unwrap();
+    assert!(!done);
+    let dm = abort_db.disk();
+    dm.set_quota(Some(dm.used_bytes()));
+    let err = exec.suspend(&SuspendPolicy::AllDump).unwrap_err();
+    let (label, tail) = abort_tracer.failure_tail().expect("abort must freeze a tail");
+    println!("suspend error: {err}");
+    println!("failure tail:  {:?} ({} events); last two:", label, tail.len());
+    for r in tail.iter().rev().take(2).rev() {
+        println!("  #{} [{:?}] {:?}", r.seq, r.phase, r.event);
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+    println!("\nflight recorder demo: all checks passed");
+}

@@ -33,4 +33,19 @@ cargo run --release -p qsr-bench --bin bench_pr4
 # QSR_ORACLE_FULL=1 for the widened nightly-style run.
 QSR_ORACLE_SEED=219803630 QSR_ORACLE_FAULTS=32 \
     cargo test --release -q --test oracle_sweep
-cargo run --release -p qsr-bench --bin oracle_smoke
+
+# Observability smoke: the oracle smoke runs with a JSONL flight-recorder
+# sink attached (QSR_TRACE), every emitted line is validated against the
+# checked-in event schema, and the zero-overhead-off pin — tracer
+# installed vs absent leaves the CostLedger bit-identical — runs in
+# release mode.
+QSR_TRACE_DIR="$(mktemp -d)"
+QSR_TRACE="$QSR_TRACE_DIR/trace.jsonl" \
+    cargo run --release -p qsr-bench --bin oracle_smoke
+cargo run --release -p qsr-bench --bin trace_check -- \
+    "$QSR_TRACE_DIR/trace.jsonl" scripts/trace.schema.json
+cargo run --release -p qsr-bench --bin trace_summary -- \
+    "$QSR_TRACE_DIR/trace.jsonl"
+rm -rf "$QSR_TRACE_DIR"
+cargo test --release -q --test trace_invariants \
+    tracer_installed_is_ledger_bit_identical

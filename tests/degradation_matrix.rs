@@ -455,6 +455,57 @@ fn retire_crash_matrix_is_all_or_nothing() {
     }
 }
 
+/// The watchdog must see *every* write a rung charges to the suspend
+/// phase, not just dump blobs. A rung that satisfies all its dumps from
+/// the salvage cache (free, never vetoed) still flushes partition-writer
+/// tails when it seals — those non-dump pages face the same per-rung
+/// budget via `guard_suspend_write`, otherwise a salvage-reuse rung could
+/// overrun its deadline through writes the dump-path watchdog never sees.
+#[test]
+fn watchdog_vetoes_non_dump_seal_writes_but_never_salvage_reuse() {
+    use qsr::exec::{DumpWatchdog, ExecContext};
+    use qsr::storage::StorageError;
+
+    let dir = TempDir::new("wd");
+    let db = Database::open_default(&dir.0).unwrap();
+    let mut ctx = ExecContext::new(db.clone());
+    let write_page = db.ledger().model().write_page;
+
+    // Unwatched dump: lands one blob (one page) and seeds the reuse case.
+    let value: Vec<u8> = vec![0xAB; 64];
+    let before = db.ledger().snapshot();
+    let id = ctx.put_dump_value(OpId(7), &value).unwrap();
+    let one_dump = db.ledger().snapshot().since(&before).total_cost();
+    assert!(one_dump >= write_page, "a fresh dump must charge its pages");
+
+    // Arm a budget below even a single page write: nothing fresh fits.
+    ctx.set_watchdog(Some(DumpWatchdog {
+        budget: 0.4 * write_page,
+        baseline: db.ledger().snapshot(),
+    }));
+
+    // A fresh dump is vetoed...
+    let fresh: Vec<u8> = vec![0xCD; 64];
+    let err = ctx.put_dump_value(OpId(7), &fresh).expect_err("fresh dump must be vetoed");
+    assert!(matches!(err, StorageError::DeadlineExceeded { .. }), "got {err}");
+
+    // ...but reusing the salvaged blob writes nothing and must never be.
+    ctx.add_salvage([id]);
+    assert_eq!(ctx.put_dump_value(OpId(7), &value).unwrap(), id);
+
+    // The non-dump seal write is charged to the same budget: one tail
+    // page would overrun, so the guard vetoes it; a no-op seal is free.
+    let err = ctx
+        .guard_suspend_write(1)
+        .expect_err("seal tail flush must face the watchdog");
+    assert!(matches!(err, StorageError::DeadlineExceeded { .. }), "got {err}");
+    assert!(ctx.guard_suspend_write(0).is_ok());
+
+    // Disarmed (execution phase): the guard is a no-op.
+    ctx.set_watchdog(None);
+    assert!(ctx.guard_suspend_write(1).is_ok());
+}
+
 #[test]
 fn clean_abort_leaves_no_new_files_and_typed_error() {
     // Headroom 0: every rung fails, the ladder aborts. The typed error

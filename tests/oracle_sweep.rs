@@ -31,21 +31,17 @@ struct Config {
     replay: Option<String>,
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn config() -> Config {
-    let full = std::env::var("QSR_ORACLE_FULL").is_ok_and(|v| v == "1");
+    // Hard-error parsing: a malformed QSR_ORACLE_* value must abort the
+    // run naming the variable, never silently fall back to a default.
+    let full = qsr::storage::env_flag("QSR_ORACLE_FULL").unwrap_or(false);
     Config {
-        seed: env_u64("QSR_ORACLE_SEED", DEFAULT_SEED),
-        stride: env_u64("QSR_ORACLE_STRIDE", 1).max(1),
-        faults: env_u64("QSR_ORACLE_FAULTS", if full { 128 } else { 32 }),
+        seed: qsr::storage::env_parse("QSR_ORACLE_SEED").unwrap_or(DEFAULT_SEED),
+        stride: qsr::storage::env_parse("QSR_ORACLE_STRIDE").unwrap_or(1).max(1),
+        faults: qsr::storage::env_parse("QSR_ORACLE_FAULTS")
+            .unwrap_or(if full { 128 } else { 32 }),
         full,
-        replay: std::env::var("QSR_ORACLE_CASE").ok().filter(|s| !s.is_empty()),
+        replay: qsr::storage::env_parse::<String>("QSR_ORACLE_CASE"),
     }
 }
 
