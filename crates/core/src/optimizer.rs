@@ -511,6 +511,20 @@ impl SuspendOptimizer {
         Self::heuristic_rounded_traced(problem, graph, budget, None)
     }
 
+    /// Estimated cost of suspending this query *right now* — the victim-
+    /// choice signal for a preemptive scheduler. One root LP plus
+    /// rounding (zero branch-and-bound nodes), so it is cheap enough to
+    /// evaluate for every live session at each preemption decision. Falls
+    /// back to the all-dump strawman's estimate when the LP is
+    /// infeasible, and to `f64::INFINITY` when even that fails — an
+    /// unestimable session is never picked over an estimable one.
+    pub fn victim_signal(problem: &SuspendProblem, graph: &ContractGraph) -> f64 {
+        Self::heuristic_rounded(problem, graph, None)
+            .or_else(|_| Self::choose(&SuspendPolicy::AllDump, problem, graph))
+            .map(|r| r.est_suspend_cost)
+            .unwrap_or(f64::INFINITY)
+    }
+
     /// [`Self::heuristic_rounded`], emitting the root-LP pivot count to
     /// `tracer` when present.
     pub fn heuristic_rounded_traced(

@@ -24,7 +24,8 @@ use crate::context::{DumpWatchdog, ExecContext, SuspendTrigger, WorkUnitObserver
 use crate::operator::{Operator, Poll, SuspendMode};
 use crate::plan::{build_plan, PlanSpec};
 use crate::recovery::{
-    clear_manifest, commit_manifest, read_manifest, with_retries, ResumeError, SuspendManifest,
+    clear_manifest_named, commit_manifest_named, read_manifest_named, with_retries, ResumeError,
+    SuspendManifest, SUSPEND_MANIFEST,
 };
 use crate::writers::DumpPipeline;
 use qsr_core::{
@@ -150,6 +151,11 @@ pub struct QueryExecution {
     topology: PlanTopology,
     tuples_emitted: u64,
     finished: bool,
+    /// Sidecar name this execution's suspends commit under. Defaults to
+    /// the global [`SUSPEND_MANIFEST`]; the multi-session server assigns
+    /// each session its own name so concurrent suspended sessions never
+    /// garbage-collect each other's generations.
+    manifest_name: String,
 }
 
 impl QueryExecution {
@@ -184,6 +190,7 @@ impl QueryExecution {
             topology: built.topology,
             tuples_emitted: 0,
             finished: false,
+            manifest_name: SUSPEND_MANIFEST.to_string(),
         };
         exec.root.open(&mut exec.ctx)?;
         Ok(exec)
@@ -200,6 +207,7 @@ impl QueryExecution {
             topology: built.topology,
             tuples_emitted: 0,
             finished: false,
+            manifest_name: SUSPEND_MANIFEST.to_string(),
         };
         exec.ctx.checkpoints_enabled = checkpoints;
         exec.root.open(&mut exec.ctx)?;
@@ -234,6 +242,25 @@ impl QueryExecution {
     /// Raise a suspend request (the paper's suspend exception).
     pub fn request_suspend(&mut self) {
         self.ctx.request_suspend();
+    }
+
+    /// Withdraw a pending suspend request (a scheduler that decided to
+    /// preempt a *different* victim retracts the request it raised here).
+    pub fn clear_suspend_request(&mut self) {
+        self.ctx.clear_suspend_request();
+    }
+
+    /// The manifest sidecar name this execution's suspends commit under.
+    pub fn manifest_name(&self) -> &str {
+        &self.manifest_name
+    }
+
+    /// Commit future suspends of this execution under `name` instead of
+    /// the global [`SUSPEND_MANIFEST`]. Per-session names let N suspended
+    /// sessions coexist in one database directory, each with its own
+    /// generation chain.
+    pub fn set_manifest_name(&mut self, name: impl Into<String>) {
+        self.manifest_name = name.into();
     }
 
     /// Install a work-unit observer (oracle harness hook): called on every
@@ -345,7 +372,9 @@ impl QueryExecution {
         // and is garbage-collected after the new manifest commits. An
         // unreadable old manifest only disables GC; it cannot block a new
         // suspend (its blobs leak, its manifest is overwritten).
-        let prev = read_manifest(&self.db).ok().flatten();
+        let prev = read_manifest_named(&self.db, &self.manifest_name)
+            .ok()
+            .flatten();
 
         let rungs = Rung::ladder(policy);
         let last = rungs.len() - 1;
@@ -616,8 +645,9 @@ impl QueryExecution {
         }
 
         let generation = prev.map_or(1, |m| m.generation + 1);
-        if let Err(e) = commit_manifest(
+        if let Err(e) = commit_manifest_named(
             &self.db,
+            &self.manifest_name,
             &SuspendManifest {
                 generation,
                 query: blob,
@@ -796,11 +826,17 @@ impl QueryExecution {
     /// degrades to removing the manifest alone (the blobs leak, committed
     /// state is never at risk).
     pub fn retire_generation(db: &Database) -> Result<()> {
-        let Some(m) = read_manifest(db).ok().flatten() else {
+        Self::retire_generation_named(db, SUSPEND_MANIFEST)
+    }
+
+    /// [`QueryExecution::retire_generation`] for an explicitly named
+    /// manifest (per-session suspend chains).
+    pub fn retire_generation_named(db: &Database, name: &str) -> Result<()> {
+        let Some(m) = read_manifest_named(db, name).ok().flatten() else {
             return Ok(());
         };
         let old_sq = SuspendedQuery::load(db.blobs(), m.query).ok();
-        clear_manifest(db)?;
+        clear_manifest_named(db, name)?;
         if let Some(sq) = old_sq {
             for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
                 if let Some(b) = rec.heap_dump {
@@ -817,18 +853,30 @@ impl QueryExecution {
     /// happened" state. This is the fresh-process entry point — it needs
     /// nothing but the directory.
     pub fn recover(db: Arc<Database>) -> std::result::Result<Option<Self>, ResumeError> {
-        match read_manifest(&db)? {
+        Self::recover_named(db, SUSPEND_MANIFEST)
+    }
+
+    /// [`QueryExecution::recover`] for an explicitly named manifest. The
+    /// recovered execution keeps committing under `name`, so a session
+    /// resumed by the server stays on its own generation chain.
+    pub fn recover_named(
+        db: Arc<Database>,
+        name: &str,
+    ) -> std::result::Result<Option<Self>, ResumeError> {
+        match read_manifest_named(&db, name)? {
             None => {
                 db.ledger().trace(|| TraceEvent::RecoveryStep {
-                    step: "no suspend manifest; clean start".to_string(),
+                    step: format!("no suspend manifest at {name}; clean start"),
                 });
                 Ok(None)
             }
             Some(m) => {
                 db.ledger().trace(|| TraceEvent::RecoveryStep {
-                    step: format!("manifest generation {} found; resuming", m.generation),
+                    step: format!("manifest generation {} found at {name}; resuming", m.generation),
                 });
-                Self::resume_validated(db, m.query).map(Some)
+                let mut exec = Self::resume_validated(db, m.query)?;
+                exec.manifest_name = name.to_string();
+                Ok(Some(exec))
             }
         }
     }
@@ -959,6 +1007,7 @@ impl QueryExecution {
             topology: built.topology,
             tuples_emitted: sq.tuples_emitted,
             finished: false,
+            manifest_name: SUSPEND_MANIFEST.to_string(),
         };
         exec.root.resume(&mut exec.ctx, sq)?;
         Ok(exec)

@@ -18,7 +18,8 @@ pub use context::{DumpWatchdog, ExecContext, SalvageCache, SuspendTrigger, WorkU
 pub use driver::{QueryExecution, Rung, SuspendOptions, SuspendedHandle};
 pub use writers::DumpPipeline;
 pub use recovery::{
-    clear_manifest, read_manifest, with_retries, ResumeError, SuspendManifest, SUSPEND_MANIFEST,
+    clear_manifest, clear_manifest_named, read_manifest, read_manifest_named, with_backoff,
+    with_retries, BackoffSchedule, ResumeError, SuspendManifest, RESUME_BACKOFF, SUSPEND_MANIFEST,
 };
 pub use operator::{Operator, Poll, SuspendMode};
 pub use ops::{

@@ -521,8 +521,8 @@ impl Operator for HashAgg {
                     self.writers = self
                         .runs
                         .drain(..)
-                        .map(|h| Some(RunWriter::reopen(ctx.db.pool().clone(), h)))
-                        .collect();
+                        .map(|h| RunWriter::reopen(ctx.db.pool().clone(), h).map(Some))
+                        .collect::<Result<_>>()?;
                 } else if self.phase == PHASE_AGG
                     && (self.emit_idx > 0 || self.cur_part < self.partitions)
                 {

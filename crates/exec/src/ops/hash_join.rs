@@ -734,14 +734,14 @@ impl Operator for HashJoin {
                     self.build_writers = self
                         .build_runs
                         .drain(..)
-                        .map(|h| Some(RunWriter::reopen(ctx.db.pool().clone(), h)))
-                        .collect();
+                        .map(|h| RunWriter::reopen(ctx.db.pool().clone(), h).map(Some))
+                        .collect::<Result<_>>()?;
                 } else if self.phase == PHASE_PROBE {
                     self.probe_writers = self
                         .probe_runs
                         .drain(..)
-                        .map(|h| Some(RunWriter::reopen(ctx.db.pool().clone(), h)))
-                        .collect();
+                        .map(|h| RunWriter::reopen(ctx.db.pool().clone(), h).map(Some))
+                        .collect::<Result<_>>()?;
                 }
                 if let Some(blob) = dump {
                     let TableDump(pairs) = ctx.db.blobs().get_value(*blob)?;

@@ -102,8 +102,18 @@ impl Decode for SuspendManifest {
 /// Read the committed manifest, if any. `Ok(None)` is the clean "no
 /// suspend happened" state.
 pub fn read_manifest(db: &Database) -> std::result::Result<Option<SuspendManifest>, ResumeError> {
-    let bytes = with_retries(|| db.disk().read_sidecar(SUSPEND_MANIFEST))
-        .map_err(ResumeError::Storage)?;
+    read_manifest_named(db, SUSPEND_MANIFEST)
+}
+
+/// [`read_manifest`] for an explicitly named manifest sidecar. The
+/// multi-session server gives each session its own manifest name, so N
+/// suspended sessions commit N independent generation chains in one
+/// database directory.
+pub fn read_manifest_named(
+    db: &Database,
+    name: &str,
+) -> std::result::Result<Option<SuspendManifest>, ResumeError> {
+    let bytes = with_retries(|| db.disk().read_sidecar(name)).map_err(ResumeError::Storage)?;
     match bytes {
         None => Ok(None),
         Some(b) => SuspendManifest::decode_from_slice(&b)
@@ -114,14 +124,24 @@ pub fn read_manifest(db: &Database) -> std::result::Result<Option<SuspendManifes
 
 /// Atomically commit `manifest` as the current suspend state.
 pub fn commit_manifest(db: &Database, manifest: &SuspendManifest) -> Result<()> {
+    commit_manifest_named(db, SUSPEND_MANIFEST, manifest)
+}
+
+/// [`commit_manifest`] under an explicit manifest sidecar name.
+pub fn commit_manifest_named(db: &Database, name: &str, manifest: &SuspendManifest) -> Result<()> {
     db.disk()
-        .write_sidecar_atomic(SUSPEND_MANIFEST, &manifest.encode_to_vec())
+        .write_sidecar_atomic(name, &manifest.encode_to_vec())
 }
 
 /// Remove the manifest, returning the directory to the clean "no suspend"
 /// state. Called after a resumed query runs to completion.
 pub fn clear_manifest(db: &Database) -> Result<()> {
-    db.disk().remove_sidecar(SUSPEND_MANIFEST)
+    clear_manifest_named(db, SUSPEND_MANIFEST)
+}
+
+/// [`clear_manifest`] under an explicit manifest sidecar name.
+pub fn clear_manifest_named(db: &Database, name: &str) -> Result<()> {
+    db.disk().remove_sidecar(name)
 }
 
 /// Structured resume failures. Everything the resume path can hit maps to
@@ -207,25 +227,79 @@ impl From<ResumeError> for StorageError {
     }
 }
 
-/// Maximum attempts [`with_retries`] makes before giving up.
-pub const MAX_RETRIES: u32 = 4;
+/// A deterministic exponential-backoff schedule: attempt `n` (1-based) is
+/// followed, on transient failure, by a sleep of
+/// `base_ms * factor^(n-1)` milliseconds, up to `max_attempts` attempts
+/// total. The schedule is a pure function of its three fields — no
+/// jitter, no clock reads — so retry behavior is bit-reproducible and can
+/// be pinned in tests (see `tests/resume_errors.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// Delay after the first failed attempt, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied to the delay after each further failure.
+    pub factor: u32,
+    /// Total attempts (the first try included) before giving up.
+    pub max_attempts: u32,
+}
 
-/// Run `f`, retrying transient I/O failures (and only those — corruption
-/// and missing objects fail immediately) with bounded exponential backoff:
-/// 1 ms, 2 ms, 4 ms between the [`MAX_RETRIES`] attempts.
-pub fn with_retries<T>(mut f: impl FnMut() -> Result<T>) -> Result<T> {
-    let mut delay = Duration::from_millis(1);
+impl BackoffSchedule {
+    /// The delay slept *after* failed attempt `attempt` (1-based), or
+    /// `None` when the schedule is exhausted and the error should surface.
+    pub fn delay_after(&self, attempt: u32) -> Option<Duration> {
+        if attempt == 0 || attempt >= self.max_attempts {
+            return None;
+        }
+        let mult = (self.factor as u64).saturating_pow(attempt - 1);
+        Some(Duration::from_millis(self.base_ms.saturating_mul(mult)))
+    }
+
+    /// The full sleep sequence: one entry per retry the schedule grants.
+    pub fn delays(&self) -> Vec<Duration> {
+        (1..self.max_attempts)
+            .map_while(|a| self.delay_after(a))
+            .collect()
+    }
+}
+
+/// The resume path's schedule: 4 attempts with 1 ms, 2 ms, 4 ms between
+/// them. Kept small because the fault injector's transient bursts are the
+/// only "device" these tests ever talk to; a production deployment would
+/// widen `base_ms`.
+pub const RESUME_BACKOFF: BackoffSchedule = BackoffSchedule {
+    base_ms: 1,
+    factor: 2,
+    max_attempts: 4,
+};
+
+/// Maximum attempts [`with_retries`] makes before giving up.
+pub const MAX_RETRIES: u32 = RESUME_BACKOFF.max_attempts;
+
+/// Run `f` under `schedule`, retrying transient I/O failures and only
+/// those — corruption, missing objects, and resource pressure fail
+/// immediately, because retrying them cannot help.
+pub fn with_backoff<T>(
+    schedule: &BackoffSchedule,
+    mut f: impl FnMut() -> Result<T>,
+) -> Result<T> {
     let mut attempt = 1;
     loop {
         match f() {
-            Err(e) if e.is_transient() && attempt < MAX_RETRIES => {
-                std::thread::sleep(delay);
-                delay *= 2;
-                attempt += 1;
-            }
+            Err(e) if e.is_transient() => match schedule.delay_after(attempt) {
+                Some(d) => {
+                    std::thread::sleep(d);
+                    attempt += 1;
+                }
+                None => return Err(e),
+            },
             other => return other,
         }
     }
+}
+
+/// [`with_backoff`] under the pinned [`RESUME_BACKOFF`] schedule.
+pub fn with_retries<T>(f: impl FnMut() -> Result<T>) -> Result<T> {
+    with_backoff(&RESUME_BACKOFF, f)
 }
 
 #[cfg(test)]

@@ -1,0 +1,610 @@
+//! The preemptive multi-session scheduler.
+//!
+//! Suspend/resume *is* the scheduler (ROADMAP item 1, SaGe-style web
+//! preemption): every admitted session runs for a work-unit quantum, then
+//! yields. Sessions beyond the live-slot budget are parked on disk through
+//! the ordinary suspend path — the MIP's suspend-cost estimate picks the
+//! cheapest victim — and resumed round-robin, so N sessions share one
+//! `Database`/buffer pool with per-tenant fairness accounting.
+//!
+//! Robustness model, layered on the per-query degradation ladder:
+//!
+//! - **Preemption is crash-safe**: a victim's suspend commits through its
+//!   private generation-numbered manifest; a crash at any write ordinal
+//!   leaves every session with exactly one valid generation.
+//! - **Clean abort rolls back**: when a victim's suspend exhausts the
+//!   ladder (resource pressure), its in-memory execution is gone; the
+//!   server rolls the session's delivered-output buffer back to the last
+//!   committed generation so re-resuming never duplicates a tuple.
+//! - **Server-level shedding**: pressure that defeats even the ladder
+//!   sheds the lowest-priority session (clean abort + registry removal)
+//!   before starving all tenants.
+//! - **Deterministic resume retry**: transient resume failures back off on
+//!   the pinned [`RESUME_BACKOFF`] schedule, counted per session.
+
+use crate::registry::{SessionId, SessionMeta, SessionRegistry};
+use qsr_core::{SuspendOptimizer, SuspendPolicy};
+use qsr_exec::{
+    read_manifest_named, QueryExecution, ResumeError, SuspendOptions, PlanSpec, RESUME_BACKOFF,
+};
+use qsr_storage::{Database, Decode, Encode, Phase, Result, StorageError, TraceEvent, Tuple};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Work units per scheduling slice. Every `quantum` operator ticks the
+    /// running session yields (the paper's suspend exception, raised by a
+    /// `WorkUnitObserver`).
+    pub quantum: u64,
+    /// Live-session slots: how many sessions may hold in-memory execution
+    /// state at once. Activating a session beyond this budget preempts the
+    /// MIP-cheapest live victim to disk.
+    pub max_live: usize,
+    /// Suspend policy used for preemptions.
+    pub policy: SuspendPolicy,
+    /// Suspend options used for preemptions.
+    pub options: SuspendOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            quantum: 2_000,
+            max_live: 1,
+            policy: SuspendPolicy::Optimized { budget: None },
+            options: SuspendOptions::default(),
+        }
+    }
+}
+
+/// Per-session fairness ledger, reported per tenant.
+#[derive(Debug, Clone, Default)]
+pub struct FairnessStats {
+    /// Scheduling slices this session ran.
+    pub quanta: u64,
+    /// Work units ticked across all slices.
+    pub work_units: u64,
+    /// Result tuples delivered.
+    pub tuples: u64,
+    /// Successful preemption suspends.
+    pub suspends: u64,
+    /// Successful resumes.
+    pub resumes: u64,
+    /// Transient-resume retries spent (backoff schedule steps taken).
+    pub resume_retries: u64,
+    /// Simulated `Phase::Resume` cost of each resume, in ledger units
+    /// (deterministic — no wall clocks).
+    pub resume_cost: Vec<f64>,
+}
+
+/// Where a session currently lives.
+enum SessionState {
+    /// Admitted, never yet run (or rolled all the way back to scratch).
+    Fresh,
+    /// Holding in-memory execution state.
+    Live(Box<QueryExecution>),
+    /// Parked on disk under its committed manifest generation.
+    Suspended { generation: u64 },
+    /// Ran to completion; output is final.
+    Finished,
+    /// Shed by the server-level degradation ladder; output discarded.
+    Shed,
+}
+
+/// One admitted session.
+pub struct Session {
+    /// The durable admission record.
+    pub meta: SessionMeta,
+    state: SessionState,
+    /// Output delivered so far *in this process* (absolute stream offset
+    /// of `collected[0]` is `base`).
+    pub collected: Vec<Tuple>,
+    /// Absolute tuple offset of `collected[0]` — nonzero only for
+    /// sessions recovered mid-stream after a crash.
+    base: Option<u64>,
+    /// Absolute tuple count at the last committed suspend generation;
+    /// clean-abort rollback truncates `collected` to this point.
+    committed_tuples: u64,
+    /// Fairness ledger.
+    pub fairness: FairnessStats,
+}
+
+impl Session {
+    fn new(meta: SessionMeta, state: SessionState) -> Self {
+        let base = match state {
+            SessionState::Fresh => Some(0),
+            _ => None, // learned from tuples_emitted() at first activation
+        };
+        Self {
+            meta,
+            state,
+            collected: Vec::new(),
+            base,
+            committed_tuples: 0,
+            fairness: FairnessStats::default(),
+        }
+    }
+
+    /// Session identifier.
+    pub fn id(&self) -> SessionId {
+        SessionId(self.meta.id)
+    }
+
+    /// True while the scheduler still owes this session CPU.
+    pub fn is_runnable(&self) -> bool {
+        matches!(
+            self.state,
+            SessionState::Fresh | SessionState::Live(_) | SessionState::Suspended { .. }
+        )
+    }
+
+    /// True once the session ran to completion (not shed).
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, SessionState::Finished)
+    }
+
+    /// True when the session was shed by the server-level ladder.
+    pub fn is_shed(&self) -> bool {
+        matches!(self.state, SessionState::Shed)
+    }
+}
+
+/// Outcome of one round-robin pass over all runnable sessions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundReport {
+    /// Slices actually run this round.
+    pub slices: u64,
+    /// Sessions that reached completion this round.
+    pub finished: u64,
+    /// Sessions shed this round.
+    pub shed: u64,
+    /// Preemption suspends this round.
+    pub preemptions: u64,
+}
+
+/// The long-lived multi-session engine.
+pub struct QsrServer {
+    db: Arc<Database>,
+    registry: SessionRegistry,
+    config: ServerConfig,
+    sessions: Vec<Session>,
+    next_id: u64,
+}
+
+impl QsrServer {
+    /// Open a server over `db` with no admitted sessions.
+    pub fn new(db: Arc<Database>, config: ServerConfig) -> Self {
+        Self {
+            registry: SessionRegistry::new(db.clone()),
+            db,
+            config,
+            sessions: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Reconstruct a server from a database directory after a crash: scan
+    /// the registry, park every session with a committed suspend
+    /// generation as `Suspended`, and restart the rest from scratch. No
+    /// execution state is rebuilt here — sessions resume lazily on their
+    /// first scheduling slice, so recovery cost is paid per session, not
+    /// up front.
+    pub fn recover(db: Arc<Database>, config: ServerConfig) -> Result<Self> {
+        let registry = SessionRegistry::new(db.clone());
+        let metas = registry.scan()?;
+        let mut sessions = Vec::new();
+        let mut next_id = 1;
+        for meta in metas {
+            let id = SessionId(meta.id);
+            next_id = next_id.max(meta.id + 1);
+            let manifest = read_manifest_named(&db, &SessionRegistry::manifest_name(id))
+                .map_err(StorageError::from)?;
+            let state = match manifest {
+                Some(m) => SessionState::Suspended {
+                    generation: m.generation,
+                },
+                None => SessionState::Fresh,
+            };
+            db.ledger().trace(|| TraceEvent::RecoveryStep {
+                step: match &state {
+                    SessionState::Suspended { generation } => format!(
+                        "registry: {id} reconstructed at suspend generation {generation}"
+                    ),
+                    _ => format!("registry: {id} reconstructed with no committed suspend"),
+                },
+            });
+            sessions.push(Session::new(meta, state));
+        }
+        Ok(Self {
+            registry: SessionRegistry::new(db.clone()),
+            db,
+            config,
+            sessions,
+            next_id,
+        })
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Mutable scheduling configuration (quantum, slots, policy) — takes
+    /// effect from the next slice.
+    pub fn config_mut(&mut self) -> &mut ServerConfig {
+        &mut self.config
+    }
+
+    /// All sessions, admission order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Look up a session by id.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.iter().find(|s| s.meta.id == id.0)
+    }
+
+    /// Durably admit a new session for `tenant` at `priority`. The meta
+    /// sidecar commits before the session is scheduled, so an admitted
+    /// session survives a crash even if it never ran.
+    pub fn admit(&mut self, tenant: &str, priority: u32, spec: &PlanSpec) -> Result<SessionId> {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        let meta = SessionMeta {
+            id: id.0,
+            tenant: tenant.to_string(),
+            priority,
+            plan_bytes: spec.encode_to_vec(),
+        };
+        self.registry.admit(&meta)?;
+        self.db.ledger().trace(|| TraceEvent::SessionAdmit {
+            session: id.0,
+            tenant: tenant.to_string(),
+            priority,
+        });
+        self.sessions.push(Session::new(meta, SessionState::Fresh));
+        Ok(id)
+    }
+
+    /// Number of sessions currently holding in-memory state.
+    fn live_count(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| matches!(s.state, SessionState::Live(_)))
+            .count()
+    }
+
+    /// Choose the preemption victim among live sessions other than
+    /// `keep`: the one whose estimated suspend cost (one root LP, zero
+    /// branch-and-bound nodes) is lowest. Ties break toward the lower
+    /// session id for determinism.
+    fn pick_victim(&self, keep: Option<SessionId>) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.sessions.iter().enumerate() {
+            if keep == Some(s.id()) {
+                continue;
+            }
+            let SessionState::Live(exec) = &s.state else {
+                continue;
+            };
+            let cost = SuspendOptimizer::victim_signal(&exec.suspend_problem(), &exec.ctx().graph);
+            match best {
+                Some((_, c)) if c <= cost => {}
+                _ => best = Some((i, cost)),
+            }
+        }
+        best
+    }
+
+    /// Preempt the session at `idx` (which must be live): suspend its
+    /// execution to disk under its private manifest. On success the
+    /// session parks as `Suspended` and its committed-output watermark
+    /// advances. On a clean abort (ladder exhausted under resource
+    /// pressure) the in-memory execution is gone — the session rolls back
+    /// to its last committed generation (or scratch) without duplicating
+    /// output — and the error is returned for the server-level ladder.
+    /// Halting faults propagate immediately: the process is dead.
+    fn preempt(&mut self, idx: usize, est_cost: f64, reason: &str) -> Result<()> {
+        let s = &mut self.sessions[idx];
+        let state = std::mem::replace(&mut s.state, SessionState::Fresh);
+        let SessionState::Live(exec) = state else {
+            s.state = state;
+            return Err(StorageError::invalid("preempt target is not live"));
+        };
+        let id = s.id();
+        self.db.ledger().trace(|| TraceEvent::Preempt {
+            session: id.0,
+            est_suspend_cost: est_cost,
+            reason: reason.to_string(),
+        });
+        match exec.suspend_with(&self.config.policy, &self.config.options) {
+            Ok(handle) => {
+                let s = &mut self.sessions[idx];
+                s.committed_tuples = s.base.unwrap_or(0) + s.collected.len() as u64;
+                s.state = SessionState::Suspended {
+                    generation: handle.generation,
+                };
+                s.fairness.suspends += 1;
+                Ok(())
+            }
+            Err(e) => {
+                let halted = self
+                    .db
+                    .disk()
+                    .fault_injector()
+                    .is_some_and(|fi| fi.halted());
+                if halted {
+                    return Err(e);
+                }
+                // Clean abort: on-disk state is exactly the last committed
+                // generation (the ladder never touched the manifest). Roll
+                // delivered output back to that watermark so the re-resumed
+                // session never duplicates a tuple.
+                let manifest = read_manifest_named(&self.db, &SessionRegistry::manifest_name(id))
+                    .ok()
+                    .flatten();
+                let s = &mut self.sessions[idx];
+                let keep = s.committed_tuples.saturating_sub(s.base.unwrap_or(0)) as usize;
+                s.collected.truncate(keep);
+                s.state = match manifest {
+                    Some(m) => SessionState::Suspended {
+                        generation: m.generation,
+                    },
+                    None => {
+                        // Back to scratch: the whole stream will replay.
+                        s.base = Some(0);
+                        s.committed_tuples = 0;
+                        s.collected.clear();
+                        SessionState::Fresh
+                    }
+                };
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop a live session's in-memory execution after a failed slice —
+    /// the failed write leaves operator state undefined, so continuing it
+    /// could silently corrupt output — and roll the session back to its
+    /// last committed suspend generation (or scratch), truncating
+    /// delivered output to the committed watermark so the replay never
+    /// duplicates a tuple.
+    fn rollback_live(&mut self, idx: usize) {
+        let id = self.sessions[idx].id();
+        if !matches!(self.sessions[idx].state, SessionState::Live(_)) {
+            return;
+        }
+        let manifest = read_manifest_named(&self.db, &SessionRegistry::manifest_name(id))
+            .ok()
+            .flatten();
+        let s = &mut self.sessions[idx];
+        let keep = s.committed_tuples.saturating_sub(s.base.unwrap_or(0)) as usize;
+        s.collected.truncate(keep);
+        s.state = match manifest {
+            Some(m) => SessionState::Suspended {
+                generation: m.generation,
+            },
+            None => {
+                s.base = Some(0);
+                s.committed_tuples = 0;
+                s.collected.clear();
+                SessionState::Fresh
+            }
+        };
+    }
+
+    /// Server-level degradation ladder: shed the lowest-priority runnable
+    /// session (ties break toward the younger session) via clean abort —
+    /// drop its execution state, retire its registry entries, discard its
+    /// output. Returns the shed session's id, or `None` when nothing is
+    /// left to shed.
+    fn shed_lowest_priority(&mut self, reason: &str) -> Result<Option<SessionId>> {
+        let victim = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_runnable())
+            .min_by_key(|(_, s)| (s.meta.priority, std::cmp::Reverse(s.meta.id)))
+            .map(|(i, _)| i);
+        let Some(i) = victim else {
+            return Ok(None);
+        };
+        let s = &mut self.sessions[i];
+        let id = s.id();
+        let priority = s.meta.priority;
+        s.state = SessionState::Shed;
+        s.collected.clear();
+        self.db.ledger().trace(|| TraceEvent::Shed {
+            session: id.0,
+            priority,
+            reason: reason.to_string(),
+        });
+        self.registry.remove(id)?;
+        Ok(Some(id))
+    }
+
+    /// Resume a suspended session's execution from its private manifest,
+    /// retrying transient failures on the pinned deterministic backoff
+    /// schedule ([`RESUME_BACKOFF`]). Non-transient failures surface
+    /// immediately with the structured [`ResumeError`] taxonomy.
+    fn resume_session(
+        &mut self,
+        idx: usize,
+        generation: u64,
+    ) -> std::result::Result<Box<QueryExecution>, ResumeError> {
+        let id = self.sessions[idx].id();
+        let name = SessionRegistry::manifest_name(id);
+        let before = self.db.ledger().snapshot().phase_cost(Phase::Resume);
+        let mut attempt = 1u32;
+        let exec = loop {
+            match QueryExecution::recover_named(self.db.clone(), &name) {
+                Ok(Some(exec)) => break exec,
+                Ok(None) => {
+                    return Err(ResumeError::Storage(StorageError::invalid(format!(
+                        "{id}: suspended at generation {generation} but manifest is gone"
+                    ))))
+                }
+                Err(ResumeError::Storage(e)) if e.is_transient() => {
+                    match RESUME_BACKOFF.delay_after(attempt) {
+                        Some(d) => {
+                            std::thread::sleep(d);
+                            attempt += 1;
+                            self.sessions[idx].fairness.resume_retries += 1;
+                        }
+                        None => return Err(ResumeError::Storage(e)),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let after = self.db.ledger().snapshot().phase_cost(Phase::Resume);
+        let s = &mut self.sessions[idx];
+        if s.base.is_none() {
+            // Recovered mid-stream: everything before this point was
+            // delivered by the pre-crash process.
+            s.base = Some(exec.tuples_emitted());
+        }
+        s.committed_tuples = exec.tuples_emitted();
+        s.fairness.resumes += 1;
+        s.fairness.resume_cost.push(after - before);
+        self.db.ledger().trace(|| TraceEvent::SessionResume {
+            session: id.0,
+            generation,
+        });
+        Ok(Box::new(exec))
+    }
+
+    /// Bring the session at `idx` live (starting or resuming as needed),
+    /// preempting the MIP-cheapest victim first when live slots are full.
+    fn activate(&mut self, idx: usize, report: &mut RoundReport) -> Result<()> {
+        if matches!(self.sessions[idx].state, SessionState::Live(_)) {
+            return Ok(());
+        }
+        // Slot pressure: make room by parking the cheapest victim.
+        while self.live_count() >= self.config.max_live.max(1) {
+            let keep = Some(self.sessions[idx].id());
+            let Some((vidx, cost)) = self.pick_victim(keep) else {
+                break;
+            };
+            match self.preempt(vidx, cost, "live-slot pressure") {
+                Ok(()) => report.preemptions += 1,
+                Err(e) if e.is_resource_pressure() => {
+                    // Even the ladder could not park the victim: shed the
+                    // lowest-priority session and retry.
+                    report.shed += 1;
+                    if self.shed_lowest_priority(&format!("pressure: {e}"))?.is_none() {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // The session may have been shed while making room for itself.
+        if !self.sessions[idx].is_runnable() {
+            return Ok(());
+        }
+        let id = self.sessions[idx].id();
+        let state = std::mem::replace(&mut self.sessions[idx].state, SessionState::Fresh);
+        let exec = match state {
+            SessionState::Fresh => {
+                let spec = PlanSpec::decode_from_slice(&self.sessions[idx].meta.plan_bytes)?;
+                let mut exec = Box::new(QueryExecution::start(self.db.clone(), spec)?);
+                exec.set_manifest_name(SessionRegistry::manifest_name(id));
+                exec
+            }
+            SessionState::Suspended { generation } => self
+                .resume_session(idx, generation)
+                .map_err(StorageError::from)?,
+            other => {
+                self.sessions[idx].state = other;
+                return Err(StorageError::invalid("activate on a retired session"));
+            }
+        };
+        self.sessions[idx].state = SessionState::Live(exec);
+        Ok(())
+    }
+
+    /// Run one quantum-bounded slice of the session at `idx` (which must
+    /// be live). Returns whether the session finished.
+    fn run_slice(&mut self, idx: usize) -> Result<bool> {
+        let quantum = self.config.quantum.max(1);
+        let s = &mut self.sessions[idx];
+        let SessionState::Live(exec) = &mut s.state else {
+            return Err(StorageError::invalid("run_slice on a non-live session"));
+        };
+        let units_before = exec.work_units();
+        let mut n = 0u64;
+        exec.set_work_unit_observer(Some(Box::new(move |_, _| {
+            n += 1;
+            n >= quantum
+        })));
+        let outcome = exec.run();
+        exec.set_work_unit_observer(None);
+        // The quantum's suspend request is a yield, not necessarily a
+        // preemption — withdraw it so the execution can keep running live
+        // next round if no pressure materializes.
+        exec.clear_suspend_request();
+        let units_after = exec.work_units();
+        let (tuples, done) = outcome?;
+        s.fairness.quanta += 1;
+        s.fairness.work_units += units_after.saturating_sub(units_before);
+        s.fairness.tuples += tuples.len() as u64;
+        s.collected.extend(tuples);
+        if done {
+            let id = SessionId(s.meta.id);
+            s.state = SessionState::Finished;
+            self.registry.remove(id)?;
+        }
+        Ok(done)
+    }
+
+    /// One round-robin pass: give every runnable session one quantum, in
+    /// admission order. Sessions park and resume through the suspend
+    /// machinery as live slots demand.
+    pub fn run_round(&mut self) -> Result<RoundReport> {
+        let mut report = RoundReport::default();
+        for idx in 0..self.sessions.len() {
+            if !self.sessions[idx].is_runnable() {
+                continue;
+            }
+            self.activate(idx, &mut report)?;
+            // The session may have been shed while making room for itself.
+            if !matches!(self.sessions[idx].state, SessionState::Live(_)) {
+                continue;
+            }
+            match self.run_slice(idx) {
+                Ok(true) => report.finished += 1,
+                Ok(false) => {}
+                Err(e) if e.is_resource_pressure() => {
+                    // Execution itself hit pressure (e.g. a spill write
+                    // over quota). The failed write leaves the live
+                    // operator state undefined — roll this session back to
+                    // its last committed generation — then walk the server
+                    // ladder to relieve the pressure.
+                    self.rollback_live(idx);
+                    report.shed += 1;
+                    if self.shed_lowest_priority(&format!("pressure: {e}"))?.is_none() {
+                        return Err(e);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            report.slices += 1;
+        }
+        Ok(report)
+    }
+
+    /// Drive all sessions to completion (or shedding). Returns the total
+    /// number of rounds run.
+    pub fn run_to_completion(&mut self) -> Result<u64> {
+        let mut rounds = 0;
+        while self.sessions.iter().any(Session::is_runnable) {
+            self.run_round()?;
+            rounds += 1;
+        }
+        Ok(rounds)
+    }
+}

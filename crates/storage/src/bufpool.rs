@@ -143,6 +143,22 @@ impl BufferPool {
         self.dm.delete_file(id)
     }
 
+    /// Truncate `id` down to `pages` pages: cached frames past the
+    /// boundary are dropped (dirty ones included — the data is being
+    /// discarded) and the disk file shrinks to match. See
+    /// [`DiskManager::truncate_pages`].
+    pub fn truncate_file(&self, id: FileId, pages: u64) -> Result<()> {
+        if self.capacity > 0 {
+            let mut g = self.inner.lock();
+            g.frames.retain(|&(f, p), _| f != id || p < pages);
+            let size = self.logical_size(&mut g, id)?;
+            if size > pages {
+                g.sizes.insert(id, pages);
+            }
+        }
+        self.dm.truncate_pages(id, pages)
+    }
+
     /// Logical number of pages in `id`, including buffered appends.
     pub fn num_pages(&self, id: FileId) -> Result<u64> {
         if self.capacity == 0 {

@@ -408,6 +408,35 @@ impl DiskManager {
         })
     }
 
+    /// Truncate file `id` down to `pages` pages, discarding anything past
+    /// that point. A no-op when the file is already that short. Used when
+    /// a sealed run is reopened for appending: a crash (or rolled-back
+    /// execution slice) after the seal can leave stale pages past the
+    /// sealed watermark, and appending would otherwise land *after* them,
+    /// splicing phantom tuples into the run. Not an I/O event — it only
+    /// discards bytes that were never part of any committed state, and it
+    /// is idempotent, so the crash points on either side are the
+    /// neighbouring writes — but it refuses to run in a halted process.
+    pub fn truncate_pages(&self, id: FileId, pages: u64) -> Result<()> {
+        if let Some(fi) = self.fault_injector() {
+            fi.check_alive()?;
+        }
+        self.with_file(id, |of| {
+            if of.pages <= pages {
+                return Ok(());
+            }
+            let dropped = (of.pages - pages) * PAGE_SIZE as u64;
+            of.file.set_len(pages * PAGE_SIZE as u64)?;
+            of.pages = pages;
+            let _ = self
+                .used_bytes
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
+                    Some(u.saturating_sub(dropped))
+                });
+            Ok(())
+        })
+    }
+
     /// Drop the in-memory handle for `id` (the file stays on disk and can
     /// be reopened lazily). Used when a suspended query releases memory.
     pub fn release_handle(&self, id: FileId) {
@@ -478,6 +507,31 @@ impl DiskManager {
             fault::flip_bit(&mut bytes, bit);
         }
         Ok(Some(bytes))
+    }
+
+    /// Names of sidecar files starting with `prefix`, sorted. Directory
+    /// enumeration is metadata I/O like the page-file numbering scan at
+    /// open: it is not a faultable ledger event (the per-file sidecar
+    /// reads that follow are). `.tmp` leftovers of interrupted atomic
+    /// commits are skipped — they were never committed.
+    pub fn list_sidecars(&self, prefix: &str) -> Result<Vec<String>> {
+        if let Some(fi) = self.fault_injector() {
+            fi.check_alive()?;
+        }
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(prefix) && !name.ends_with(".tmp") {
+                out.push(name.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
     }
 
     /// Remove sidecar file `name` if present. Counts one write event.

@@ -23,12 +23,19 @@ pub struct RunHandle {
     pub file: FileId,
     /// Number of tuples in the run.
     pub tuples: u64,
+    /// Number of pages the run occupied when sealed. Anything past this
+    /// watermark is not part of the run: a crash (or rolled-back slice)
+    /// between the seal and a later reopen can leave stale appended pages
+    /// behind, and [`RunWriter::reopen`] truncates back to this count so
+    /// they can never be spliced into the tuple stream.
+    pub pages: u64,
 }
 
 impl Encode for RunHandle {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(self.file.0);
         enc.put_u64(self.tuples);
+        enc.put_u64(self.pages);
     }
 }
 
@@ -37,6 +44,7 @@ impl Decode for RunHandle {
         Ok(RunHandle {
             file: FileId(dec.get_u64()?),
             tuples: dec.get_u64()?,
+            pages: dec.get_u64()?,
         })
     }
 }
@@ -55,13 +63,18 @@ impl RunWriter {
     }
 
     /// Reopen a sealed run for further appends (used when a suspended
-    /// operator resumes a partially written partition). Appends continue
-    /// on fresh pages; the sealed tail page keeps its short count, which
-    /// readers handle naturally.
-    pub fn reopen(pool: Arc<BufferPool>, handle: RunHandle) -> Self {
-        Self {
+    /// operator resumes a partially written partition). The backing file
+    /// first truncates to the handle's sealed page count — a crash or a
+    /// rolled-back execution slice after the seal can leave stale pages
+    /// past the watermark, and appending after them would splice phantom
+    /// tuples into the run. Appends then continue on fresh pages; the
+    /// sealed tail page keeps its short count, which readers handle
+    /// naturally.
+    pub fn reopen(pool: Arc<BufferPool>, handle: RunHandle) -> Result<Self> {
+        pool.truncate_file(handle.file, handle.pages)?;
+        Ok(Self {
             heap: HeapFile::open(pool, handle.file, handle.tuples),
-        }
+        })
     }
 
     /// Append one tuple.
@@ -100,6 +113,7 @@ impl RunWriter {
         Ok(RunHandle {
             file: self.heap.file_id(),
             tuples: self.heap.tuple_count(),
+            pages: self.heap.pages()?,
         })
     }
 
@@ -241,6 +255,39 @@ mod tests {
         let h2 = crate::codec::roundtrip(&h).unwrap();
         let mut r2 = RunReader::open_at(dm, h2, pos2);
         assert_eq!(r2.next().unwrap().unwrap(), tup(100));
+    }
+
+    #[test]
+    fn reopen_truncates_stale_pages_past_the_sealed_watermark() {
+        let (_d, dm) = dm();
+        let mut w = RunWriter::create(dm.clone()).unwrap();
+        for k in 0..500 {
+            w.append(&tup(k)).unwrap();
+        }
+        let h = w.seal().unwrap();
+        // A crashed (or rolled-back) slice appended past the seal; its
+        // pages were never part of any committed state.
+        for k in 9_000..9_500 {
+            w.append(&tup(k)).unwrap();
+        }
+        w.seal().unwrap();
+        drop(w);
+
+        // Resume from the committed handle: the stale pages must vanish,
+        // and new appends must continue directly after the sealed data.
+        let mut w2 = RunWriter::reopen(dm.clone(), h).unwrap();
+        assert_eq!(w2.len(), 500);
+        for k in 500..700 {
+            w2.append(&tup(k)).unwrap();
+        }
+        let h2 = w2.finish().unwrap();
+        assert_eq!(h2.tuples, 700);
+
+        let mut r = RunReader::open(dm, h2);
+        for k in 0..700 {
+            assert_eq!(r.next().unwrap().unwrap(), tup(k), "tuple {k}");
+        }
+        assert!(r.next().unwrap().is_none());
     }
 
     #[test]

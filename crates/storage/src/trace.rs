@@ -169,6 +169,45 @@ pub enum TraceEvent {
         /// Estimated cost of the vetoed write.
         upcoming: f64,
     },
+    /// The multi-session server admitted a new session.
+    SessionAdmit {
+        /// Session id.
+        session: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// Scheduling priority (higher = survives pressure longer).
+        priority: u32,
+    },
+    /// The scheduler chose a live session as the preemption victim and is
+    /// about to suspend it.
+    Preempt {
+        /// The victim session.
+        session: u64,
+        /// The MIP victim-choice signal: estimated suspend cost of the
+        /// cheapest certified plan for this execution.
+        est_suspend_cost: f64,
+        /// What raised the preemption (quantum expiry, memory/slot
+        /// pressure, disk pressure).
+        reason: String,
+    },
+    /// The scheduler resumed a suspended session from its committed
+    /// generation.
+    SessionResume {
+        /// The resumed session.
+        session: u64,
+        /// Manifest generation it resumed from.
+        generation: u64,
+    },
+    /// The server shed a session (clean abort) to relieve pressure before
+    /// starving all tenants.
+    Shed {
+        /// The shed session.
+        session: u64,
+        /// Its priority at shed time (sheds pick the lowest).
+        priority: u32,
+        /// The pressure that forced the shed.
+        reason: String,
+    },
 }
 
 /// One journal record: a sequence number, the phase active at emit time,
@@ -504,6 +543,47 @@ pub fn event_json(e: &TraceEvent) -> (&'static str, String) {
                 json_f64(*spent),
                 json_f64(*budget),
                 json_f64(*upcoming)
+            ),
+        ),
+        TraceEvent::SessionAdmit {
+            session,
+            tenant,
+            priority,
+        } => (
+            "SessionAdmit",
+            format!(
+                "{{\"session\":{session},\"tenant\":{},\"priority\":{priority}}}",
+                json_string(tenant)
+            ),
+        ),
+        TraceEvent::Preempt {
+            session,
+            est_suspend_cost,
+            reason,
+        } => (
+            "Preempt",
+            format!(
+                "{{\"session\":{session},\"est_suspend_cost\":{},\"reason\":{}}}",
+                json_f64(*est_suspend_cost),
+                json_string(reason)
+            ),
+        ),
+        TraceEvent::SessionResume {
+            session,
+            generation,
+        } => (
+            "SessionResume",
+            format!("{{\"session\":{session},\"generation\":{generation}}}"),
+        ),
+        TraceEvent::Shed {
+            session,
+            priority,
+            reason,
+        } => (
+            "Shed",
+            format!(
+                "{{\"session\":{session},\"priority\":{priority},\"reason\":{}}}",
+                json_string(reason)
             ),
         ),
     }

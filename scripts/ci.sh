@@ -49,3 +49,16 @@ cargo run --release -p qsr-bench --bin trace_summary -- \
 rm -rf "$QSR_TRACE_DIR"
 cargo test --release -q --test trace_invariants \
     tracer_installed_is_ledger_bit_identical
+
+# Scheduler smoke: the multi-session preemptive server. Three concurrent
+# sessions over one live slot (every activation forces a pressure
+# preemption of the MIP-cheapest victim), the fault matrix injecting
+# crash/torn/NoSpace at every write ordinal of a preemption with full
+# registry recovery after each halting fault (tests/server_matrix.rs),
+# the server binary end-to-end, and the session-count sweep bench
+# writing BENCH_pr6.json (throughput + p95 resume latency in ledger
+# units).
+cargo test --release -q --test server_matrix
+cargo run --release -q -p qsr-server --bin qsr-server -- \
+    --sessions 3 --quantum 1500 --max-live 1
+cargo run --release -p qsr-bench --bin bench_pr6

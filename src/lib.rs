@@ -45,5 +45,6 @@ pub use qsr_exec as exec;
 pub use qsr_mip as mip;
 pub use qsr_oracle as oracle;
 pub use qsr_planner as planner;
+pub use qsr_server as server;
 pub use qsr_storage as storage;
 pub use qsr_workload as workload;

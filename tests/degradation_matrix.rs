@@ -506,6 +506,119 @@ fn watchdog_vetoes_non_dump_seal_writes_but_never_salvage_reuse() {
     assert!(ctx.guard_suspend_write(1).is_ok());
 }
 
+/// Multi-session preemption (PR 6): three sessions share one directory,
+/// each committing suspends under its **own named manifest**. A torn
+/// write at any ordinal of session A's suspend must leave sessions B and
+/// C fully resumable from their committed generations — exactly one
+/// valid generation per session, never cross-session damage. (Under the
+/// old single global manifest, A's suspend would have garbage-collected
+/// B's or C's committed generation.)
+#[test]
+fn torn_write_during_one_sessions_suspend_spares_the_others() {
+    let reference = reference_output();
+    let manifest = |i: u64| format!("session-{i}.suspend");
+
+    // Deterministic three-session state over one directory: B and C run
+    // to their triggers and commit suspends under their own manifests;
+    // A runs to its trigger and stays live, ready to be preempted.
+    let build = |tag: &str| -> (TempDir, Arc<Database>, Vec<Vec<Tuple>>, QueryExecution) {
+        let dir = TempDir::new(tag);
+        let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+        populate(&db);
+        db.pool().flush_all().unwrap();
+        let mut prefixes = Vec::new();
+        for (i, n) in [(2u64, 250u64), (3, 350)] {
+            let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+            exec.set_manifest_name(manifest(i));
+            exec.set_trigger(Some(SuspendTrigger::AfterOpTuples { op: OpId(1), n }));
+            let (prefix, done) = exec.run().unwrap();
+            assert!(!done);
+            exec.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+                .unwrap();
+            prefixes.push(prefix);
+        }
+        let mut a = QueryExecution::start(db.clone(), plan()).unwrap();
+        a.set_manifest_name(manifest(1));
+        a.set_trigger(Some(trigger()));
+        let (a_prefix, done) = a.run().unwrap();
+        assert!(!done);
+        prefixes.insert(0, a_prefix);
+        (dir, db, prefixes, a)
+    };
+
+    let writes = {
+        let (_dir, db, _prefixes, a) = build("mdry");
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        a.suspend_with(&SuspendPolicy::AllDump, &serial_options())
+            .unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0);
+
+    for k in 1..=writes {
+        let (dir, db, prefixes, a) = build("mcell");
+        let fi = Arc::new(FaultInjector::seeded(0x7081 + k));
+        fi.fail_write(k, WriteFault::Torn);
+        db.disk().set_fault_injector(Some(fi));
+        let _ = a.suspend_with(&SuspendPolicy::AllDump, &serial_options());
+        drop(db);
+
+        let db = Database::open_default(&dir.0).unwrap();
+        // Sessions B and C: their committed generation 1 must survive A's
+        // torn suspend untouched and resume to the exact reference.
+        for (i, session) in [2u64, 3].into_iter().enumerate() {
+            let m = qsr::exec::read_manifest_named(&db, &manifest(session))
+                .unwrap_or_else(|e| {
+                    panic!("torn at write {k}: session {session} manifest unreadable: {e}")
+                })
+                .unwrap_or_else(|| {
+                    panic!("torn at write {k}: session {session} lost its generation")
+                });
+            assert_eq!(
+                m.generation, 1,
+                "torn at write {k}: session {session} generation tampered"
+            );
+            let mut resumed = QueryExecution::recover_named(db.clone(), &manifest(session))
+                .unwrap_or_else(|e| {
+                    panic!("torn at write {k}: session {session} resume failed: {e}")
+                })
+                .unwrap();
+            let suffix = resumed.run_to_completion().unwrap();
+            let mut all = prefixes[i + 1].clone();
+            all.extend(suffix);
+            assert_eq!(
+                all, reference,
+                "torn at write {k}: session {session} output diverges"
+            );
+        }
+        // Session A: its own manifest must read cleanly — committed whole
+        // (resumes to the reference) or absent (fresh rerun matches) —
+        // never torn.
+        match qsr::exec::read_manifest_named(&db, &manifest(1))
+            .unwrap_or_else(|e| panic!("torn at write {k}: victim manifest unreadable: {e}"))
+        {
+            Some(_) => {
+                let mut resumed = QueryExecution::recover_named(db.clone(), &manifest(1))
+                    .unwrap_or_else(|e| panic!("torn at write {k}: victim resume failed: {e}"))
+                    .unwrap();
+                let suffix = resumed.run_to_completion().unwrap();
+                let mut all = prefixes[0].clone();
+                all.extend(suffix);
+                assert_eq!(all, reference, "torn at write {k}: victim output diverges");
+            }
+            None => {
+                let mut fresh = QueryExecution::start(db.clone(), plan()).unwrap();
+                assert_eq!(
+                    fresh.run_to_completion().unwrap(),
+                    reference,
+                    "torn at write {k}: victim fresh rerun diverges"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn clean_abort_leaves_no_new_files_and_typed_error() {
     // Headroom 0: every rung fails, the ladder aborts. The typed error

@@ -108,6 +108,119 @@ fn describe(r: &Result<Option<QueryExecution>, ResumeError>) -> String {
 }
 
 #[test]
+fn resume_backoff_schedule_is_pinned() {
+    use qsr::exec::{BackoffSchedule, RESUME_BACKOFF};
+    use std::time::Duration;
+
+    // The schedule itself is data; pin it field by field so any change is
+    // a deliberate, reviewed one.
+    assert_eq!(
+        RESUME_BACKOFF,
+        BackoffSchedule {
+            base_ms: 1,
+            factor: 2,
+            max_attempts: 4,
+        }
+    );
+    // Delay after each failed attempt: base * factor^(n-1), exhausted at
+    // the attempt cap. Attempt 0 is not a thing.
+    assert_eq!(RESUME_BACKOFF.delay_after(0), None);
+    assert_eq!(RESUME_BACKOFF.delay_after(1), Some(Duration::from_millis(1)));
+    assert_eq!(RESUME_BACKOFF.delay_after(2), Some(Duration::from_millis(2)));
+    assert_eq!(RESUME_BACKOFF.delay_after(3), Some(Duration::from_millis(4)));
+    assert_eq!(RESUME_BACKOFF.delay_after(4), None);
+    assert_eq!(
+        RESUME_BACKOFF.delays(),
+        vec![
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Duration::from_millis(4),
+        ]
+    );
+    // The legacy retry cap tracks the schedule.
+    assert_eq!(qsr::exec::recovery::MAX_RETRIES, RESUME_BACKOFF.max_attempts);
+}
+
+#[test]
+fn backoff_retry_classification_is_pinned_variant_by_variant() {
+    use qsr::exec::{with_backoff, RESUME_BACKOFF};
+    use std::io::ErrorKind;
+
+    // Observed attempt count under a permanently failing closure.
+    let attempts_for = |mk: &dyn Fn() -> StorageError| -> (u32, StorageError) {
+        let mut n = 0u32;
+        let err = with_backoff(&RESUME_BACKOFF, || -> qsr::storage::Result<()> {
+            n += 1;
+            Err(mk())
+        })
+        .unwrap_err();
+        (n, err)
+    };
+
+    // Transient I/O variants: retried to schedule exhaustion.
+    for kind in [ErrorKind::Interrupted, ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+        let (n, err) = attempts_for(&|| StorageError::Io(std::io::Error::from(kind)));
+        assert_eq!(
+            n, RESUME_BACKOFF.max_attempts,
+            "{kind:?} must exhaust the backoff schedule"
+        );
+        assert!(err.is_transient(), "{kind:?} must surface as transient");
+    }
+
+    // Every non-transient variant fails on the first attempt — retrying
+    // corruption, missing objects, or exhausted resources cannot help.
+    type ErrCtor = Box<dyn Fn() -> StorageError>;
+    let permanent: Vec<(&str, ErrCtor)> = vec![
+        ("Io(permanent)", Box::new(|| {
+            StorageError::Io(std::io::Error::from(ErrorKind::PermissionDenied))
+        })),
+        ("Corrupt", Box::new(|| StorageError::corrupt("bit rot"))),
+        ("NotFound", Box::new(|| StorageError::NotFound("blob".into()))),
+        ("ChecksumMismatch", Box::new(|| {
+            StorageError::checksum_mismatch("blob", 1, 2)
+        })),
+        ("NoSpace", Box::new(|| StorageError::NoSpace {
+            requested: 4096,
+            available: 0,
+        })),
+        ("InvalidArgument", Box::new(|| StorageError::invalid("bad plan"))),
+    ];
+    for (name, mk) in &permanent {
+        let (n, _err) = attempts_for(mk.as_ref());
+        assert_eq!(n, 1, "{name} must not be retried");
+    }
+}
+
+#[test]
+fn backoff_absorbs_blips_and_sleeps_the_pinned_delays() {
+    use qsr::exec::{with_backoff, RESUME_BACKOFF};
+    use std::io::ErrorKind;
+    use std::time::{Duration, Instant};
+
+    // Success on the last granted attempt: all three delays slept.
+    let mut n = 0u32;
+    let started = Instant::now();
+    let out = with_backoff(&RESUME_BACKOFF, || -> qsr::storage::Result<u32> {
+        n += 1;
+        if n < RESUME_BACKOFF.max_attempts {
+            Err(StorageError::Io(std::io::Error::from(ErrorKind::Interrupted)))
+        } else {
+            Ok(n)
+        }
+    })
+    .unwrap();
+    assert_eq!(out, RESUME_BACKOFF.max_attempts);
+    // 1 + 2 + 4 ms of deterministic backoff is a hard lower bound on the
+    // elapsed time (sleeps never undershoot).
+    let floor: Duration = RESUME_BACKOFF.delays().iter().sum();
+    assert!(
+        started.elapsed() >= floor,
+        "backoff must actually sleep its schedule ({:?} < {floor:?})",
+        started.elapsed()
+    );
+}
+
+#[test]
 fn missing_manifest_reads_as_clean_state() {
     let dir = TempDir::new("clean");
     let db = Database::open_default(&dir.0).unwrap();

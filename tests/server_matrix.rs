@@ -1,0 +1,464 @@
+//! Oracle family for the multi-session preemptive server: N concurrent
+//! sessions over one shared database, scheduled by suspension, under
+//! seeded fault schedules.
+//!
+//! The invariant (ISSUE 6 acceptance): under a crash, torn write, or
+//! NoSpace at **any** write ordinal of a preemption window, every
+//! non-victim session resumes to results bit-identical to its
+//! uninterrupted golden run, and the victim either resumes correctly or
+//! clean-aborts with its exact pre-suspend state restored (replaying from
+//! its last committed generation — or scratch — without duplicating a
+//! tuple). Per-session manifests must always read cleanly: exactly one
+//! valid generation per session, never a torn mix, never cross-session
+//! damage.
+
+use qsr::core::SuspendPolicy;
+use qsr::exec::{read_manifest_named, AggFn, PlanSpec, Predicate, SuspendOptions};
+use qsr::server::{QsrServer, ServerConfig, SessionId, SessionRegistry};
+use qsr::storage::{
+    CostModel, Database, FaultInjector, TraceEvent, Tracer, Tuple, WriteFault,
+};
+use qsr::workload::{generate_table, TableSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-server-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Deterministic tables so write-event ordinals line up across the matrix.
+fn populate(db: &Arc<Database>) {
+    generate_table(db, &TableSpec::new("r", 800).payload(16).seed(11)).unwrap();
+    generate_table(db, &TableSpec::new("s", 200).payload(16).seed(12)).unwrap();
+}
+
+/// Three heterogeneous sessions: a dump-heavy sort-over-join, a buffered
+/// join, and a partitioned aggregation — distinct operator state shapes,
+/// so preemption exercises distinct suspend plans per victim.
+fn plans() -> Vec<PlanSpec> {
+    vec![
+        PlanSpec::Sort {
+            input: Box::new(PlanSpec::BlockNlj {
+                outer: Box::new(PlanSpec::Filter {
+                    input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+                    predicate: Predicate::IntLt { col: 1, value: 500 },
+                }),
+                inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+                outer_key: 0,
+                inner_key: 0,
+                buffer_tuples: 150,
+            }),
+            key: 0,
+            buffer_tuples: 4096,
+        },
+        PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+                predicate: Predicate::IntLt { col: 1, value: 300 },
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 100,
+        },
+        PlanSpec::HashAgg {
+            input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            group_col: 1,
+            agg_col: 0,
+            func: AggFn::Count,
+            partitions: 2,
+        },
+    ]
+}
+
+/// Priorities per session, admission order. Session 2 is the designated
+/// shedding victim everywhere (strictly lowest), keeping the server-level
+/// ladder deterministic across matrix cells.
+const PRIORITIES: [u32; 3] = [5, 1, 3];
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        quantum: 1_500,
+        max_live: 1,
+        policy: SuspendPolicy::Optimized { budget: None },
+        options: SuspendOptions {
+            dump_writers: 0,
+            ..SuspendOptions::default()
+        },
+    }
+}
+
+/// Uninterrupted golden output per session plan.
+fn goldens() -> Vec<Vec<Tuple>> {
+    plans()
+        .into_iter()
+        .map(|plan| {
+            let dir = TempDir::new("golden");
+            let db = Database::open_default(&dir.0).unwrap();
+            populate(&db);
+            let mut exec = qsr::exec::QueryExecution::start(db, plan).unwrap();
+            exec.run_to_completion().unwrap()
+        })
+        .collect()
+}
+
+/// Deterministic server state: fresh uncached directory, three admitted
+/// sessions, no faults armed yet.
+fn build_server(tag: &str) -> (TempDir, Arc<Database>, QsrServer) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    let mut server = QsrServer::new(db.clone(), config());
+    for (i, plan) in plans().into_iter().enumerate() {
+        let tenant = if i % 2 == 0 { "tenant-a" } else { "tenant-b" };
+        server.admit(tenant, PRIORITIES[i], &plan).unwrap();
+    }
+    (dir, db, server)
+}
+
+#[test]
+fn concurrent_sessions_deliver_goldens_exactly_once() {
+    let goldens = goldens();
+    let (_dir, _db, mut server) = build_server("fair");
+    server.run_to_completion().unwrap();
+    let mut preempted = 0;
+    for (i, s) in server.sessions().iter().enumerate() {
+        assert!(s.is_finished(), "session {} must finish", i + 1);
+        assert_eq!(
+            s.collected,
+            goldens[i],
+            "session {} output must match its uninterrupted golden",
+            i + 1
+        );
+        assert!(s.fairness.quanta > 0, "session {} never ran", i + 1);
+        assert_eq!(
+            s.fairness.suspends, s.fairness.resumes,
+            "session {}: every preemption suspend must be matched by a resume",
+            i + 1
+        );
+        preempted += s.fairness.suspends;
+    }
+    // One live slot for three sessions: scheduling MUST have gone through
+    // the suspend path, or this test exercises nothing.
+    assert!(preempted > 0, "no preemption happened under 1 live slot");
+}
+
+#[test]
+fn scheduler_emits_typed_session_events() {
+    let goldens = goldens();
+    let dir = TempDir::new("events");
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    let tracer = Arc::new(Tracer::new(db.ledger().clone()));
+    tracer.enable_full_capture();
+    db.install_tracer(Some(tracer.clone()));
+
+    let mut server = QsrServer::new(db.clone(), config());
+    for (i, plan) in plans().into_iter().enumerate() {
+        server.admit("tenant-a", PRIORITIES[i], &plan).unwrap();
+    }
+    server.run_to_completion().unwrap();
+    for (i, s) in server.sessions().iter().enumerate() {
+        assert_eq!(s.collected, goldens[i]);
+    }
+
+    let records = tracer.take_full();
+    let mut admits = 0;
+    let mut preempts = 0;
+    let mut resumes = 0;
+    for rec in &records {
+        match &rec.event {
+            TraceEvent::SessionAdmit { session, priority, .. } => {
+                admits += 1;
+                assert!((1..=3).contains(session));
+                assert!(PRIORITIES.contains(priority));
+            }
+            TraceEvent::Preempt { session, est_suspend_cost, .. } => {
+                preempts += 1;
+                assert!((1..=3).contains(session));
+                assert!(
+                    est_suspend_cost.is_finite() && *est_suspend_cost >= 0.0,
+                    "victim signal must be a finite estimate, got {est_suspend_cost}"
+                );
+            }
+            TraceEvent::SessionResume { session, generation } => {
+                resumes += 1;
+                assert!((1..=3).contains(session));
+                assert!(*generation >= 1, "resume must name a committed generation");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(admits, 3, "one SessionAdmit per admitted session");
+    assert!(preempts > 0, "preemptions must be journaled");
+    assert!(resumes > 0, "resumes must be journaled");
+}
+
+/// The heart of the family: crash/torn/NoSpace at every write ordinal of
+/// the first preemption window (round 1: two preemption suspends plus any
+/// execute-phase spills).
+#[test]
+fn fault_matrix_during_preemption_leaves_every_session_recoverable() {
+    let goldens = goldens();
+
+    // Dry run: the write window of round 1.
+    let writes = {
+        let (_dir, db, mut server) = build_server("dry");
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        server.run_round().unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0, "round 1 must issue write events (preemptions)");
+
+    for k in 1..=writes {
+        for fault in [WriteFault::Crash, WriteFault::Torn, WriteFault::NoSpace] {
+            let (dir, db, mut server) = build_server("cell");
+            let fi = Arc::new(FaultInjector::seeded(0x5E55 + k));
+            fi.fail_write(k, fault);
+            db.disk().set_fault_injector(Some(fi.clone()));
+            let outcome = server.run_round();
+            let what = format!("{fault:?} at preemption write {k}");
+
+            if fi.halted() {
+                // Simulated process death. Drop every handle and recover
+                // from the directory alone.
+                drop(server);
+                drop(db);
+                let db = Database::open_default(&dir.0).unwrap();
+                // Exactly one valid generation per session: no session's
+                // manifest may read as an error, whatever the ordinal.
+                for id in 1..=3u64 {
+                    let name = SessionRegistry::manifest_name(SessionId(id));
+                    read_manifest_named(&db, &name).unwrap_or_else(|e| {
+                        panic!("{what}: session {id} manifest unreadable: {e}")
+                    });
+                }
+                let mut server = QsrServer::recover(db, config())
+                    .unwrap_or_else(|e| panic!("{what}: registry recovery failed: {e}"));
+                assert_eq!(
+                    server.sessions().len(),
+                    3,
+                    "{what}: recovery must reconstruct every admitted session"
+                );
+                server
+                    .run_to_completion()
+                    .unwrap_or_else(|e| panic!("{what}: post-recovery run failed: {e}"));
+                for (i, s) in server.sessions().iter().enumerate() {
+                    assert!(
+                        s.is_finished(),
+                        "{what}: session {} must finish after recovery",
+                        i + 1
+                    );
+                    // The recovered process delivers the suffix after the
+                    // session's last committed generation (the prefix was
+                    // delivered by the dead process); a session with no
+                    // committed generation replays in full.
+                    assert!(
+                        goldens[i].ends_with(&s.collected),
+                        "{what}: session {} recovered output is not a golden suffix \
+                         ({} tuples vs golden {})",
+                        i + 1,
+                        s.collected.len(),
+                        goldens[i].len()
+                    );
+                }
+            } else {
+                // Process alive: the ladder absorbed the fault (NoSpace →
+                // cheaper rung) or the server shed under pressure. Either
+                // way the run must complete, and every surviving session
+                // must deliver its golden bit-exactly.
+                outcome.unwrap_or_else(|e| panic!("{what}: non-halting round errored: {e}"));
+                server
+                    .run_to_completion()
+                    .unwrap_or_else(|e| panic!("{what}: completion failed: {e}"));
+                for (i, s) in server.sessions().iter().enumerate() {
+                    if s.is_shed() {
+                        // Only the designated lowest-priority session may
+                        // have been shed.
+                        assert_eq!(i, 1, "{what}: shed victim must be the lowest priority");
+                        continue;
+                    }
+                    assert!(s.is_finished(), "{what}: session {} must finish", i + 1);
+                    assert_eq!(
+                        s.collected,
+                        goldens[i],
+                        "{what}: session {} diverges from golden",
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Crash sweep over a *later* round, after every session has committed
+/// suspend generations. This is the window the round-1 matrix cannot
+/// reach: a crash mid-execution here leaves stale pages appended past a
+/// sealed partition watermark (e.g. a HashAgg spill), and the recovered
+/// session must truncate them on reopen rather than splice phantom
+/// tuples into its aggregate (`RunWriter::reopen` regression).
+#[test]
+fn crash_after_committed_generations_replays_no_stale_run_pages() {
+    let goldens = goldens();
+
+    // Short quanta keep all three sessions in flight deep into the run,
+    // so the crash window sits between committed generations for
+    // everyone.
+    let late_config = || ServerConfig {
+        quantum: 400,
+        ..config()
+    };
+    let build_late = |tag: &str| {
+        let (dir, db, mut server) = build_server(tag);
+        *server.config_mut() = late_config();
+        server.run_round().unwrap();
+        server.run_round().unwrap();
+        (dir, db, server)
+    };
+
+    // Two clean rounds commit real generations for every session; the
+    // write window under test is round 3.
+    let writes = {
+        let (_dir, db, mut server) = build_late("late-dry");
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        server.run_round().unwrap();
+        fi.writes_observed()
+    };
+    assert!(writes > 0, "round 3 must issue write events");
+
+    for k in 1..=writes {
+        let (dir, db, mut server) = build_late("late-cell");
+        let fi = Arc::new(FaultInjector::seeded(0xC4A5 + k));
+        fi.fail_write(k, WriteFault::Crash);
+        db.disk().set_fault_injector(Some(fi.clone()));
+        let outcome = server.run_round();
+        let what = format!("crash at round-3 write {k}");
+        assert!(outcome.is_err(), "{what}: injected crash must surface");
+        assert!(fi.halted(), "{what}: the crash must halt the process");
+
+        drop(server);
+        drop(db);
+        let db = Database::open_default(&dir.0).unwrap();
+        let mut server = QsrServer::recover(db, late_config())
+            .unwrap_or_else(|e| panic!("{what}: registry recovery failed: {e}"));
+        // Sessions that finished before the crash retired their registry
+        // entries; everyone still in flight must be reconstructed.
+        assert!(
+            !server.sessions().is_empty(),
+            "{what}: at least one in-flight session must be recovered"
+        );
+        server
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{what}: post-recovery run failed: {e}"));
+        for s in server.sessions() {
+            let golden = &goldens[(s.meta.id - 1) as usize];
+            assert!(
+                s.is_finished(),
+                "{what}: session {} must finish",
+                s.meta.id
+            );
+            assert!(
+                golden.ends_with(&s.collected),
+                "{what}: session {} recovered output is not a golden suffix \
+                 ({} tuples vs golden {})",
+                s.meta.id,
+                s.collected.len(),
+                golden.len()
+            );
+        }
+    }
+}
+
+/// Server-level degradation ladder: when even the per-query ladder cannot
+/// park a victim (zero quota headroom), the server sheds the
+/// lowest-priority session — and the survivor, rolled back to scratch
+/// without a committed generation, still delivers exactly-once output.
+#[test]
+fn quota_pressure_sheds_lowest_priority_and_preserves_survivor() {
+    // Both plans are pure BlockNlj: execution itself writes nothing, so
+    // the quota bites only preemption suspends.
+    let nlj = |cutoff: i64| PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::Filter {
+            input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            predicate: Predicate::IntLt { col: 1, value: cutoff },
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 100,
+    };
+    let golden = {
+        let dir = TempDir::new("shed-golden");
+        let db = Database::open_default(&dir.0).unwrap();
+        populate(&db);
+        let mut exec = qsr::exec::QueryExecution::start(db, nlj(500)).unwrap();
+        exec.run_to_completion().unwrap()
+    };
+
+    let dir = TempDir::new("shed");
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    let tracer = Arc::new(Tracer::new(db.ledger().clone()));
+    tracer.enable_full_capture();
+    db.install_tracer(Some(tracer.clone()));
+
+    let mut server = QsrServer::new(
+        db.clone(),
+        ServerConfig {
+            quantum: 1_000,
+            max_live: 1,
+            ..config()
+        },
+    );
+    server.admit("premium", 5, &nlj(500)).unwrap();
+    server.admit("basic", 1, &nlj(300)).unwrap();
+    // Zero headroom from here on: every suspend attempt exhausts the
+    // ladder and clean-aborts.
+    let dm = db.disk();
+    dm.set_quota(Some(dm.used_bytes()));
+
+    server.run_to_completion().unwrap();
+
+    let s1 = &server.sessions()[0];
+    let s2 = &server.sessions()[1];
+    assert!(s2.is_shed(), "lowest-priority session must be shed under pressure");
+    assert!(s2.collected.is_empty(), "shed output must be discarded");
+    assert!(s1.is_finished(), "premium session must survive");
+    assert_eq!(
+        s1.collected, golden,
+        "survivor must deliver exactly-once output despite its clean-aborted preemption"
+    );
+    // The session registry must be empty again: the shed session's entry
+    // retired with it, the finished one's at completion.
+    let registry = SessionRegistry::new(db.clone());
+    assert!(registry.scan().unwrap().is_empty(), "registry must drain");
+
+    let records = tracer.take_full();
+    assert!(
+        records.iter().any(|r| matches!(
+            &r.event,
+            TraceEvent::Shed { session: 2, priority: 1, .. }
+        )),
+        "the shed must be journaled with the victim's identity and priority"
+    );
+}
