@@ -30,6 +30,7 @@ fn main() {
             dump_writers: 4,
             policy: Policy::Optimized,
             quota: None,
+            batch: 48,
             mode: Mode::Sweep { boundary },
         };
         let pressured = Scenario {

@@ -28,6 +28,7 @@
 //! * [`work`] — per-operator cumulative-work tracking feeding the
 //!   optimizer's `g^r` terms.
 
+pub mod batch;
 pub mod graph;
 pub mod ids;
 pub mod optimizer;
@@ -36,6 +37,7 @@ pub mod suspended;
 pub mod topology;
 pub mod work;
 
+pub use batch::{Batch, ColumnVec};
 pub use graph::{Checkpoint, Contract, ContractGraph, Migration, SideSnapshot};
 pub use ids::{CkptId, CtrId, OpId};
 pub use optimizer::{

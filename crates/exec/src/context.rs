@@ -1,10 +1,10 @@
 //! Execution context: the ambient state shared by every operator of one
 //! query — database handle, contract graph, work table, suspend trigger.
 
-use crate::writers::DumpPipeline;
+use crate::writers::{DumpPipeline, PrefetchedDumps};
 use qsr_core::{ContractGraph, OpId, WorkTable};
 use qsr_storage::{
-    fnv1a, pages_for_bytes, BlobId, CostModel, CostSnapshot, Database, Encode, Result,
+    fnv1a, pages_for_bytes, BlobId, CostModel, CostSnapshot, Database, Decode, Encode, Result,
     StorageError, TraceEvent,
 };
 use std::cell::RefCell;
@@ -75,6 +75,7 @@ pub struct DumpWatchdog {
 /// orphaned and deleted.
 pub type SalvageCache = HashMap<(u64, u64), BlobId>;
 
+
 /// Ambient per-query execution state.
 pub struct ExecContext {
     /// The database (disk, ledger, blobs, catalog).
@@ -83,8 +84,11 @@ pub struct ExecContext {
     pub graph: ContractGraph,
     /// Per-operator cumulative work.
     pub work: WorkTable,
-    /// Per-operator tick counters (tuples consumed/produced), for triggers.
-    ticks: HashMap<OpId, u64>,
+    /// Per-operator tick counters (tuples consumed/produced), for
+    /// triggers. Indexed by `OpId` — plan builders assign dense small
+    /// ids, and `tick()` is the hottest call in the executor (once per
+    /// tuple per operator), so this is a flat vector, not a map.
+    ticks: Vec<u64>,
     /// Global work-unit counter across all operators (one per tick).
     work_units: u64,
     trigger: Option<SuspendTrigger>,
@@ -108,6 +112,10 @@ pub struct ExecContext {
     /// Interior mutability because consumption happens inside the `&self`
     /// dump-write path.
     salvage: RefCell<SalvageCache>,
+    /// Dump blobs pre-read by the parallel resume pool (driver-installed
+    /// before `root.resume`). Consumed once per blob; misses fall through
+    /// to a plain serial blob read.
+    prefetched: RefCell<PrefetchedDumps>,
 }
 
 impl ExecContext {
@@ -117,7 +125,7 @@ impl ExecContext {
             db,
             graph: ContractGraph::new(),
             work: WorkTable::new(),
-            ticks: HashMap::new(),
+            ticks: Vec::new(),
             work_units: 0,
             trigger: None,
             observer: None,
@@ -127,7 +135,37 @@ impl ExecContext {
             dump_pipeline: None,
             watchdog: None,
             salvage: RefCell::new(SalvageCache::new()),
+            prefetched: RefCell::new(PrefetchedDumps::new()),
         }
+    }
+
+    /// Install in-flight prefetched dump blobs (driver-only, before
+    /// `root.resume`). The pool's reads pipeline with operator rebuilds;
+    /// any previous collection is dropped, which waits for its stragglers.
+    pub fn install_prefetched(&mut self, dumps: PrefetchedDumps) {
+        *self.prefetched.borrow_mut() = dumps;
+    }
+
+    /// Barrier: wait for every still-queued prefetch read to land (and
+    /// charge the ledger). The driver calls this before leaving
+    /// `Phase::Resume`, so a resume that aborts early — or substitutes a
+    /// fallback and never consumes a blob — cannot leak charged reads
+    /// into the next phase.
+    pub fn drain_prefetched(&mut self) {
+        *self.prefetched.borrow_mut() = PrefetchedDumps::new();
+    }
+
+    /// Load an operator dump blob. A blob the parallel resume pool is
+    /// reading is awaited and served (or its read error replayed) from
+    /// its prefetch slot — the worker charges the ledger when it reads
+    /// the pages, so totals stay identical to a serial resume; anything
+    /// else is a plain checksummed blob read.
+    pub fn get_dump_value<T: Decode>(&self, id: BlobId) -> Result<T> {
+        let slot = self.prefetched.borrow_mut().remove(&id);
+        if let Some(slot) = slot {
+            return T::decode_from_slice(&slot.take()?);
+        }
+        self.db.blobs().get_value(id)
     }
 
     /// Install (or clear) the per-rung suspend watchdog (driver-only).
@@ -295,7 +333,7 @@ impl ExecContext {
 
     /// Tick counter of `op`.
     pub fn ticks_of(&self, op: OpId) -> u64 {
-        self.ticks.get(&op).copied().unwrap_or(0)
+        self.ticks.get(op.0 as usize).copied().unwrap_or(0)
     }
 
     /// Record one unit of tuple progress for `op` (a consumed input tuple
@@ -303,9 +341,12 @@ impl ExecContext {
     /// per-tuple CPU cost, and evaluate the trigger. Returns `true` if a
     /// suspend request is now pending — operators unwind on this signal.
     pub fn tick(&mut self, op: OpId) -> bool {
-        let c = self.ticks.entry(op).or_insert(0);
-        *c += 1;
-        let count = *c;
+        let idx = op.0 as usize;
+        if idx >= self.ticks.len() {
+            self.ticks.resize(idx + 1, 0);
+        }
+        self.ticks[idx] += 1;
+        let count = self.ticks[idx];
         self.work_units += 1;
         if self.cpu_tuple_cost > 0.0 {
             self.work.charge(op, self.cpu_tuple_cost);

@@ -21,13 +21,13 @@
 //! delivers exactly the tuples following the last pre-suspend output.
 
 use crate::context::{DumpWatchdog, ExecContext, SuspendTrigger, WorkUnitObserver};
-use crate::operator::{Operator, Poll, SuspendMode};
+use crate::operator::{BatchPoll, Operator, Poll, SuspendMode};
 use crate::plan::{build_plan, PlanSpec};
 use crate::recovery::{
     clear_manifest_named, commit_manifest_named, read_manifest_named, with_retries, ResumeError,
     SuspendManifest, SUSPEND_MANIFEST,
 };
-use crate::writers::DumpPipeline;
+use crate::writers::{DumpPipeline, ResumePool};
 use qsr_core::{
     ContractGraph, OpId, OpSuspendInputs, OptimizeReport, PlanTopology, SolveBudget, Strategy,
     SuspendOptimizer, SuspendPlan, SuspendPolicy, SuspendProblem, SuspendedQuery,
@@ -82,6 +82,15 @@ pub struct SuspendOptions {
     /// [`SuspendOptimizer::default_solve_budget`] (the `QSR_SOLVE_NODES`
     /// environment knob, or the solver default).
     pub solve_budget: Option<SolveBudget>,
+    /// Number of background reader threads prefetching operator dump
+    /// blobs during resume (the read-side mirror of `dump_writers`). `0`
+    /// reads every blob serially at the point of consumption — the
+    /// paper's baseline. Prefetching charges the identical
+    /// [`Phase::Resume`] ledger I/O (the blob set is deduplicated, so
+    /// each dump is read exactly once either way) and read *errors* are
+    /// replayed when the owning operator consumes the blob, so the
+    /// [`ResumeError`] taxonomy and fallback substitution are unchanged.
+    pub resume_workers: usize,
 }
 
 impl Default for SuspendOptions {
@@ -91,7 +100,22 @@ impl Default for SuspendOptions {
             dump_writers: 4,
             deadline: None,
             solve_budget: None,
+            resume_workers: 0,
         }
+    }
+}
+
+/// Parse a non-negative integer environment knob. Unset means `default`;
+/// set-but-unparsable is a hard error — a mistyped knob must not silently
+/// fall back to a different execution mode.
+fn env_usize(name: &str, default: usize) -> Result<usize> {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse::<usize>().map_err(|_| {
+            StorageError::invalid(format!(
+                "{name} must be a non-negative integer, got {v:?}"
+            ))
+        }),
+        Err(_) => Ok(default),
     }
 }
 
@@ -151,6 +175,11 @@ pub struct QueryExecution {
     topology: PlanTopology,
     tuples_emitted: u64,
     finished: bool,
+    /// Rows per batch when [`QueryExecution::run`] drives the plan through
+    /// the vectorized `next_batch` interface; `0` (the default) keeps the
+    /// classic tuple-at-a-time pull. Seeded from the `QSR_BATCH_SIZE`
+    /// environment knob at start and resume.
+    batch_size: usize,
     /// Sidecar name this execution's suspends commit under. Defaults to
     /// the global [`SUSPEND_MANIFEST`]; the multi-session server assigns
     /// each session its own name so concurrent suspended sessions never
@@ -190,6 +219,7 @@ impl QueryExecution {
             topology: built.topology,
             tuples_emitted: 0,
             finished: false,
+            batch_size: env_usize("QSR_BATCH_SIZE", 0)?,
             manifest_name: SUSPEND_MANIFEST.to_string(),
         };
         exec.root.open(&mut exec.ctx)?;
@@ -207,6 +237,7 @@ impl QueryExecution {
             topology: built.topology,
             tuples_emitted: 0,
             finished: false,
+            batch_size: env_usize("QSR_BATCH_SIZE", 0)?,
             manifest_name: SUSPEND_MANIFEST.to_string(),
         };
         exec.ctx.checkpoints_enabled = checkpoints;
@@ -290,10 +321,51 @@ impl QueryExecution {
         Ok(out)
     }
 
+    /// Pull the next batch of up to `max` output rows through the
+    /// vectorized interface. Operators without a native `next_batch`
+    /// transparently adapt their tuple loop, so this works on any plan.
+    pub fn next_batch(&mut self, max: usize) -> Result<BatchPoll> {
+        if self.finished {
+            return Ok(BatchPoll::Done);
+        }
+        let out = self.root.next_batch(&mut self.ctx, max)?;
+        match &out {
+            BatchPoll::Batch(b) => self.tuples_emitted += b.live_len() as u64,
+            BatchPoll::Done => self.finished = true,
+            BatchPoll::Suspended => {}
+        }
+        Ok(out)
+    }
+
+    /// The batch size [`QueryExecution::run`] drives the plan with
+    /// (`0` = tuple-at-a-time).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Override the vectorized batch size (`0` disables batch mode). The
+    /// knob only changes how rows move between operators at execution
+    /// time; outputs, suspend records, and charged ledgers are identical
+    /// either way.
+    pub fn set_batch_size(&mut self, n: usize) {
+        self.batch_size = n;
+    }
+
     /// Run until completion or suspension. Returns the tuples produced in
-    /// this stretch and whether the query finished.
+    /// this stretch and whether the query finished. With a non-zero
+    /// [`QueryExecution::batch_size`], rows move through the plan in
+    /// column batches and are torn back into tuples only here at the top.
     pub fn run(&mut self) -> Result<(Vec<Tuple>, bool)> {
         let mut out = Vec::new();
+        if self.batch_size > 0 {
+            loop {
+                match self.next_batch(self.batch_size)? {
+                    BatchPoll::Batch(b) => out.extend(b.to_tuples()),
+                    BatchPoll::Done => return Ok((out, true)),
+                    BatchPoll::Suspended => return Ok((out, false)),
+                }
+            }
+        }
         loop {
             match self.next()? {
                 Poll::Tuple(t) => out.push(t),
@@ -858,10 +930,23 @@ impl QueryExecution {
 
     /// [`QueryExecution::recover`] for an explicitly named manifest. The
     /// recovered execution keeps committing under `name`, so a session
-    /// resumed by the server stays on its own generation chain.
+    /// resumed by the server stays on its own generation chain. The
+    /// `QSR_RESUME_WORKERS` environment knob sets the prefetch pool size
+    /// (see [`SuspendOptions::resume_workers`]); unset means serial.
     pub fn recover_named(
         db: Arc<Database>,
         name: &str,
+    ) -> std::result::Result<Option<Self>, ResumeError> {
+        let workers = env_usize("QSR_RESUME_WORKERS", 0).map_err(ResumeError::Storage)?;
+        Self::recover_named_with(db, name, workers)
+    }
+
+    /// [`QueryExecution::recover_named`] with an explicit resume-prefetch
+    /// pool size instead of the environment knob.
+    pub fn recover_named_with(
+        db: Arc<Database>,
+        name: &str,
+        resume_workers: usize,
     ) -> std::result::Result<Option<Self>, ResumeError> {
         match read_manifest_named(&db, name)? {
             None => {
@@ -874,7 +959,7 @@ impl QueryExecution {
                 db.ledger().trace(|| TraceEvent::RecoveryStep {
                     step: format!("manifest generation {} found at {name}; resuming", m.generation),
                 });
-                let mut exec = Self::resume_validated(db, m.query)?;
+                let mut exec = Self::resume_validated_with(db, m.query, resume_workers)?;
                 exec.manifest_name = name.to_string();
                 Ok(Some(exec))
             }
@@ -902,8 +987,23 @@ impl QueryExecution {
         db: Arc<Database>,
         blob: BlobId,
     ) -> std::result::Result<Self, ResumeError> {
+        Self::resume_validated_with(db, blob, 0)
+    }
+
+    /// [`QueryExecution::resume_validated`] with a resume-prefetch pool:
+    /// with `resume_workers > 0`, the suspended query's dump blobs are
+    /// read in the background by a bounded [`ResumePool`] while operator
+    /// state is rebuilt, pipelining each operator's decode CPU with the
+    /// remaining operators' blob reads.
+    /// Charged `Phase::Resume` I/O, recovered outputs, and the error
+    /// taxonomy are identical to the serial path.
+    pub fn resume_validated_with(
+        db: Arc<Database>,
+        blob: BlobId,
+        resume_workers: usize,
+    ) -> std::result::Result<Self, ResumeError> {
         db.ledger().set_phase(Phase::Resume);
-        let out = Self::resume_validated_inner(&db, blob);
+        let out = Self::resume_validated_inner(&db, blob, resume_workers);
         if let Err(e) = &out {
             // Attach the flight-recorder tail to the failure out-of-band
             // (the ResumeError shape is frozen; callers fetch the tail via
@@ -919,6 +1019,7 @@ impl QueryExecution {
     fn resume_validated_inner(
         db: &Arc<Database>,
         blob: BlobId,
+        resume_workers: usize,
     ) -> std::result::Result<Self, ResumeError> {
         let mut sq = with_retries(|| SuspendedQuery::load(db.blobs(), blob)).map_err(|e| {
             if e.is_corruption() || matches!(e, StorageError::NotFound(_)) {
@@ -946,7 +1047,7 @@ impl QueryExecution {
         // GoBack fallback and rebuild. Bounded by the number of records.
         let mut substitutions = sq.records.len() + 1;
         loop {
-            match with_retries(|| Self::try_resume(db, &spec, &sq)) {
+            match with_retries(|| Self::try_resume(db, &spec, &sq, resume_workers)) {
                 Ok(exec) => return Ok(exec),
                 Err(e) if e.is_corruption() || matches!(e, StorageError::NotFound(_)) => {
                     if substitutions == 0 {
@@ -991,14 +1092,36 @@ impl QueryExecution {
         None
     }
 
-    /// One resume attempt over a fixed record set.
-    fn try_resume(db: &Arc<Database>, spec: &PlanSpec, sq: &SuspendedQuery) -> Result<Self> {
+    /// One resume attempt over a fixed record set. With `workers > 0` the
+    /// record set's dump blobs are read in the background by a
+    /// [`ResumePool`] whose slot map is installed in the context before
+    /// any operator resumes; each operator blocks only on *its own*
+    /// blob's slot (or replays its read error) through
+    /// [`ExecContext::get_dump_value`], so blob I/O pipelines with the
+    /// decode work of operators that already have their bytes.
+    /// Prefetching happens per attempt so fallback substitution always
+    /// reads the *current* record set, and the context is drained before
+    /// returning so no charged read outlives `Phase::Resume`.
+    fn try_resume(
+        db: &Arc<Database>,
+        spec: &PlanSpec,
+        sq: &SuspendedQuery,
+        workers: usize,
+    ) -> Result<Self> {
         let built = build_plan(db, spec)?;
         let mut ctx = ExecContext::new(db.clone());
         if let Some(gb) = &sq.graph_bytes {
             ctx.graph = ContractGraph::decode_from_slice(gb)?;
         }
         ctx.work.restore(sq.work_snapshot.iter().copied());
+        if workers > 0 {
+            // `sq.records` is a BTreeMap, so the queue order (and thus the
+            // fault-ordinal exposure) is deterministic.
+            let blobs: Vec<BlobId> = sq.records.values().filter_map(|r| r.heap_dump).collect();
+            if !blobs.is_empty() {
+                ctx.install_prefetched(ResumePool::fetch(db, &blobs, workers));
+            }
+        }
         let mut exec = Self {
             db: db.clone(),
             ctx,
@@ -1007,9 +1130,12 @@ impl QueryExecution {
             topology: built.topology,
             tuples_emitted: sq.tuples_emitted,
             finished: false,
+            batch_size: env_usize("QSR_BATCH_SIZE", 0)?,
             manifest_name: SUSPEND_MANIFEST.to_string(),
         };
-        exec.root.resume(&mut exec.ctx, sq)?;
+        let resumed = exec.root.resume(&mut exec.ctx, sq);
+        exec.ctx.drain_prefetched();
+        resumed?;
         Ok(exec)
     }
 }

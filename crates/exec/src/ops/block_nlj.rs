@@ -37,7 +37,7 @@ use qsr_core::{
     SuspendPlan, SuspendedQuery,
 };
 use qsr_storage::{
-    Decode, Decoder, Encode, Encoder, Result, Schema, StorageError, Tuple,
+    Decode, Decoder, Encode, Encoder, Result, Schema, StorageError, Tuple, TupleBlock,
 };
 use std::collections::VecDeque;
 
@@ -448,7 +448,7 @@ impl Operator for BlockNlj {
         self.clear_buffer();
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, Some(blob)) => {
-                let BufferDump(tuples) = ctx.db.blobs().get_value(*blob)?;
+                let BufferDump(tuples) = ctx.get_dump_value(*blob)?;
                 for t in tuples {
                     self.push_buffer(t);
                 }
@@ -518,17 +518,18 @@ impl Operator for BlockNlj {
     }
 }
 
-/// Heap-dump payload: the outer buffer.
+/// Heap-dump payload: the outer buffer, stored as a column-major
+/// [`TupleBlock`] (raw value runs, no per-tuple headers).
 struct BufferDump(Vec<Tuple>);
 
 impl Encode for BufferDump {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_seq(&self.0);
+        TupleBlock(self.0.clone()).encode(enc);
     }
 }
 
 impl Decode for BufferDump {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
-        Ok(BufferDump(dec.get_seq()?))
+        Ok(BufferDump(TupleBlock::decode(dec)?.0))
     }
 }

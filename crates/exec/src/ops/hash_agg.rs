@@ -15,11 +15,11 @@
 //! directly to the cursor.
 
 use crate::context::ExecContext;
-use crate::operator::{Operator, Poll, SuspendMode};
+use crate::operator::{BatchPoll, Operator, Poll, SuspendMode};
 use crate::ops::agg::AggFn;
 use qsr_core::{
-    CkptId, CtrId, Migration, OpId, OpSuspendInputs, OpSuspendRecord, SideSnapshot, Strategy,
-    SuspendPlan, SuspendedQuery,
+    Batch, CkptId, ColumnVec, CtrId, Migration, OpId, OpSuspendInputs, OpSuspendRecord,
+    SideSnapshot, Strategy, SuspendPlan, SuspendedQuery,
 };
 use qsr_storage::{
     Column, DataType, Decode, Decoder, Encode, Encoder, Result, RunHandle, RunReader, RunWriter,
@@ -338,6 +338,121 @@ impl Operator for HashAgg {
         }
     }
 
+    /// Vectorized execution. The partition phase consumes whole child
+    /// batches (the group key is read from the unboxed column slice when
+    /// monomorphic); the emission phase fills a column-major output batch
+    /// in a tight loop. Per-tuple `tick` accounting matches `next()`, so
+    /// suspend triggers fire on identical work units; a consumed child
+    /// batch is always fully partitioned before a pending suspend
+    /// surfaces.
+    fn next_batch(&mut self, ctx: &mut ExecContext, max: usize) -> Result<BatchPoll> {
+        let max = max.max(1);
+        let mut out = Batch::with_capacity(self.schema.len(), max);
+        while let Some(t) = self.pending.pop_front() {
+            out.push(&t);
+            if out.len() >= max {
+                return Ok(BatchPoll::Batch(out));
+            }
+        }
+        loop {
+            if ctx.suspend_pending() {
+                return Ok(match out.is_empty() {
+                    true => BatchPoll::Suspended,
+                    false => BatchPoll::Batch(out),
+                });
+            }
+            match self.phase {
+                PHASE_PARTITION => {
+                    while self.writers.len() < self.partitions {
+                        self.writers
+                            .push(Some(RunWriter::create(ctx.db.pool().clone())?));
+                    }
+                    match self.child.next_batch(ctx, max)? {
+                        BatchPoll::Batch(b) => {
+                            let ints = b.column(self.group_col).and_then(ColumnVec::as_ints);
+                            let rows: Vec<usize> = b.live_rows().collect();
+                            for &r in &rows {
+                                ctx.tick(self.op);
+                                self.consumed += 1;
+                                let g = match ints {
+                                    Some(ints) => ints[r],
+                                    None => b.value(r, self.group_col).as_int()?,
+                                };
+                                let p = hash_partition(g, self.partitions);
+                                self.writers[p]
+                                    .as_mut()
+                                    .ok_or_else(|| {
+                                        StorageError::invalid("hash-agg partition writer missing")
+                                    })?
+                                    .append(&b.tuple(r))?;
+                            }
+                        }
+                        BatchPoll::Done => {
+                            for w in self.writers.drain(..) {
+                                let handle = w
+                                    .ok_or_else(|| {
+                                        StorageError::invalid("hash-agg partition writer missing")
+                                    })?
+                                    .finish()?;
+                                let pages = ctx.db.pool().num_pages(handle.file)?;
+                                ctx.note_page_writes(self.op, pages);
+                                self.runs.push(handle);
+                            }
+                            self.phase = PHASE_AGG;
+                            self.cur_part = 0;
+                            self.emit_idx = 0;
+                            self.groups.clear();
+                            self.heap_bytes = 0;
+                            self.checkpoint(ctx, false)?;
+                        }
+                        BatchPoll::Suspended => {
+                            return Ok(match out.is_empty() {
+                                true => BatchPoll::Suspended,
+                                false => BatchPoll::Batch(out),
+                            })
+                        }
+                    }
+                }
+                PHASE_AGG => {
+                    if self.cur_part >= self.partitions {
+                        self.phase = PHASE_DONE;
+                        continue;
+                    }
+                    if self.groups.is_empty() && self.emit_idx == 0 {
+                        self.load_partition(ctx, self.cur_part)?;
+                    }
+                    while self.emit_idx < self.groups.len() {
+                        if ctx.suspend_pending() {
+                            break;
+                        }
+                        let (g, acc) = self.groups[self.emit_idx];
+                        self.emit_idx += 1;
+                        self.produced_since_sign += 1;
+                        out.push_row(vec![Value::Int(g), Value::Int(acc.value(self.func))]);
+                        if out.len() >= max {
+                            return Ok(BatchPoll::Batch(out));
+                        }
+                    }
+                    if ctx.suspend_pending() {
+                        continue; // loop top returns the partial batch
+                    }
+                    self.groups.clear();
+                    self.heap_bytes = 0;
+                    self.emit_idx = 0;
+                    self.cur_part += 1;
+                    self.checkpoint(ctx, false)?;
+                }
+                PHASE_DONE => {
+                    return Ok(match out.is_empty() {
+                        true => BatchPoll::Done,
+                        false => BatchPoll::Batch(out),
+                    })
+                }
+                p => return Err(StorageError::corrupt(format!("bad hash-agg phase {p}"))),
+            }
+        }
+    }
+
     fn close(&mut self, ctx: &mut ExecContext) -> Result<()> {
         self.child.close(ctx)?;
         self.groups.clear();
@@ -511,7 +626,7 @@ impl Operator for HashAgg {
 
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, Some(blob)) => {
-                let GroupsDump(groups) = ctx.db.blobs().get_value(*blob)?;
+                let GroupsDump(groups) = ctx.get_dump_value(*blob)?;
                 self.heap_bytes = groups.len() * 40;
                 self.groups = groups;
             }
@@ -577,25 +692,58 @@ impl Operator for HashAgg {
     }
 }
 
+/// Heap-dump image of the current partition's groups. Zero-copy layout:
+/// one raw little-endian run of the `n` group keys followed by one raw
+/// run of `n` fixed-width (32-byte) accumulators — no per-group headers.
 struct GroupsDump(Vec<(i64, Acc)>);
+
+const ACC_BYTES: usize = 32;
 
 impl Encode for GroupsDump {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u32(self.0.len() as u32);
+        let n = self.0.len();
+        enc.put_u32(n as u32);
+        let mut keys = Vec::with_capacity(n * 8);
+        let mut accs = Vec::with_capacity(n * ACC_BYTES);
         for (g, a) in &self.0 {
-            enc.put_i64(*g);
-            a.encode(enc);
+            keys.extend_from_slice(&g.to_le_bytes());
+            accs.extend_from_slice(&a.count.to_le_bytes());
+            accs.extend_from_slice(&a.sum.to_le_bytes());
+            accs.extend_from_slice(&a.min.to_le_bytes());
+            accs.extend_from_slice(&a.max.to_le_bytes());
         }
+        enc.put_raw(&keys);
+        enc.put_raw(&accs);
     }
 }
 
 impl Decode for GroupsDump {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         let n = dec.get_u32()? as usize;
-        let mut out = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            let g = dec.get_i64()?;
-            out.push((g, Acc::decode(dec)?));
+        if n > (1 << 28) {
+            return Err(StorageError::corrupt(format!(
+                "groups dump claims {n} groups"
+            )));
+        }
+        let keys = dec.get_raw(n * 8)?;
+        let accs = dec.get_raw(n * ACC_BYTES)?;
+        let mut out = Vec::with_capacity(n);
+        for (krow, arow) in keys.chunks_exact(8).zip(accs.chunks_exact(ACC_BYTES)) {
+            let g = i64::from_le_bytes(krow.try_into().expect("8-byte key"));
+            let word = |i: usize| {
+                arow[i * 8..i * 8 + 8]
+                    .try_into()
+                    .expect("8-byte accumulator word")
+            };
+            out.push((
+                g,
+                Acc {
+                    count: u64::from_le_bytes(word(0)),
+                    sum: i64::from_le_bytes(word(1)),
+                    min: i64::from_le_bytes(word(2)),
+                    max: i64::from_le_bytes(word(3)),
+                },
+            ));
         }
         Ok(GroupsDump(out))
     }

@@ -20,14 +20,14 @@
 //! boundaries like the sort's.
 
 use crate::context::ExecContext;
-use crate::operator::{Operator, Poll, SuspendMode};
+use crate::operator::{BatchPoll, Operator, Poll, SuspendMode};
 use qsr_core::{
-    CkptId, CtrId, Migration, OpId, OpSuspendInputs, OpSuspendRecord, SideSnapshot, Strategy,
-    SuspendPlan, SuspendedQuery,
+    Batch, CkptId, ColumnVec, CtrId, Migration, OpId, OpSuspendInputs, OpSuspendRecord,
+    SideSnapshot, Strategy, SuspendPlan, SuspendedQuery,
 };
 use qsr_storage::{
     Decode, Decoder, Encode, Encoder, Result, RunHandle, RunReader, RunWriter, Schema,
-    StorageError, Tuple, TupleAddr,
+    StorageError, Tuple, TupleAddr, TupleBlock,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -533,6 +533,226 @@ impl Operator for HashJoin {
         }
     }
 
+    /// Vectorized execution. The partitioning phases consume whole child
+    /// batches (key extraction runs over the unboxed column slice when the
+    /// key column is monomorphic); the join phase emits matches into a
+    /// column-major output batch without per-tuple driver dispatch.
+    /// Per-tuple `tick` accounting is identical to `next()`, so suspend
+    /// triggers land on the same work units. A child batch, once
+    /// consumed, is always fully partitioned — in hybrid mode the inline
+    /// match emission can overfill the output past `max`, which `Batch`
+    /// permits.
+    fn next_batch(&mut self, ctx: &mut ExecContext, max: usize) -> Result<BatchPoll> {
+        let max = max.max(1);
+        let mut out = Batch::with_capacity(self.schema.len(), max);
+        while let Some(t) = self.pending.pop_front() {
+            out.push(&t);
+            if out.len() >= max {
+                return Ok(BatchPoll::Batch(out));
+            }
+        }
+        loop {
+            if ctx.suspend_pending() || (self.replay_stop.is_some() && self.replay_reached()) {
+                return Ok(match out.is_empty() {
+                    true => BatchPoll::Suspended,
+                    false => BatchPoll::Batch(out),
+                });
+            }
+            match self.phase {
+                PHASE_BUILD => {
+                    Self::ensure_writers(&mut self.build_writers, ctx.db.pool(), self.partitions)?;
+                    match self.build.next_batch(ctx, max)? {
+                        BatchPoll::Batch(b) => {
+                            let ints = b.column(self.build_key).and_then(ColumnVec::as_ints);
+                            let rows: Vec<usize> = b.live_rows().collect();
+                            for &r in &rows {
+                                ctx.tick(self.op);
+                                self.build_consumed += 1;
+                                let key = match ints {
+                                    Some(ints) => ints[r],
+                                    None => b.value(r, self.build_key).as_int()?,
+                                };
+                                let p = hash_partition(key, self.partitions);
+                                let t = b.tuple(r);
+                                if self.hybrid && p == 0 {
+                                    self.table_insert(key, t);
+                                } else {
+                                    self.build_writers[p]
+                                        .as_mut()
+                                        .ok_or_else(|| {
+                                            StorageError::invalid(
+                                                "hash-join build partition writer missing",
+                                            )
+                                        })?
+                                        .append(&t)?;
+                                }
+                            }
+                        }
+                        BatchPoll::Done => {
+                            self.build_done = true;
+                            Self::seal_writers(
+                                ctx,
+                                self.op,
+                                &mut self.build_writers,
+                                &mut self.build_runs,
+                            )?;
+                            self.phase = PHASE_PROBE;
+                            if !self.hybrid {
+                                self.checkpoint(ctx, true)?;
+                            }
+                        }
+                        BatchPoll::Suspended => {
+                            return Ok(match out.is_empty() {
+                                true => BatchPoll::Suspended,
+                                false => BatchPoll::Batch(out),
+                            })
+                        }
+                    }
+                }
+                PHASE_PROBE => {
+                    Self::ensure_writers(&mut self.probe_writers, ctx.db.pool(), self.partitions)?;
+                    // Hybrid: finish emitting matches of a probe tuple left
+                    // over from a previous (possibly tuple-mode) call.
+                    if self.hybrid {
+                        if let Some(p) = self.cur_probe.clone() {
+                            while let Some(m) = self.next_match(&p, self.probe_key)? {
+                                self.produced_since_sign += 1;
+                                out.push(&m);
+                            }
+                            self.cur_probe = None;
+                            self.match_idx = 0;
+                            if out.len() >= max {
+                                return Ok(BatchPoll::Batch(out));
+                            }
+                        }
+                    }
+                    match self.probe.next_batch(ctx, max)? {
+                        BatchPoll::Batch(b) => {
+                            let ints = b.column(self.probe_key).and_then(ColumnVec::as_ints);
+                            let rows: Vec<usize> = b.live_rows().collect();
+                            for &r in &rows {
+                                ctx.tick(self.op);
+                                self.probe_consumed += 1;
+                                let key = match ints {
+                                    Some(ints) => ints[r],
+                                    None => b.value(r, self.probe_key).as_int()?,
+                                };
+                                let p = hash_partition(key, self.partitions);
+                                let t = b.tuple(r);
+                                if self.hybrid && p == 0 {
+                                    // All matches are emitted inline, so no
+                                    // in-flight probe tuple survives past
+                                    // this row.
+                                    self.match_idx = 0;
+                                    while let Some(m) = self.next_match(&t, self.probe_key)? {
+                                        self.produced_since_sign += 1;
+                                        out.push(&m);
+                                    }
+                                    self.match_idx = 0;
+                                } else {
+                                    self.probe_writers[p]
+                                        .as_mut()
+                                        .ok_or_else(|| {
+                                            StorageError::invalid(
+                                                "hash-join probe partition writer missing",
+                                            )
+                                        })?
+                                        .append(&t)?;
+                                }
+                            }
+                            if out.len() >= max {
+                                return Ok(BatchPoll::Batch(out));
+                            }
+                        }
+                        BatchPoll::Done => {
+                            self.probe_done = true;
+                            Self::seal_writers(
+                                ctx,
+                                self.op,
+                                &mut self.probe_writers,
+                                &mut self.probe_runs,
+                            )?;
+                            self.table.clear();
+                            self.heap_bytes = 0;
+                            self.phase = PHASE_JOIN;
+                            self.cur_part = self.first_join_partition();
+                            self.cur_probe = None;
+                            self.cur_probe_addr = None;
+                            self.match_idx = 0;
+                            self.probe_reader = None;
+                            self.checkpoint(ctx, false)?;
+                        }
+                        BatchPoll::Suspended => {
+                            return Ok(match out.is_empty() {
+                                true => BatchPoll::Suspended,
+                                false => BatchPoll::Batch(out),
+                            })
+                        }
+                    }
+                }
+                PHASE_JOIN => {
+                    if self.cur_part >= self.partitions {
+                        self.phase = PHASE_DONE;
+                        continue;
+                    }
+                    if self.probe_reader.is_none() {
+                        self.load_build_partition(ctx, self.cur_part)?;
+                        self.open_probe_reader(ctx, self.cur_part, None);
+                    }
+                    if let Some(p) = self.cur_probe.clone() {
+                        match self.next_match(&p, self.probe_key)? {
+                            Some(m) => {
+                                self.produced_since_sign += 1;
+                                out.push(&m);
+                                if out.len() >= max {
+                                    return Ok(BatchPoll::Batch(out));
+                                }
+                            }
+                            None => {
+                                self.cur_probe = None;
+                                self.cur_probe_addr = None;
+                                self.match_idx = 0;
+                            }
+                        }
+                        continue;
+                    }
+                    let reader = self
+                        .probe_reader
+                        .as_mut()
+                        .ok_or_else(|| StorageError::invalid("hash-join probe reader not open"))?;
+                    let addr = reader.position();
+                    let t = reader.next()?;
+                    self.note_probe_io(ctx);
+                    match t {
+                        Some(t) => {
+                            ctx.tick(self.op);
+                            self.cur_probe = Some(t);
+                            self.cur_probe_addr = Some(addr);
+                            self.match_idx = 0;
+                        }
+                        None => {
+                            self.table.clear();
+                            self.heap_bytes = 0;
+                            self.probe_reader = None;
+                            self.cur_part += 1;
+                            self.cur_probe = None;
+                            self.cur_probe_addr = None;
+                            self.match_idx = 0;
+                            self.checkpoint(ctx, false)?;
+                        }
+                    }
+                }
+                PHASE_DONE => {
+                    return Ok(match out.is_empty() {
+                        true => BatchPoll::Done,
+                        false => BatchPoll::Batch(out),
+                    })
+                }
+                p => return Err(StorageError::corrupt(format!("bad HJ phase {p}"))),
+            }
+        }
+    }
+
     fn close(&mut self, ctx: &mut ExecContext) -> Result<()> {
         self.build.close(ctx)?;
         self.probe.close(ctx)?;
@@ -744,7 +964,7 @@ impl Operator for HashJoin {
                         .collect::<Result<_>>()?;
                 }
                 if let Some(blob) = dump {
-                    let TableDump(pairs) = ctx.db.blobs().get_value(*blob)?;
+                    let TableDump(pairs) = ctx.get_dump_value(*blob)?;
                     for (k, vs) in pairs {
                         for t in vs {
                             self.table_insert(k, t);
@@ -886,25 +1106,58 @@ impl Operator for HashJoin {
     }
 }
 
+/// Heap-dump image of the in-memory hash table. Zero-copy layout: one raw
+/// little-endian run of the `n` keys, one raw run of per-key tuple counts,
+/// then every tuple flattened into a single column-major [`TupleBlock`] —
+/// no per-pair tags or per-tuple headers.
 struct TableDump(Vec<(i64, Vec<Tuple>)>);
 
 impl Encode for TableDump {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u32(self.0.len() as u32);
+        let n = self.0.len();
+        enc.put_u32(n as u32);
+        let mut keys = Vec::with_capacity(n * 8);
+        let mut counts = Vec::with_capacity(n * 4);
+        let mut flat = Vec::new();
         for (k, vs) in &self.0 {
-            enc.put_i64(*k);
-            enc.put_seq(vs);
+            keys.extend_from_slice(&k.to_le_bytes());
+            counts.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            flat.extend(vs.iter().cloned());
         }
+        enc.put_raw(&keys);
+        enc.put_raw(&counts);
+        TupleBlock(flat).encode(enc);
     }
 }
 
 impl Decode for TableDump {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         let n = dec.get_u32()? as usize;
-        let mut out = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            let k = dec.get_i64()?;
-            out.push((k, dec.get_seq()?));
+        if n > (1 << 28) {
+            return Err(StorageError::corrupt(format!("table dump claims {n} keys")));
+        }
+        let keys = dec.get_raw(n * 8)?;
+        let counts = dec.get_raw(n * 4)?;
+        let TupleBlock(flat) = TupleBlock::decode(dec)?;
+        let mut it = flat.into_iter();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let k = i64::from_le_bytes(keys[i * 8..i * 8 + 8].try_into().expect("8-byte key"));
+            let c =
+                u32::from_le_bytes(counts[i * 4..i * 4 + 4].try_into().expect("4-byte count"))
+                    as usize;
+            let mut vs = Vec::with_capacity(c.min(1 << 20));
+            for _ in 0..c {
+                vs.push(it.next().ok_or_else(|| {
+                    StorageError::corrupt("table dump truncated: fewer tuples than counts claim")
+                })?);
+            }
+            out.push((k, vs));
+        }
+        if it.next().is_some() {
+            return Err(StorageError::corrupt(
+                "table dump has trailing tuples beyond counted groups",
+            ));
         }
         Ok(TableDump(out))
     }

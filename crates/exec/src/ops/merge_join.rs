@@ -16,7 +16,7 @@ use qsr_core::{
     SuspendPlan, SuspendedQuery,
 };
 use qsr_storage::{
-    Decode, Decoder, Encode, Encoder, Result, Schema, StorageError, Tuple,
+    Decode, Decoder, Encode, Encoder, Result, Schema, StorageError, Tuple, TupleBlock,
 };
 use std::collections::VecDeque;
 
@@ -533,7 +533,7 @@ impl Operator for MergeJoin {
         self.heap_bytes = 0;
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, Some(blob)) => {
-                let PacketDump { left, right } = ctx.db.blobs().get_value(*blob)?;
+                let PacketDump { left, right } = ctx.get_dump_value(*blob)?;
                 for t in left.iter().chain(right.iter()) {
                     self.heap_bytes += t.heap_bytes();
                 }
@@ -637,6 +637,8 @@ impl Operator for MergeJoin {
     }
 }
 
+/// Heap-dump payload: both value packets, each stored as a column-major
+/// [`TupleBlock`] (raw value runs, no per-tuple headers).
 struct PacketDump {
     left: Vec<Tuple>,
     right: Vec<Tuple>,
@@ -644,16 +646,16 @@ struct PacketDump {
 
 impl Encode for PacketDump {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_seq(&self.left);
-        enc.put_seq(&self.right);
+        TupleBlock(self.left.clone()).encode(enc);
+        TupleBlock(self.right.clone()).encode(enc);
     }
 }
 
 impl Decode for PacketDump {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
         Ok(PacketDump {
-            left: dec.get_seq()?,
-            right: dec.get_seq()?,
+            left: TupleBlock::decode(dec)?.0,
+            right: TupleBlock::decode(dec)?.0,
         })
     }
 }

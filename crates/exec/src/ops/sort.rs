@@ -21,7 +21,7 @@ use qsr_core::{
 };
 use qsr_storage::{
     Decode, Decoder, Encode, Encoder, Result, RunHandle, RunReader, RunWriter, Schema,
-    StorageError, Tuple, TupleAddr,
+    StorageError, Tuple, TupleAddr, TupleBlock,
 };
 use std::collections::VecDeque;
 
@@ -480,7 +480,7 @@ impl Operator for ExternalSort {
         if control.phase == PHASE_BUILD {
             match (&rec.strategy, &rec.heap_dump) {
                 (Strategy::Dump, Some(blob)) => {
-                    let BufferDump(tuples) = ctx.db.blobs().get_value(*blob)?;
+                    let BufferDump(tuples) = ctx.get_dump_value(*blob)?;
                     for t in &tuples {
                         self.heap_bytes += t.heap_bytes();
                     }
@@ -557,16 +557,18 @@ impl Operator for ExternalSort {
     }
 }
 
+/// Heap-dump image of the phase-1 sort buffer, stored as a column-major
+/// [`TupleBlock`] (raw value runs, no per-tuple headers).
 struct BufferDump(Vec<Tuple>);
 
 impl Encode for BufferDump {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_seq(&self.0);
+        TupleBlock(self.0.clone()).encode(enc);
     }
 }
 
 impl Decode for BufferDump {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
-        Ok(BufferDump(dec.get_seq()?))
+        Ok(BufferDump(TupleBlock::decode(dec)?.0))
     }
 }

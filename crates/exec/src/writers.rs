@@ -21,8 +21,9 @@
 //! fresh file that is invisible without the manifest.
 
 use qsr_storage::{fnv1a, BlobId, BufferPool, Database, Encode, FileId, Page, Result, PAGE_SIZE};
+use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 
 enum Job {
@@ -137,6 +138,147 @@ impl Drop for DumpPipeline {
     }
 }
 
+/// One in-flight prefetched dump blob: a worker thread fills it once,
+/// the consuming operator blocks on [`PrefetchSlot::take`]. This is the
+/// rendezvous that lets resume-time blob reads overlap operator state
+/// rebuilding instead of forming a read-everything barrier up front.
+pub struct PrefetchSlot {
+    cell: StdMutex<Option<std::result::Result<Vec<u8>, qsr_storage::StorageError>>>,
+    ready: Condvar,
+}
+
+impl PrefetchSlot {
+    fn new() -> Self {
+        Self {
+            cell: StdMutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, res: std::result::Result<Vec<u8>, qsr_storage::StorageError>) {
+        let mut g = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        *g = Some(res);
+        self.ready.notify_all();
+    }
+
+    /// Block until the worker's read lands, then move the payload (or its
+    /// typed read error, replayed at this consumption site) out.
+    pub fn take(&self) -> std::result::Result<Vec<u8>, qsr_storage::StorageError> {
+        let mut g = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(res) = g.take() {
+                return res;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until the worker's read lands, leaving the payload in place.
+    /// The drop-time barrier for slots no operator consumed.
+    pub fn wait_filled(&self) {
+        let mut g = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        while g.is_none() {
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Dump blobs being pre-read by the parallel resume pool, keyed by id.
+/// Dropping the collection blocks until every still-queued read has
+/// landed — the driver drops it before leaving `Phase::Resume`, so a
+/// resume that aborts early (or substitutes a fallback and never consumes
+/// a blob) cannot leak charged reads into the next phase.
+#[derive(Default)]
+pub struct PrefetchedDumps {
+    slots: HashMap<BlobId, Arc<PrefetchSlot>>,
+}
+
+impl PrefetchedDumps {
+    /// An empty collection (no worker threads attached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blobs queued.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no blobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Detach the slot for `id`, if it was queued. The caller then blocks
+    /// on [`PrefetchSlot::take`] for the payload.
+    pub fn remove(&mut self, id: &BlobId) -> Option<Arc<PrefetchSlot>> {
+        self.slots.remove(id)
+    }
+}
+
+impl Drop for PrefetchedDumps {
+    fn drop(&mut self) {
+        for slot in self.slots.values() {
+            slot.wait_filled();
+        }
+    }
+}
+
+/// Bounded parallel prefetch of resume-time dump blobs — the read-side
+/// mirror of [`DumpPipeline`]. Worker threads pull blob ids off a shared
+/// queue and read them through the regular [`qsr_storage::BlobStore`]
+/// path, so page reads are charged to the ambient ledger phase
+/// (`Phase::Resume` during recovery), checksum verification runs, and
+/// fault injection fires exactly as on the serial path; only the
+/// wall-clock overlaps. `fetch` returns immediately: reads proceed in the
+/// background and *pipeline* with operator state rebuilding — each
+/// operator blocks only on its own blob's [`PrefetchSlot`], so on a
+/// single core the blob I/O wait hides under the decode CPU of whichever
+/// operator resumed first. Errors are never raised here: they replay
+/// when the owning operator consumes the blob (via
+/// [`ExecContext::get_dump_value`](crate::context::ExecContext::get_dump_value)),
+/// preserving the serial error taxonomy and surfacing order.
+pub struct ResumePool;
+
+impl ResumePool {
+    /// Start reading `blobs` with up to `workers` detached threads (at
+    /// least one; capped at the queue length) and return the slot map
+    /// immediately. Duplicate ids are fetched once, so charged reads
+    /// match a serial first consumption; dropping the returned map waits
+    /// for every read to land.
+    pub fn fetch(db: &Database, blobs: &[BlobId], workers: usize) -> PrefetchedDumps {
+        let mut queue: Vec<BlobId> = Vec::with_capacity(blobs.len());
+        for &b in blobs {
+            if !queue.contains(&b) {
+                queue.push(b);
+            }
+        }
+        if queue.is_empty() {
+            return PrefetchedDumps::new();
+        }
+        let workers = workers.max(1).min(queue.len());
+        let slots: HashMap<BlobId, Arc<PrefetchSlot>> = queue
+            .iter()
+            .map(|&id| (id, Arc::new(PrefetchSlot::new())))
+            .collect();
+        let queue = Arc::new(queue);
+        let next = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for _ in 0..workers {
+            let store = db.blobs().clone();
+            let queue = queue.clone();
+            let next = next.clone();
+            let slots = slots.clone();
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let Some(&id) = queue.get(i) else { return };
+                let res = store.get(id);
+                slots[&id].fill(res);
+            });
+        }
+        PrefetchedDumps { slots }
+    }
+}
+
 fn worker_loop(
     rx: &StdMutex<Receiver<Job>>,
     pool: &Arc<BufferPool>,
@@ -225,6 +367,59 @@ mod tests {
         pipe.finish().unwrap();
         let id = pipe.put_value(&b"late".to_vec()).unwrap();
         assert_eq!(db.blobs().get_value::<Vec<u8>>(id).unwrap(), b"late");
+    }
+
+    #[test]
+    fn resume_pool_prefetches_payloads_and_captures_errors() {
+        let d = TempDir::new();
+        let db = Database::open(&d.0, CostModel::symmetric(1.0)).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 100 * (i as usize + 1)]).collect();
+        let ids: Vec<BlobId> = payloads.iter().map(|p| db.blobs().put(p).unwrap()).collect();
+        // A blob whose backing file is gone must surface as a stored
+        // error, not a panic or a missing entry.
+        db.blobs().delete(ids[2]).unwrap();
+
+        let mut fetched = ResumePool::fetch(&db, &ids, 4);
+        assert_eq!(fetched.len(), ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            match fetched.remove(id).expect("every id gets a slot").take() {
+                Ok(bytes) => {
+                    assert_ne!(i, 2);
+                    assert_eq!(bytes, payloads[i]);
+                }
+                Err(_) => assert_eq!(i, 2, "only the deleted blob may fail"),
+            }
+        }
+        assert!(fetched.is_empty());
+    }
+
+    #[test]
+    fn resume_pool_charges_match_serial_reads() {
+        let d = TempDir::new();
+        let db = Database::open(&d.0, CostModel::symmetric(1.0)).unwrap();
+        let ids: Vec<BlobId> = (0..5u8)
+            .map(|i| db.blobs().put(&vec![i; PAGE_SIZE + 7]).unwrap())
+            .collect();
+
+        let before = db.ledger().snapshot();
+        for id in &ids {
+            db.blobs().get(*id).unwrap();
+        }
+        let serial = db.ledger().snapshot().since(&before);
+
+        let before = db.ledger().snapshot();
+        let fetched = ResumePool::fetch(&db, &ids, 4);
+        assert_eq!(fetched.len(), ids.len());
+        // Dropping the slot map is the barrier: it waits for every queued
+        // read to land, so the snapshot below sees all charges.
+        drop(fetched);
+        let parallel = db.ledger().snapshot().since(&before);
+
+        assert_eq!(
+            serial.total_pages_read(),
+            parallel.total_pages_read(),
+            "pool must charge exactly the serial read I/O"
+        );
     }
 
     #[test]

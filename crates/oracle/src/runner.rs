@@ -175,6 +175,7 @@ impl Oracle {
             Ok(e) => e,
             Err(e) => return ctx_err("start", e),
         };
+        exec.set_batch_size(s.batch);
         let policy = s.policy.to_suspend_policy();
         let options = SuspendOptions {
             dump_writers: s.dump_writers,
@@ -211,6 +212,7 @@ impl Oracle {
                 let db = Self::open(&dir.0, s.pool_pages)?;
                 return match QueryExecution::recover(db.clone()) {
                     Ok(Some(mut resumed)) => {
+                        resumed.set_batch_size(s.batch);
                         let mut all = collected[..committed].to_vec();
                         match resumed.run_to_completion() {
                             Ok(suffix) => all.extend(suffix),
@@ -226,7 +228,7 @@ impl Oracle {
                     Ok(None) if i == 0 => Self::diff(
                         s,
                         &format!("fresh rerun after clean-abort suspend ({e})"),
-                        &Self::rerun(db, &plan)?,
+                        &Self::rerun(db, &plan, s.batch)?,
                         golden,
                     ),
                     Ok(None) => Err(format!(
@@ -241,7 +243,10 @@ impl Oracle {
             drop(db);
             db = Self::open(&dir.0, s.pool_pages)?;
             exec = match QueryExecution::recover(db.clone()) {
-                Ok(Some(r)) => r,
+                Ok(Some(mut r)) => {
+                    r.set_batch_size(s.batch);
+                    r
+                }
                 Ok(None) => {
                     return Err(format!(
                         "recover {i}: committed suspend left no manifest [{s}]"
@@ -276,6 +281,7 @@ impl Oracle {
             Ok(e) => e,
             Err(e) => return ctx_err("start", e),
         };
+        exec.set_batch_size(s.batch);
         let policy = s.policy.to_suspend_policy();
         let options = SuspendOptions {
             dump_writers: s.dump_writers,
@@ -304,6 +310,7 @@ impl Oracle {
             let db = Self::open(&dir.0, s.pool_pages)?;
             match QueryExecution::recover(db.clone()) {
                 Ok(Some(mut resumed)) => {
+                    resumed.set_batch_size(s.batch);
                     let mut all = prefix;
                     match resumed.run_to_completion() {
                         Ok(suffix) => all.extend(suffix),
@@ -319,7 +326,12 @@ impl Oracle {
                     }
                     // Uncommitted suspend: the query restarts from scratch
                     // and must re-deliver the full golden output.
-                    Self::diff(s, "fresh rerun after failed suspend", &Self::rerun(db, &plan)?, golden)
+                    Self::diff(
+                        s,
+                        "fresh rerun after failed suspend",
+                        &Self::rerun(db, &plan, s.batch)?,
+                        golden,
+                    )
                 }
                 Err(resume_err) => {
                     // Typed failure: the contract requires a successful
@@ -328,7 +340,7 @@ impl Oracle {
                     Self::diff(
                         s,
                         &format!("fallback rerun after typed recovery error ({resume_err})"),
-                        &Self::rerun(db, &plan)?,
+                        &Self::rerun(db, &plan, s.batch)?,
                         golden,
                     )
                 }
@@ -351,7 +363,7 @@ impl Oracle {
                     Ok(None) => Self::diff(
                         s,
                         &format!("fresh rerun after clean-abort suspend ({e})"),
-                        &Self::rerun(db, &plan)?,
+                        &Self::rerun(db, &plan, s.batch)?,
                         golden,
                     ),
                     Ok(Some(_)) => Err(format!(
@@ -374,6 +386,7 @@ impl Oracle {
             db.disk().set_fault_injector(None);
             match recovered {
                 Ok(Some(mut resumed)) => {
+                    resumed.set_batch_size(s.batch);
                     let mut all = prefix;
                     match resumed.run_to_completion() {
                         Ok(suffix) => all.extend(suffix),
@@ -391,7 +404,10 @@ impl Oracle {
                     drop(db);
                     let db = Self::open(&dir.0, s.pool_pages)?;
                     let mut resumed = match QueryExecution::recover(db) {
-                        Ok(Some(r)) => r,
+                        Ok(Some(mut r)) => {
+                            r.set_batch_size(s.batch);
+                            r
+                        }
                         Ok(None) => {
                             return Err(format!(
                                 "manifest lost after failed resume ({resume_err}) [{s}]"
@@ -419,11 +435,12 @@ impl Oracle {
         }
     }
 
-    fn rerun(db: Arc<Database>, plan: &qsr_exec::PlanSpec) -> OracleResult<Vec<Tuple>> {
+    fn rerun(db: Arc<Database>, plan: &qsr_exec::PlanSpec, batch: usize) -> OracleResult<Vec<Tuple>> {
         let mut fresh = match QueryExecution::start(db, plan.clone()) {
             Ok(e) => e,
             Err(e) => return ctx_err("fresh rerun start", e),
         };
+        fresh.set_batch_size(batch);
         fresh
             .run_to_completion()
             .map_err(|e| format!("fresh rerun: {e}"))
@@ -486,6 +503,7 @@ mod tests {
             case: "sort".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Sweep { boundary: 5 },
@@ -501,6 +519,7 @@ mod tests {
             case: "distinct".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Sweep { boundary: total + 100 },
@@ -518,6 +537,7 @@ mod tests {
             case: "sort".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Optimized,
             quota: Some(0),
             mode: Mode::Sweep { boundary: 5 },
@@ -532,6 +552,7 @@ mod tests {
             case: "sort".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Optimized,
             quota: Some(64 * 1024 * 1024),
             mode: Mode::Sweep { boundary: 5 },

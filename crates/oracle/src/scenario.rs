@@ -72,6 +72,12 @@ pub struct Scenario {
     pub pool_pages: usize,
     /// Parallel dump writers (0 = serial suspend).
     pub dump_writers: usize,
+    /// Vectorized batch size for the interfered run and its recovery
+    /// ladder (0 = classic tuple-at-a-time). The golden run always
+    /// executes tuple-at-a-time, so a non-zero batch axis checks the
+    /// vectorized path — including suspends landing mid-batch — against
+    /// the scalar reference output.
+    pub batch: usize,
     /// Suspend policy.
     pub policy: Policy,
     /// Disk-quota headroom in bytes for the suspend phase (`None` =
@@ -119,6 +125,9 @@ impl fmt::Display for Scenario {
             self.dump_writers,
             self.policy.token()
         )?;
+        if self.batch != 0 {
+            write!(f, ";batch={}", self.batch)?;
+        }
         if let Some(q) = self.quota {
             write!(f, ";quota={q}")?;
         }
@@ -160,6 +169,7 @@ impl FromStr for Scenario {
         let mut case = None;
         let mut pool = None;
         let mut writers = None;
+        let mut batch = None;
         let mut policy = None;
         let mut quota = None;
         let mut mode: Option<Mode> = None;
@@ -174,6 +184,7 @@ impl FromStr for Scenario {
                 "case" => case = Some(value.to_string()),
                 "pool" => pool = Some(num(value)? as usize),
                 "writers" => writers = Some(num(value)? as usize),
+                "batch" => batch = Some(num(value)? as usize),
                 "policy" => {
                     policy = Some(match value {
                         "dump" => Policy::Dump,
@@ -239,6 +250,8 @@ impl FromStr for Scenario {
             case: case.ok_or("missing case=")?,
             pool_pages: pool.ok_or("missing pool=")?,
             dump_writers: writers.ok_or("missing writers=")?,
+            // Absent in pre-batch tokens: those replay tuple-at-a-time.
+            batch: batch.unwrap_or(0),
             policy: policy.ok_or("missing policy=")?,
             quota,
             mode: mode.ok_or("missing mode=")?,
@@ -262,6 +275,7 @@ mod tests {
             case: "sort".into(),
             pool_pages: 64,
             dump_writers: 4,
+            batch: 1024,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Sweep { boundary: 17 },
@@ -270,6 +284,7 @@ mod tests {
             case: "hash-join".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 7,
             policy: Policy::Optimized,
             quota: Some(8192),
             mode: Mode::Chain {
@@ -280,6 +295,7 @@ mod tests {
             case: "merge-join".into(),
             pool_pages: 64,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Fault {
@@ -296,6 +312,7 @@ mod tests {
             case: "distinct".into(),
             pool_pages: 0,
             dump_writers: 4,
+            batch: 0,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Fault {
@@ -313,6 +330,7 @@ mod tests {
             case: "sort".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Optimized,
             quota: Some(0),
             mode: Mode::Fault {
@@ -332,6 +350,7 @@ mod tests {
             case: "sort".into(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Optimized,
             quota: Some(4096),
             mode: Mode::Fault {
@@ -347,6 +366,18 @@ mod tests {
         assert!(token.contains("quota=4096"), "token {token}");
         assert!(token.contains("wf=2:nospace"), "token {token}");
         assert_eq!(token.parse::<Scenario>().unwrap(), s);
+    }
+
+    #[test]
+    fn pre_batch_tokens_parse_as_tuple_mode() {
+        // Tokens minted before the batch axis existed carry no `batch=`
+        // part; they must replay tuple-at-a-time, and tuple-mode tokens
+        // must not grow a redundant part.
+        let s: Scenario = "case=sort;pool=0;writers=0;policy=dump;mode=sweep:3"
+            .parse()
+            .unwrap();
+        assert_eq!(s.batch, 0);
+        assert!(!s.to_string().contains("batch="), "token {s}");
     }
 
     #[test]

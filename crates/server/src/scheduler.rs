@@ -439,7 +439,11 @@ impl QsrServer {
         let before = self.db.ledger().snapshot().phase_cost(Phase::Resume);
         let mut attempt = 1u32;
         let exec = loop {
-            match QueryExecution::recover_named(self.db.clone(), &name) {
+            match QueryExecution::recover_named_with(
+                self.db.clone(),
+                &name,
+                self.config.options.resume_workers,
+            ) {
                 Ok(Some(exec)) => break exec,
                 Ok(None) => {
                     return Err(ResumeError::Storage(StorageError::invalid(format!(

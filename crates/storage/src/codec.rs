@@ -94,6 +94,15 @@ impl Encoder {
         self.buf.extend_from_slice(v);
     }
 
+    /// Write raw bytes with **no** length prefix. The reader must know the
+    /// exact length from context (e.g. a row count written earlier) and
+    /// read it back with [`Decoder::get_raw`]. This is the zero-copy
+    /// building block for columnar dump blobs: a whole column of `i64`s is
+    /// one `put_raw` of its memory, not N tagged `put_i64` calls.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
     /// Write a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
@@ -202,6 +211,12 @@ impl<'a> Decoder<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.get_u32()? as usize;
         self.take(len)
+    }
+
+    /// Read exactly `n` raw bytes written by [`Encoder::put_raw`] (no
+    /// length prefix; the caller supplies the length from context).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -369,6 +384,20 @@ mod tests {
         assert_eq!(dec.get_bytes().unwrap(), b"raw");
         assert_eq!(dec.get_str().unwrap(), "text");
         assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn raw_slices_roundtrip_without_prefix() {
+        let mut enc = Encoder::new();
+        enc.put_u32(4);
+        enc.put_raw(&[9, 8, 7, 6]);
+        let bytes = enc.finish();
+        assert_eq!(bytes.len(), 8, "put_raw must add no framing");
+        let mut dec = Decoder::new(&bytes);
+        let n = dec.get_u32().unwrap() as usize;
+        assert_eq!(dec.get_raw(n).unwrap(), &[9, 8, 7, 6]);
+        assert!(dec.is_exhausted());
+        assert!(dec.get_raw(1).is_err());
     }
 
     #[test]

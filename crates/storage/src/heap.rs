@@ -11,6 +11,7 @@ use crate::codec::{Decode, Decoder, Encode, Encoder};
 use crate::disk::FileId;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PAGE_SIZE};
+use crate::pagecol::{decode_page_columns, PageColumns};
 use crate::tuple::Tuple;
 use std::sync::Arc;
 
@@ -190,13 +191,48 @@ fn decode_page(page: &Page) -> Result<Vec<Tuple>> {
     Ok(out)
 }
 
-/// Decoded tuples of the page the cursor is currently positioned on.
+/// Decoded form of the page the cursor is currently positioned on.
 /// Page *bytes* live in the shared buffer pool; this is only the CPU-side
 /// decode result, kept so a full scan decodes (and, in passthrough mode,
-/// reads) each page exactly once.
+/// reads) each page exactly once — in *either* representation. A page is
+/// never decoded twice: whichever access mode touches it first decides,
+/// and the other mode serves rows out of the cached form.
+enum PageDecode {
+    /// Row-major: one [`Tuple`] per slot (the tuple-at-a-time path).
+    Rows(Vec<Tuple>),
+    /// Column-major: shared with batch consumers via `Arc`.
+    Cols(Arc<PageColumns>),
+}
+
+impl PageDecode {
+    fn rows(&self) -> usize {
+        match self {
+            PageDecode::Rows(ts) => ts.len(),
+            PageDecode::Cols(pc) => pc.rows(),
+        }
+    }
+}
+
 struct DecodedPage {
     page_no: u64,
-    tuples: Vec<Tuple>,
+    decode: PageDecode,
+}
+
+/// What [`HeapCursor::page_run`] found at the cursor position.
+pub enum PageRun {
+    /// The rest of the current page, column-decoded: consume rows
+    /// `start..cols.rows()` and report back via [`HeapCursor::advance_slots`].
+    Cols {
+        /// Columnar decode of the whole page (shared, cached in the cursor).
+        cols: Arc<PageColumns>,
+        /// First unconsumed slot.
+        start: u16,
+    },
+    /// The current page is cached row-wise (ragged rows, or a page the
+    /// tuple path decoded first): drain it with [`HeapCursor::next`].
+    Rows,
+    /// End of file.
+    Eof,
 }
 
 /// Sequential scan cursor over a heap file.
@@ -265,29 +301,52 @@ impl HeapCursor {
         }
     }
 
+    /// Ensure the current page is decoded and cached, reading (and
+    /// charging) it at most once regardless of which representation was
+    /// requested. Returns `false` at end of file. `columnar` only matters
+    /// on a cache miss: a page already cached in the other representation
+    /// is kept as-is rather than re-read.
+    fn load_current_page(&mut self, columnar: bool) -> Result<bool> {
+        let page_no = self.next.page;
+        if self.decoded.as_ref().map(|d| d.page_no) == Some(page_no) {
+            return Ok(true);
+        }
+        let total = self.pool.num_pages(self.file)?;
+        if page_no >= total {
+            return Ok(false);
+        }
+        let page = self.pool.read_page(self.file, page_no)?;
+        self.pages_fetched += 1;
+        let decode = if columnar {
+            let count = page.read_u16(0) as usize;
+            match decode_page_columns(&page.bytes()[PAGE_HEADER..], count)? {
+                Some(pc) => PageDecode::Cols(Arc::new(pc)),
+                // Ragged rows: fall back to the row decode.
+                None => PageDecode::Rows(decode_page(&page)?),
+            }
+        } else {
+            PageDecode::Rows(decode_page(&page)?)
+        };
+        self.decoded = Some(DecodedPage { page_no, decode });
+        Ok(true)
+    }
+
     /// Return the next tuple, or `None` at end of file.
     #[allow(clippy::should_implement_trait)] // fallible pull, not an Iterator
     pub fn next(&mut self) -> Result<Option<Tuple>> {
         loop {
-            let page_no = self.next.page;
-            if self.decoded.as_ref().map(|d| d.page_no) != Some(page_no) {
-                let total = self.pool.num_pages(self.file)?;
-                if page_no >= total {
-                    return Ok(None);
-                }
-                let page = self.pool.read_page(self.file, page_no)?;
-                self.pages_fetched += 1;
-                self.decoded = Some(DecodedPage {
-                    page_no,
-                    tuples: decode_page(&page)?,
-                });
+            if !self.load_current_page(false)? {
+                return Ok(None);
             }
-            if let Some(d) = &self.decoded {
-                if (self.next.slot as usize) < d.tuples.len() {
-                    let t = d.tuples[self.next.slot as usize].clone();
-                    self.next.slot += 1;
-                    return Ok(Some(t));
-                }
+            let d = self.decoded.as_ref().expect("page just loaded");
+            let slot = self.next.slot as usize;
+            if slot < d.decode.rows() {
+                let t = match &d.decode {
+                    PageDecode::Rows(ts) => ts[slot].clone(),
+                    PageDecode::Cols(pc) => pc.tuple(slot),
+                };
+                self.next.slot += 1;
+                return Ok(Some(t));
             }
             // Move to the next page.
             self.next = TupleAddr {
@@ -295,6 +354,41 @@ impl HeapCursor {
                 slot: 0,
             };
         }
+    }
+
+    /// Columnar access for the batch scan: the rest of the current page as
+    /// a [`PageRun`]. Rolls over exhausted pages; charges one page read on
+    /// a cache miss, exactly like [`HeapCursor::next`]. After consuming
+    /// `n` rows of a `Cols` run, report back with
+    /// [`HeapCursor::advance_slots`] so `position()` stays exact.
+    pub fn page_run(&mut self) -> Result<PageRun> {
+        loop {
+            if !self.load_current_page(true)? {
+                return Ok(PageRun::Eof);
+            }
+            let d = self.decoded.as_ref().expect("page just loaded");
+            if (self.next.slot as usize) < d.decode.rows() {
+                return Ok(match &d.decode {
+                    PageDecode::Cols(pc) => PageRun::Cols {
+                        cols: pc.clone(),
+                        start: self.next.slot,
+                    },
+                    PageDecode::Rows(_) => PageRun::Rows,
+                });
+            }
+            self.next = TupleAddr {
+                page: self.next.page + 1,
+                slot: 0,
+            };
+        }
+    }
+
+    /// Advance the cursor `n` slots within the current page (rows consumed
+    /// from a [`PageRun::Cols`]). Page rollover happens lazily on the next
+    /// access, mirroring what `next()` does — so `position()` after a
+    /// partial page has identical page/slot values in both modes.
+    pub fn advance_slots(&mut self, n: u16) {
+        self.next.slot += n;
     }
 }
 

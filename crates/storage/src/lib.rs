@@ -26,6 +26,7 @@ pub mod blob;
 pub mod bufpool;
 pub mod catalog;
 pub mod codec;
+pub mod colblock;
 pub mod cost;
 pub mod db;
 pub mod disk;
@@ -35,6 +36,7 @@ pub mod fault;
 pub mod heap;
 pub mod index;
 pub mod page;
+pub mod pagecol;
 pub mod run;
 pub mod schema;
 pub mod trace;
@@ -45,6 +47,7 @@ pub use blob::{fnv1a, BlobId, BlobStore};
 pub use bufpool::{BufferPool, PinGuard};
 pub use catalog::{Catalog, TableInfo};
 pub use codec::{Decode, Decoder, Encode, Encoder};
+pub use colblock::TupleBlock;
 pub use cost::{CacheStats, CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
 pub use db::Database;
 pub use disk::{DiskManager, FileId};
@@ -54,9 +57,10 @@ pub use fault::{
     splitmix64, FaultInjector, FaultSchedule, WriteEvent, WriteFault, WriteKind, WriteOutcome,
     MAX_SCHEDULED_TRANSIENTS,
 };
-pub use heap::{HeapCursor, HeapFile, TupleAddr};
+pub use heap::{HeapCursor, HeapFile, PageRun, TupleAddr};
 pub use index::{IndexBuilder, IndexMeta, SortedIndex};
 pub use page::{pages_for_bytes, Page, PAGE_SIZE};
+pub use pagecol::{PageColumns, RawColumn};
 pub use run::{RunHandle, RunReader, RunWriter};
 pub use schema::{Column, Schema};
 pub use trace::{install_env_tracer, record_json, TraceEvent, TraceRecord, Tracer};

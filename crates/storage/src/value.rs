@@ -199,10 +199,10 @@ impl From<bool> for Value {
     }
 }
 
-const TAG_INT: u8 = 0;
-const TAG_FLOAT: u8 = 1;
-const TAG_STR: u8 = 2;
-const TAG_BOOL: u8 = 3;
+pub(crate) const TAG_INT: u8 = 0;
+pub(crate) const TAG_FLOAT: u8 = 1;
+pub(crate) const TAG_STR: u8 = 2;
+pub(crate) const TAG_BOOL: u8 = 3;
 
 impl Encode for Value {
     fn encode(&self, enc: &mut Encoder) {

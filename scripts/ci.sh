@@ -62,3 +62,16 @@ cargo test --release -q --test server_matrix
 cargo run --release -q -p qsr-server --bin qsr-server -- \
     --sessions 3 --quantum 1500 --max-live 1
 cargo run --release -p qsr-bench --bin bench_pr6
+
+# Vectorization stage: the batch execution path. A deliberately awkward
+# batch size (48, straddling page boundaries) re-runs the end-to-end and
+# stride-7 oracle sweeps in batch mode so every suspend point is hit with
+# partially filled batches, then the vectorized-scan bench asserts pool-0
+# ledger bit-identity between tuple and batch modes and writes
+# BENCH_pr7.json. (The nightly QSR_ORACLE_FULL=1 oracle run widens this
+# lane too: the oracle's batch axis replays every corpus scenario at
+# several batch sizes against the tuple-mode reference.)
+QSR_BATCH_SIZE=48 cargo test --release -q --test end_to_end
+QSR_ORACLE_STRIDE=7 QSR_BATCH_SIZE=48 \
+    cargo test --release -q --test oracle_sweep
+cargo run --release -p qsr-bench --bin bench_pr7

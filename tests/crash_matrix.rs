@@ -124,6 +124,7 @@ fn crash_at_with(
     reference: &[Tuple],
     options: &SuspendOptions,
     pool_pages: usize,
+    resume_workers: usize,
 ) {
     let (dir, db, prefix, exec) = run_to_suspend_point_with("cell", pool_pages);
     let fi = Arc::new(FaultInjector::seeded(0xC0FFEE + k));
@@ -140,7 +141,8 @@ fn crash_at_with(
     drop(db);
     let db = Database::open_default(&dir.0).unwrap();
 
-    match QueryExecution::recover(db.clone()) {
+    match QueryExecution::recover_named_with(db.clone(), qsr::exec::SUSPEND_MANIFEST, resume_workers)
+    {
         Ok(Some(mut resumed)) => {
             // Suspend committed: prefix + resumed suffix == reference.
             let suffix = resumed.run_to_completion().unwrap();
@@ -174,6 +176,10 @@ fn crash_at_with(
 /// alternating whole-process crashes with torn writes so both halves of
 /// the fault model are exercised at every other ordinal.
 fn run_matrix(options: &SuspendOptions, pool_pages: usize) {
+    run_matrix_with_resume_workers(options, pool_pages, 0);
+}
+
+fn run_matrix_with_resume_workers(options: &SuspendOptions, pool_pages: usize, resume_workers: usize) {
     let reference = reference_output();
     assert!(!reference.is_empty());
     let writes = count_suspend_writes_with(options, pool_pages);
@@ -183,7 +189,7 @@ fn run_matrix(options: &SuspendOptions, pool_pages: usize) {
         } else {
             WriteFault::Crash
         };
-        crash_at_with(k, fault, &reference, options, pool_pages);
+        crash_at_with(k, fault, &reference, options, pool_pages, resume_workers);
     }
 }
 
@@ -214,6 +220,15 @@ fn crash_matrix_with_buffer_pool() {
     // leave resumable-or-clean state (recovery reopens with a cold pool,
     // so anything lost to the crash must have been redundant).
     run_matrix(&SuspendOptions::default(), 64);
+}
+
+#[test]
+fn crash_matrix_parallel_resume() {
+    // The same crash matrix, but every recovery runs with a 4-reader
+    // prefetch pool: whatever torn state a crash left behind, the
+    // parallel read path must reach the identical resumable-or-clean
+    // verdict and output as the serial one.
+    run_matrix_with_resume_workers(&SuspendOptions::default(), 0, 4);
 }
 
 #[test]

@@ -9,7 +9,10 @@
 //!    pool × writers configuration,
 //! 2. multi-suspend chains (suspend → resume → suspend …) to depth 3,
 //! 3. `QSR_ORACLE_FAULTS` randomized fault schedules (default 32; seeded,
-//!    no wall-clock entropy) striking the suspend or resume phase.
+//!    no wall-clock entropy) striking the suspend or resume phase,
+//! 4. a vectorized batch-mode lane (`batch=` token axis) re-running the
+//!    sweep and chains through `next_batch` against the tuple-mode golden;
+//!    `QSR_ORACLE_FULL=1` widens the batch sizes to {1, 7, 64, 1024}.
 //!
 //! On failure the harness prints a repro line
 //! (`QSR_ORACLE_SEED=… QSR_ORACLE_CASE='…'`), greedily shrinks the
@@ -106,6 +109,7 @@ fn exhaustive_suspend_point_sweep() {
                     case: case.name.to_string(),
                     pool_pages,
                     dump_writers,
+                    batch: 0,
                     policy,
                     quota: None,
                     mode: Mode::Sweep { boundary },
@@ -147,6 +151,7 @@ fn multi_suspend_chains_to_depth_three() {
                     case: case.name.to_string(),
                     pool_pages,
                     dump_writers,
+                    batch: 0,
                     policy: if boundaries.len() % 2 == 0 {
                         Policy::Optimized
                     } else {
@@ -159,6 +164,78 @@ fn multi_suspend_chains_to_depth_three() {
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
             }
+        }
+    }
+}
+
+/// Vectorized-execution family: the exhaustive suspend-point sweep again,
+/// but with the interfered run (and every recovery re-execution) driven
+/// through `next_batch` while the golden stays tuple-at-a-time. Batch
+/// sizes are deliberately odd so suspend boundaries land *mid-batch* at
+/// every possible alignment — the contract under test is that operators
+/// fully process any consumed batch and surface the suspend on the next
+/// pull, so delivered output is bit-identical to the scalar path no
+/// matter where inside a batch the request lands.
+#[test]
+fn batch_mode_suspend_point_sweep() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    let batches: &[usize] = if cfg.full { &[1, 7, 64, 1024] } else { &[7, 64] };
+    for case in qsr::workload::cases() {
+        let total = oracle
+            .total_work_units(case.name)
+            .unwrap_or_else(|e| panic!("golden run of {}: {e}", case.name));
+        for &batch in batches {
+            let mut boundary = 1;
+            while boundary <= total {
+                let policy = if boundary % 2 == 0 {
+                    Policy::Optimized
+                } else {
+                    Policy::Dump
+                };
+                let s = Scenario {
+                    case: case.name.to_string(),
+                    pool_pages: 0,
+                    dump_writers: 0,
+                    batch,
+                    policy,
+                    quota: None,
+                    mode: Mode::Sweep { boundary },
+                };
+                check_or_die(&mut oracle, &s, cfg.seed);
+                boundary += cfg.stride;
+            }
+        }
+    }
+}
+
+/// Batch-mode chains: suspend → resume → suspend with every segment
+/// executing vectorized, so resumed operators are re-driven through
+/// `next_batch` from restored row-oriented state.
+#[test]
+fn batch_mode_multi_suspend_chains() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    for case in qsr::workload::cases() {
+        let total = oracle.total_work_units(case.name).unwrap();
+        let step = (total / 4).max(1);
+        for (batch, boundaries) in [(7, vec![step, step]), (64, vec![step, step, step])] {
+            let s = Scenario {
+                case: case.name.to_string(),
+                pool_pages: 64,
+                dump_writers: 4,
+                batch,
+                policy: Policy::Optimized,
+                quota: None,
+                mode: Mode::Chain { boundaries },
+            };
+            check_or_die(&mut oracle, &s, cfg.seed);
         }
     }
 }
@@ -188,6 +265,7 @@ fn degradation_ladder_quota_sweep() {
                     case: case.name.to_string(),
                     pool_pages: 0,
                     dump_writers: 0,
+                    batch: 0,
                     policy,
                     quota: Some(headroom),
                     mode: Mode::Sweep { boundary },
@@ -221,6 +299,7 @@ fn scripted_nospace_at_every_suspend_write() {
             case: case.to_string(),
             pool_pages: 0,
             dump_writers: 0,
+            batch: 0,
             policy: Policy::Optimized,
             quota: None,
             mode: Mode::Fault {
@@ -276,6 +355,7 @@ fn randomized_fault_schedules() {
             case: case.name.to_string(),
             pool_pages,
             dump_writers,
+            batch: 0,
             policy,
             quota,
             mode: Mode::Fault {

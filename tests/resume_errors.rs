@@ -399,6 +399,175 @@ fn unreadable_dump_without_fallback_is_dump_unavailable() {
     assert_eq!(fresh.run_to_completion().unwrap(), reference_output());
 }
 
+/// Stable label for the ladder arm a recovery attempt took.
+fn verdict_of(r: &Result<Option<QueryExecution>, ResumeError>) -> &'static str {
+    match r {
+        Ok(Some(_)) => "recovered",
+        Ok(None) => "clean",
+        Err(ResumeError::ManifestCorrupt(_)) => "ManifestCorrupt",
+        Err(ResumeError::SuspendedQueryUnreadable(_)) => "SuspendedQueryUnreadable",
+        Err(ResumeError::IncompatiblePlan(_)) => "IncompatiblePlan",
+        Err(ResumeError::MissingTable(_)) => "MissingTable",
+        Err(ResumeError::DumpUnavailable { .. }) => "DumpUnavailable",
+        Err(ResumeError::Storage(_)) => "Storage",
+    }
+}
+
+/// The resume-prefetch pool must be observationally identical to the
+/// serial read path on the happy path: same recovered output and the
+/// same pages charged under `Phase::Resume` (the blob queue is
+/// deduplicated, so every dump is read exactly once either way).
+#[test]
+fn parallel_resume_matches_serial_goldens_and_page_charges() {
+    use qsr::storage::Phase;
+    let reference = reference_output();
+    let mut charges = Vec::new();
+    for workers in [0usize, 4] {
+        let (dir, prefix, _handle) = committed_suspend(&format!("pgold{workers}"));
+        let db = Database::open_default(&dir.0).unwrap();
+        let pages_before = db.ledger().snapshot().total_pages_read();
+        db.ledger().set_phase(Phase::Execute);
+        let mut resumed = QueryExecution::recover_named_with(db.clone(), SUSPEND_MANIFEST, workers)
+            .unwrap()
+            .expect("committed suspend must recover");
+        charges.push(db.ledger().snapshot().total_pages_read() - pages_before);
+        let suffix = resumed.run_to_completion().unwrap();
+        let mut all = prefix;
+        all.extend(suffix);
+        assert_eq!(all, reference, "workers={workers}: output diverged");
+    }
+    assert_eq!(
+        charges[0], charges[1],
+        "prefetch pool changed the pages charged during recovery"
+    );
+}
+
+/// Bit-flip faults at every read ordinal of the resume phase, with the
+/// prefetch pool off and on. At workers=0 every verdict is pinned
+/// exactly (recovered → golden, or a typed error). At workers=4 the
+/// thread interleaving may map the same ordinal onto a different blob,
+/// so the pin is set-based: the verdict must come from the serial
+/// verdict set (plus clean recovery), any recovery must be golden, and
+/// after a typed error a fault-free retry must converge — parallelism
+/// may reshuffle which read a fault strikes, but it must never invent a
+/// new failure class, damage on-disk state, or corrupt output.
+#[test]
+fn read_fault_ordinal_sweep_is_worker_invariant() {
+    let reference = reference_output();
+    // Probe: reads a clean resume issues (fault ordinals live in 1..=n).
+    let reads = {
+        let (dir, _p, _h) = committed_suspend("pprobe");
+        let db = Database::open_default(&dir.0).unwrap();
+        let fi = Arc::new(FaultInjector::seeded(7));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        let r = QueryExecution::recover(db.clone());
+        db.disk().set_fault_injector(None);
+        assert!(r.unwrap().is_some(), "probe resume must succeed");
+        fi.reads_observed()
+    };
+    assert!(reads > 0, "resume must read something");
+
+    let mut serial_verdicts = std::collections::BTreeSet::new();
+    for workers in [0usize, 4] {
+        for ord in 1..=reads {
+            let (dir, prefix, _h) = committed_suspend(&format!("pf{workers}-{ord}"));
+            let db = Database::open_default(&dir.0).unwrap();
+            let fi = Arc::new(FaultInjector::seeded(7));
+            fi.flip_read_bit(ord);
+            db.disk().set_fault_injector(Some(fi));
+            let r = QueryExecution::recover_named_with(db.clone(), SUSPEND_MANIFEST, workers);
+            db.disk().set_fault_injector(None);
+            let verdict = verdict_of(&r);
+            match r {
+                Ok(Some(mut resumed)) => {
+                    // Flip absorbed (fallback substitution, or it landed in
+                    // bytes nothing consults): output must still be golden.
+                    let suffix = resumed.run_to_completion().unwrap();
+                    let mut all = prefix.clone();
+                    all.extend(suffix);
+                    assert_eq!(all, reference, "workers={workers} ord={ord}: diverged");
+                }
+                Ok(None) => panic!(
+                    "workers={workers} ord={ord}: committed suspend read as clean state"
+                ),
+                Err(e) => {
+                    // Typed failure: the one-shot flip is environmental, so
+                    // a fault-free retry from the untouched on-disk state
+                    // must recover and stay golden.
+                    let mut retried =
+                        QueryExecution::recover_named_with(db, SUSPEND_MANIFEST, workers)
+                            .unwrap_or_else(|e2| {
+                                panic!(
+                                    "workers={workers} ord={ord}: retry after {e} failed: {e2}"
+                                )
+                            })
+                            .expect("manifest must survive a failed resume");
+                    let suffix = retried.run_to_completion().unwrap();
+                    let mut all = prefix.clone();
+                    all.extend(suffix);
+                    assert_eq!(all, reference, "workers={workers} ord={ord}: retry diverged");
+                }
+            }
+            if workers == 0 {
+                serial_verdicts.insert(verdict);
+            } else {
+                assert!(
+                    verdict == "recovered" || serial_verdicts.contains(verdict),
+                    "workers={workers} ord={ord}: verdict {verdict} outside the serial \
+                     taxonomy {serial_verdicts:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Transient read bursts under the prefetch pool: retries absorb blips
+/// identically at every pool size, and exhaustion stays a typed
+/// `Storage(transient)` — never a panic or a new variant.
+#[test]
+fn parallel_resume_preserves_transient_taxonomy() {
+    for workers in [0usize, 4] {
+        // A short blip is absorbed...
+        let (dir, prefix, _h) = committed_suspend(&format!("ptb{workers}"));
+        let db = Database::open_default(&dir.0).unwrap();
+        let fi = Arc::new(FaultInjector::seeded(9));
+        fi.fail_reads_transiently(1, 2);
+        db.disk().set_fault_injector(Some(fi));
+        let mut resumed = QueryExecution::recover_named_with(db.clone(), SUSPEND_MANIFEST, workers)
+            .unwrap()
+            .expect("a 2-read blip must be absorbed at any pool size");
+        db.disk().set_fault_injector(None);
+        let suffix = resumed.run_to_completion().unwrap();
+        let mut all = prefix;
+        all.extend(suffix);
+        assert_eq!(all, reference_output(), "workers={workers}: blip run diverged");
+
+        // ...and a burst past the budget surfaces the typed transient.
+        let (dir2, _p2, _h2) = committed_suspend(&format!("pte{workers}"));
+        let db = Database::open_default(&dir2.0).unwrap();
+        let fi = Arc::new(FaultInjector::seeded(9));
+        fi.fail_reads_transiently(1, MAX_SCHEDULED_TRANSIENTS);
+        db.disk().set_fault_injector(Some(fi));
+        match QueryExecution::recover_named_with(db.clone(), SUSPEND_MANIFEST, workers) {
+            Err(ResumeError::Storage(e)) => assert!(
+                e.is_transient(),
+                "workers={workers}: exhausted retries must stay transient: {e}"
+            ),
+            other => panic!(
+                "workers={workers}: expected Storage(transient), got {}",
+                describe(&other)
+            ),
+        }
+        db.disk().set_fault_injector(None);
+        assert!(
+            QueryExecution::recover_named_with(db, SUSPEND_MANIFEST, workers)
+                .unwrap()
+                .is_some(),
+            "workers={workers}: lifting the burst must make recovery succeed"
+        );
+    }
+}
+
 #[test]
 fn unreadable_dump_with_fallback_substitutes_goback() {
     let (dir, prefix, handle) = committed_suspend("fb");
