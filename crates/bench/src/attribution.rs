@@ -49,6 +49,20 @@ impl OpAttribution {
     }
 }
 
+/// Aggregate I/O of one recursion level of the grace hash join (or one
+/// pass of a multi-pass sort — the `level`/`pass` ordinal keys both maps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelIo {
+    /// Re-partitioned partitions (spill events) or merge groups at this
+    /// ordinal.
+    pub events: u64,
+    /// Tuples flowing through this level.
+    pub tuples: u64,
+    /// Pages read back at this level (the spilled build run or the merge
+    /// group's input runs).
+    pub pages: u64,
+}
+
 /// The derived table: per-operator rows plus the non-operator remainder.
 #[derive(Debug, Clone, Default)]
 pub struct AttributionTable {
@@ -59,6 +73,11 @@ pub struct AttributionTable {
     /// same table can be folded from an in-memory capture (static labels)
     /// or re-read from a JSONL sink.
     pub meta_pages: BTreeMap<String, u64>,
+    /// Grace-join recursive-spill I/O keyed by `(op, level)`: how much
+    /// data each recursion level re-partitioned.
+    pub spill_levels: BTreeMap<(u32, u64), LevelIo>,
+    /// Multi-pass sort merge I/O keyed by `(op, pass)`.
+    pub merge_passes: BTreeMap<(u32, u64), LevelIo>,
 }
 
 impl AttributionTable {
@@ -115,6 +134,33 @@ pub fn attribute(records: &[TraceRecord]) -> AttributionTable {
             }
             TraceEvent::MetaWrite { label, pages } => {
                 *table.meta_pages.entry(label.to_string()).or_default() += pages;
+            }
+            TraceEvent::PartitionSpill {
+                op,
+                level,
+                tuples,
+                pages,
+                ..
+            } => {
+                let row = table.spill_levels.entry((*op, *level)).or_default();
+                row.events += 1;
+                row.tuples += tuples;
+                row.pages += pages;
+            }
+            TraceEvent::MergePass {
+                op,
+                pass,
+                runs,
+                tuples,
+                pages,
+            } => {
+                let row = table.merge_passes.entry((*op, *pass)).or_default();
+                row.events += 1;
+                row.tuples += tuples;
+                row.pages += pages;
+                // Folding run counts into `events` would conflate groups
+                // with inputs; track only group cardinality plus volume.
+                let _ = runs;
             }
             _ => {}
         }
@@ -213,6 +259,20 @@ pub fn from_jsonl(text: &str) -> Result<AttributionTable, String> {
                     .to_string();
                 *table.meta_pages.entry(label).or_default() += num("data", "pages")?;
             }
+            "PartitionSpill" => {
+                let key = (num("data", "op")? as u32, num("data", "level")?);
+                let row = table.spill_levels.entry(key).or_default();
+                row.events += 1;
+                row.tuples += num("data", "tuples")?;
+                row.pages += num("data", "pages")?;
+            }
+            "MergePass" => {
+                let key = (num("data", "op")? as u32, num("data", "pass")?);
+                let row = table.merge_passes.entry(key).or_default();
+                row.events += 1;
+                row.tuples += num("data", "tuples")?;
+                row.pages += num("data", "pages")?;
+            }
             _ => {}
         }
     }
@@ -241,6 +301,18 @@ pub fn render(table: &AttributionTable) -> String {
     }
     for (label, pages) in &table.meta_pages {
         out.push_str(&format!("| meta:{label} | {pages} | - | - | - | - | - |\n"));
+    }
+    for ((op, level), io) in &table.spill_levels {
+        out.push_str(&format!(
+            "| op{op}:spill-L{level} | - | - | - | {} | - | {} spills, {} tuples |\n",
+            io.pages, io.events, io.tuples,
+        ));
+    }
+    for ((op, pass), io) in &table.merge_passes {
+        out.push_str(&format!(
+            "| op{op}:pass-{pass} | - | - | - | {} | - | {} groups, {} tuples |\n",
+            io.pages, io.events, io.tuples,
+        ));
     }
     out
 }
@@ -319,6 +391,92 @@ mod tests {
         assert_eq!(row.cache_hit_rate(), None);
         let md = render(&table);
         assert!(md.contains("| 4 | 0 | 0 | 0 | 7 | 2 | idle |"), "{md}");
+    }
+
+    #[test]
+    fn spill_levels_and_merge_passes_fold_per_ordinal() {
+        let (_ledger, t) = tracer();
+        t.emit(TraceEvent::PartitionSpill {
+            op: 3,
+            level: 1,
+            path: "2".to_string(),
+            tuples: 9,
+            pages: 2,
+        });
+        t.emit(TraceEvent::PartitionSpill {
+            op: 3,
+            level: 2,
+            path: "2.0".to_string(),
+            tuples: 7,
+            pages: 1,
+        });
+        t.emit(TraceEvent::PartitionSpill {
+            op: 3,
+            level: 1,
+            path: "0".to_string(),
+            tuples: 5,
+            pages: 1,
+        });
+        t.emit(TraceEvent::MergePass {
+            op: 1,
+            pass: 0,
+            runs: 2,
+            tuples: 12,
+            pages: 3,
+        });
+        t.emit(TraceEvent::MergePass {
+            op: 1,
+            pass: 0,
+            runs: 2,
+            tuples: 12,
+            pages: 3,
+        });
+        t.emit(TraceEvent::MergePass {
+            op: 1,
+            pass: 1,
+            runs: 2,
+            tuples: 24,
+            pages: 6,
+        });
+        let table = attribute(&t.take_full());
+        assert_eq!(
+            table.spill_levels[&(3, 1)],
+            LevelIo { events: 2, tuples: 14, pages: 3 }
+        );
+        assert_eq!(
+            table.spill_levels[&(3, 2)],
+            LevelIo { events: 1, tuples: 7, pages: 1 }
+        );
+        assert_eq!(
+            table.merge_passes[&(1, 0)],
+            LevelIo { events: 2, tuples: 24, pages: 6 }
+        );
+        assert_eq!(
+            table.merge_passes[&(1, 1)],
+            LevelIo { events: 1, tuples: 24, pages: 6 }
+        );
+        let md = render(&table);
+        assert!(md.contains("op3:spill-L1"), "{md}");
+        assert!(md.contains("op1:pass-1"), "{md}");
+    }
+
+    #[test]
+    fn jsonl_fold_covers_spill_and_pass_events() {
+        let text = concat!(
+            r#"{"seq":0,"phase":"execute","event":"PartitionSpill","data":{"op":3,"level":1,"path":"2","tuples":9,"pages":2},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+            r#"{"seq":1,"phase":"execute","event":"MergePass","data":{"op":1,"pass":0,"runs":2,"tuples":12,"pages":3},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+        );
+        let t = from_jsonl(text).unwrap();
+        assert_eq!(
+            t.spill_levels[&(3, 1)],
+            LevelIo { events: 1, tuples: 9, pages: 2 }
+        );
+        assert_eq!(
+            t.merge_passes[&(1, 0)],
+            LevelIo { events: 1, tuples: 12, pages: 3 }
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! sanity pass over the same machinery `tests/oracle_sweep.rs` sweeps
 //! exhaustively; wall-clock per case is printed for the bench log.
 
-use qsr_oracle::{Mode, Oracle, Policy, Scenario};
+use qsr_oracle::{Mode, Oracle, Policy, Scenario, SkewProfile};
 use qsr_storage::FaultSchedule;
 use std::time::Instant;
 
@@ -31,6 +31,9 @@ fn main() {
             policy: Policy::Optimized,
             quota: None,
             batch: 48,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             mode: Mode::Sweep { boundary },
         };
         let pressured = Scenario {

@@ -51,6 +51,7 @@ pub fn run() -> Result<String> {
             sort_spec.clone(),
             BuildOptions {
                 contract_migration: migration,
+                ..BuildOptions::default()
             },
         )?;
         exec.set_trigger(Some(trigger.clone()));
@@ -74,6 +75,7 @@ pub fn run() -> Result<String> {
             sort_spec.clone(),
             BuildOptions {
                 contract_migration: migration,
+                ..BuildOptions::default()
             },
         )?;
         base.run_to_completion()?;

@@ -36,9 +36,93 @@ const PHASE_BUILD: u8 = 0;
 const PHASE_PROBE: u8 = 1;
 const PHASE_JOIN: u8 = 2;
 const PHASE_DONE: u8 = 3;
+/// Grace-mode join phase (`mem_budget > 0`): a work queue of partition
+/// tasks replaces the linear partition scan so over-budget partitions can
+/// be recursively re-partitioned.
+const PHASE_GRACE: u8 = 4;
+
+/// Grace task stages. `TS_JOIN` and `TS_NLJ` emit output; the spill
+/// stages only move tuples between runs (no output, so checkpoints and
+/// contract migration behave like the partitioning phases).
+const TS_JOIN: u8 = 0;
+const TS_SPILL_BUILD: u8 = 1;
+const TS_SPILL_PROBE: u8 = 2;
+const TS_NLJ: u8 = 3;
+
+/// Recursion bound: a task at this level that still exceeds the budget
+/// falls back to block nested-loop (chunked build) instead of spilling
+/// again — duplicate-heavy keys never split, so depth must be capped.
+const MAX_SPILL_DEPTH: u64 = 2;
 
 fn hash_partition(key: i64, partitions: usize) -> usize {
     ((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % partitions
+}
+
+/// Level-salted partition hash: re-partitioning one level deeper must not
+/// reuse the parent's split (every tuple of a partition shares its parent
+/// hash bucket). Level 0 reduces to [`hash_partition`] exactly.
+fn hash_partition_at(key: i64, level: u64, partitions: usize) -> usize {
+    let salted = (key as u64) ^ level.wrapping_mul(0xC6A4_A793_5BD1_E995);
+    (salted.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize % partitions
+}
+
+/// One node of the grace partition tree: a matched (build, probe) pair of
+/// sealed runs awaiting join, spill, or NLJ fallback. `path` is the chain
+/// of partition indices from the root (display form `"2.0"`).
+#[derive(Debug, Clone, PartialEq)]
+struct PartTask {
+    level: u64,
+    path: Vec<u32>,
+    build: RunHandle,
+    probe: RunHandle,
+}
+
+impl PartTask {
+    fn path_string(&self) -> String {
+        let parts: Vec<String> = self.path.iter().map(u32::to_string).collect();
+        parts.join(".")
+    }
+}
+
+impl Encode for PartTask {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.level);
+        enc.put_u32(self.path.len() as u32);
+        for p in &self.path {
+            enc.put_u32(*p);
+        }
+        self.build.encode(enc);
+        self.probe.encode(enc);
+    }
+}
+
+impl Decode for PartTask {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        let level = dec.get_u64()?;
+        let n = dec.get_u32()? as usize;
+        if n > 64 {
+            return Err(StorageError::corrupt(format!("partition path depth {n}")));
+        }
+        let mut path = Vec::with_capacity(n);
+        for _ in 0..n {
+            path.push(dec.get_u32()?);
+        }
+        Ok(PartTask {
+            level,
+            path,
+            build: RunHandle::decode(dec)?,
+            probe: RunHandle::decode(dec)?,
+        })
+    }
+}
+
+/// One step of the grace task machine (shared by `next` / `next_batch` so
+/// tick accounting — and therefore every suspend boundary — is identical
+/// in tuple and vectorized execution).
+enum GraceStep {
+    Emit(Tuple),
+    Continue,
+    Done,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +140,20 @@ struct HjControl {
     probe_done: bool,
     build_consumed: u64,
     probe_consumed: u64,
+    /// Grace mode: pending tasks (popped from the back), the in-flight
+    /// task and its stage, sealed child runs of an in-progress spill, the
+    /// re-partition read cursor, and the NLJ block cursor (current block
+    /// start and the precomputed next-block start).
+    tasks: Vec<PartTask>,
+    cur_task: Option<PartTask>,
+    stage: u8,
+    spill_build_children: Vec<RunHandle>,
+    spill_probe_children: Vec<RunHandle>,
+    spill_addr: Option<TupleAddr>,
+    nlj_pos: u64,
+    nlj_addr: Option<TupleAddr>,
+    nlj_next_pos: u64,
+    nlj_next_addr: Option<TupleAddr>,
 }
 
 impl Encode for HjControl {
@@ -71,6 +169,16 @@ impl Encode for HjControl {
         enc.put_bool(self.probe_done);
         enc.put_u64(self.build_consumed);
         enc.put_u64(self.probe_consumed);
+        enc.put_seq(&self.tasks);
+        enc.put_option(&self.cur_task);
+        enc.put_u8(self.stage);
+        enc.put_seq(&self.spill_build_children);
+        enc.put_seq(&self.spill_probe_children);
+        enc.put_option(&self.spill_addr);
+        enc.put_u64(self.nlj_pos);
+        enc.put_option(&self.nlj_addr);
+        enc.put_u64(self.nlj_next_pos);
+        enc.put_option(&self.nlj_next_addr);
     }
 }
 
@@ -88,6 +196,16 @@ impl Decode for HjControl {
             probe_done: dec.get_bool()?,
             build_consumed: dec.get_u64()?,
             probe_consumed: dec.get_u64()?,
+            tasks: dec.get_seq()?,
+            cur_task: dec.get_option()?,
+            stage: dec.get_u8()?,
+            spill_build_children: dec.get_seq()?,
+            spill_probe_children: dec.get_seq()?,
+            spill_addr: dec.get_option()?,
+            nlj_pos: dec.get_u64()?,
+            nlj_addr: dec.get_option()?,
+            nlj_next_pos: dec.get_u64()?,
+            nlj_next_addr: dec.get_option()?,
         })
     }
 }
@@ -131,6 +249,23 @@ pub struct HashJoin {
     /// Resume-replay stop point: (build_consumed, probe_consumed). When
     /// set, `next()` freezes (returns `Suspended`) upon reaching it.
     replay_stop: Option<(u64, u64)>,
+
+    /// Grace mode: per-partition build budget in tuples (0 = disabled,
+    /// bit-identical legacy join phase).
+    mem_budget: usize,
+    tasks: Vec<PartTask>,
+    cur_task: Option<PartTask>,
+    stage: u8,
+    spill_reader: Option<RunReader>,
+    spill_pages_noted: u64,
+    spill_build_writers: Vec<Option<RunWriter>>,
+    spill_probe_writers: Vec<Option<RunWriter>>,
+    spill_build_children: Vec<RunHandle>,
+    spill_probe_children: Vec<RunHandle>,
+    nlj_pos: u64,
+    nlj_addr: Option<TupleAddr>,
+    nlj_next_pos: u64,
+    nlj_next_addr: Option<TupleAddr>,
 }
 
 impl HashJoin {
@@ -179,6 +314,20 @@ impl HashJoin {
             migration_enabled: true,
             pending: VecDeque::new(),
             replay_stop: None,
+            mem_budget: 0,
+            tasks: Vec::new(),
+            cur_task: None,
+            stage: TS_JOIN,
+            spill_reader: None,
+            spill_pages_noted: 0,
+            spill_build_writers: Vec::new(),
+            spill_probe_writers: Vec::new(),
+            spill_build_children: Vec::new(),
+            spill_probe_children: Vec::new(),
+            nlj_pos: 0,
+            nlj_addr: None,
+            nlj_next_pos: 0,
+            nlj_next_addr: None,
         }
     }
 
@@ -191,6 +340,21 @@ impl HashJoin {
     pub fn without_migration(mut self) -> Self {
         self.migration_enabled = false;
         self
+    }
+
+    /// Cap the in-memory build partition at `budget` tuples (0 disables):
+    /// over-budget partitions are recursively re-partitioned with a
+    /// level-salted hash up to [`MAX_SPILL_DEPTH`], then joined by block
+    /// nested-loop in `budget`-tuple build chunks.
+    pub fn with_memory_budget(mut self, budget: usize) -> Self {
+        self.mem_budget = budget;
+        self
+    }
+
+    /// Stages that emit output; the spill stages do not, so they can go
+    /// back to their task-boundary checkpoint without re-emission.
+    fn grace_emitting(stage: u8) -> bool {
+        matches!(stage, TS_JOIN | TS_NLJ)
     }
 
     fn control(&self) -> HjControl {
@@ -208,6 +372,16 @@ impl HashJoin {
             probe_done: self.probe_done,
             build_consumed: self.build_consumed,
             probe_consumed: self.probe_consumed,
+            tasks: self.tasks.clone(),
+            cur_task: self.cur_task.clone(),
+            stage: self.stage,
+            spill_build_children: self.spill_build_children.clone(),
+            spill_probe_children: self.spill_probe_children.clone(),
+            spill_addr: self.spill_reader.as_ref().map(|r| r.position()),
+            nlj_pos: self.nlj_pos,
+            nlj_addr: self.nlj_addr,
+            nlj_next_pos: self.nlj_next_pos,
+            nlj_next_addr: self.nlj_next_addr,
         }
     }
 
@@ -291,9 +465,14 @@ impl HashJoin {
     }
 
     fn load_build_partition(&mut self, ctx: &mut ExecContext, part: usize) -> Result<()> {
+        let handle = self.build_runs[part];
+        self.load_build_run(ctx, handle)
+    }
+
+    /// Load a whole sealed run into the in-memory table.
+    fn load_build_run(&mut self, ctx: &mut ExecContext, handle: RunHandle) -> Result<()> {
         self.table.clear();
         self.heap_bytes = 0;
-        let handle = self.build_runs[part];
         let mut r = RunReader::open(ctx.db.pool().clone(), handle);
         while let Some(t) = r.next()? {
             let key = t.get(self.build_key).as_int()?;
@@ -303,8 +482,40 @@ impl HashJoin {
         Ok(())
     }
 
+    /// Load the next NLJ build chunk (up to `mem_budget` tuples starting
+    /// at `nlj_addr`) into the table and precompute the next block cursor.
+    /// Deterministic from (`nlj_pos`, `nlj_addr`), so a GoBack resume can
+    /// rebuild the in-flight block by re-running it.
+    fn load_nlj_block(&mut self, ctx: &mut ExecContext, task: &PartTask) -> Result<()> {
+        self.table.clear();
+        self.heap_bytes = 0;
+        let mut r = RunReader::open(ctx.db.pool().clone(), task.build);
+        if let Some(addr) = self.nlj_addr {
+            r.seek(addr);
+        }
+        let mut loaded = 0u64;
+        while (loaded as usize) < self.mem_budget.max(1) {
+            match r.next()? {
+                Some(t) => {
+                    let key = t.get(self.build_key).as_int()?;
+                    self.table_insert(key, t);
+                    loaded += 1;
+                }
+                None => break,
+            }
+        }
+        ctx.note_page_reads(self.op, r.pages_fetched());
+        self.nlj_next_pos = self.nlj_pos + loaded;
+        self.nlj_next_addr = Some(r.position());
+        Ok(())
+    }
+
     fn open_probe_reader(&mut self, ctx: &mut ExecContext, part: usize, at: Option<TupleAddr>) {
         let handle = self.probe_runs[part];
+        self.open_probe_run(ctx, handle, at);
+    }
+
+    fn open_probe_run(&mut self, ctx: &mut ExecContext, handle: RunHandle, at: Option<TupleAddr>) {
         let mut r = RunReader::open(ctx.db.pool().clone(), handle);
         if let Some(addr) = at {
             r.seek(addr);
@@ -344,6 +555,271 @@ impl HashJoin {
             }
         }
         Ok(None)
+    }
+
+    /// Seed the grace work queue from the sealed top-level partitions
+    /// (pushed in reverse so they pop in partition order; spill children
+    /// are pushed the same way, giving a depth-first tree walk).
+    fn seed_grace_tasks(&mut self) {
+        self.tasks.clear();
+        for part in (self.first_join_partition()..self.partitions).rev() {
+            self.tasks.push(PartTask {
+                level: 0,
+                path: vec![part as u32],
+                build: self.build_runs[part],
+                probe: self.probe_runs[part],
+            });
+        }
+        self.cur_task = None;
+        self.stage = TS_JOIN;
+    }
+
+    fn note_spill_io(&mut self, ctx: &mut ExecContext) {
+        if let Some(r) = &self.spill_reader {
+            let fetched = r.pages_fetched();
+            let delta = fetched.saturating_sub(self.spill_pages_noted);
+            self.spill_pages_noted = fetched;
+            ctx.note_page_reads(self.op, delta);
+        }
+    }
+
+    /// Classify the popped task and set up its stage. Joins and NLJ load
+    /// lazily on the first step; a spill opens its re-partition reader
+    /// here and announces itself in the trace.
+    fn start_task(&mut self, ctx: &mut ExecContext, task: PartTask) {
+        self.nlj_pos = 0;
+        self.nlj_addr = None;
+        self.nlj_next_pos = 0;
+        self.nlj_next_addr = None;
+        if task.build.tuples as usize > self.mem_budget {
+            if task.level >= MAX_SPILL_DEPTH {
+                self.stage = TS_NLJ;
+            } else {
+                self.stage = TS_SPILL_BUILD;
+                let (op, level) = (self.op.0, task.level + 1);
+                let (path, tuples, pages) = (task.path_string(), task.build.tuples, task.build.pages);
+                ctx.db.ledger().trace(|| qsr_storage::TraceEvent::PartitionSpill {
+                    op,
+                    level,
+                    path: path.clone(),
+                    tuples,
+                    pages,
+                });
+                self.spill_build_children.clear();
+                self.spill_probe_children.clear();
+                self.spill_pages_noted = 0;
+                self.spill_reader = Some(RunReader::open(ctx.db.pool().clone(), task.build));
+            }
+        } else {
+            self.stage = TS_JOIN;
+        }
+        self.cur_task = Some(task);
+    }
+
+    /// Task complete: minimal-heap-state point, proactive checkpoint.
+    fn finish_task(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.table.clear();
+        self.heap_bytes = 0;
+        self.probe_reader = None;
+        self.cur_probe = None;
+        self.cur_probe_addr = None;
+        self.match_idx = 0;
+        self.nlj_pos = 0;
+        self.nlj_addr = None;
+        self.nlj_next_pos = 0;
+        self.nlj_next_addr = None;
+        self.cur_task = None;
+        self.checkpoint(ctx, false)
+    }
+
+    /// One step of the grace task machine. Tick placement matches the
+    /// legacy join phase (one tick per probe tuple consumed, plus one per
+    /// tuple moved during a spill), so work-unit boundaries are identical
+    /// between tuple and batch execution.
+    fn grace_step(&mut self, ctx: &mut ExecContext) -> Result<GraceStep> {
+        let task = match self.cur_task.clone() {
+            Some(t) => t,
+            None => match self.tasks.pop() {
+                Some(t) => {
+                    self.start_task(ctx, t);
+                    return Ok(GraceStep::Continue);
+                }
+                None => return Ok(GraceStep::Done),
+            },
+        };
+        match self.stage {
+            TS_JOIN => {
+                if self.probe_reader.is_none() {
+                    self.load_build_run(ctx, task.build)?;
+                    self.open_probe_run(ctx, task.probe, None);
+                }
+                if let Some(p) = self.cur_probe.clone() {
+                    match self.next_match(&p, self.probe_key)? {
+                        Some(out) => return Ok(GraceStep::Emit(out)),
+                        None => {
+                            self.cur_probe = None;
+                            self.cur_probe_addr = None;
+                            self.match_idx = 0;
+                        }
+                    }
+                    return Ok(GraceStep::Continue);
+                }
+                let reader = self
+                    .probe_reader
+                    .as_mut()
+                    .ok_or_else(|| StorageError::invalid("hash-join probe reader not open"))?;
+                let addr = reader.position();
+                let t = reader.next()?;
+                self.note_probe_io(ctx);
+                match t {
+                    Some(t) => {
+                        ctx.tick(self.op);
+                        self.cur_probe = Some(t);
+                        self.cur_probe_addr = Some(addr);
+                        self.match_idx = 0;
+                    }
+                    None => self.finish_task(ctx)?,
+                }
+                Ok(GraceStep::Continue)
+            }
+            TS_SPILL_BUILD => {
+                Self::ensure_writers(&mut self.spill_build_writers, ctx.db.pool(), self.partitions)?;
+                let reader = self
+                    .spill_reader
+                    .as_mut()
+                    .ok_or_else(|| StorageError::invalid("hash-join spill reader not open"))?;
+                let t = reader.next()?;
+                self.note_spill_io(ctx);
+                match t {
+                    Some(t) => {
+                        ctx.tick(self.op);
+                        let key = t.get(self.build_key).as_int()?;
+                        let p = hash_partition_at(key, task.level + 1, self.partitions);
+                        self.spill_build_writers[p]
+                            .as_mut()
+                            .ok_or_else(|| {
+                                StorageError::invalid("hash-join spill partition writer missing")
+                            })?
+                            .append(&t)?;
+                    }
+                    None => {
+                        Self::seal_writers(
+                            ctx,
+                            self.op,
+                            &mut self.spill_build_writers,
+                            &mut self.spill_build_children,
+                        )?;
+                        self.spill_pages_noted = 0;
+                        self.spill_reader =
+                            Some(RunReader::open(ctx.db.pool().clone(), task.probe));
+                        self.stage = TS_SPILL_PROBE;
+                    }
+                }
+                Ok(GraceStep::Continue)
+            }
+            TS_SPILL_PROBE => {
+                Self::ensure_writers(&mut self.spill_probe_writers, ctx.db.pool(), self.partitions)?;
+                let reader = self
+                    .spill_reader
+                    .as_mut()
+                    .ok_or_else(|| StorageError::invalid("hash-join spill reader not open"))?;
+                let t = reader.next()?;
+                self.note_spill_io(ctx);
+                match t {
+                    Some(t) => {
+                        ctx.tick(self.op);
+                        let key = t.get(self.probe_key).as_int()?;
+                        let p = hash_partition_at(key, task.level + 1, self.partitions);
+                        self.spill_probe_writers[p]
+                            .as_mut()
+                            .ok_or_else(|| {
+                                StorageError::invalid("hash-join spill partition writer missing")
+                            })?
+                            .append(&t)?;
+                    }
+                    None => {
+                        Self::seal_writers(
+                            ctx,
+                            self.op,
+                            &mut self.spill_probe_writers,
+                            &mut self.spill_probe_children,
+                        )?;
+                        self.spill_reader = None;
+                        let builds = std::mem::take(&mut self.spill_build_children);
+                        let probes = std::mem::take(&mut self.spill_probe_children);
+                        for i in (0..self.partitions).rev() {
+                            let mut path = task.path.clone();
+                            path.push(i as u32);
+                            self.tasks.push(PartTask {
+                                level: task.level + 1,
+                                path,
+                                build: builds[i],
+                                probe: probes[i],
+                            });
+                        }
+                        self.cur_task = None;
+                        self.checkpoint(ctx, false)?;
+                    }
+                }
+                Ok(GraceStep::Continue)
+            }
+            TS_NLJ => {
+                if self.nlj_pos >= task.build.tuples {
+                    self.finish_task(ctx)?;
+                    return Ok(GraceStep::Continue);
+                }
+                if self.probe_reader.is_none() {
+                    self.load_nlj_block(ctx, &task)?;
+                    self.open_probe_run(ctx, task.probe, None);
+                    return Ok(GraceStep::Continue);
+                }
+                if let Some(p) = self.cur_probe.clone() {
+                    match self.next_match(&p, self.probe_key)? {
+                        Some(out) => return Ok(GraceStep::Emit(out)),
+                        None => {
+                            self.cur_probe = None;
+                            self.cur_probe_addr = None;
+                            self.match_idx = 0;
+                        }
+                    }
+                    return Ok(GraceStep::Continue);
+                }
+                let reader = self
+                    .probe_reader
+                    .as_mut()
+                    .ok_or_else(|| StorageError::invalid("hash-join probe reader not open"))?;
+                let addr = reader.position();
+                let t = reader.next()?;
+                self.note_probe_io(ctx);
+                match t {
+                    Some(t) => {
+                        ctx.tick(self.op);
+                        self.cur_probe = Some(t);
+                        self.cur_probe_addr = Some(addr);
+                        self.match_idx = 0;
+                    }
+                    None => {
+                        // Block finished: advance to the precomputed next
+                        // block (a minimal-heap point only at task end —
+                        // intermediate blocks skip the checkpoint to keep
+                        // the block cursor the sole recovery input).
+                        self.table.clear();
+                        self.heap_bytes = 0;
+                        self.probe_reader = None;
+                        self.cur_probe = None;
+                        self.cur_probe_addr = None;
+                        self.match_idx = 0;
+                        self.nlj_pos = self.nlj_next_pos;
+                        self.nlj_addr = self.nlj_next_addr;
+                        if self.nlj_pos >= task.build.tuples {
+                            self.finish_task(ctx)?;
+                        }
+                    }
+                }
+                Ok(GraceStep::Continue)
+            }
+            s => Err(StorageError::corrupt(format!("bad grace stage {s}"))),
+        }
     }
 }
 
@@ -466,7 +942,12 @@ impl Operator for HashJoin {
                             // here: minimal-heap-state point.
                             self.table.clear();
                             self.heap_bytes = 0;
-                            self.phase = PHASE_JOIN;
+                            if self.mem_budget > 0 {
+                                self.phase = PHASE_GRACE;
+                                self.seed_grace_tasks();
+                            } else {
+                                self.phase = PHASE_JOIN;
+                            }
                             self.cur_part = self.first_join_partition();
                             self.cur_probe = None;
                             self.cur_probe_addr = None;
@@ -477,6 +958,14 @@ impl Operator for HashJoin {
                         Poll::Suspended => return Ok(Poll::Suspended),
                     }
                 }
+                PHASE_GRACE => match self.grace_step(ctx)? {
+                    GraceStep::Emit(t) => {
+                        self.produced_since_sign += 1;
+                        return Ok(Poll::Tuple(t));
+                    }
+                    GraceStep::Continue => {}
+                    GraceStep::Done => self.phase = PHASE_DONE,
+                },
                 PHASE_JOIN => {
                     if self.cur_part >= self.partitions {
                         self.phase = PHASE_DONE;
@@ -674,7 +1163,12 @@ impl Operator for HashJoin {
                             )?;
                             self.table.clear();
                             self.heap_bytes = 0;
-                            self.phase = PHASE_JOIN;
+                            if self.mem_budget > 0 {
+                                self.phase = PHASE_GRACE;
+                                self.seed_grace_tasks();
+                            } else {
+                                self.phase = PHASE_JOIN;
+                            }
                             self.cur_part = self.first_join_partition();
                             self.cur_probe = None;
                             self.cur_probe_addr = None;
@@ -690,6 +1184,17 @@ impl Operator for HashJoin {
                         }
                     }
                 }
+                PHASE_GRACE => match self.grace_step(ctx)? {
+                    GraceStep::Emit(t) => {
+                        self.produced_since_sign += 1;
+                        out.push(&t);
+                        if out.len() >= max {
+                            return Ok(BatchPoll::Batch(out));
+                        }
+                    }
+                    GraceStep::Continue => {}
+                    GraceStep::Done => self.phase = PHASE_DONE,
+                },
                 PHASE_JOIN => {
                     if self.cur_part >= self.partitions {
                         self.phase = PHASE_DONE;
@@ -761,7 +1266,17 @@ impl Operator for HashJoin {
     }
 
     fn sign_contract(&mut self, ctx: &mut ExecContext, parent_ckpt: CkptId) -> Result<CtrId> {
-        let ctr = if self.phase == PHASE_JOIN || self.phase == PHASE_DONE {
+        // Reactive (fresh-cursor) checkpoints are valid GoBack targets only
+        // where state is rebuildable from sealed runs: the legacy join
+        // phase, and grace join/NLJ stages or task boundaries. A mid-spill
+        // reactive point would reference unsealed child writers, so spill
+        // stages anchor at the latest proactive (task-boundary) checkpoint
+        // like the partitioning phases do.
+        let reactive = self.phase == PHASE_JOIN
+            || self.phase == PHASE_DONE
+            || (self.phase == PHASE_GRACE
+                && (self.cur_task.is_none() || Self::grace_emitting(self.stage)));
+        let ctr = if reactive {
             // Reactive: fresh checkpoint capturing the join-phase cursor
             // (bucket number + probe position, §4).
             let control = self.control().encode_to_vec();
@@ -818,6 +1333,21 @@ impl Operator for HashJoin {
         // one stopped instead of dropping runs already on disk.
         Self::seal_writers(ctx, self.op, &mut self.build_writers, &mut self.build_runs)?;
         Self::seal_writers(ctx, self.op, &mut self.probe_writers, &mut self.probe_runs)?;
+        // Mid-spill grace suspends seal the child partition writers the
+        // same way; the sealed handles ride in the control record (Dump
+        // reopens them for appending, GoBack discards them).
+        Self::seal_writers(
+            ctx,
+            self.op,
+            &mut self.spill_build_writers,
+            &mut self.spill_build_children,
+        )?;
+        Self::seal_writers(
+            ctx,
+            self.op,
+            &mut self.spill_probe_writers,
+            &mut self.spill_probe_children,
+        )?;
         let sealed_build = self.build_runs.clone();
         let sealed_probe = self.probe_runs.clone();
 
@@ -836,11 +1366,27 @@ impl Operator for HashJoin {
                             .graph
                             .latest_ckpt(self.op)
                             .ok_or_else(|| StorageError::invalid("hash join has no checkpoint"))?;
-                        if self.phase == PHASE_JOIN {
-                            // Join phase: rebuild the table from own runs
-                            // and reposition the probe cursor — target is
-                            // the current control state.
+                        let grace_reposition = self.phase == PHASE_GRACE
+                            && (self.cur_task.is_none() || Self::grace_emitting(self.stage));
+                        if self.phase == PHASE_JOIN || grace_reposition {
+                            // Join phase (or a grace join/NLJ stage):
+                            // rebuild the table from own runs and
+                            // reposition the probe cursor — target is the
+                            // current control state.
                             (current_control, Vec::new(), None)
+                        } else if self.phase == PHASE_GRACE {
+                            // Mid-spill: restart the in-flight task from
+                            // its boundary checkpoint (spill stages emit
+                            // nothing, so no output is re-delivered).
+                            let ck = ctx
+                                .graph
+                                .checkpoint(latest)
+                                .ok_or_else(|| {
+                                    StorageError::invalid("missing latest checkpoint")
+                                })?
+                                .control
+                                .clone();
+                            (HjControl::decode_from_slice(&ck)?, Vec::new(), None)
                         } else {
                             // Partition phases: go back to the phase-start
                             // checkpoint (shipped via `aux`); the resume
@@ -857,22 +1403,47 @@ impl Operator for HashJoin {
                         .ok_or_else(|| StorageError::invalid(format!("unknown contract {ctr_id}")))?
                         .clone();
                     let target = HjControl::decode_from_slice(&ctr.control)?;
+                    // Grace targets split like the phases do: join/NLJ
+                    // stages (and task boundaries) reposition over sealed
+                    // runs; spill-stage targets reference unsealed child
+                    // writers and fall back to the boundary state.
+                    let target_repositions = target.phase == PHASE_JOIN
+                        || (target.phase == PHASE_GRACE
+                            && (target.cur_task.is_none()
+                                || Self::grace_emitting(target.stage)));
                     match strategy {
                         Strategy::Dump => {
                             // c = 0: no checkpoint since signing. In the
-                            // partition phases nothing was produced since,
-                            // so current state reproduces all outputs; in
-                            // the join phase the contract's cursor is the
-                            // resume point over the dumped table.
-                            if target.phase == PHASE_JOIN {
+                            // partition phases (and mid-spill) nothing was
+                            // produced since, so current state reproduces
+                            // all outputs; in the join phase the contract's
+                            // cursor is the resume point over the dumped
+                            // table.
+                            if target_repositions {
                                 (target, ctr.saved_tuples.clone(), None)
                             } else {
                                 (current_control, ctr.saved_tuples.clone(), None)
                             }
                         }
                         Strategy::GoBack { .. } => {
-                            if target.phase == PHASE_JOIN {
+                            if target_repositions {
                                 (target, ctr.saved_tuples.clone(), None)
+                            } else if target.phase == PHASE_GRACE {
+                                // Spill-stage target: roll forward from the
+                                // fulfilling (task-boundary) checkpoint.
+                                let ck = ctx
+                                    .graph
+                                    .checkpoint(ctr.child_ckpt)
+                                    .ok_or_else(|| {
+                                        StorageError::invalid("missing fulfilling checkpoint")
+                                    })?
+                                    .control
+                                    .clone();
+                                (
+                                    HjControl::decode_from_slice(&ck)?,
+                                    ctr.saved_tuples.clone(),
+                                    None,
+                                )
                             } else {
                                 (target, ctr.saved_tuples.clone(), Some(ctr.child_ckpt))
                             }
@@ -944,6 +1515,19 @@ impl Operator for HashJoin {
         self.heap_bytes = 0;
         self.probe_reader = None;
         self.pages_noted = 0;
+        self.tasks = control.tasks.clone();
+        self.cur_task = control.cur_task.clone();
+        self.stage = control.stage;
+        self.spill_build_children = control.spill_build_children.clone();
+        self.spill_probe_children = control.spill_probe_children.clone();
+        self.spill_reader = None;
+        self.spill_pages_noted = 0;
+        self.spill_build_writers.clear();
+        self.spill_probe_writers.clear();
+        self.nlj_pos = control.nlj_pos;
+        self.nlj_addr = control.nlj_addr;
+        self.nlj_next_pos = control.nlj_next_pos;
+        self.nlj_next_addr = control.nlj_next_addr;
 
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, dump) => {
@@ -962,6 +1546,36 @@ impl Operator for HashJoin {
                         .drain(..)
                         .map(|h| RunWriter::reopen(ctx.db.pool().clone(), h).map(Some))
                         .collect::<Result<_>>()?;
+                } else if self.phase == PHASE_GRACE && self.cur_task.is_some() {
+                    // Mid-spill: the stage's child runs were sealed at
+                    // suspend; reopen them all as in-progress writers and
+                    // reposition the re-partition reader. (In build-spill,
+                    // probe children don't exist yet; in probe-spill, the
+                    // build children are final and stay sealed.)
+                    let task = self.cur_task.clone().expect("checked above");
+                    if self.stage == TS_SPILL_BUILD {
+                        self.spill_build_writers = self
+                            .spill_build_children
+                            .drain(..)
+                            .map(|h| RunWriter::reopen(ctx.db.pool().clone(), h).map(Some))
+                            .collect::<Result<_>>()?;
+                        let mut r = RunReader::open(ctx.db.pool().clone(), task.build);
+                        if let Some(addr) = control.spill_addr {
+                            r.seek(addr);
+                        }
+                        self.spill_reader = Some(r);
+                    } else if self.stage == TS_SPILL_PROBE {
+                        self.spill_probe_writers = self
+                            .spill_probe_children
+                            .drain(..)
+                            .map(|h| RunWriter::reopen(ctx.db.pool().clone(), h).map(Some))
+                            .collect::<Result<_>>()?;
+                        let mut r = RunReader::open(ctx.db.pool().clone(), task.probe);
+                        if let Some(addr) = control.spill_addr {
+                            r.seek(addr);
+                        }
+                        self.spill_reader = Some(r);
+                    }
                 }
                 if let Some(blob) = dump {
                     let TableDump(pairs) = ctx.get_dump_value(*blob)?;
@@ -1076,6 +1690,31 @@ impl Operator for HashJoin {
             }
         }
 
+        // Grace join/NLJ stages mirror the legacy join-phase rebuild, but
+        // over the in-flight task's runs (the NLJ block reload is
+        // deterministic from the recorded block cursor).
+        if self.phase == PHASE_GRACE && Self::grace_emitting(self.stage) {
+            if let Some(task) = self.cur_task.clone() {
+                if rec.heap_dump.is_none() {
+                    if self.stage == TS_JOIN {
+                        self.load_build_run(ctx, task.build)?;
+                    } else if self.nlj_pos < task.build.tuples {
+                        self.load_nlj_block(ctx, &task)?;
+                    }
+                }
+                let at = self.cur_probe_addr.or(control.probe_addr);
+                self.open_probe_run(ctx, task.probe, at);
+                if self.cur_probe.is_some() {
+                    let r = self
+                        .probe_reader
+                        .as_mut()
+                        .ok_or_else(|| StorageError::invalid("hash-join probe reader not open"))?;
+                    let _ = r.next()?;
+                    self.note_probe_io(ctx);
+                }
+            }
+        }
+
         self.pending = rec
             .saved_tuples
             .iter()
@@ -1087,9 +1726,15 @@ impl Operator for HashJoin {
     }
 
     fn suspend_inputs(&self) -> OpSuspendInputs {
+        let grace_entries = self.tasks.len()
+            + self.spill_build_children.len()
+            + self.spill_probe_children.len()
+            + usize::from(self.cur_task.is_some());
         OpSuspendInputs {
             heap_bytes: self.heap_bytes,
-            control_bytes: 64 + 16 * (self.build_runs.len() + self.probe_runs.len()),
+            control_bytes: 64
+                + 16 * (self.build_runs.len() + self.probe_runs.len())
+                + 48 * grace_entries,
         }
     }
 

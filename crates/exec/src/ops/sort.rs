@@ -12,6 +12,16 @@
 //! Phase 2 merges the sublists; the operator then "behaves similarly to a
 //! table scan": signing a contract creates a reactive checkpoint whose
 //! control state is the per-run cursor positions, and resume just seeks.
+//!
+//! With a merge fan-in cap `F` (0 = unlimited), more than `F` sublists
+//! trigger intermediate merge passes: groups of up to `F` runs are merged
+//! into new disk-resident runs until at most `F` remain, then the final
+//! merge streams to the parent. Every pass output is a materialization
+//! point; group boundaries are minimal-heap-state points with proactive
+//! checkpoints and contract migration (the operator emits nothing during
+//! passes, so migration always applies). Suspend can land mid-group: Dump
+//! seals the partial output run and records the group cursor heads, GoBack
+//! restarts the group from its boundary checkpoint.
 
 use crate::context::ExecContext;
 use crate::operator::{Operator, Poll, SuspendMode};
@@ -27,17 +37,29 @@ use std::collections::VecDeque;
 
 const PHASE_BUILD: u8 = 0;
 const PHASE_MERGE: u8 = 1;
+const PHASE_PASS: u8 = 2;
 
 #[derive(Debug, Clone, PartialEq)]
 struct SortControl {
     phase: u8,
+    /// Build: sealed sublists. Pass: runs still queued for the current
+    /// pass. Merge: the final merge inputs.
     runs: Vec<RunHandle>,
     /// Phase 1: tuples in the (unsorted) buffer.
     fill: u64,
     child_done: bool,
-    /// Phase 2: address of each run's *current head* tuple (the head is
-    /// re-read on resume; `None` = run exhausted).
+    /// Phase 2 / in-progress pass group: address of each run's *current
+    /// head* tuple (the head is re-read on resume; `None` = exhausted).
     head_addrs: Vec<Option<TupleAddr>>,
+    /// Intermediate-pass cursor state (all empty/zero outside PHASE_PASS).
+    pass_level: u64,
+    /// Completed output runs of the current pass.
+    pass_out: Vec<RunHandle>,
+    /// Runs of the in-progress merge group (empty at a group boundary).
+    group: Vec<RunHandle>,
+    /// Sealed image of the in-progress group output (suspend-time Dump
+    /// only; reopened for appends on resume).
+    pass_run: Option<RunHandle>,
 }
 
 impl Encode for SortControl {
@@ -47,6 +69,10 @@ impl Encode for SortControl {
         enc.put_u64(self.fill);
         enc.put_bool(self.child_done);
         enc.put_seq(&self.head_addrs);
+        enc.put_u64(self.pass_level);
+        enc.put_seq(&self.pass_out);
+        enc.put_seq(&self.group);
+        enc.put_option(&self.pass_run);
     }
 }
 
@@ -58,6 +84,10 @@ impl Decode for SortControl {
             fill: dec.get_u64()?,
             child_done: dec.get_bool()?,
             head_addrs: dec.get_seq()?,
+            pass_level: dec.get_u64()?,
+            pass_out: dec.get_seq()?,
+            group: dec.get_seq()?,
+            pass_run: dec.get_option()?,
         })
     }
 }
@@ -68,6 +98,8 @@ pub struct ExternalSort {
     child: Box<dyn Operator>,
     key: usize,
     buffer_size: usize,
+    /// Merge fan-in cap (0 = unlimited, single-pass merge).
+    merge_fanin: usize,
     schema: Schema,
 
     phase: u8,
@@ -80,6 +112,15 @@ pub struct ExternalSort {
     heads: Vec<Option<Tuple>>,
     head_addrs: Vec<Option<TupleAddr>>,
     pages_noted: u64,
+
+    /// Intermediate-pass state (PHASE_PASS only): pass ordinal, completed
+    /// outputs of the current pass, the in-progress group's inputs, its
+    /// output writer, and the sealed image of that writer at suspend.
+    pass_level: u64,
+    pass_out: Vec<RunHandle>,
+    group: Vec<RunHandle>,
+    pass_writer: Option<RunWriter>,
+    pass_run: Option<RunHandle>,
 
     last_in_ctr: Option<CtrId>,
     produced_since_sign: u64,
@@ -97,6 +138,7 @@ impl ExternalSort {
             child,
             key,
             buffer_size,
+            merge_fanin: 0,
             schema,
             phase: PHASE_BUILD,
             buf: Vec::new(),
@@ -107,6 +149,11 @@ impl ExternalSort {
             heads: Vec::new(),
             head_addrs: Vec::new(),
             pages_noted: 0,
+            pass_level: 0,
+            pass_out: Vec::new(),
+            group: Vec::new(),
+            pass_writer: None,
+            pass_run: None,
             last_in_ctr: None,
             produced_since_sign: 0,
             migration_enabled: true,
@@ -120,6 +167,13 @@ impl ExternalSort {
         self
     }
 
+    /// Cap the merge fan-in at `fanin` runs (0 = unlimited). More sublists
+    /// than the cap trigger intermediate merge passes.
+    pub fn with_merge_fanin(mut self, fanin: usize) -> Self {
+        self.merge_fanin = fanin;
+        self
+    }
+
     fn control(&self) -> SortControl {
         SortControl {
             phase: self.phase,
@@ -127,6 +181,10 @@ impl ExternalSort {
             fill: self.buf.len() as u64,
             child_done: self.child_done,
             head_addrs: self.head_addrs.clone(),
+            pass_level: self.pass_level,
+            pass_out: self.pass_out.clone(),
+            group: self.group.clone(),
+            pass_run: self.pass_run,
         }
     }
 
@@ -189,7 +247,24 @@ impl ExternalSort {
 
     fn enter_merge(&mut self, ctx: &mut ExecContext) -> Result<()> {
         self.flush_run(ctx)?;
+        if self.merge_fanin > 0 && self.runs.len() > self.merge_fanin {
+            // Too many sublists for one merge: run intermediate passes.
+            // The phase entry is a materialization point (all inputs are
+            // sealed on disk) and a minimal-heap-state group boundary.
+            self.phase = PHASE_PASS;
+            self.checkpoint(ctx)?;
+            return Ok(());
+        }
+        self.open_final_merge(ctx)?;
+        // Proactive checkpoint at the phase boundary: the sublists are a
+        // materialization point.
+        self.checkpoint_merge(ctx)?;
+        Ok(())
+    }
+
+    fn open_final_merge(&mut self, ctx: &mut ExecContext) -> Result<()> {
         self.phase = PHASE_MERGE;
+        self.pages_noted = 0;
         self.readers = self
             .runs
             .iter()
@@ -200,9 +275,109 @@ impl ExternalSort {
         for i in 0..self.readers.len() {
             self.advance_head(ctx, i)?;
         }
-        // Proactive checkpoint at the phase boundary: the sublists are a
-        // materialization point.
-        self.checkpoint_merge(ctx)?;
+        Ok(())
+    }
+
+    /// One unit of intermediate-pass work: start the next merge group,
+    /// merge one tuple into the group's output run, or roll the pass over
+    /// when its queue drains. Ticks once per merged tuple, so every
+    /// mid-pass position is a suspendable work-unit boundary.
+    fn pass_step(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        if self.readers.is_empty() {
+            if self.runs.is_empty() {
+                // Pass complete: its outputs are the next pass's inputs.
+                self.runs = std::mem::take(&mut self.pass_out);
+                self.pass_level += 1;
+                if self.merge_fanin == 0 || self.runs.len() <= self.merge_fanin {
+                    self.open_final_merge(ctx)?;
+                    self.checkpoint_merge(ctx)?;
+                } else {
+                    self.checkpoint(ctx)?;
+                }
+                return Ok(());
+            }
+            // Start the next merge group.
+            let take = self.merge_fanin.min(self.runs.len()).max(1);
+            self.group = self.runs.drain(..take).collect();
+            let (tuples, pages) = self
+                .group
+                .iter()
+                .fold((0u64, 0u64), |(t, p), h| (t + h.tuples, p + h.pages));
+            {
+                let (op, pass, runs) = (self.op.0, self.pass_level, self.group.len() as u64);
+                ctx.db.ledger().trace(|| qsr_storage::TraceEvent::MergePass {
+                    op,
+                    pass,
+                    runs,
+                    tuples,
+                    pages,
+                });
+            }
+            self.pages_noted = 0;
+            self.readers = self
+                .group
+                .iter()
+                .map(|&h| RunReader::open(ctx.db.pool().clone(), h))
+                .collect();
+            self.heads = vec![None; self.group.len()];
+            self.head_addrs = vec![None; self.group.len()];
+            for i in 0..self.readers.len() {
+                self.advance_head(ctx, i)?;
+            }
+            self.pass_writer = Some(RunWriter::create(ctx.db.pool().clone())?);
+            self.pass_run = None;
+            return Ok(());
+        }
+        match self.pop_min(ctx)? {
+            Some(t) => {
+                self.pass_writer
+                    .as_mut()
+                    .ok_or_else(|| StorageError::invalid("sort pass writer missing"))?
+                    .append(&t)?;
+                ctx.tick(self.op);
+            }
+            None => {
+                // Group exhausted: seal its output — a materialization
+                // point — and checkpoint the group boundary (contract
+                // migration applies: passes emit nothing).
+                let w = self
+                    .pass_writer
+                    .take()
+                    .ok_or_else(|| StorageError::invalid("sort pass writer missing"))?;
+                let handle = w.finish()?;
+                let pages = ctx.db.pool().num_pages(handle.file)?;
+                ctx.note_page_writes(self.op, pages);
+                self.pass_out.push(handle);
+                self.pass_run = None;
+                self.readers.clear();
+                self.heads.clear();
+                self.head_addrs.clear();
+                self.group.clear();
+                self.checkpoint(ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal the in-progress pass output so its handle can ride in the
+    /// suspend control record. Retry-safe: once sealed, the writer is gone
+    /// and a re-walked suspend finds `pass_run` already recorded.
+    fn seal_pass_writer(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        if let Some(w) = self.pass_writer.as_mut() {
+            let pending = w.pending_pages();
+            ctx.guard_suspend_write(pending)?;
+            let handle = w.seal()?;
+            if pending > 0 {
+                ctx.db.ledger().trace(|| qsr_storage::TraceEvent::MetaWrite {
+                    label: "pass-seal",
+                    pages: pending,
+                });
+            }
+            let pages = ctx.db.pool().num_pages(handle.file)?;
+            ctx.note_page_writes(self.op, pages);
+            self.pass_run = Some(handle);
+            self.pass_writer = None;
+        }
         Ok(())
     }
 
@@ -310,6 +485,8 @@ impl Operator for ExternalSort {
                     Poll::Done => self.child_done = true,
                     Poll::Suspended => return Ok(Poll::Suspended),
                 }
+            } else if self.phase == PHASE_PASS {
+                self.pass_step(ctx)?;
             } else {
                 return match self.pop_min(ctx)? {
                     Some(t) => {
@@ -330,7 +507,10 @@ impl Operator for ExternalSort {
     }
 
     fn sign_contract(&mut self, ctx: &mut ExecContext, parent_ckpt: CkptId) -> Result<CtrId> {
-        let ctr = if self.phase == PHASE_BUILD {
+        // Build and pass phases anchor contracts at the latest proactive
+        // checkpoint (a mid-group reactive point would not be a valid
+        // GoBack target: the group's partial output run is unsealed).
+        let ctr = if self.phase != PHASE_MERGE {
             let latest = match ctx.graph.latest_ckpt(self.op) {
                 Some(ck) => ck,
                 None => ctx.graph.create_barrier_checkpoint(
@@ -375,6 +555,11 @@ impl Operator for ExternalSort {
         sq: &mut SuspendedQuery,
     ) -> Result<()> {
         let strategy = plan.get(self.op);
+        // A Dump mid-pass must carry the partial group output: seal it so
+        // its handle rides in the control record (no-op otherwise).
+        if matches!(strategy, Strategy::Dump) {
+            self.seal_pass_writer(ctx)?;
+        }
         let (resume_point, saved, enforce_child): (Vec<u8>, Vec<Vec<u8>>, Option<Option<CtrId>>) =
             match mode {
                 SuspendMode::Current => match strategy {
@@ -400,9 +585,11 @@ impl Operator for ExternalSort {
                     let target = SortControl::decode_from_slice(&ctr.control)?;
                     match strategy {
                         Strategy::Dump => {
-                            // Phase-1 targets produced no output since
-                            // signing; current state reproduces everything.
-                            let resume = if target.phase == PHASE_BUILD {
+                            // Build/pass targets produced no output since
+                            // signing; current state reproduces everything
+                            // (and, mid-pass, carries the sealed partial
+                            // run a stale target control could not).
+                            let resume = if target.phase != PHASE_MERGE {
                                 self.control()
                             } else {
                                 target
@@ -410,7 +597,7 @@ impl Operator for ExternalSort {
                             (resume.encode_to_vec(), ctr.saved_tuples.clone(), None)
                         }
                         Strategy::GoBack { .. } => {
-                            if target.phase == PHASE_BUILD {
+                            if target.phase != PHASE_MERGE {
                                 // Roll forward from the *fulfilling*
                                 // checkpoint: its control (runs so far,
                                 // empty buffer) matches exactly where the
@@ -476,6 +663,11 @@ impl Operator for ExternalSort {
         self.heads.clear();
         self.head_addrs.clear();
         self.pages_noted = 0;
+        self.pass_level = control.pass_level;
+        self.pass_out = control.pass_out.clone();
+        self.group.clear();
+        self.pass_writer = None;
+        self.pass_run = None;
 
         if control.phase == PHASE_BUILD {
             match (&rec.strategy, &rec.heap_dump) {
@@ -508,8 +700,51 @@ impl Operator for ExternalSort {
                     }
                 }
             }
+        } else if control.phase == PHASE_PASS {
+            match &rec.strategy {
+                Strategy::Dump => {
+                    // Mid-group: reattach the sealed partial output for
+                    // appending and reopen the group readers at their
+                    // recorded heads. Between groups (empty group) there is
+                    // nothing to reopen.
+                    self.group = control.group.clone();
+                    if let Some(h) = control.pass_run {
+                        self.pass_writer =
+                            Some(RunWriter::reopen(ctx.db.pool().clone(), h)?);
+                        self.pass_run = Some(h);
+                    }
+                    self.readers = self
+                        .group
+                        .iter()
+                        .map(|&h| RunReader::open(ctx.db.pool().clone(), h))
+                        .collect();
+                    self.heads = vec![None; self.group.len()];
+                    self.head_addrs = control.head_addrs.clone();
+                    for i in 0..self.readers.len() {
+                        if let Some(addr) = control.head_addrs[i] {
+                            self.readers[i].seek(addr);
+                            let t = self.readers[i].next()?;
+                            if t.is_none() {
+                                return Err(StorageError::corrupt(
+                                    "recorded head missing from run",
+                                ));
+                            }
+                            self.heads[i] = t;
+                        }
+                    }
+                    self.note_io(ctx);
+                }
+                Strategy::GoBack { .. } => {
+                    // Checkpoints land at group boundaries, so restart the
+                    // in-flight group from scratch: put its inputs back at
+                    // the front of the pending-run queue.
+                    let mut runs = control.group.clone();
+                    runs.append(&mut self.runs);
+                    self.runs = runs;
+                }
+            }
         } else {
-            // Phase 2: reopen readers and re-read the recorded heads.
+            // Final merge: reopen readers and re-read the recorded heads.
             self.readers = self
                 .runs
                 .iter()
@@ -542,7 +777,10 @@ impl Operator for ExternalSort {
     fn suspend_inputs(&self) -> OpSuspendInputs {
         OpSuspendInputs {
             heap_bytes: self.heap_bytes,
-            control_bytes: 32 + 18 * self.runs.len().max(self.head_addrs.len()),
+            control_bytes: 32
+                + 18
+                    * (self.runs.len() + self.pass_out.len() + self.group.len())
+                        .max(self.head_addrs.len()),
         }
     }
 

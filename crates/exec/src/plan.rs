@@ -132,6 +132,22 @@ pub enum PlanSpec {
         /// Number of disk partitions.
         partitions: usize,
     },
+    /// Execution-memory envelope. Allocates no operator of its own: the
+    /// builder threads the knobs down to every memory-bound operator in
+    /// the subtree (hash joins get a per-partition build budget in tuples
+    /// and spill recursively past it; sorts get a merge fan-in cap and
+    /// run intermediate merge passes past it). Zero values leave the
+    /// wrapped operators in their unbounded single-level behavior. The
+    /// envelope travels inside `SuspendedQuery` like any other node, so a
+    /// resumed query reconstructs identical spill/merge shapes.
+    MemoryBudget {
+        /// Wrapped subtree.
+        input: Box<PlanSpec>,
+        /// Hash-join build-partition budget in tuples (0 = unlimited).
+        mem_budget: usize,
+        /// Sort merge fan-in cap (0 = unlimited, single-pass merge).
+        merge_fanin: usize,
+    },
 }
 
 const T_SCAN: u8 = 0;
@@ -145,6 +161,7 @@ const T_HASH_JOIN: u8 = 7;
 const T_STREAM_AGG: u8 = 8;
 const T_DISTINCT: u8 = 9;
 const T_HASH_AGG: u8 = 10;
+const T_MEMORY_BUDGET: u8 = 11;
 
 impl Encode for PlanSpec {
     fn encode(&self, enc: &mut Encoder) {
@@ -266,6 +283,16 @@ impl Encode for PlanSpec {
                 func.encode(enc);
                 enc.put_usize(*partitions);
             }
+            PlanSpec::MemoryBudget {
+                input,
+                mem_budget,
+                merge_fanin,
+            } => {
+                enc.put_u8(T_MEMORY_BUDGET);
+                input.encode(enc);
+                enc.put_usize(*mem_budget);
+                enc.put_usize(*merge_fanin);
+            }
         }
     }
 }
@@ -345,6 +372,11 @@ impl Decode for PlanSpec {
                 func: AggFn::decode(dec)?,
                 partitions: dec.get_usize()?,
             },
+            T_MEMORY_BUDGET => PlanSpec::MemoryBudget {
+                input: Box::new(PlanSpec::decode(dec)?),
+                mem_budget: dec.get_usize()?,
+                merge_fanin: dec.get_usize()?,
+            },
             t => return Err(StorageError::corrupt(format!("bad plan tag {t}"))),
         })
     }
@@ -356,9 +388,9 @@ impl PlanSpec {
     fn is_rescannable(&self) -> bool {
         match self {
             PlanSpec::TableScan { .. } => true,
-            PlanSpec::Filter { input, .. } | PlanSpec::Project { input, .. } => {
-                input.is_rescannable()
-            }
+            PlanSpec::Filter { input, .. }
+            | PlanSpec::Project { input, .. }
+            | PlanSpec::MemoryBudget { input, .. } => input.is_rescannable(),
             _ => false,
         }
     }
@@ -381,6 +413,7 @@ impl PlanSpec {
             | PlanSpec::Sort { input, .. }
             | PlanSpec::StreamAgg { input, .. }
             | PlanSpec::HashAgg { input, .. }
+            | PlanSpec::MemoryBudget { input, .. }
             | PlanSpec::Distinct { input } => input.collect_tables(out),
             PlanSpec::IndexNlj {
                 outer, inner_table, ..
@@ -403,8 +436,12 @@ impl PlanSpec {
         }
     }
 
-    /// Number of operators in the plan.
+    /// Number of operators in the plan. The `MemoryBudget` envelope
+    /// allocates no operator, so it contributes zero.
     pub fn num_operators(&self) -> usize {
+        if let PlanSpec::MemoryBudget { input, .. } = self {
+            return input.num_operators();
+        }
         let mut n = 1;
         match self {
             PlanSpec::TableScan { .. } => {}
@@ -424,22 +461,40 @@ impl PlanSpec {
             PlanSpec::HashJoin { build, probe, .. } => {
                 n += build.num_operators() + probe.num_operators()
             }
+            PlanSpec::MemoryBudget { .. } => unreachable!("handled above"),
         }
         n
     }
 }
 
-/// Options controlling operator construction (ablation toggles).
+/// Options controlling operator construction (ablation toggles and
+/// memory-envelope knobs).
 #[derive(Debug, Clone)]
 pub struct BuildOptions {
     /// Enable contract migration (§3.4). Production default: on.
     pub contract_migration: bool,
+    /// Hash-join build-partition budget in tuples (0 = unlimited). The
+    /// default is seeded from `QSR_MEM_BUDGET`; a `PlanSpec::MemoryBudget`
+    /// envelope overrides it for its subtree.
+    pub mem_budget: usize,
+    /// Sort merge fan-in cap (0 = unlimited). Default seeded from
+    /// `QSR_MERGE_FANIN`; overridden per-subtree by the envelope.
+    pub merge_fanin: usize,
+}
+
+fn env_usize(name: &str) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
         Self {
             contract_migration: true,
+            mem_budget: env_usize("QSR_MEM_BUDGET"),
+            merge_fanin: env_usize("QSR_MERGE_FANIN"),
         }
     }
 }
@@ -567,7 +622,8 @@ impl<'a> Builder<'a> {
                 let op = self.alloc(parent, true, "Sort");
                 let child = self.build(input, Some(op))?;
                 self.link(op, child.op_id(), true);
-                let srt = ExternalSortAlias::new(op, child, *key, *buffer_tuples);
+                let srt = ExternalSortAlias::new(op, child, *key, *buffer_tuples)
+                    .with_merge_fanin(self.options.merge_fanin);
                 Ok(Box::new(if self.options.contract_migration {
                     srt
                 } else {
@@ -614,7 +670,8 @@ impl<'a> Builder<'a> {
                     *probe_key,
                     *partitions,
                     *hybrid,
-                );
+                )
+                .with_memory_budget(self.options.mem_budget);
                 Ok(Box::new(if self.options.contract_migration {
                     hj
                 } else {
@@ -658,6 +715,21 @@ impl<'a> Builder<'a> {
                 } else {
                     ha.without_migration()
                 }))
+            }
+            PlanSpec::MemoryBudget {
+                input,
+                mem_budget,
+                merge_fanin,
+            } => {
+                // Scoped envelope: knobs apply to the wrapped subtree only
+                // and no operator (or OpId) is allocated for the wrapper,
+                // so wrapping a plan never renumbers its operators.
+                let saved = (self.options.mem_budget, self.options.merge_fanin);
+                self.options.mem_budget = *mem_budget;
+                self.options.merge_fanin = *merge_fanin;
+                let built = self.build(input, parent);
+                (self.options.mem_budget, self.options.merge_fanin) = saved;
+                built
             }
         }
     }
@@ -761,6 +833,15 @@ mod tests {
                 func: AggFn::Sum,
                 partitions: 3,
             },
+            PlanSpec::MemoryBudget {
+                input: Box::new(PlanSpec::Sort {
+                    input: Box::new(scan("r")),
+                    key: 0,
+                    buffer_tuples: 12,
+                }),
+                mem_budget: 4,
+                merge_fanin: 2,
+            },
         ]
     }
 
@@ -803,6 +884,26 @@ mod tests {
             PlanSpec::TableScan { table: "x".into() }.num_operators(),
             1
         );
+    }
+
+    #[test]
+    fn memory_budget_envelope_is_operator_transparent() {
+        let wrapped = PlanSpec::MemoryBudget {
+            input: Box::new(PlanSpec::HashJoin {
+                build: Box::new(PlanSpec::TableScan { table: "s".into() }),
+                probe: Box::new(PlanSpec::TableScan { table: "r".into() }),
+                build_key: 0,
+                probe_key: 0,
+                partitions: 3,
+                hybrid: false,
+            }),
+            mem_budget: 8,
+            merge_fanin: 0,
+        };
+        assert_eq!(wrapped.num_operators(), 3);
+        assert_eq!(wrapped.tables(), vec!["s", "r"]);
+        let back = PlanSpec::decode_from_slice(&wrapped.encode_to_vec()).unwrap();
+        assert_eq!(back, wrapped);
     }
 
     #[test]

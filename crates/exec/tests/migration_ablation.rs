@@ -48,6 +48,7 @@ fn sort_migration_caps_the_goback_redo_and_stays_correct_without_it() {
             spec.clone(),
             BuildOptions {
                 contract_migration: migration,
+                ..BuildOptions::default()
             },
         )
         .unwrap();
@@ -60,6 +61,7 @@ fn sort_migration_caps_the_goback_redo_and_stays_correct_without_it() {
             spec.clone(),
             BuildOptions {
                 contract_migration: migration,
+                ..BuildOptions::default()
             },
         )
         .unwrap();

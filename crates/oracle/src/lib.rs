@@ -41,3 +41,6 @@ mod shrink;
 pub use runner::{Oracle, FI_SEED};
 pub use scenario::{Mode, Policy, Scenario};
 pub use shrink::shrink;
+// Re-exported so scenario builders can spell the skew axis without a
+// direct qsr-workload dependency.
+pub use qsr_workload::SkewProfile;

@@ -3,7 +3,7 @@
 use crate::scenario::{Mode, Scenario};
 use qsr_exec::{QueryExecution, SuspendOptions};
 use qsr_storage::{CostModel, Database, FaultInjector, Tuple};
-use qsr_workload::corpus;
+use qsr_workload::{corpus, SkewProfile};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -42,8 +42,15 @@ fn ctx_err<T>(what: &str, e: impl std::fmt::Display) -> OracleResult<T> {
 /// against them.
 #[derive(Default)]
 pub struct Oracle {
-    /// Per-case golden output and total work units of an uninterrupted run.
+    /// Golden output and total work units of an uninterrupted run, keyed
+    /// by everything that shapes the output: case name plus the memory
+    /// budget / merge fan-in / skew knobs (output *order* differs under
+    /// different spill shapes and key distributions).
     golden: HashMap<String, (Vec<Tuple>, u64)>,
+}
+
+fn golden_key(case: &str, mem_budget: u64, merge_fanin: u64, skew: SkewProfile) -> String {
+    format!("{case}|b{mem_budget}|f{merge_fanin}|{skew:?}")
 }
 
 impl Oracle {
@@ -62,11 +69,12 @@ impl Oracle {
         Ok(db)
     }
 
-    /// Fresh database with the corpus loaded and durably flushed, so fault
-    /// ordinals cover only suspend/resume I/O, never the load.
-    fn setup(dir: &Path, pool_pages: usize) -> OracleResult<Arc<Database>> {
+    /// Fresh database with the corpus loaded (under `skew`) and durably
+    /// flushed, so fault ordinals cover only suspend/resume I/O, never the
+    /// load.
+    fn setup(dir: &Path, pool_pages: usize, skew: SkewProfile) -> OracleResult<Arc<Database>> {
         let db = Self::open(dir, pool_pages)?;
-        corpus::populate(&db).map_err(|e| format!("populate corpus: {e}"))?;
+        corpus::populate_with(&db, skew).map_err(|e| format!("populate corpus: {e}"))?;
         db.pool()
             .flush_all()
             .map_err(|e| format!("flush corpus: {e}"))?;
@@ -79,24 +87,88 @@ impl Oracle {
             .ok_or_else(|| format!("unknown corpus case {case:?}"))
     }
 
-    /// Golden output of `case` (uninterrupted run), cached.
+    /// The case plan with the scenario's memory knobs applied. Non-zero
+    /// scenario knobs override a case's own `MemoryBudget` envelope (so a
+    /// `budget=` token re-shapes `grace-join-deep`'s partition tree) and
+    /// wrap knob-free plans in a fresh envelope. The knobbed plan travels
+    /// inside `SuspendedQuery`, so resume rebuilds identical spill shapes
+    /// without re-reading the scenario.
+    fn plan_with_knobs(
+        case: &str,
+        mem_budget: u64,
+        merge_fanin: u64,
+    ) -> OracleResult<qsr_exec::PlanSpec> {
+        use qsr_exec::PlanSpec;
+        let plan = Self::plan_of(case)?;
+        if mem_budget == 0 && merge_fanin == 0 {
+            return Ok(plan);
+        }
+        Ok(match plan {
+            PlanSpec::MemoryBudget {
+                input,
+                mem_budget: b,
+                merge_fanin: f,
+            } => PlanSpec::MemoryBudget {
+                input,
+                mem_budget: if mem_budget != 0 { mem_budget as usize } else { b },
+                merge_fanin: if merge_fanin != 0 { merge_fanin as usize } else { f },
+            },
+            other => PlanSpec::MemoryBudget {
+                input: Box::new(other),
+                mem_budget: mem_budget as usize,
+                merge_fanin: merge_fanin as usize,
+            },
+        })
+    }
+
+    fn plan_for(s: &Scenario) -> OracleResult<qsr_exec::PlanSpec> {
+        Self::plan_with_knobs(&s.case, s.mem_budget, s.merge_fanin)
+    }
+
+    /// Golden output of `case` with the knobs off (uninterrupted run),
+    /// cached.
     pub fn golden(&mut self, case: &str) -> OracleResult<Vec<Tuple>> {
-        self.golden_entry(case).map(|(t, _)| t)
+        self.golden_entry(case, 0, 0, SkewProfile::Default).map(|(t, _)| t)
     }
 
-    /// Total work units an uninterrupted run of `case` ticks — the sweep
-    /// space is `1..=total`.
+    /// Golden output under the scenario's budget/fan-in/skew knobs. The
+    /// golden run itself is always uninterrupted, pool-free and
+    /// tuple-at-a-time — only the knobs that change the *output* feed the
+    /// cache key.
+    pub fn golden_for(&mut self, s: &Scenario) -> OracleResult<Vec<Tuple>> {
+        self.golden_entry(&s.case, s.mem_budget, s.merge_fanin, s.skew)
+            .map(|(t, _)| t)
+    }
+
+    /// Total work units an uninterrupted knob-free run of `case` ticks —
+    /// the sweep space is `1..=total`.
     pub fn total_work_units(&mut self, case: &str) -> OracleResult<u64> {
-        self.golden_entry(case).map(|(_, u)| u)
+        self.golden_entry(case, 0, 0, SkewProfile::Default).map(|(_, u)| u)
     }
 
-    fn golden_entry(&mut self, case: &str) -> OracleResult<(Vec<Tuple>, u64)> {
-        if let Some(e) = self.golden.get(case) {
+    /// [`Self::total_work_units`] under the scenario's knobs: recursive
+    /// spills and intermediate merge passes tick work units of their own,
+    /// so the sweep space grows with the partition tree.
+    pub fn total_work_units_for(&mut self, s: &Scenario) -> OracleResult<u64> {
+        self.golden_entry(&s.case, s.mem_budget, s.merge_fanin, s.skew)
+            .map(|(_, u)| u)
+    }
+
+    fn golden_entry(
+        &mut self,
+        case: &str,
+        mem_budget: u64,
+        merge_fanin: u64,
+        skew: SkewProfile,
+    ) -> OracleResult<(Vec<Tuple>, u64)> {
+        let key = golden_key(case, mem_budget, merge_fanin, skew);
+        if let Some(e) = self.golden.get(&key) {
             return Ok(e.clone());
         }
         let dir = TempDir::new("golden");
-        let db = Self::setup(&dir.0, 0)?;
-        let mut exec = QueryExecution::start(db, Self::plan_of(case)?)
+        let db = Self::setup(&dir.0, 0, skew)?;
+        let plan = Self::plan_with_knobs(case, mem_budget, merge_fanin)?;
+        let mut exec = QueryExecution::start(db, plan)
             .map_err(|e| format!("golden start: {e}"))?;
         let tuples = exec
             .run_to_completion()
@@ -105,7 +177,7 @@ impl Oracle {
             return Err(format!("golden run of {case:?} produced no output"));
         }
         let entry = (tuples, exec.work_units());
-        self.golden.insert(case.to_string(), entry.clone());
+        self.golden.insert(key, entry.clone());
         Ok(entry)
     }
 
@@ -147,7 +219,7 @@ impl Oracle {
     /// golden output (or walked a legal recovery ladder that did). The
     /// error string names the first divergence and embeds the repro token.
     pub fn check(&mut self, s: &Scenario) -> OracleResult<()> {
-        let golden = self.golden(&s.case)?;
+        let golden = self.golden_for(s)?;
         match &s.mode {
             Mode::Sweep { boundary } => self.check_chain(s, &[*boundary], &golden),
             Mode::Chain { boundaries } => self.check_chain(s, boundaries, &golden),
@@ -169,8 +241,8 @@ impl Oracle {
         golden: &[Tuple],
     ) -> OracleResult<()> {
         let dir = TempDir::new(&s.case);
-        let mut db = Self::setup(&dir.0, s.pool_pages)?;
-        let plan = Self::plan_of(&s.case)?;
+        let mut db = Self::setup(&dir.0, s.pool_pages, s.skew)?;
+        let plan = Self::plan_for(s)?;
         let mut exec = match QueryExecution::start(db.clone(), plan.clone()) {
             Ok(e) => e,
             Err(e) => return ctx_err("start", e),
@@ -275,8 +347,8 @@ impl Oracle {
         golden: &[Tuple],
     ) -> OracleResult<()> {
         let dir = TempDir::new(&s.case);
-        let db = Self::setup(&dir.0, s.pool_pages)?;
-        let plan = Self::plan_of(&s.case)?;
+        let db = Self::setup(&dir.0, s.pool_pages, s.skew)?;
+        let plan = Self::plan_for(s)?;
         let mut exec = match QueryExecution::start(db.clone(), plan.clone()) {
             Ok(e) => e,
             Err(e) => return ctx_err("start", e),
@@ -457,8 +529,8 @@ impl Oracle {
         during_resume: bool,
     ) -> OracleResult<(u64, u64)> {
         let dir = TempDir::new("probe");
-        let db = Self::setup(&dir.0, s.pool_pages)?;
-        let mut exec = QueryExecution::start(db.clone(), Self::plan_of(&s.case)?)
+        let db = Self::setup(&dir.0, s.pool_pages, s.skew)?;
+        let mut exec = QueryExecution::start(db.clone(), Self::plan_for(s)?)
             .map_err(|e| format!("probe start: {e}"))?;
         let options = SuspendOptions {
             dump_writers: s.dump_writers,
@@ -504,6 +576,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Sweep { boundary: 5 },
@@ -520,6 +595,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Sweep { boundary: total + 100 },
@@ -538,6 +616,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(0),
             mode: Mode::Sweep { boundary: 5 },
@@ -553,10 +634,64 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(64 * 1024 * 1024),
             mode: Mode::Sweep { boundary: 5 },
         };
         oracle.check(&s).unwrap();
+    }
+
+    #[test]
+    fn scenario_knobs_override_the_case_envelope() {
+        // grace-join-deep ships budget 3; a budget=5 token must reshape the
+        // partition tree (different spill counts → different work-unit
+        // totals) rather than double-wrap the plan.
+        let mut oracle = Oracle::new();
+        let base = Scenario {
+            case: "grace-join-deep".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
+            policy: Policy::Dump,
+            quota: None,
+            mode: Mode::Sweep { boundary: 4 },
+        };
+        let widened = Scenario { mem_budget: 9, ..base.clone() };
+        let t_base = oracle.total_work_units_for(&base).unwrap();
+        let t_wide = oracle.total_work_units_for(&widened).unwrap();
+        assert!(
+            t_wide < t_base,
+            "budget 9 must spill less than the case's own budget 3 \
+             ({t_wide} vs {t_base} work units)"
+        );
+        oracle.check(&widened).unwrap();
+    }
+
+    #[test]
+    fn skewed_goldens_are_cached_separately() {
+        let mut oracle = Oracle::new();
+        let base = Scenario {
+            case: "multipass-sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
+            policy: Policy::Dump,
+            quota: None,
+            mode: Mode::Sweep { boundary: 7 },
+        };
+        let rev = Scenario { skew: SkewProfile::Rev, ..base.clone() };
+        let g_base = oracle.golden_for(&base).unwrap();
+        let g_rev = oracle.golden_for(&rev).unwrap();
+        assert_ne!(g_base, g_rev, "rev skew must regenerate gc");
+        oracle.check(&rev).unwrap();
     }
 }

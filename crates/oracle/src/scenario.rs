@@ -1,8 +1,27 @@
 //! Scenario descriptions and their repro-token syntax.
 
 use qsr_storage::{FaultSchedule, WriteFault};
+use qsr_workload::SkewProfile;
 use std::fmt;
 use std::str::FromStr;
+
+fn skew_token(p: SkewProfile) -> &'static str {
+    match p {
+        SkewProfile::Default => "",
+        SkewProfile::Zipf => "zipf",
+        SkewProfile::Dup => "dup",
+        SkewProfile::Rev => "rev",
+    }
+}
+
+fn parse_skew(s: &str) -> Result<SkewProfile, String> {
+    match s {
+        "zipf" => Ok(SkewProfile::Zipf),
+        "dup" => Ok(SkewProfile::Dup),
+        "rev" => Ok(SkewProfile::Rev),
+        p => Err(format!("unknown skew profile {p:?}")),
+    }
+}
 
 /// Which suspend policy the scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +97,16 @@ pub struct Scenario {
     /// vectorized path — including suspends landing mid-batch — against
     /// the scalar reference output.
     pub batch: usize,
+    /// Per-partition hash-join build budget in tuples, applied by wrapping
+    /// the case's plan in a `MemoryBudget` envelope (0 = absent, legacy
+    /// execution and pre-existing tokens unchanged).
+    pub mem_budget: u64,
+    /// Sort merge fan-in cap, applied through the same envelope (0 =
+    /// absent, single-pass merge).
+    pub merge_fanin: u64,
+    /// Key-distribution profile for the grace corpus tables (`ga`, `gb`,
+    /// `gc`); the legacy tables are identical under every profile.
+    pub skew: SkewProfile,
     /// Suspend policy.
     pub policy: Policy,
     /// Disk-quota headroom in bytes for the suspend phase (`None` =
@@ -128,6 +157,15 @@ impl fmt::Display for Scenario {
         if self.batch != 0 {
             write!(f, ";batch={}", self.batch)?;
         }
+        if self.mem_budget != 0 {
+            write!(f, ";budget={}", self.mem_budget)?;
+        }
+        if self.merge_fanin != 0 {
+            write!(f, ";fanin={}", self.merge_fanin)?;
+        }
+        if self.skew != SkewProfile::Default {
+            write!(f, ";skew={}", skew_token(self.skew))?;
+        }
         if let Some(q) = self.quota {
             write!(f, ";quota={q}")?;
         }
@@ -170,6 +208,9 @@ impl FromStr for Scenario {
         let mut pool = None;
         let mut writers = None;
         let mut batch = None;
+        let mut mem_budget = None;
+        let mut merge_fanin = None;
+        let mut skew = None;
         let mut policy = None;
         let mut quota = None;
         let mut mode: Option<Mode> = None;
@@ -185,6 +226,9 @@ impl FromStr for Scenario {
                 "pool" => pool = Some(num(value)? as usize),
                 "writers" => writers = Some(num(value)? as usize),
                 "batch" => batch = Some(num(value)? as usize),
+                "budget" => mem_budget = Some(num(value)?),
+                "fanin" => merge_fanin = Some(num(value)?),
+                "skew" => skew = Some(parse_skew(value)?),
                 "policy" => {
                     policy = Some(match value {
                         "dump" => Policy::Dump,
@@ -252,6 +296,10 @@ impl FromStr for Scenario {
             dump_writers: writers.ok_or("missing writers=")?,
             // Absent in pre-batch tokens: those replay tuple-at-a-time.
             batch: batch.unwrap_or(0),
+            // Absent in pre-grace tokens: legacy knob-free execution.
+            mem_budget: mem_budget.unwrap_or(0),
+            merge_fanin: merge_fanin.unwrap_or(0),
+            skew: skew.unwrap_or_default(),
             policy: policy.ok_or("missing policy=")?,
             quota,
             mode: mode.ok_or("missing mode=")?,
@@ -276,6 +324,9 @@ mod tests {
             pool_pages: 64,
             dump_writers: 4,
             batch: 1024,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Sweep { boundary: 17 },
@@ -285,6 +336,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 7,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(8192),
             mode: Mode::Chain {
@@ -296,6 +350,9 @@ mod tests {
             pool_pages: 64,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Fault {
@@ -313,6 +370,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 4,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
             mode: Mode::Fault {
@@ -331,6 +391,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(0),
             mode: Mode::Fault {
@@ -351,6 +414,9 @@ mod tests {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(4096),
             mode: Mode::Fault {
@@ -381,6 +447,45 @@ mod tests {
     }
 
     #[test]
+    fn grace_knob_tokens_roundtrip() {
+        let s = Scenario {
+            case: "grace-join-deep".into(),
+            pool_pages: 64,
+            dump_writers: 4,
+            batch: 48,
+            mem_budget: 3,
+            merge_fanin: 2,
+            skew: SkewProfile::Dup,
+            policy: Policy::Optimized,
+            quota: None,
+            mode: Mode::Sweep { boundary: 9 },
+        };
+        let token = s.to_string();
+        assert!(token.contains("budget=3;fanin=2;skew=dup"), "token {token}");
+        roundtrip(&s);
+        for skew in [SkewProfile::Zipf, SkewProfile::Rev] {
+            roundtrip(&Scenario { skew, ..s.clone() });
+        }
+    }
+
+    #[test]
+    fn pre_grace_tokens_parse_as_knob_free() {
+        // Tokens minted before the memory-budget axis existed carry no
+        // budget=/fanin=/skew= parts; they must replay with the knobs off,
+        // and knob-free tokens must not grow redundant parts.
+        let s: Scenario = "case=sort;pool=0;writers=0;policy=dump;mode=sweep:3"
+            .parse()
+            .unwrap();
+        assert_eq!(s.mem_budget, 0);
+        assert_eq!(s.merge_fanin, 0);
+        assert_eq!(s.skew, SkewProfile::Default);
+        let token = s.to_string();
+        for part in ["budget=", "fanin=", "skew="] {
+            assert!(!token.contains(part), "token {token}");
+        }
+    }
+
+    #[test]
     fn parse_rejects_malformed_tokens() {
         for bad in [
             "",
@@ -391,6 +496,8 @@ mod tests {
             "case=sort;pool=x;writers=0;policy=dump;mode=sweep:3",
             "case=sort;pool=0;writers=0;policy=dump;quota=lots;mode=sweep:3",
             "case=sort;pool=0;writers=0;policy=dump;mode=fault:3:suspend;wf=1:nospce",
+            "case=sort;pool=0;writers=0;policy=dump;skew=bogus;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;budget=x;mode=sweep:3",
         ] {
             assert!(bad.parse::<Scenario>().is_err(), "accepted {bad:?}");
         }

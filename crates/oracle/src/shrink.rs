@@ -87,6 +87,25 @@ pub fn shrink(oracle: &mut Oracle, failing: &Scenario) -> Scenario {
         c.batch = 0;
         sh.try_adopt(&mut best, c);
     }
+    if best.skew != qsr_workload::SkewProfile::Default {
+        // The default profile already forces recursive spills; a failure
+        // that survives losing the skew axis was never about it.
+        let mut c = best.clone();
+        c.skew = qsr_workload::SkewProfile::Default;
+        sh.try_adopt(&mut best, c);
+    }
+    if best.mem_budget != 0 {
+        // Budget 0 removes the whole grace-partitioning layer (the case
+        // reverts to its own plan); keep it only if the failure survives.
+        let mut c = best.clone();
+        c.mem_budget = 0;
+        sh.try_adopt(&mut best, c);
+    }
+    if best.merge_fanin != 0 {
+        let mut c = best.clone();
+        c.merge_fanin = 0;
+        sh.try_adopt(&mut best, c);
+    }
     if best.policy != Policy::Dump {
         let mut c = best.clone();
         c.policy = Policy::Dump;
@@ -155,6 +174,25 @@ pub fn shrink(oracle: &mut Oracle, failing: &Scenario) -> Scenario {
             for nq in bisect_to_zero(q) {
                 let mut c = best.clone();
                 c.quota = Some(nq);
+                sh.try_adopt(&mut best, c);
+            }
+        }
+        // Bisect the memory knobs toward their floors like any other
+        // magnitude: canonical small values make tokens comparable across
+        // repros (budget 1 / fan-in 2 are the deepest-recursion floors, so
+        // a knob-sensitive failure usually survives the walk down).
+        if best.mem_budget > 1 {
+            for nb in bisect_down(best.mem_budget) {
+                let mut c = best.clone();
+                c.mem_budget = nb;
+                sh.try_adopt(&mut best, c);
+            }
+        }
+        if best.merge_fanin > 2 {
+            // Fan-in 1 would never make merge progress; 2 is the floor.
+            for nf in bisect_down(best.merge_fanin).into_iter().filter(|&f| f >= 2) {
+                let mut c = best.clone();
+                c.merge_fanin = nf;
                 sh.try_adopt(&mut best, c);
             }
         }

@@ -19,6 +19,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// On-disk size of one page record: the [`PAGE_SIZE`] payload plus an
+/// FNV-1a checksum trailer. The trailer is a `DiskManager` implementation
+/// detail — every layer above sees [`PAGE_SIZE`] pages, and all quota /
+/// `used_bytes` accounting stays in logical [`PAGE_SIZE`] units — but it
+/// lets `read_page` detect arbitrary media corruption (bit flips, torn
+/// overwrites) on tuple-bearing heap and run pages, which unlike blobs
+/// and sidecars have no payload framing of their own.
+const PAGE_RECORD: usize = PAGE_SIZE + 8;
+
 /// Identifier of a file managed by the [`DiskManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u64);
@@ -81,7 +90,10 @@ impl DiskManager {
             }
             if let Ok(id) = num.parse::<u64>() {
                 max_id = max_id.max(id + 1);
-                used += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                // Logical bytes: full page records only (a torn trailing
+                // fragment was never counted when it was written).
+                let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+                used += (len / PAGE_RECORD as u64) * PAGE_SIZE as u64;
             }
         }
         Ok(Self {
@@ -251,14 +263,14 @@ impl DiskManager {
             .open(&path)
             .map_err(|_| StorageError::NotFound(format!("{id} at {}", path.display())))?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
+        if len % PAGE_RECORD as u64 != 0 {
             return Err(StorageError::corrupt(format!(
                 "{id} length {len} is not page-aligned"
             )));
         }
         let h = Arc::new(Mutex::new(OpenFile {
             file,
-            pages: len / PAGE_SIZE as u64,
+            pages: len / PAGE_RECORD as u64,
         }));
         files.insert(id, h.clone());
         Ok(h)
@@ -276,9 +288,15 @@ impl DiskManager {
     }
 
     /// Read page `page_no` of file `id`. Charges one page read.
+    ///
+    /// The on-disk record's FNV-1a trailer is verified against the payload
+    /// *after* any injected bit flip, so media corruption of a page —
+    /// unlike blobs and sidecars, pages carry raw tuple bytes with no
+    /// framing of their own — surfaces as a typed [`StorageError`] instead
+    /// of silently feeding garbage to a GoBack re-execution.
     pub fn read_page(&self, id: FileId, page_no: u64) -> Result<Page> {
         let flip = self.fault_read(PAGE_SIZE)?;
-        let mut page = self.with_file(id, |of| {
+        let (mut buf, stored) = self.with_file(id, |of| {
             if page_no >= of.pages {
                 return Err(StorageError::invalid(format!(
                     "read past end of {id}: page {page_no} of {}",
@@ -286,16 +304,23 @@ impl DiskManager {
                 )));
             }
             of.file
-                .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-            let mut buf = vec![0u8; PAGE_SIZE];
+                .seek(SeekFrom::Start(page_no * PAGE_RECORD as u64))?;
+            let mut buf = vec![0u8; PAGE_RECORD];
             of.file.read_exact(&mut buf)?;
-            Ok(Page::from_bytes(&buf))
+            let stored = u64::from_le_bytes(buf[PAGE_SIZE..].try_into().unwrap());
+            buf.truncate(PAGE_SIZE);
+            Ok((buf, stored))
         })?;
         if let Some(bit) = flip {
-            fault::flip_bit(page.bytes_mut(), bit);
+            fault::flip_bit(&mut buf, bit);
+        }
+        if crate::blob::fnv1a(&buf) != stored {
+            return Err(StorageError::corrupt(format!(
+                "page checksum mismatch on page {page_no} of {id}"
+            )));
         }
         self.ledger.charge_read(1);
-        Ok(page)
+        Ok(Page::from_bytes(&buf))
     }
 
     fn write_locked(
@@ -312,10 +337,12 @@ impl DiskManager {
                 of.pages
             )));
         }
-        of.file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        of.file.seek(SeekFrom::Start(page_no * PAGE_RECORD as u64))?;
         match outcome {
             WriteOutcome::Proceed => {
                 of.file.write_all(page.bytes())?;
+                of.file
+                    .write_all(&crate::blob::fnv1a(page.bytes()).to_le_bytes())?;
                 if page_no == of.pages {
                     of.pages += 1;
                 }
@@ -384,12 +411,13 @@ impl DiskManager {
         if path.exists() {
             let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             std::fs::remove_file(path)?;
-            // Saturating: torn writes can leave partial bytes that were
-            // never counted as a full page.
+            // Logical bytes of full records only — a torn trailing
+            // fragment was never counted when it was written.
+            let logical = (len / PAGE_RECORD as u64) * PAGE_SIZE as u64;
             let _ = self
                 .used_bytes
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
-                    Some(u.saturating_sub(len))
+                    Some(u.saturating_sub(logical))
                 });
         }
         Ok(())
@@ -426,7 +454,7 @@ impl DiskManager {
                 return Ok(());
             }
             let dropped = (of.pages - pages) * PAGE_SIZE as u64;
-            of.file.set_len(pages * PAGE_SIZE as u64)?;
+            of.file.set_len(pages * PAGE_RECORD as u64)?;
             of.pages = pages;
             let _ = self
                 .used_bytes
@@ -772,15 +800,16 @@ mod tests {
 
     #[test]
     fn read_bit_flip_corrupts_exactly_one_bit() {
+        // The flip is one-shot and the record trailer catches it: the
+        // faulted read fails typed, the next read sees the clean page.
         let (_d, m) = mgr();
         let f = m.create_file().unwrap();
         m.append_page(f, &Page::zeroed()).unwrap();
         let fi = std::sync::Arc::new(crate::fault::FaultInjector::seeded(9));
         m.set_fault_injector(Some(fi.clone()));
         fi.flip_read_bit(1);
-        let corrupt = m.read_page(f, 0).unwrap();
-        let ones: u32 = corrupt.bytes().iter().map(|b| b.count_ones()).sum();
-        assert_eq!(ones, 1, "exactly one flipped bit");
+        let err = m.read_page(f, 0).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
         let clean = m.read_page(f, 0).unwrap();
         assert!(clean.bytes().iter().all(|&b| b == 0), "flip was one-shot");
     }
@@ -847,6 +876,55 @@ mod tests {
         assert!(err.is_transient(), "{err}");
         m.append_page(f, &Page::zeroed()).unwrap();
         assert_eq!(m.num_pages(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn flipped_page_read_fails_with_typed_corruption() {
+        // Pages carry raw tuple bytes with no framing of their own, so the
+        // record trailer is the only thing standing between a media bit
+        // flip and silently wrong query output (the oracle caught exactly
+        // this on a GoBack resume re-reading heap pages).
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        let mut p = Page::zeroed();
+        p.write_u32(0, 42);
+        m.append_page(f, &p).unwrap();
+        let fi = std::sync::Arc::new(crate::fault::FaultInjector::new());
+        m.set_fault_injector(Some(fi.clone()));
+        fi.flip_read_bit(1);
+        let err = m.read_page(f, 0).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt(_)),
+            "expected Corrupt, got {err}"
+        );
+        assert!(!err.is_transient(), "corruption must not retry");
+        // The flip was in-memory only: a clean reread sees the real page.
+        m.set_fault_injector(None);
+        assert_eq!(m.read_page(f, 0).unwrap().read_u32(0), 42);
+    }
+
+    #[test]
+    fn torn_overwrite_is_detected_on_later_read() {
+        // A torn overwrite splices a new-prefix/old-suffix frankenpage
+        // under the *old* trailer; the next read must reject it instead
+        // of decoding the splice.
+        let (_d, m) = mgr();
+        let f = m.create_file().unwrap();
+        let mut p = Page::zeroed();
+        p.write_u32(0, 42);
+        m.append_page(f, &p).unwrap();
+        let fi = std::sync::Arc::new(crate::fault::FaultInjector::new());
+        m.set_fault_injector(Some(fi.clone()));
+        fi.fail_write(1, crate::fault::WriteFault::Torn);
+        let mut q = Page::zeroed();
+        q.write_u32(0, 7);
+        assert!(m.write_page(f, 0, &q).is_err(), "torn write halts");
+        fi.clear();
+        let err = m.read_page(f, 0).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt(_)),
+            "expected Corrupt, got {err}"
+        );
     }
 
     #[test]

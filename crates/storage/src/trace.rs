@@ -152,6 +152,34 @@ pub enum TraceEvent {
         /// Human-readable step description.
         step: String,
     },
+    /// A grace hash join entered a recursive spill: one over-budget
+    /// partition is being re-partitioned one level deeper.
+    PartitionSpill {
+        /// Operator id.
+        op: u32,
+        /// Recursion level being *entered* (1 = first re-partition).
+        level: u64,
+        /// Dot-separated partition indices from the root to this
+        /// partition (e.g. `"2.0"`).
+        path: String,
+        /// Build tuples in the partition being re-partitioned.
+        tuples: u64,
+        /// Pages of the build run being re-partitioned.
+        pages: u64,
+    },
+    /// An external sort started one intermediate merge-pass group.
+    MergePass {
+        /// Operator id.
+        op: u32,
+        /// Zero-based pass number.
+        pass: u64,
+        /// Input runs merged by this group.
+        runs: u64,
+        /// Total tuples across the group's input runs.
+        tuples: u64,
+        /// Total pages across the group's input runs.
+        pages: u64,
+    },
     /// Suspend metadata written outside any operator (e.g. the
     /// `SuspendedQuery` blob or the manifest commit).
     MetaWrite {
@@ -527,6 +555,31 @@ pub fn event_json(e: &TraceEvent) -> (&'static str, String) {
         TraceEvent::RecoveryStep { step } => (
             "RecoveryStep",
             format!("{{\"step\":{}}}", json_string(step)),
+        ),
+        TraceEvent::PartitionSpill {
+            op,
+            level,
+            path,
+            tuples,
+            pages,
+        } => (
+            "PartitionSpill",
+            format!(
+                "{{\"op\":{op},\"level\":{level},\"path\":{},\"tuples\":{tuples},\"pages\":{pages}}}",
+                json_string(path)
+            ),
+        ),
+        TraceEvent::MergePass {
+            op,
+            pass,
+            runs,
+            tuples,
+            pages,
+        } => (
+            "MergePass",
+            format!(
+                "{{\"op\":{op},\"pass\":{pass},\"runs\":{runs},\"tuples\":{tuples},\"pages\":{pages}}}"
+            ),
         ),
         TraceEvent::MetaWrite { label, pages } => (
             "MetaWrite",

@@ -11,7 +11,7 @@
 //! pass-through ones (filter, project, streaming aggregate, distinct) as
 //! composites.
 
-use crate::gen::{build_index, generate_table, TableSpec};
+use crate::gen::{build_index, generate_table, KeyDist, TableSpec};
 use qsr_exec::{AggFn, PlanSpec, Predicate};
 use qsr_storage::{Database, Result};
 use std::sync::Arc;
@@ -24,9 +24,32 @@ pub struct OracleCase {
     pub plan: PlanSpec,
 }
 
+/// Key-distribution profile for the grace/multipass tables (`ga`, `gb`,
+/// `gc`). Only those tables vary: the legacy `o*` tables are identical
+/// under every profile, so pre-existing cases keep their goldens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SkewProfile {
+    /// Duplicate-heavy build side (the depth-forcing default: the hot key
+    /// never splits, so recursion bottoms out in the NLJ fallback).
+    #[default]
+    Default,
+    /// Zipf-skewed join keys on both sides.
+    Zipf,
+    /// Duplicate-heavy keys on both sides.
+    Dup,
+    /// Reverse-sorted keys (adversarial run formation for sort; unique
+    /// keys for the join).
+    Rev,
+}
+
 /// Generate the corpus tables (fixed seeds; fully deterministic) and the
 /// index the index-NLJ case probes. Safe to call on any fresh database.
 pub fn populate(db: &Arc<Database>) -> Result<()> {
+    populate_with(db, SkewProfile::Default)
+}
+
+/// [`populate`] with an explicit skew profile for the grace tables.
+pub fn populate_with(db: &Arc<Database>, profile: SkewProfile) -> Result<()> {
     // `oa` is the driving table; `ob` joins it on overlapping keys (both
     // key sets are permutations of a 0-based range, so ob's 20 keys all
     // match); `oc` is presorted for the merge-join's right side.
@@ -34,6 +57,17 @@ pub fn populate(db: &Arc<Database>) -> Result<()> {
     generate_table(db, &TableSpec::new("ob", 20).payload(24).seed(12))?;
     generate_table(db, &TableSpec::new("oc", 16).payload(24).seed(13).sorted())?;
     build_index(db, "ob", 0)?;
+    // Grace tables: `gb` builds against `ga` in the recursive-spill join;
+    // `gc` feeds the multi-pass sort (60 rows / buffer 6 → 10 sublists).
+    let (ga_dist, gb_dist, gc_dist) = match profile {
+        SkewProfile::Default => (KeyDist::Unique, KeyDist::DupHeavy, KeyDist::Unique),
+        SkewProfile::Zipf => (KeyDist::Zipf, KeyDist::Zipf, KeyDist::Zipf),
+        SkewProfile::Dup => (KeyDist::DupHeavy, KeyDist::DupHeavy, KeyDist::Unique),
+        SkewProfile::Rev => (KeyDist::Reversed, KeyDist::Unique, KeyDist::Reversed),
+    };
+    generate_table(db, &TableSpec::new("ga", 54).payload(24).seed(14).dist(ga_dist))?;
+    generate_table(db, &TableSpec::new("gb", 27).payload(24).seed(15).dist(gb_dist))?;
+    generate_table(db, &TableSpec::new("gc", 60).payload(24).seed(16).dist(gc_dist))?;
     Ok(())
 }
 
@@ -131,6 +165,39 @@ pub fn cases() -> Vec<OracleCase> {
                 group_col: Some(1),
                 agg_col: 0,
                 func: AggFn::Max,
+            },
+        },
+        OracleCase {
+            // Recursive grace hash join: budget 3 over a duplicate-heavy
+            // 27-row build forces spills at levels 0 and 1 and the
+            // block-NLJ fallback at depth 2.
+            name: "grace-join-deep",
+            plan: PlanSpec::MemoryBudget {
+                input: Box::new(PlanSpec::HashJoin {
+                    build: scan("gb"),
+                    probe: scan("ga"),
+                    build_key: 0,
+                    probe_key: 0,
+                    partitions: 3,
+                    hybrid: false,
+                }),
+                mem_budget: 3,
+                merge_fanin: 0,
+            },
+        },
+        OracleCase {
+            // Multi-pass external sort: 60 rows at buffer 6 flush 10
+            // sublists; fan-in 2 needs ≥ 3 intermediate merge passes
+            // before the final merge.
+            name: "multipass-sort",
+            plan: PlanSpec::MemoryBudget {
+                input: Box::new(PlanSpec::Sort {
+                    input: scan("gc"),
+                    key: 0,
+                    buffer_tuples: 6,
+                }),
+                mem_budget: 0,
+                merge_fanin: 2,
             },
         },
         OracleCase {

@@ -16,6 +16,26 @@ pub const SKEW_SEL_LOW: f64 = 0.1;
 /// Selectivity of the fixed filter over the second regime.
 pub const SKEW_SEL_HIGH: f64 = 0.9;
 
+/// Key distribution of a generated table. The non-uniform variants are
+/// adversarial inputs for the memory-budgeted operators: skew defeats
+/// one-level hash partitioning, duplicates never split no matter how deep
+/// the recursion, and reversed order is the worst case for run formation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyDist {
+    /// A (possibly sorted) permutation of `0..rows` — the paper's "random
+    /// unique integer key values".
+    #[default]
+    Unique,
+    /// Zipf-like skew: keys drawn log-uniformly from `0..rows`, so a few
+    /// small keys carry most of the mass.
+    Zipf,
+    /// Duplicate-heavy: ~80% of rows share key 0; the rest are drawn
+    /// uniformly. Recursive re-partitioning cannot split the hot key.
+    DupHeavy,
+    /// Keys `rows-1..0` strictly descending (presorted-reversed input).
+    Reversed,
+}
+
 /// Specification of a synthetic table.
 #[derive(Debug, Clone)]
 pub struct TableSpec {
@@ -28,8 +48,11 @@ pub struct TableSpec {
     pub payload_bytes: usize,
     /// If true, keys are `0..rows` in order (a presorted table, Example 10);
     /// otherwise keys are a random permutation of `0..rows` (the paper's
-    /// "random unique integer key values").
+    /// "random unique integer key values"). Only meaningful for
+    /// [`KeyDist::Unique`].
     pub sorted_key: bool,
+    /// Key distribution (default [`KeyDist::Unique`]).
+    pub key_dist: KeyDist,
     /// RNG seed (generators are fully deterministic).
     pub seed: u64,
 }
@@ -42,6 +65,7 @@ impl TableSpec {
             rows,
             payload_bytes: 180,
             sorted_key: false,
+            key_dist: KeyDist::Unique,
             seed: 0x5eed,
         }
     }
@@ -55,6 +79,12 @@ impl TableSpec {
     /// Builder-style: payload width.
     pub fn payload(mut self, bytes: usize) -> Self {
         self.payload_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: key distribution.
+    pub fn dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
         self
     }
 
@@ -84,14 +114,44 @@ fn payload_for(key: i64, width: usize) -> String {
     s
 }
 
-/// Generate a uniform table: keys are a (possibly sorted) permutation of
-/// `0..rows`; `sel` is uniform in `0..1000`.
+/// Draw the key column according to the spec's [`KeyDist`] (deterministic
+/// for a given seed).
+fn generate_keys(rng: &mut rand::rngs::StdRng, spec: &TableSpec) -> Vec<i64> {
+    let n = spec.rows as i64;
+    match spec.key_dist {
+        KeyDist::Unique => {
+            let mut keys: Vec<i64> = (0..n).collect();
+            if !spec.sorted_key {
+                keys.shuffle(rng);
+            }
+            keys
+        }
+        KeyDist::Zipf => (0..n)
+            .map(|_| {
+                // Log-uniform over [1, rows] → heavy mass on small keys.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                (((n as f64).powf(u)) as i64 - 1).clamp(0, n - 1)
+            })
+            .collect(),
+        KeyDist::DupHeavy => (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    0
+                } else {
+                    rng.gen_range(0..n.max(1))
+                }
+            })
+            .collect(),
+        KeyDist::Reversed => (0..n).rev().collect(),
+    }
+}
+
+/// Generate a table: keys follow the spec's distribution (by default a
+/// possibly-sorted permutation of `0..rows`); `sel` is uniform in
+/// `0..1000`.
 pub fn generate_table(db: &Arc<Database>, spec: &TableSpec) -> Result<TableInfo> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
-    let mut keys: Vec<i64> = (0..spec.rows as i64).collect();
-    if !spec.sorted_key {
-        keys.shuffle(&mut rng);
-    }
+    let keys = generate_keys(&mut rng, spec);
     let schema = experiment_schema(&spec.name);
     let mut heap = HeapFile::create(db.pool().clone())?;
     for &key in &keys {
@@ -109,7 +169,11 @@ pub fn generate_table(db: &Arc<Database>, spec: &TableSpec) -> Result<TableInfo>
         schema,
         tuple_count: heap.tuple_count(),
         indexes: vec![],
-        sorted_on: if spec.sorted_key { Some(0) } else { None },
+        sorted_on: if spec.sorted_key && spec.key_dist == KeyDist::Unique {
+            Some(0)
+        } else {
+            None
+        },
     };
     db.with_catalog_mut(|c| c.create_table(info.clone()))?;
     Ok(info)
@@ -292,6 +356,61 @@ mod tests {
             assert_eq!(t.get(0).as_int().unwrap(), key);
         }
         assert!(idx.lookup(2000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed_and_deterministic() {
+        let d1 = TempDir::new();
+        let d2 = TempDir::new();
+        let db1 = Database::open_default(&d1.0).unwrap();
+        let db2 = Database::open_default(&d2.0).unwrap();
+        let spec = TableSpec::new("z", 2000).payload(8).dist(KeyDist::Zipf).seed(9);
+        generate_table(&db1, &spec).unwrap();
+        generate_table(&db2, &spec).unwrap();
+        let rows = scan_all(&db1, "z");
+        assert_eq!(rows, scan_all(&db2, "z"));
+        // Log-uniform mass: well over half the keys land in the bottom
+        // tenth of the range.
+        let small = rows
+            .iter()
+            .filter(|t| t.get(0).as_int().unwrap() < 200)
+            .count();
+        assert!(small > 1000, "zipf not skewed: {small}/2000 below 200");
+    }
+
+    #[test]
+    fn dup_heavy_concentrates_on_the_hot_key() {
+        let d = TempDir::new();
+        let db = Database::open_default(&d.0).unwrap();
+        generate_table(
+            &db,
+            &TableSpec::new("dh", 1000).payload(8).dist(KeyDist::DupHeavy).seed(4),
+        )
+        .unwrap();
+        let rows = scan_all(&db, "dh");
+        let hot = rows
+            .iter()
+            .filter(|t| t.get(0).as_int().unwrap() == 0)
+            .count();
+        assert!((700..900).contains(&hot), "hot key share off: {hot}/1000");
+    }
+
+    #[test]
+    fn reversed_keys_descend_and_are_not_marked_sorted() {
+        let d = TempDir::new();
+        let db = Database::open_default(&d.0).unwrap();
+        let info = generate_table(
+            &db,
+            &TableSpec::new("rv", 100).payload(8).dist(KeyDist::Reversed),
+        )
+        .unwrap();
+        assert_eq!(info.sorted_on, None);
+        let keys: Vec<i64> = scan_all(&db, "rv")
+            .iter()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(keys[0], 99);
     }
 
     #[test]

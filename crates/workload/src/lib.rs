@@ -21,8 +21,8 @@
 pub mod corpus;
 pub mod gen;
 
-pub use corpus::{case_by_name, cases, populate, OracleCase};
+pub use corpus::{case_by_name, cases, populate, populate_with, OracleCase, SkewProfile};
 pub use gen::{
-    build_index, generate_skewed_table, generate_table, TableSpec, SKEW_SEL_HIGH, SKEW_SEL_LOW,
-    SKEW_SWITCH_FRACTION,
+    build_index, generate_skewed_table, generate_table, KeyDist, TableSpec, SKEW_SEL_HIGH,
+    SKEW_SEL_LOW, SKEW_SWITCH_FRACTION,
 };

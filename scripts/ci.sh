@@ -75,3 +75,23 @@ QSR_BATCH_SIZE=48 cargo test --release -q --test end_to_end
 QSR_ORACLE_STRIDE=7 QSR_BATCH_SIZE=48 \
     cargo test --release -q --test oracle_sweep
 cargo run --release -p qsr-bench --bin bench_pr7
+
+# Larger-than-memory stage: the recursive grace hash join and the
+# multi-pass external sort. The partition-depth and merge-pass sweeps
+# assert the budget/fan-in knobs actually grade recursion depth and
+# intermediate pass counts, and a NoSpace fault parked mid-recursive
+# spill must land on a degraded ladder rung that still resumes.
+cargo run --release -p qsr-bench --bin bench_pr8
+
+# Nightly lane (opt-in: QSR_NIGHTLY=1). The full-corpus oracle matrix —
+# every scenario x config x batch combination at stride cfg.stride,
+# including the grace/multipass knob cross product — plus the paper-scale
+# (2.2M rows, 200K-tuple buffers) larger-than-memory smoke. Hours, not
+# minutes: keep it off the commit path.
+if [ "${QSR_NIGHTLY:-0}" = "1" ]; then
+    QSR_ORACLE_FULL=1 QSR_ORACLE_SEED=219803630 QSR_ORACLE_FAULTS=64 \
+        cargo test --release -q --test oracle_sweep
+    QSR_ORACLE_FULL=1 QSR_BATCH_SIZE=48 \
+        cargo test --release -q --test oracle_sweep
+    cargo run --release -p qsr-bench --bin bench_pr8 -- --scale
+fi

@@ -15,7 +15,7 @@ use qsr::exec::{
     PlanSpec, Predicate, QueryExecution, Rung, SuspendOptions, SuspendTrigger,
 };
 use qsr::storage::{CostModel, Database, FaultInjector, Tuple, WriteFault, PAGE_SIZE};
-use qsr::workload::{generate_table, TableSpec};
+use qsr::workload::{generate_table, KeyDist, TableSpec};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -616,6 +616,210 @@ fn torn_write_during_one_sessions_suspend_spares_the_others() {
                 );
             }
         }
+    }
+}
+
+/// Tables for the larger-than-memory matrices: a duplicate-heavy build
+/// side (the hot key never splits, forcing recursion to the depth cap and
+/// the block-NLJ fallback) and a reverse-sorted sort input (adversarial
+/// run formation).
+fn grace_populate(db: &Arc<Database>) {
+    generate_table(
+        db,
+        &TableSpec::new("gj_b", 27).payload(24).seed(15).dist(KeyDist::DupHeavy),
+    )
+    .unwrap();
+    generate_table(db, &TableSpec::new("gj_p", 54).payload(24).seed(14)).unwrap();
+    generate_table(
+        db,
+        &TableSpec::new("gs", 60).payload(24).seed(16).dist(KeyDist::Reversed),
+    )
+    .unwrap();
+}
+
+/// Budget 1: every multi-tuple partition re-partitions, recursion bottoms
+/// out at the depth cap, and the fallback runs single-tuple NLJ blocks —
+/// the deepest partition tree the operator supports.
+fn grace_join_plan() -> PlanSpec {
+    PlanSpec::MemoryBudget {
+        input: Box::new(PlanSpec::HashJoin {
+            build: Box::new(PlanSpec::TableScan { table: "gj_b".into() }),
+            probe: Box::new(PlanSpec::TableScan { table: "gj_p".into() }),
+            build_key: 0,
+            probe_key: 0,
+            partitions: 3,
+            hybrid: false,
+        }),
+        mem_budget: 1,
+        merge_fanin: 0,
+    }
+}
+
+/// Buffer 6 over 60 rows flushes 10 sublists; fan-in 2 forces several
+/// intermediate merge passes before the final merge.
+fn multipass_sort_plan() -> PlanSpec {
+    PlanSpec::MemoryBudget {
+        input: Box::new(PlanSpec::Sort {
+            input: Box::new(PlanSpec::TableScan { table: "gs".into() }),
+            key: 0,
+            buffer_tuples: 6,
+        }),
+        mem_budget: 0,
+        merge_fanin: 2,
+    }
+}
+
+fn grace_reference(plan: &PlanSpec) -> Vec<Tuple> {
+    let dir = TempDir::new("gref");
+    let db = Database::open_default(&dir.0).unwrap();
+    grace_populate(&db);
+    let mut exec = QueryExecution::start(db, plan.clone()).unwrap();
+    exec.run_to_completion().unwrap()
+}
+
+/// Run `plan` to work-unit boundary `b` in a fresh uncached directory.
+fn grace_run_to_boundary(
+    tag: &str,
+    plan: &PlanSpec,
+    b: u64,
+) -> (TempDir, Arc<Database>, Vec<Tuple>, QueryExecution) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    grace_populate(&db);
+    db.pool().flush_all().unwrap();
+    let mut exec = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+    exec.set_work_unit_observer(Some(Box::new(move |_op, seq: u64| seq >= b)));
+    let (prefix, done) = exec.run().unwrap();
+    assert!(!done, "boundary {b} must interrupt the query");
+    (dir, db, prefix, exec)
+}
+
+fn grace_total_work_units(plan: &PlanSpec) -> u64 {
+    let dir = TempDir::new("gtotal");
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    grace_populate(&db);
+    let mut exec = QueryExecution::start(db, plan.clone()).unwrap();
+    exec.run_to_completion().unwrap();
+    exec.work_units()
+}
+
+fn assert_grace_resumable_or_clean(
+    dir: &TempDir,
+    plan: &PlanSpec,
+    prefix: &[Tuple],
+    reference: &[Tuple],
+    what: &str,
+) {
+    let db = Database::open_default(&dir.0).unwrap();
+    match QueryExecution::recover(db.clone()) {
+        Ok(Some(mut resumed)) => {
+            let suffix = resumed.run_to_completion().unwrap();
+            let mut all = prefix.to_vec();
+            all.extend(suffix);
+            assert_eq!(all, reference, "{what}: resumed output diverges");
+        }
+        Ok(None) => {
+            let mut fresh = QueryExecution::start(db, plan.clone()).unwrap();
+            let all = fresh.run_to_completion().unwrap();
+            assert_eq!(all, reference, "{what}: fresh rerun diverges");
+        }
+        Err(e) => panic!("{what}: recovery errored: {e}"),
+    }
+}
+
+/// NoSpace + crash + torn at every write ordinal of suspends parked at
+/// boundaries spanning the grace join's recursive-spill region and the
+/// sort's intermediate merge passes. Each cell must end resumable or
+/// clean; the tracer cross-check proves at least one boundary per plan
+/// truly landed *inside* the machinery (spill / pass events both before
+/// the suspend and after the resume).
+#[test]
+fn fault_matrix_at_recursive_spill_and_merge_pass_ordinals() {
+    use qsr::storage::TraceEvent;
+
+    for (name, plan) in [
+        ("grace-join", grace_join_plan()),
+        ("multipass-sort", multipass_sort_plan()),
+    ] {
+        let reference = grace_reference(&plan);
+        let total = grace_total_work_units(&plan);
+        // Boundaries spanning the state machines' interesting region: the
+        // partition tree unfolds (and merge passes run) between the input
+        // consumption at the start and the final emit tail.
+        let boundaries: Vec<u64> = [4, 8, 12, 16]
+            .iter()
+            .map(|&i| (total * i / 20).max(1))
+            .collect();
+        let interesting = |records: &[qsr::storage::TraceRecord]| {
+            records
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.event,
+                        TraceEvent::PartitionSpill { .. } | TraceEvent::MergePass { .. }
+                    )
+                })
+                .count()
+        };
+        let mut straddled = false;
+        for &b in &boundaries {
+            // Dry pass: full-capture tracer over the whole interfered run.
+            // Spill/pass events in the pre-suspend segment AND in the
+            // resumed tail prove the boundary sat mid-machinery.
+            let dir = TempDir::new("gdry");
+            let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+            grace_populate(&db);
+            db.pool().flush_all().unwrap();
+            let tracer = std::sync::Arc::new(qsr::storage::Tracer::new(db.ledger().clone()));
+            tracer.enable_full_capture();
+            db.ledger().set_tracer(&tracer);
+            let mut exec = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+            exec.set_work_unit_observer(Some(Box::new(move |_op, seq: u64| seq >= b)));
+            let (prefix, done) = exec.run().unwrap();
+            assert!(!done, "{name}: boundary {b} must interrupt the query");
+            let before = interesting(&tracer.take_full());
+            let fi = Arc::new(FaultInjector::seeded(0));
+            db.disk().set_fault_injector(Some(fi.clone()));
+            exec.suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options())
+                .unwrap();
+            let writes = fi.writes_observed();
+            assert!(writes > 0, "{name} boundary {b}: suspend must write");
+            db.disk().set_fault_injector(None);
+            let mut resumed = QueryExecution::recover(db.clone()).unwrap().unwrap();
+            let suffix = resumed.run_to_completion().unwrap();
+            let after = interesting(&tracer.take_full());
+            let mut all = prefix.clone();
+            all.extend(suffix);
+            assert_eq!(all, reference, "{name} boundary {b}: dry run diverges");
+            if before > 0 && after > 0 {
+                straddled = true;
+            }
+
+            for k in 1..=writes {
+                for fault in [WriteFault::NoSpace, WriteFault::Crash, WriteFault::Torn] {
+                    let (dir, db, prefix, exec) = grace_run_to_boundary("gcell", &plan, b);
+                    let fi = Arc::new(FaultInjector::seeded(0x96ACE + k));
+                    fi.fail_write(k, fault);
+                    db.disk().set_fault_injector(Some(fi));
+                    // Commit, ladder descent, or halt are all legal; the
+                    // state left behind is what the cell checks.
+                    let _ =
+                        exec.suspend_with(&SuspendPolicy::Optimized { budget: None }, &serial_options());
+                    drop(db);
+                    assert_grace_resumable_or_clean(
+                        &dir,
+                        &plan,
+                        &prefix,
+                        &reference,
+                        &format!("{name}: {fault:?} at write {k} of boundary {b}"),
+                    );
+                }
+            }
+        }
+        assert!(
+            straddled,
+            "{name}: no swept boundary resumed into remaining spill/pass work"
+        );
     }
 }
 

@@ -176,6 +176,111 @@ fn aggregate_pipeline_suspends_cleanly() {
     }
 }
 
+/// Larger-than-memory operators under the vectorized path: tuple-at-a-time
+/// and `QSR_BATCH_SIZE=48` batch execution must produce bit-identical
+/// output *and* bit-identical execution-phase ledgers (vectorization
+/// reshapes the pull loop, never the I/O), for the recursive grace join
+/// and the multi-pass external sort — including a batch-mode suspend
+/// parked mid-machinery (inside the partition spills / merge passes).
+#[test]
+fn grace_operators_batch_mode_pins_tuple_mode_ledgers() {
+    use qsr::workload::KeyDist;
+
+    let grace_setup = |tag: &str| -> (TempDir, Arc<Database>) {
+        let dir = TempDir::new(tag);
+        let db = Database::open_default(&dir.0).unwrap();
+        generate_table(
+            &db,
+            &TableSpec::new("gb", 27).payload(24).seed(15).dist(KeyDist::DupHeavy),
+        )
+        .unwrap();
+        generate_table(&db, &TableSpec::new("ga", 54).payload(24).seed(14)).unwrap();
+        generate_table(
+            &db,
+            &TableSpec::new("gc", 60).payload(24).seed(16).dist(KeyDist::Reversed),
+        )
+        .unwrap();
+        (dir, db)
+    };
+    let plans = [
+        PlanSpec::MemoryBudget {
+            input: Box::new(PlanSpec::HashJoin {
+                build: Box::new(PlanSpec::TableScan { table: "gb".into() }),
+                probe: Box::new(PlanSpec::TableScan { table: "ga".into() }),
+                build_key: 0,
+                probe_key: 0,
+                partitions: 3,
+                hybrid: false,
+            }),
+            mem_budget: 2,
+            merge_fanin: 0,
+        },
+        PlanSpec::MemoryBudget {
+            input: Box::new(PlanSpec::Sort {
+                input: Box::new(PlanSpec::TableScan { table: "gc".into() }),
+                key: 0,
+                buffer_tuples: 6,
+            }),
+            mem_budget: 0,
+            merge_fanin: 2,
+        },
+    ];
+    for plan in plans {
+        // Tuple-mode reference: output, total work units, and the
+        // execution ledger.
+        let (_d1, db1) = grace_setup("gbt");
+        db1.ledger().reset();
+        let mut tuple_exec = QueryExecution::start(db1.clone(), plan.clone()).unwrap();
+        tuple_exec.set_batch_size(0);
+        let expected = tuple_exec.run_to_completion().unwrap();
+        let total = tuple_exec.work_units();
+        let tuple_ledger = db1.ledger().snapshot();
+
+        // Batch 48, uninterrupted: bit-identical output and ledger.
+        let (_d2, db2) = grace_setup("gbb");
+        db2.ledger().reset();
+        let mut batch_exec = QueryExecution::start(db2.clone(), plan.clone()).unwrap();
+        batch_exec.set_batch_size(48);
+        assert_eq!(batch_exec.run_to_completion().unwrap(), expected);
+        let batch_ledger = db2.ledger().snapshot();
+        assert_eq!(
+            tuple_ledger.total_cost(),
+            batch_ledger.total_cost(),
+            "batch mode must not change execution I/O cost"
+        );
+        assert_eq!(
+            tuple_ledger.phase(Phase::Execute),
+            batch_ledger.phase(Phase::Execute),
+            "batch mode must not change execute-phase page counts"
+        );
+
+        // Batch 48 with suspends parked inside the machinery: boundaries
+        // at 40% and 60% of the work-unit space land mid-spill / mid-pass
+        // (the same region the degradation matrix's tracer cross-check
+        // pins), and batch-mode resume must still complete to `expected`.
+        for frac in [4u64, 6] {
+            let b = (total * frac / 10).max(1);
+            let (dir, db) = grace_setup("gbs");
+            let mut exec = QueryExecution::start(db.clone(), plan.clone()).unwrap();
+            exec.set_batch_size(48);
+            exec.set_work_unit_observer(Some(Box::new(move |_op, seq: u64| seq >= b)));
+            let (prefix, done) = exec.run().unwrap();
+            assert!(!done, "boundary {b} must interrupt the query");
+            exec.suspend(&SuspendPolicy::Optimized { budget: None })
+                .unwrap();
+            drop(db);
+            // Fresh handle over the same directory: the "new process".
+            let db = Database::open_default(&dir.0).unwrap();
+            let mut resumed = QueryExecution::recover(db).unwrap().unwrap();
+            resumed.set_batch_size(48);
+            let rest = resumed.run_to_completion().unwrap();
+            let mut all = prefix;
+            all.extend(rest);
+            assert_eq!(all, expected, "batch-mode suspend at boundary {b}");
+        }
+    }
+}
+
 #[test]
 fn checkpointing_overhead_is_negligible_in_cost_units() {
     // The paper's §3.1 claim: asynchronous checkpointing at

@@ -21,7 +21,7 @@
 //! replay runs, everything else skips. `QSR_ORACLE_FULL=1` widens the
 //! fault budget and chain coverage for a nightly-style run.
 
-use qsr::oracle::{shrink, Mode, Oracle, Policy, Scenario};
+use qsr::oracle::{shrink, Mode, Oracle, Policy, Scenario, SkewProfile};
 use qsr::storage::{splitmix64, FaultSchedule};
 
 const DEFAULT_SEED: u64 = 0x0D1F_F5EE;
@@ -110,6 +110,9 @@ fn exhaustive_suspend_point_sweep() {
                     pool_pages,
                     dump_writers,
                     batch: 0,
+                    mem_budget: 0,
+                    merge_fanin: 0,
+                    skew: SkewProfile::Default,
                     policy,
                     quota: None,
                     mode: Mode::Sweep { boundary },
@@ -152,6 +155,9 @@ fn multi_suspend_chains_to_depth_three() {
                     pool_pages,
                     dump_writers,
                     batch: 0,
+                    mem_budget: 0,
+                    merge_fanin: 0,
+                    skew: SkewProfile::Default,
                     policy: if boundaries.len() % 2 == 0 {
                         Policy::Optimized
                     } else {
@@ -201,6 +207,9 @@ fn batch_mode_suspend_point_sweep() {
                     pool_pages: 0,
                     dump_writers: 0,
                     batch,
+                    mem_budget: 0,
+                    merge_fanin: 0,
+                    skew: SkewProfile::Default,
                     policy,
                     quota: None,
                     mode: Mode::Sweep { boundary },
@@ -231,6 +240,9 @@ fn batch_mode_multi_suspend_chains() {
                 pool_pages: 64,
                 dump_writers: 4,
                 batch,
+                mem_budget: 0,
+                merge_fanin: 0,
+                skew: SkewProfile::Default,
                 policy: Policy::Optimized,
                 quota: None,
                 mode: Mode::Chain { boundaries },
@@ -266,6 +278,9 @@ fn degradation_ladder_quota_sweep() {
                     pool_pages: 0,
                     dump_writers: 0,
                     batch: 0,
+                    mem_budget: 0,
+                    merge_fanin: 0,
+                    skew: SkewProfile::Default,
                     policy,
                     quota: Some(headroom),
                     mode: Mode::Sweep { boundary },
@@ -300,6 +315,9 @@ fn scripted_nospace_at_every_suspend_write() {
             pool_pages: 0,
             dump_writers: 0,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: None,
             mode: Mode::Fault {
@@ -325,6 +343,160 @@ fn scripted_nospace_at_every_suspend_write() {
             };
             check_or_die(&mut oracle, &s, cfg.seed);
         }
+    }
+}
+
+/// Larger-than-memory knob variants: explicit `budget=`/`fanin=` tokens
+/// overriding the grace cases' own envelopes, crossed with the adversarial
+/// skew profiles. Budget 1 forces the deepest partition tree (every
+/// recursion level plus the block-NLJ fallback); fan-in 2 over the
+/// reversed table maximizes intermediate merge passes. The sweep walks
+/// every work-unit boundary, so suspends land mid-partition-spill and
+/// mid-merge-pass at every alignment the state machines allow.
+const GRACE_VARIANTS: [(&str, u64, u64, SkewProfile); 6] = [
+    ("grace-join-deep", 1, 0, SkewProfile::Dup),
+    ("grace-join-deep", 2, 0, SkewProfile::Zipf),
+    ("grace-join-deep", 5, 0, SkewProfile::Rev),
+    ("multipass-sort", 0, 2, SkewProfile::Rev),
+    ("multipass-sort", 0, 3, SkewProfile::Zipf),
+    ("multipass-sort", 0, 2, SkewProfile::Dup),
+];
+
+#[test]
+fn grace_memory_knob_sweep() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    // The full lane crosses every boundary with the whole pool × writers ×
+    // batch matrix; the quick lane rotates through the matrix across the
+    // boundary space so each combination still sees every region.
+    let mut combos = Vec::new();
+    for (pool_pages, dump_writers) in CONFIGS {
+        for batch in [0, 48] {
+            combos.push((pool_pages, dump_writers, batch));
+        }
+    }
+    for (case, mem_budget, merge_fanin, skew) in GRACE_VARIANTS {
+        let probe = Scenario {
+            case: case.to_string(),
+            pool_pages: 0,
+            dump_writers: 0,
+            batch: 0,
+            mem_budget,
+            merge_fanin,
+            skew,
+            policy: Policy::Dump,
+            quota: None,
+            mode: Mode::Sweep { boundary: 1 },
+        };
+        let total = oracle
+            .total_work_units_for(&probe)
+            .unwrap_or_else(|e| panic!("golden run [{probe}]: {e}"));
+        // Quick lane: cap each variant near 96 boundaries; stride-1 under
+        // QSR_ORACLE_FULL=1 (or an explicit QSR_ORACLE_STRIDE).
+        let stride = if cfg.full {
+            cfg.stride
+        } else {
+            cfg.stride.max(total / 96).max(1)
+        };
+        let mut boundary = 1;
+        let mut turn = 0usize;
+        while boundary <= total {
+            let policy = if boundary % 2 == 0 {
+                Policy::Optimized
+            } else {
+                Policy::Dump
+            };
+            let picks: &[(usize, usize, usize)] = if cfg.full {
+                &combos
+            } else {
+                std::slice::from_ref(&combos[turn % combos.len()])
+            };
+            for &(pool_pages, dump_writers, batch) in picks {
+                let s = Scenario {
+                    case: case.to_string(),
+                    pool_pages,
+                    dump_writers,
+                    batch,
+                    mem_budget,
+                    merge_fanin,
+                    skew,
+                    policy,
+                    quota: None,
+                    mode: Mode::Sweep { boundary },
+                };
+                check_or_die(&mut oracle, &s, cfg.seed);
+            }
+            turn += 1;
+            boundary += stride;
+        }
+    }
+}
+
+/// Seeded fault schedules against the knobbed grace scenarios: 32 runs
+/// whose boundaries are drawn from the whole work-unit space, so faults
+/// strike suspends parked mid-recursive-spill and mid-merge-pass, during
+/// both the suspend and the resume phase.
+#[test]
+fn grace_knob_fault_schedules() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    let mut x = cfg.seed ^ 0x6ACE;
+    let mut next = move || {
+        x = splitmix64(x);
+        x
+    };
+    for i in 0..32u64 {
+        let (case, mem_budget, merge_fanin, skew) =
+            GRACE_VARIANTS[(next() % GRACE_VARIANTS.len() as u64) as usize];
+        let (pool_pages, dump_writers) = CONFIGS[(next() % CONFIGS.len() as u64) as usize];
+        let during_resume = next() % 2 == 1;
+        let policy = if next() % 2 == 0 { Policy::Dump } else { Policy::Optimized };
+        let batch = if next() % 2 == 0 { 0 } else { 48 };
+        let shape = Scenario {
+            case: case.to_string(),
+            pool_pages,
+            dump_writers,
+            batch,
+            mem_budget,
+            merge_fanin,
+            skew,
+            policy,
+            quota: None,
+            mode: Mode::Fault {
+                boundary: 1,
+                during_resume,
+                schedule: FaultSchedule::default(),
+            },
+        };
+        let total = oracle.total_work_units_for(&shape).unwrap();
+        let boundary = 1 + next() % total.max(1);
+        let shape = Scenario {
+            mode: Mode::Fault {
+                boundary,
+                during_resume,
+                schedule: FaultSchedule::default(),
+            },
+            ..shape
+        };
+        let (writes, reads) = oracle
+            .probe_fault_windows(&shape, boundary, during_resume)
+            .unwrap_or_else(|e| panic!("grace fault probe {i} [{shape}]: {e}"));
+        let schedule = FaultSchedule::from_seed(cfg.seed.wrapping_add(0x6ACE + i), writes, reads);
+        let s = Scenario {
+            mode: Mode::Fault {
+                boundary,
+                during_resume,
+                schedule,
+            },
+            ..shape
+        };
+        check_or_die(&mut oracle, &s, cfg.seed);
     }
 }
 
@@ -356,6 +528,9 @@ fn randomized_fault_schedules() {
             pool_pages,
             dump_writers,
             batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
             policy,
             quota,
             mode: Mode::Fault {
