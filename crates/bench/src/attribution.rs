@@ -63,11 +63,36 @@ pub struct LevelIo {
     pub pages: u64,
 }
 
+/// One suspend backend's attributed traffic: every blob the backend
+/// persisted, the robustness-layer retries it absorbed, and the
+/// failovers that abandoned it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendAttribution {
+    /// Blobs persisted through this backend.
+    pub puts: u64,
+    /// Payload bytes those puts carried.
+    pub bytes: u64,
+    /// Pages those puts charged.
+    pub pages: u64,
+    /// Transient failures retried against this backend.
+    pub retries: u64,
+    /// Failovers that abandoned this backend for another.
+    pub failovers: u64,
+}
+
 /// The derived table: per-operator rows plus the non-operator remainder.
 #[derive(Debug, Clone, Default)]
 pub struct AttributionTable {
     /// Rows keyed by operator id.
     pub ops: BTreeMap<u32, OpAttribution>,
+    /// Per-backend rows keyed by backend label (`local`, `memory`,
+    /// `remote`). A failover is charged to the backend it abandoned.
+    pub backends: BTreeMap<String, BackendAttribution>,
+    /// Chain compaction folds keyed by operator: how many delta links
+    /// each fold collapsed, summed across folds.
+    pub chain_folds: BTreeMap<u32, u64>,
+    /// Retention GC: `(generations collected, dump blobs deleted)`.
+    pub retention: (u64, u64),
     /// Non-operator suspend-metadata pages (`SuspendedQuery` blob,
     /// partition-seal tail flushes), keyed by label. Owned strings so the
     /// same table can be folded from an in-memory capture (static labels)
@@ -96,6 +121,12 @@ impl AttributionTable {
     /// All meta pages (every label).
     pub fn total_meta_pages(&self) -> u64 {
         self.meta_pages.values().sum()
+    }
+
+    /// Pages charged through every backend (the backend-side view of the
+    /// suspend's write traffic).
+    pub fn backend_pages(&self) -> u64 {
+        self.backends.values().map(|b| b.pages).sum()
     }
 }
 
@@ -161,6 +192,29 @@ pub fn attribute(records: &[TraceRecord]) -> AttributionTable {
                 // Folding run counts into `events` would conflate groups
                 // with inputs; track only group cardinality plus volume.
                 let _ = runs;
+            }
+            TraceEvent::BackendPut {
+                backend,
+                bytes,
+                pages,
+            } => {
+                let row = table.backends.entry(backend.to_string()).or_default();
+                row.puts += 1;
+                row.bytes += bytes;
+                row.pages += pages;
+            }
+            TraceEvent::BackendRetry { backend, .. } => {
+                table.backends.entry(backend.to_string()).or_default().retries += 1;
+            }
+            TraceEvent::Failover { from, .. } => {
+                table.backends.entry(from.to_string()).or_default().failovers += 1;
+            }
+            TraceEvent::ChainCompact { op, chain_len } => {
+                *table.chain_folds.entry(*op).or_default() += chain_len;
+            }
+            TraceEvent::RetentionGc { blobs_deleted, .. } => {
+                table.retention.0 += 1;
+                table.retention.1 += blobs_deleted;
             }
             _ => {}
         }
@@ -273,6 +327,40 @@ pub fn from_jsonl(text: &str) -> Result<AttributionTable, String> {
                 row.tuples += num("data", "tuples")?;
                 row.pages += num("data", "pages")?;
             }
+            "BackendPut" => {
+                let name = get("data", "backend")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {line_no}: data.backend is not a string"))?
+                    .to_string();
+                let row = table.backends.entry(name).or_default();
+                row.puts += 1;
+                row.bytes += num("data", "bytes")?;
+                row.pages += num("data", "pages")?;
+            }
+            "BackendRetry" => {
+                let name = get("data", "backend")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {line_no}: data.backend is not a string"))?
+                    .to_string();
+                table.backends.entry(name).or_default().retries += 1;
+            }
+            "Failover" => {
+                let name = get("data", "from")?
+                    .as_str()
+                    .ok_or_else(|| format!("line {line_no}: data.from is not a string"))?
+                    .to_string();
+                table.backends.entry(name).or_default().failovers += 1;
+            }
+            "ChainCompact" => {
+                *table
+                    .chain_folds
+                    .entry(num("data", "op")? as u32)
+                    .or_default() += num("data", "chain_len")?;
+            }
+            "RetentionGc" => {
+                table.retention.0 += 1;
+                table.retention.1 += num("data", "blobs_deleted")?;
+            }
             _ => {}
         }
     }
@@ -312,6 +400,23 @@ pub fn render(table: &AttributionTable) -> String {
         out.push_str(&format!(
             "| op{op}:pass-{pass} | - | - | - | {} | - | {} groups, {} tuples |\n",
             io.pages, io.events, io.tuples,
+        ));
+    }
+    for (name, b) in &table.backends {
+        out.push_str(&format!(
+            "| backend:{name} | {} | - | - | - | {} | {} puts, {} retries, {} failovers |\n",
+            b.pages, b.bytes, b.puts, b.retries, b.failovers,
+        ));
+    }
+    for (op, links) in &table.chain_folds {
+        out.push_str(&format!(
+            "| op{op}:compact | - | - | - | - | - | {links} delta links folded |\n"
+        ));
+    }
+    if table.retention.0 > 0 {
+        out.push_str(&format!(
+            "| retention-gc | - | - | - | - | - | {} generations, {} blobs |\n",
+            table.retention.0, table.retention.1,
         ));
     }
     out
@@ -458,6 +563,76 @@ mod tests {
         let md = render(&table);
         assert!(md.contains("op3:spill-L1"), "{md}");
         assert!(md.contains("op1:pass-1"), "{md}");
+    }
+
+    #[test]
+    fn backend_rows_fold_puts_retries_failovers_and_gc() {
+        let (_ledger, t) = tracer();
+        t.emit(TraceEvent::BackendPut {
+            backend: "remote",
+            bytes: 9000,
+            pages: 2,
+        });
+        t.emit(TraceEvent::BackendRetry {
+            backend: "remote",
+            attempt: 1,
+            reason: "transient".to_string(),
+        });
+        t.emit(TraceEvent::Failover {
+            from: "remote",
+            to: "local",
+            reason: "timeout".to_string(),
+        });
+        t.emit(TraceEvent::BackendPut {
+            backend: "local",
+            bytes: 100,
+            pages: 1,
+        });
+        t.emit(TraceEvent::ChainCompact { op: 3, chain_len: 2 });
+        t.emit(TraceEvent::RetentionGc {
+            generation: 1,
+            blobs_deleted: 4,
+        });
+        let table = attribute(&t.take_full());
+        assert_eq!(
+            table.backends["remote"],
+            BackendAttribution { puts: 1, bytes: 9000, pages: 2, retries: 1, failovers: 1 }
+        );
+        assert_eq!(
+            table.backends["local"],
+            BackendAttribution { puts: 1, bytes: 100, pages: 1, retries: 0, failovers: 0 }
+        );
+        assert_eq!(table.backend_pages(), 3);
+        assert_eq!(table.chain_folds[&3], 2);
+        assert_eq!(table.retention, (1, 4));
+        let md = render(&table);
+        assert!(md.contains("backend:remote"), "{md}");
+        assert!(md.contains("1 puts, 1 retries, 1 failovers"), "{md}");
+        assert!(md.contains("op3:compact"), "{md}");
+        assert!(md.contains("retention-gc"), "{md}");
+    }
+
+    #[test]
+    fn jsonl_fold_covers_backend_events() {
+        let text = concat!(
+            r#"{"seq":0,"phase":"suspend","event":"BackendPut","data":{"backend":"remote","bytes":9000,"pages":2},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+            r#"{"seq":1,"phase":"suspend","event":"BackendRetry","data":{"backend":"remote","attempt":1,"reason":"transient"},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+            r#"{"seq":2,"phase":"suspend","event":"Failover","data":{"from":"remote","to":"local","reason":"timeout"},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+            r#"{"seq":3,"phase":"suspend","event":"ChainCompact","data":{"op":3,"chain_len":2},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+            r#"{"seq":4,"phase":"suspend","event":"RetentionGc","data":{"generation":1,"blobs_deleted":4},"ledger":{"cache":{"hits":0,"misses":0}}}"#,
+            "\n",
+        );
+        let t = from_jsonl(text).unwrap();
+        assert_eq!(
+            t.backends["remote"],
+            BackendAttribution { puts: 1, bytes: 9000, pages: 2, retries: 1, failovers: 1 }
+        );
+        assert_eq!(t.chain_folds[&3], 2);
+        assert_eq!(t.retention, (1, 4));
     }
 
     #[test]

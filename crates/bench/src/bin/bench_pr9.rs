@@ -1,0 +1,357 @@
+//! PR 9 bench: pluggable suspend backends and delta checkpoints. Emits
+//! `BENCH_pr9.json` in the current directory.
+//!
+//! Three experiments:
+//!
+//! 1. **Repeated-suspend charged I/O** — the same blocking sort-over-join
+//!    query suspended and resumed five times, once with full dumps and
+//!    once with delta checkpoints. Per generation: suspend-phase pages
+//!    charged, backend put bytes, and the manifest's chain length. The
+//!    delta run's total dump I/O must be measurably below the full run's.
+//! 2. **Chain length vs. resume cost** — the same per-generation records
+//!    report resume-phase pages read, showing what replaying a delta
+//!    chain of each observed depth costs against a full-dump resume.
+//! 3. **Backend latency with/without failover** — a suspend through the
+//!    latency-charging remote mock: clean, with a transient fault the
+//!    robustness layer retries through, and with a dead endpoint that
+//!    forces graceful failover to the local fallback. All three must
+//!    leave a committed generation that resumes to the reference output.
+
+use qsr_core::{OpId, SuspendPolicy};
+use qsr_exec::{
+    read_manifest, PlanSpec, Predicate, QueryExecution, SuspendOptions, SuspendTrigger,
+};
+use qsr_storage::{
+    CostModel, Database, LocalDiskBackend, Phase, RemoteMockBackend, Result, RobustBackend,
+    TraceEvent, Tracer, Tuple, WriteFault, COMPACT_CHAIN_LEN, RESUME_BACKOFF,
+};
+use qsr_workload::{generate_table, TableSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Committed suspend/resume cycles per sweep.
+const CYCLES: usize = 5;
+
+struct TempDb {
+    db: Arc<Database>,
+    dir: PathBuf,
+}
+
+impl TempDb {
+    fn new(tag: &str) -> Result<Self> {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "qsr-bench-pr9-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let db = Database::open_with_pool(&dir, CostModel::default(), 0)?;
+        generate_table(&db, &TableSpec::new("dr", 3000).seed(31))?;
+        generate_table(&db, &TableSpec::new("ds", 3000).seed(32))?;
+        db.pool().flush_all()?;
+        db.ledger().reset();
+        Ok(Self { db, dir })
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn attach_tracer(db: &Arc<Database>) -> Arc<Tracer> {
+    let tracer = Arc::new(Tracer::new(db.ledger().clone()));
+    tracer.enable_full_capture();
+    db.ledger().set_tracer(&tracer);
+    tracer
+}
+
+/// Blocking sort over a block NLJ: multi-page operator state on both
+/// levels, no tuple delivered before the final drain — so every resumed
+/// segment mutates dump state without draining it.
+fn plan() -> PlanSpec {
+    PlanSpec::Sort {
+        input: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan { table: "dr".into() }),
+                predicate: Predicate::IntLt { col: 1, value: 500 },
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "ds".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 150,
+        }),
+        key: 0,
+        buffer_tuples: 4096,
+    }
+}
+
+fn reference() -> Result<Vec<Tuple>> {
+    let t = TempDb::new("ref")?;
+    QueryExecution::start(t.db.clone(), plan())?.run_to_completion()
+}
+
+struct CyclePoint {
+    generation: u64,
+    suspend_pages: u64,
+    put_bytes: u64,
+    chain_len: u64,
+    resume_read_pages: u64,
+}
+
+struct SweepOutcome {
+    points: Vec<CyclePoint>,
+    total_suspend_pages: u64,
+    total_put_bytes: u64,
+}
+
+/// Suspend/resume the query [`CYCLES`] times (the first boundary 250 join
+/// ticks in, each later one 40 ticks into its resumed segment) and charge
+/// each generation's dump I/O and resume reads.
+fn repeated_suspends(delta: bool, reference: &[Tuple]) -> Result<SweepOutcome> {
+    let t = TempDb::new(if delta { "delta" } else { "full" })?;
+    let tracer = attach_tracer(&t.db);
+    let opts = SuspendOptions {
+        dump_writers: 0,
+        delta: Some(delta),
+        keep_generations: Some(1),
+        ..SuspendOptions::default()
+    };
+    let mut exec = QueryExecution::start(t.db.clone(), plan())?;
+    let mut points = Vec::new();
+    for cycle in 0..CYCLES {
+        let ticks = if cycle == 0 { 250 } else { 40 };
+        exec.set_trigger(Some(SuspendTrigger::AfterOpTuples { op: OpId(1), n: ticks }));
+        let (prefix, done) = exec.run()?;
+        assert!(prefix.is_empty() && !done, "the blocking sort must not finish early");
+        let before = t.db.ledger().snapshot();
+        tracer.take_full();
+        exec.suspend_with(&SuspendPolicy::AllDump, &opts)?;
+        let suspended = t.db.ledger().snapshot();
+        let put_bytes: u64 = tracer
+            .take_full()
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::BackendPut { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum();
+        let manifest = read_manifest(&t.db).unwrap().expect("committed suspend");
+        exec = QueryExecution::recover(t.db.clone())?.expect("committed suspend must recover");
+        let resumed = t.db.ledger().snapshot();
+        points.push(CyclePoint {
+            generation: manifest.generation,
+            suspend_pages: suspended.since(&before).phase(Phase::Suspend).pages_written,
+            put_bytes,
+            chain_len: manifest.chain_len,
+            resume_read_pages: resumed.since(&suspended).phase(Phase::Resume).pages_read,
+        });
+    }
+    let out = exec.run_to_completion()?;
+    assert_eq!(out, reference, "suspend cycling changed the query output");
+    let total_suspend_pages = points.iter().map(|p| p.suspend_pages).sum();
+    let total_put_bytes = points.iter().map(|p| p.put_bytes).sum();
+    Ok(SweepOutcome {
+        points,
+        total_suspend_pages,
+        total_put_bytes,
+    })
+}
+
+struct RemotePoint {
+    mode: &'static str,
+    latency_units: u64,
+    retries: u64,
+    failovers: u64,
+    failed_over: bool,
+    suspend_pages: u64,
+}
+
+/// One suspend through the latency-charging remote stack. `fault` scripts
+/// the remote endpoint; the robustness layer must still commit, and a
+/// fresh default-local handle must resume to `reference` (the remote
+/// mock's inner store is the local blob store, so failover loses nothing).
+fn remote_suspend(
+    mode: &'static str,
+    fault: Option<(u64, WriteFault)>,
+    reference: &[Tuple],
+) -> Result<RemotePoint> {
+    let t = TempDb::new("remote")?;
+    let tracer = attach_tracer(&t.db);
+    let local = || -> Arc<LocalDiskBackend> {
+        Arc::new(LocalDiskBackend::new(t.db.blobs().clone(), t.db.disk().clone()))
+    };
+    let remote = Arc::new(RemoteMockBackend::new(local(), 0x99).with_latency(2, None));
+    if let Some((nth, f)) = fault {
+        remote.faults().fail_write(nth, f);
+    }
+    let robust = Arc::new(RobustBackend::new(
+        remote.clone(),
+        Some(local()),
+        RESUME_BACKOFF,
+        Some(t.db.ledger().clone()),
+    ));
+    t.db.set_backend(robust.clone());
+    let mut exec = QueryExecution::start(t.db.clone(), plan())?;
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples { op: OpId(1), n: 250 }));
+    let (prefix, done) = exec.run()?;
+    assert!(prefix.is_empty() && !done);
+    let before = t.db.ledger().snapshot();
+    tracer.take_full();
+    exec.suspend_with(&SuspendPolicy::AllDump, &SuspendOptions { dump_writers: 0, ..Default::default() })?;
+    let after = t.db.ledger().snapshot();
+    let (mut retries, mut failovers) = (0u64, 0u64);
+    for r in tracer.take_full() {
+        match r.event {
+            TraceEvent::BackendRetry { .. } => retries += 1,
+            TraceEvent::Failover { .. } => failovers += 1,
+            _ => {}
+        }
+    }
+    let point = RemotePoint {
+        mode,
+        latency_units: remote.latency_units(),
+        retries,
+        failovers,
+        failed_over: robust.failed_over(),
+        suspend_pages: after.since(&before).phase(Phase::Suspend).pages_written,
+    };
+    // Whatever side the commit landed on, a plain local reopen must see it.
+    drop(tracer);
+    let db = Database::open_default(&t.dir)?;
+    let out = QueryExecution::recover(db)?
+        .expect("committed suspend must recover")
+        .run_to_completion()?;
+    assert_eq!(out, reference, "{mode}: remote-stack resume diverges");
+    Ok(point)
+}
+
+fn main() -> Result<()> {
+    let reference = reference()?;
+
+    let full = repeated_suspends(false, &reference)?;
+    let delta = repeated_suspends(true, &reference)?;
+    for (tag, sweep) in [("full", &full), ("delta", &delta)] {
+        for p in &sweep.points {
+            eprintln!(
+                "{tag} gen {}: {} suspend pages, {} put bytes, chain {}, {} resume reads",
+                p.generation, p.suspend_pages, p.put_bytes, p.chain_len, p.resume_read_pages
+            );
+        }
+    }
+    eprintln!(
+        "totals over {CYCLES} suspends: full {} pages / {} bytes, delta {} pages / {} bytes",
+        full.total_suspend_pages, full.total_put_bytes,
+        delta.total_suspend_pages, delta.total_put_bytes
+    );
+    assert!(
+        delta.total_suspend_pages < full.total_suspend_pages,
+        "delta checkpoints must charge less dump I/O than full dumps"
+    );
+    assert!(
+        full.points.iter().all(|p| p.chain_len == 0),
+        "full dumps must never grow a chain"
+    );
+    assert!(
+        delta.points.iter().any(|p| p.chain_len > 0),
+        "the delta sweep must actually chain"
+    );
+    assert!(
+        delta
+            .points
+            .iter()
+            .all(|p| (p.chain_len as usize) < COMPACT_CHAIN_LEN),
+        "compaction must keep every chain below the cap"
+    );
+
+    // The endpoint dies on the third remote put (the SuspendedQuery blob)
+    // in the dead cell; the transient cell fails that put twice and then
+    // heals under the robustness layer's backoff schedule.
+    let remote_points = vec![
+        remote_suspend("clean", None, &reference)?,
+        remote_suspend("transient", Some((3, WriteFault::Transient(2))), &reference)?,
+        remote_suspend("dead", Some((3, WriteFault::Crash)), &reference)?,
+    ];
+    for p in &remote_points {
+        eprintln!(
+            "remote/{}: {} latency units, {} retries, {} failovers, failed_over={}, {} pages",
+            p.mode, p.latency_units, p.retries, p.failovers, p.failed_over, p.suspend_pages
+        );
+    }
+    assert!(!remote_points[0].failed_over && remote_points[0].failovers == 0);
+    assert!(
+        !remote_points[1].failed_over && remote_points[1].retries >= 2,
+        "a healing transient must be retried through, not failed over"
+    );
+    assert!(
+        remote_points[2].failed_over && remote_points[2].failovers >= 1,
+        "a dead endpoint must fail over to the local fallback"
+    );
+    assert!(
+        remote_points[2].latency_units < remote_points[0].latency_units,
+        "failover must stop charging remote latency"
+    );
+
+    let cycle_json = |sweep: &SweepOutcome| -> String {
+        sweep
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    r#"      {{ "generation": {}, "suspend_pages": {}, "put_bytes": {}, "chain_len": {}, "resume_read_pages": {} }}"#,
+                    p.generation, p.suspend_pages, p.put_bytes, p.chain_len, p.resume_read_pages
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let remote_json: Vec<String> = remote_points
+        .iter()
+        .map(|p| {
+            format!(
+                r#"      {{ "mode": "{}", "latency_units": {}, "retries": {}, "failovers": {}, "failed_over": {}, "suspend_pages": {} }}"#,
+                p.mode, p.latency_units, p.retries, p.failovers, p.failed_over, p.suspend_pages
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "repeated_suspends": {{
+    "cycles": {CYCLES},
+    "full": {{
+      "total_suspend_pages": {},
+      "total_put_bytes": {},
+      "points": [
+{}
+      ]
+    }},
+    "delta": {{
+      "total_suspend_pages": {},
+      "total_put_bytes": {},
+      "points": [
+{}
+      ]
+    }}
+  }},
+  "remote_backend": {{
+    "latency_per_page": 2,
+    "points": [
+{}
+    ]
+  }}
+}}
+"#,
+        full.total_suspend_pages,
+        full.total_put_bytes,
+        cycle_json(&full),
+        delta.total_suspend_pages,
+        delta.total_put_bytes,
+        cycle_json(&delta),
+        remote_json.join(",\n"),
+    );
+    std::fs::write("BENCH_pr9.json", &json)?;
+    println!("{json}");
+    Ok(())
+}

@@ -34,6 +34,9 @@ fn main() {
             mem_budget: 0,
             merge_fanin: 0,
             skew: SkewProfile::Default,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary },
         };
         let pressured = Scenario {

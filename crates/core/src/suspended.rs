@@ -12,10 +12,17 @@ use std::collections::BTreeMap;
 /// little-endian). Anything else is not a suspended query at all.
 pub const SUSPENDED_QUERY_MAGIC: u32 = 0x5152_5351;
 
-/// Codec version this build writes and reads. v1 was the unframed format
-/// (no magic/version/CRC); v2 wraps the body in a length + FNV-1a frame and
-/// adds per-operator GoBack fallback records.
-pub const SUSPENDED_QUERY_VERSION: u32 = 2;
+/// Newest codec version this build writes and reads. v1 was the unframed
+/// format (no magic/version/CRC); v2 wraps the body in a length + FNV-1a
+/// frame and adds per-operator GoBack fallback records; v3 appends the
+/// delta-chain dependency section. A structure with no delta chains is
+/// written as v2, byte-identical to pre-delta builds, and v2 frames decode
+/// with empty `delta_deps` — only structures that actually carry deltas
+/// pay the new section.
+pub const SUSPENDED_QUERY_VERSION: u32 = 3;
+
+/// Oldest codec version this build still reads.
+pub const SUSPENDED_QUERY_MIN_VERSION: u32 = 2;
 
 /// The per-operator suspend strategy (paper §3: DumpState / GoBack).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +203,13 @@ pub struct SuspendedQuery {
     /// the value covers every operator whose record differs under the
     /// fallback (the operator itself plus repositioned children).
     pub fallbacks: BTreeMap<OpId, Vec<OpSuspendRecord>>,
+    /// For operators whose `heap_dump` is a delta layer: the parent blobs
+    /// the layer patches, base-first (full checkpoint, then each older
+    /// delta). Resume replays `deps + [heap_dump]` newest-wins; retention
+    /// GC must keep every blob listed here alive as long as this
+    /// generation is recoverable. Empty for full dumps and pre-delta
+    /// structures.
+    pub delta_deps: BTreeMap<OpId, Vec<BlobId>>,
 }
 
 impl SuspendedQuery {
@@ -241,9 +255,18 @@ impl SuspendedQuery {
             op.encode(enc);
             enc.put_seq(recs);
         }
+        // v3 section — only present when a delta chain exists, so frames
+        // without deltas stay byte-identical to v2.
+        if !self.delta_deps.is_empty() {
+            enc.put_u32(self.delta_deps.len() as u32);
+            for (op, deps) in &self.delta_deps {
+                op.encode(enc);
+                enc.put_seq(deps);
+            }
+        }
     }
 
-    fn decode_body(dec: &mut Decoder<'_>) -> Result<Self> {
+    fn decode_body(dec: &mut Decoder<'_>, version: u32) -> Result<Self> {
         let plan_bytes = dec.get_bytes()?.to_vec();
         let suspend_plan = SuspendPlan::decode(dec)?;
         let recs: Vec<OpSuspendRecord> = dec.get_seq()?;
@@ -267,6 +290,15 @@ impl SuspendedQuery {
             let recs: Vec<OpSuspendRecord> = dec.get_seq()?;
             fallbacks.insert(op, recs);
         }
+        let mut delta_deps = BTreeMap::new();
+        if version >= 3 {
+            let nd = dec.get_u32()? as usize;
+            for _ in 0..nd {
+                let op = OpId::decode(dec)?;
+                let deps: Vec<BlobId> = dec.get_seq()?;
+                delta_deps.insert(op, deps);
+            }
+        }
         Ok(SuspendedQuery {
             plan_bytes,
             suspend_plan,
@@ -275,6 +307,7 @@ impl SuspendedQuery {
             tuples_emitted,
             work_snapshot,
             fallbacks,
+            delta_deps,
         })
     }
 }
@@ -289,7 +322,11 @@ impl Encode for SuspendedQuery {
         self.encode_body(&mut body);
         let body = body.finish();
         enc.put_u32(SUSPENDED_QUERY_MAGIC);
-        enc.put_u32(SUSPENDED_QUERY_VERSION);
+        enc.put_u32(if self.delta_deps.is_empty() {
+            SUSPENDED_QUERY_MIN_VERSION
+        } else {
+            SUSPENDED_QUERY_VERSION
+        });
         enc.put_u64(fnv1a(&body));
         enc.put_bytes(&body);
     }
@@ -304,7 +341,7 @@ impl Decode for SuspendedQuery {
             )));
         }
         let version = dec.get_u32()?;
-        if version != SUSPENDED_QUERY_VERSION {
+        if !(SUSPENDED_QUERY_MIN_VERSION..=SUSPENDED_QUERY_VERSION).contains(&version) {
             return Err(StorageError::VersionMismatch {
                 what: "SuspendedQuery".into(),
                 expected: SUSPENDED_QUERY_VERSION,
@@ -322,7 +359,7 @@ impl Decode for SuspendedQuery {
             ));
         }
         let mut body_dec = Decoder::new(body);
-        let sq = Self::decode_body(&mut body_dec)?;
+        let sq = Self::decode_body(&mut body_dec, version)?;
         if !body_dec.is_exhausted() {
             return Err(StorageError::corrupt(format!(
                 "SuspendedQuery body: {} trailing bytes",
@@ -421,6 +458,55 @@ mod tests {
         let back = roundtrip(&sq).unwrap();
         assert_eq!(back, sq);
         assert_eq!(back.fallbacks[&OpId(0)].len(), 1);
+    }
+
+    #[test]
+    fn delta_deps_roundtrip_as_v3_and_absence_stays_v2() {
+        // No delta chains → the frame is written as v2, byte-identical to
+        // what a pre-delta build produced.
+        let plain = sample_sq();
+        let bytes = plain.encode_to_vec();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            SUSPENDED_QUERY_MIN_VERSION
+        );
+
+        // With a chain, the frame upgrades to v3 and roundtrips.
+        let mut sq = sample_sq();
+        sq.delta_deps.insert(
+            OpId(0),
+            vec![
+                BlobId {
+                    file: FileId(3),
+                    len: 10,
+                    checksum: 1,
+                },
+                BlobId {
+                    file: FileId(5),
+                    len: 4,
+                    checksum: 2,
+                },
+            ],
+        );
+        let bytes = sq.encode_to_vec();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            SUSPENDED_QUERY_VERSION
+        );
+        let back = SuspendedQuery::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, sq);
+        assert_eq!(back.delta_deps[&OpId(0)].len(), 2);
+
+        // Every flip/truncation of a v3 frame also fails cleanly.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                SuspendedQuery::decode_from_slice(&bad).is_err(),
+                "flip at byte {i} of a v3 frame decoded silently"
+            );
+            assert!(SuspendedQuery::decode_from_slice(&bytes[..i]).is_err());
+        }
     }
 
     #[test]

@@ -4,11 +4,11 @@
 use crate::writers::{DumpPipeline, PrefetchedDumps};
 use qsr_core::{ContractGraph, OpId, WorkTable};
 use qsr_storage::{
-    fnv1a, pages_for_bytes, BlobId, CostModel, CostSnapshot, Database, Decode, Encode, Result,
-    StorageError, TraceEvent,
+    fnv1a, is_delta_frame, pages_for_bytes, BlobId, CostModel, CostSnapshot, Database, Decode,
+    DeltaDump, Encode, Result, StorageError, TraceEvent, COMPACT_CHAIN_LEN, PAGE_SIZE,
 };
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// When to fire a suspend request, for controlled experiments. In a
@@ -75,6 +75,25 @@ pub struct DumpWatchdog {
 /// orphaned and deleted.
 pub type SalvageCache = HashMap<(u64, u64), BlobId>;
 
+/// The last materialized dump of one operator: the blob it lives under,
+/// its full (chain-reconstructed) bytes, and where it sits in its delta
+/// chain. Recorded whenever a dump is read back (resume) — at zero I/O
+/// cost beyond the read that was happening anyway — so the *next* suspend
+/// can diff against it when delta checkpoints are enabled.
+#[derive(Debug, Clone)]
+pub struct DumpBaseline {
+    /// Blob the baseline state is committed under.
+    pub id: BlobId,
+    /// Fully reconstructed state bytes.
+    pub bytes: Vec<u8>,
+    /// Number of delta layers between `id` and its full checkpoint
+    /// (0 = `id` is itself a full dump).
+    pub depth: usize,
+    /// Ancestor blobs of `id`, base-first (empty for a full dump). A new
+    /// delta written on top of this baseline depends on
+    /// `chain + [id]`.
+    pub chain: Vec<BlobId>,
+}
 
 /// Ambient per-query execution state.
 pub struct ExecContext {
@@ -116,6 +135,17 @@ pub struct ExecContext {
     /// before `root.resume`). Consumed once per blob; misses fall through
     /// to a plain serial blob read.
     prefetched: RefCell<PrefetchedDumps>,
+    /// When true, [`ExecContext::put_dump_value`] may emit delta frames
+    /// against recorded baselines (driver-set per suspend rung; always
+    /// off during fallback shadow passes, whose scratch dumps must stand
+    /// alone).
+    delta_enabled: bool,
+    /// Last materialized dump per operator, recorded on resume reads.
+    baselines: RefCell<HashMap<OpId, DumpBaseline>>,
+    /// Parent chains (base-first) of the delta frames written by the
+    /// current suspend rung, keyed by operator. Drained by the driver
+    /// into `SuspendedQuery::delta_deps`.
+    delta_emitted: RefCell<BTreeMap<OpId, Vec<BlobId>>>,
 }
 
 impl ExecContext {
@@ -136,7 +166,28 @@ impl ExecContext {
             watchdog: None,
             salvage: RefCell::new(SalvageCache::new()),
             prefetched: RefCell::new(PrefetchedDumps::new()),
+            delta_enabled: false,
+            baselines: RefCell::new(HashMap::new()),
+            delta_emitted: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// Enable or disable delta checkpoint emission (driver-only).
+    pub fn set_delta_enabled(&mut self, on: bool) {
+        self.delta_enabled = on;
+    }
+
+    /// Whether delta checkpoint emission is on.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// Drain the parent chains of delta frames written since the last
+    /// drain (driver-only: discarded at rung start so nothing leaks
+    /// across degradation-ladder retries, consumed after the rung's
+    /// dumps to populate `SuspendedQuery::delta_deps`).
+    pub fn take_delta_emitted(&mut self) -> BTreeMap<OpId, Vec<BlobId>> {
+        std::mem::take(&mut *self.delta_emitted.borrow_mut())
     }
 
     /// Install in-flight prefetched dump blobs (driver-only, before
@@ -161,11 +212,52 @@ impl ExecContext {
     /// the pages, so totals stay identical to a serial resume; anything
     /// else is a plain checksummed blob read.
     pub fn get_dump_value<T: Decode>(&self, id: BlobId) -> Result<T> {
+        T::decode_from_slice(&self.fetch_dump_bytes(id)?)
+    }
+
+    /// Load an operator dump for `op`, transparently reconstructing delta
+    /// chains (a delta frame is applied on top of its recursively
+    /// materialized base), and record the materialized state as `op`'s
+    /// delta baseline — the read already paid for the bytes, so the next
+    /// suspend can diff against them for free.
+    pub fn get_dump_value_for<T: Decode>(&self, op: OpId, id: BlobId) -> Result<T> {
+        let (bytes, depth, chain) = self.materialize_dump(id)?;
+        let value = T::decode_from_slice(&bytes)?;
+        self.baselines.borrow_mut().insert(
+            op,
+            DumpBaseline {
+                id,
+                bytes,
+                depth,
+                chain,
+            },
+        );
+        Ok(value)
+    }
+
+    /// Raw dump-blob bytes: the prefetch slot if the parallel resume pool
+    /// read (or is reading) this blob, else the suspend backend.
+    fn fetch_dump_bytes(&self, id: BlobId) -> Result<Vec<u8>> {
         let slot = self.prefetched.borrow_mut().remove(&id);
         if let Some(slot) = slot {
-            return T::decode_from_slice(&slot.take()?);
+            return slot.take();
         }
-        self.db.blobs().get_value(id)
+        self.db.backend().get_blob(id)
+    }
+
+    /// Fully materialize the state stored under `id`: returns the
+    /// reconstructed bytes, the number of delta links applied, and the
+    /// ancestor blobs (base-first).
+    fn materialize_dump(&self, id: BlobId) -> Result<(Vec<u8>, usize, Vec<BlobId>)> {
+        let raw = self.fetch_dump_bytes(id)?;
+        if !is_delta_frame(&raw) {
+            return Ok((raw, 0, Vec::new()));
+        }
+        let delta = DeltaDump::decode_from_bytes(&raw)?;
+        let (base_bytes, depth, mut chain) = self.materialize_dump(delta.base)?;
+        let bytes = delta.apply(&base_bytes)?;
+        chain.push(delta.base);
+        Ok((bytes, depth + 1, chain))
     }
 
     /// Install (or clear) the per-rung suspend watchdog (driver-only).
@@ -213,7 +305,8 @@ impl ExecContext {
     /// a fresh write with a typed [`StorageError::DeadlineExceeded`] when
     /// the rung's I/O budget cannot cover it.
     pub fn put_dump_value<T: Encode>(&self, op: OpId, value: &T) -> Result<BlobId> {
-        let bytes = value.encode_to_vec();
+        let full = value.encode_to_vec();
+        let (bytes, deps) = self.delta_encode(op, full);
         let nbytes = bytes.len() as u64;
         let pages = pages_for_bytes(bytes.len()) as u64;
         let key = (fnv1a(&bytes), nbytes);
@@ -225,6 +318,7 @@ impl ExecContext {
                 pages,
                 reused: true,
             });
+            self.note_delta_deps(op, deps);
             return Ok(id);
         }
         if let Some(wd) = &self.watchdog {
@@ -247,9 +341,10 @@ impl ExecContext {
                 });
             }
         }
+        let backend = self.db.backend();
         let id = match &self.dump_pipeline {
             Some(p) => p.put_encoded(bytes),
-            None => self.db.blobs().put(&bytes),
+            None => backend.put_blob(&bytes),
         }?;
         self.db.ledger().trace(|| TraceEvent::OpDump {
             op: op.0,
@@ -258,7 +353,66 @@ impl ExecContext {
             pages,
             reused: false,
         });
+        self.db.ledger().trace(|| TraceEvent::BackendPut {
+            backend: backend.name(),
+            bytes: nbytes,
+            pages,
+        });
+        self.note_delta_deps(op, deps);
         Ok(id)
+    }
+
+    /// Delta-encode `full` against `op`'s baseline when enabled and
+    /// profitable. Returns the bytes to persist and, for a delta frame,
+    /// the parent chain (base-first) the new blob depends on. A chain
+    /// about to reach [`COMPACT_CHAIN_LEN`] links is folded back into a
+    /// full dump instead (crash-safe compaction: the fold is just a full
+    /// write, committed by the same manifest swap as any other suspend).
+    fn delta_encode(&self, op: OpId, full: Vec<u8>) -> (Vec<u8>, Option<Vec<BlobId>>) {
+        if !self.delta_enabled {
+            return (full, None);
+        }
+        let baselines = self.baselines.borrow();
+        let Some(b) = baselines.get(&op) else {
+            return (full, None);
+        };
+        if b.depth + 1 >= COMPACT_CHAIN_LEN {
+            self.db.ledger().trace(|| TraceEvent::ChainCompact {
+                op: op.0,
+                chain_len: b.depth as u64,
+            });
+            return (full, None);
+        }
+        // An unchanged dump still gets a (tiny) delta frame rather than
+        // reusing the baseline blob: every generation must own a fresh
+        // record blob so generation GC stays a per-generation affair.
+        let delta = DeltaDump::diff(&b.bytes, b.id, &full).unwrap_or_else(|| DeltaDump {
+            base: b.id,
+            full_len: full.len() as u64,
+            full_checksum: fnv1a(&full),
+            chunks: vec![None; full.len().div_ceil(PAGE_SIZE)],
+        });
+        let encoded = delta.encode_to_vec();
+        if encoded.len() >= full.len() {
+            return (full, None);
+        }
+        let mut chain = b.chain.clone();
+        chain.push(b.id);
+        (encoded, Some(chain))
+    }
+
+    /// Record (or clear) the parent chain of the blob just written for
+    /// `op`, so the driver can persist it as `delta_deps`.
+    fn note_delta_deps(&self, op: OpId, deps: Option<Vec<BlobId>>) {
+        let mut emitted = self.delta_emitted.borrow_mut();
+        match deps {
+            Some(chain) => {
+                emitted.insert(op, chain);
+            }
+            None => {
+                emitted.remove(&op);
+            }
+        }
     }
 
     /// Watchdog admission check for non-dump suspend-phase writes

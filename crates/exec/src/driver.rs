@@ -33,8 +33,8 @@ use qsr_core::{
     SuspendOptimizer, SuspendPlan, SuspendPolicy, SuspendProblem, SuspendedQuery,
 };
 use qsr_storage::{
-    pages_for_bytes, BlobId, Database, Decode, Encode, FileId, Phase, Result, Schema,
-    StorageError, TraceEvent, Tuple,
+    env_flag, env_parse, is_delta_frame, pages_for_bytes, BlobId, Database, Decode, DeltaDump,
+    Encode, FileId, Phase, Result, Schema, StorageError, TraceEvent, Tuple,
 };
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
@@ -91,6 +91,24 @@ pub struct SuspendOptions {
     /// replayed when the owning operator consumes the blob, so the
     /// [`ResumeError`] taxonomy and fallback substitution are unchanged.
     pub resume_workers: usize,
+    /// Delta checkpoints: when enabled, an operator whose state was
+    /// materialized during resume dumps only the pages that changed since,
+    /// as a delta frame chained to the previous generation's blob
+    /// ([`qsr_storage::DeltaDump`]). Chains are bounded by
+    /// [`qsr_storage::COMPACT_CHAIN_LEN`] — a chain at the cap is folded
+    /// back into a full dump (crash-safe: the fold commits through the
+    /// same manifest swap as any suspend). `None` defers to the
+    /// `QSR_DELTA` environment knob (`1`/`0`), default off — off is
+    /// bit-identical to the pre-delta write path.
+    pub delta: Option<bool>,
+    /// Keep the last N suspend generations resumable (retention). The
+    /// newest generation is always the one the manifest points at; up to
+    /// N−1 predecessors ride along in [`SuspendManifest::retained`] and
+    /// survive GC, together with every blob their delta chains reference.
+    /// `None` defers to `QSR_KEEP_GENERATIONS`, default 1 (today's
+    /// behavior: only the committed generation survives). Values are
+    /// clamped to ≥ 1.
+    pub keep_generations: Option<usize>,
 }
 
 impl Default for SuspendOptions {
@@ -101,6 +119,8 @@ impl Default for SuspendOptions {
             deadline: None,
             solve_budget: None,
             resume_workers: 0,
+            delta: None,
+            keep_generations: None,
         }
     }
 }
@@ -447,6 +467,13 @@ impl QueryExecution {
         let prev = read_manifest_named(&self.db, &self.manifest_name)
             .ok()
             .flatten();
+        let delta_on = options
+            .delta
+            .unwrap_or_else(|| env_flag("QSR_DELTA").unwrap_or(false));
+        let keep = options
+            .keep_generations
+            .unwrap_or_else(|| env_parse::<usize>("QSR_KEEP_GENERATIONS").unwrap_or(1))
+            .max(1);
 
         let rungs = Rung::ladder(policy);
         let last = rungs.len() - 1;
@@ -504,11 +531,16 @@ impl QueryExecution {
                     baseline: self.db.ledger().snapshot(),
                 }));
             }
-            let use_pipeline = i == 0 && options.dump_writers > 0;
-            let attempt = self.attempt_rung(&report, options, use_pipeline, phase, prev.as_ref());
+            // The dump pipeline writes straight to the local blob store;
+            // a non-local backend takes the serial path so every byte
+            // goes through (and is accounted to) the backend.
+            let use_pipeline =
+                i == 0 && options.dump_writers > 0 && self.db.backend().is_local();
+            let attempt =
+                self.attempt_rung(&report, options, use_pipeline, phase, prev.as_ref(), delta_on, keep);
             self.ctx.set_watchdog(None);
             match attempt {
-                Ok((mut handle, sq)) => {
+                Ok((mut handle, sq, committed)) => {
                     handle.rung = *rung;
                     self.db.ledger().trace(|| TraceEvent::RungCommit {
                         rung: rung.name(),
@@ -516,13 +548,15 @@ impl QueryExecution {
                     });
                     // Commit point passed. Reclaim in strictly safe order:
                     // salvage orphans first (never referenced by any
-                    // manifest), then the superseded generation.
+                    // manifest), then the superseded generations that fell
+                    // off the retention window.
                     self.db.ledger().set_phase(Phase::Fallback);
+                    let backend = self.db.backend();
                     for id in self.ctx.take_salvage().into_values() {
-                        let _ = self.db.blobs().delete(id);
+                        let _ = backend.delete_blob(id);
                     }
                     if let Some(old) = prev {
-                        Self::gc_generation(&self.db, &old, &sq);
+                        Self::gc_generations(&self.db, &old, &sq, &committed);
                     }
                     self.root.close(&mut self.ctx)?;
                     self.db.ledger().set_phase(Phase::Execute);
@@ -552,8 +586,9 @@ impl QueryExecution {
         // state; delete the salvaged blobs nothing will ever reference and
         // surface the last rung's typed error.
         self.db.ledger().set_phase(Phase::Fallback);
+        let backend = self.db.backend();
         for id in self.ctx.take_salvage().into_values() {
-            let _ = self.db.blobs().delete(id);
+            let _ = backend.delete_blob(id);
         }
         let _ = self.root.close(&mut self.ctx);
         self.db.ledger().set_phase(Phase::Execute);
@@ -635,7 +670,7 @@ impl QueryExecution {
     /// everything it references, and commit the manifest. On failure the
     /// partial [`SuspendedQuery`] comes back with the error so the caller
     /// can salvage the dump blobs it references.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn attempt_rung(
         &mut self,
         report: &OptimizeReport,
@@ -643,8 +678,16 @@ impl QueryExecution {
         use_pipeline: bool,
         phase: Phase,
         prev: Option<&SuspendManifest>,
-    ) -> std::result::Result<(SuspendedHandle, SuspendedQuery), Box<(StorageError, SuspendedQuery)>>
-    {
+        delta_on: bool,
+        keep: usize,
+    ) -> std::result::Result<
+        (SuspendedHandle, SuspendedQuery, SuspendManifest),
+        Box<(StorageError, SuspendedQuery)>,
+    > {
+        // Delta frames may only be emitted by the rung's primary dump
+        // walk; anything recorded by an earlier (failed) rung is stale.
+        self.ctx.set_delta_enabled(delta_on);
+        let _ = self.ctx.take_delta_emitted();
         let mut sq = SuspendedQuery {
             plan_bytes: self.spec.encode_to_vec(),
             suspend_plan: report.plan.clone(),
@@ -682,6 +725,11 @@ impl QueryExecution {
                 return Err(Box::new((e, sq)));
             }
         }
+        // Harvest the delta chains the dump walk emitted *before* the
+        // fallback shadow passes run (their scratch dumps are always full
+        // frames and must not disturb the primary records' chains).
+        self.ctx.set_delta_enabled(false);
+        sq.delta_deps = self.ctx.take_delta_emitted();
         // Fallback insurance is charged to its own phase: the optimizer's
         // suspend-cost estimate budgets the chosen plan, not the
         // best-effort shadow passes that record a dump-free GoBack
@@ -692,7 +740,8 @@ impl QueryExecution {
         self.generate_fallbacks(&report.plan, &mut sq);
         self.db.ledger().set_phase(phase);
 
-        let blob = match sq.save(self.db.blobs()) {
+        let backend = self.db.backend();
+        let blob = match backend.put_blob(&sq.encode_to_vec()) {
             Ok(b) => b,
             Err(e) => return Err(Box::new((e, sq))),
         };
@@ -701,6 +750,11 @@ impl QueryExecution {
         // attribution sum (dump pages + seal pages + this).
         self.db.ledger().trace(|| TraceEvent::MetaWrite {
             label: "suspended-query",
+            pages: pages_for_bytes(blob.len as usize) as u64,
+        });
+        self.db.ledger().trace(|| TraceEvent::BackendPut {
+            backend: backend.name(),
+            bytes: blob.len,
             pages: pages_for_bytes(blob.len as usize) as u64,
         });
 
@@ -712,20 +766,28 @@ impl QueryExecution {
         if let Err(e) = self.sync_rung(&sq, blob) {
             // The just-saved `SuspendedQuery` blob is referenced by
             // nothing yet; reclaim it so a failed rung leaks no files.
-            let _ = self.db.blobs().delete(blob);
+            let _ = backend.delete_blob(blob);
             return Err(Box::new((e, sq)));
         }
 
         let generation = prev.map_or(1, |m| m.generation + 1);
-        if let Err(e) = commit_manifest_named(
-            &self.db,
-            &self.manifest_name,
-            &SuspendManifest {
-                generation,
-                query: blob,
-            },
-        ) {
-            let _ = self.db.blobs().delete(blob);
+        let mut manifest = SuspendManifest::new(generation, blob);
+        manifest.chain_len = sq
+            .delta_deps
+            .values()
+            .map(|chain| chain.len() as u64)
+            .max()
+            .unwrap_or(0);
+        // Retention window: the previous generation (and its own retained
+        // tail) slides down one slot; whatever falls past keep−1 entries
+        // is collected after commit.
+        if let Some(p) = prev {
+            manifest.retained.push((p.generation, p.query));
+            manifest.retained.extend(p.retained.iter().copied());
+            manifest.retained.truncate(keep - 1);
+        }
+        if let Err(e) = commit_manifest_named(&self.db, &self.manifest_name, &manifest) {
+            let _ = backend.delete_blob(blob);
             return Err(Box::new((e, sq)));
         }
         Ok((
@@ -736,15 +798,17 @@ impl QueryExecution {
                 rung: Rung::Requested, // overwritten by the ladder loop
             },
             sq,
+            manifest,
         ))
     }
 
     /// Flush and fsync everything a rung's manifest would reference.
     fn sync_rung(&self, sq: &SuspendedQuery, blob: BlobId) -> Result<()> {
-        self.db.blobs().sync(blob)?;
+        let backend = self.db.backend();
+        backend.sync_blob(blob)?;
         for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
             if let Some(b) = rec.heap_dump {
-                self.db.blobs().sync(b)?;
+                backend.sync_blob(b)?;
             }
         }
         for file in self.db.pool().dirty_files() {
@@ -760,6 +824,7 @@ impl QueryExecution {
     /// failure) are orphans and deleted immediately. Either way no file
     /// from a failed rung is left unaccounted for.
     fn salvage_rung(&mut self, partial: &SuspendedQuery) {
+        let backend = self.db.backend();
         let mut valid = Vec::new();
         for rec in partial
             .records
@@ -767,10 +832,10 @@ impl QueryExecution {
             .chain(partial.fallbacks.values().flatten())
         {
             if let Some(b) = rec.heap_dump {
-                match self.db.blobs().get(b) {
+                match backend.get_blob(b) {
                     Ok(_) => valid.push(b),
                     Err(_) => {
-                        let _ = self.db.blobs().delete(b);
+                        let _ = backend.delete_blob(b);
                     }
                 }
             }
@@ -837,7 +902,7 @@ impl QueryExecution {
                 _ => {
                     for r in scratch.records.values() {
                         if let Some(b) = r.heap_dump {
-                            let _ = self.db.blobs().delete(b);
+                            let _ = self.db.backend().delete_blob(b);
                         }
                     }
                 }
@@ -845,12 +910,58 @@ impl QueryExecution {
         }
     }
 
-    /// Delete the previous generation's `SuspendedQuery` blob and the dump
-    /// blobs it references (primary and fallback records), keeping anything
-    /// the new generation still points at. Run files referenced through
-    /// operator aux/control bytes are never touched — the new generation
-    /// may share them. Best-effort: errors are ignored; a crash mid-GC
-    /// leaks blobs but never loses committed state.
+    /// Load a `SuspendedQuery` blob through the suspend backend.
+    fn load_sq(db: &Database, blob: BlobId) -> Result<SuspendedQuery> {
+        SuspendedQuery::decode_from_slice(&db.backend().get_blob(blob)?)
+    }
+
+    /// Every file a generation's `SuspendedQuery` pins: record and
+    /// fallback dump blobs plus the delta-chain ancestors under them.
+    fn sq_files(sq: &SuspendedQuery) -> impl Iterator<Item = FileId> + '_ {
+        sq.records
+            .values()
+            .chain(sq.fallbacks.values().flatten())
+            .filter_map(|r| r.heap_dump.map(|b| b.file))
+            .chain(sq.delta_deps.values().flatten().map(|b| b.file))
+    }
+
+    /// Retention GC after a commit: collect every generation that fell off
+    /// the just-committed manifest's retention window, keeping anything
+    /// the new generation or a still-retained generation references —
+    /// including every blob their delta chains reach, so a live chain is
+    /// never broken. Run files referenced through operator aux/control
+    /// bytes are never touched — the new generation may share them.
+    /// Best-effort: errors are ignored; a crash mid-GC leaks blobs but
+    /// never loses committed state.
+    fn gc_generations(
+        db: &Database,
+        old: &SuspendManifest,
+        new_sq: &SuspendedQuery,
+        committed: &SuspendManifest,
+    ) {
+        let retained: HashSet<u64> = committed.retained.iter().map(|(g, _)| *g).collect();
+        let dropped: Vec<(u64, BlobId)> = std::iter::once((old.generation, old.query))
+            .chain(old.retained.iter().copied())
+            .filter(|(g, _)| !retained.contains(g))
+            .collect();
+        if dropped.is_empty() {
+            return;
+        }
+        let mut keep: HashSet<FileId> = Self::sq_files(new_sq).collect();
+        for (_, qblob) in &committed.retained {
+            keep.insert(qblob.file);
+            if let Ok(rsq) = Self::load_sq(db, *qblob) {
+                keep.extend(Self::sq_files(&rsq));
+            }
+        }
+        for (generation, qblob) in dropped {
+            Self::gc_generation(db, generation, qblob, &keep);
+        }
+    }
+
+    /// Delete one dropped generation's blobs: records and fallbacks first,
+    /// then delta-chain ancestors nothing keeps alive, then the
+    /// `SuspendedQuery` blob.
     ///
     /// Ordering invariant: dump blobs are deleted *before* the old
     /// `SuspendedQuery` blob. The old query blob is the only index of the
@@ -858,17 +969,14 @@ impl QueryExecution {
     /// dumps with no record to re-enumerate them, while this order lets a
     /// future GC pass resume from the surviving query blob. At every
     /// intermediate point the newly committed manifest names the one valid
-    /// generation.
-    fn gc_generation(db: &Database, old: &SuspendManifest, new_sq: &SuspendedQuery) {
-        let Ok(old_sq) = SuspendedQuery::load(db.blobs(), old.query) else {
+    /// generation chain.
+    fn gc_generation(db: &Database, generation: u64, qblob: BlobId, keep: &HashSet<FileId>) {
+        let Ok(old_sq) = Self::load_sq(db, qblob) else {
             return;
         };
-        let keep: HashSet<FileId> = new_sq
-            .records
-            .values()
-            .chain(new_sq.fallbacks.values().flatten())
-            .filter_map(|r| r.heap_dump.map(|b| b.file))
-            .collect();
+        let backend = db.backend();
+        let mut deleted = 0u64;
+        let mut seen: HashSet<FileId> = HashSet::new();
         for rec in old_sq
             .records
             .values()
@@ -876,11 +984,28 @@ impl QueryExecution {
         {
             if let Some(b) = rec.heap_dump {
                 if !keep.contains(&b.file) {
-                    let _ = db.blobs().delete(b);
+                    seen.insert(b.file);
+                    if backend.delete_blob(b).is_ok() {
+                        deleted += 1;
+                    }
                 }
             }
         }
-        let _ = db.blobs().delete(old.query);
+        // Delta ancestors this generation pinned; deduped (a chain shared
+        // by several operators lists its blobs once) and skipped when a
+        // record delete above already covered the file.
+        for b in old_sq.delta_deps.values().flatten() {
+            if !keep.contains(&b.file) && seen.insert(b.file) && backend.delete_blob(*b).is_ok() {
+                deleted += 1;
+            }
+        }
+        if backend.delete_blob(qblob).is_ok() {
+            deleted += 1;
+        }
+        db.ledger().trace(|| TraceEvent::RetentionGc {
+            generation,
+            blobs_deleted: deleted,
+        });
     }
 
     /// Retire the committed generation after a successful resume (or when
@@ -907,16 +1032,68 @@ impl QueryExecution {
         let Some(m) = read_manifest_named(db, name).ok().flatten() else {
             return Ok(());
         };
-        let old_sq = SuspendedQuery::load(db.blobs(), m.query).ok();
+        // Enumerate everything the manifest reaches — the current
+        // generation and its retained predecessors — before the manifest
+        // goes away.
+        let old_sq = Self::load_sq(db, m.query).ok();
+        let retained: Vec<(u64, Option<SuspendedQuery>, BlobId)> = m
+            .retained
+            .iter()
+            .map(|(g, q)| (*g, Self::load_sq(db, *q).ok(), *q))
+            .collect();
         clear_manifest_named(db, name)?;
-        if let Some(sq) = old_sq {
+        let backend = db.backend();
+        let mut deleted = 0u64;
+        let mut seen: HashSet<FileId> = HashSet::new();
+        if let Some(sq) = &old_sq {
             for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
                 if let Some(b) = rec.heap_dump {
-                    let _ = db.blobs().delete(b);
+                    seen.insert(b.file);
+                    if backend.delete_blob(b).is_ok() {
+                        deleted += 1;
+                    }
+                }
+            }
+            for b in sq.delta_deps.values().flatten() {
+                if seen.insert(b.file) && backend.delete_blob(*b).is_ok() {
+                    deleted += 1;
                 }
             }
         }
-        let _ = db.blobs().delete(m.query);
+        if backend.delete_blob(m.query).is_ok() {
+            deleted += 1;
+        }
+        db.ledger().trace(|| TraceEvent::RetentionGc {
+            generation: m.generation,
+            blobs_deleted: deleted,
+        });
+        // Retained predecessors are unreachable once the manifest is gone;
+        // collect them too (their delta ancestors may be shared with the
+        // primary chain, hence the cross-generation dedup).
+        for (generation, rsq, qblob) in retained {
+            let mut deleted = 0u64;
+            if let Some(sq) = &rsq {
+                for rec in sq.records.values().chain(sq.fallbacks.values().flatten()) {
+                    if let Some(b) = rec.heap_dump {
+                        if seen.insert(b.file) && backend.delete_blob(b).is_ok() {
+                            deleted += 1;
+                        }
+                    }
+                }
+                for b in sq.delta_deps.values().flatten() {
+                    if seen.insert(b.file) && backend.delete_blob(*b).is_ok() {
+                        deleted += 1;
+                    }
+                }
+            }
+            if backend.delete_blob(qblob).is_ok() {
+                deleted += 1;
+            }
+            db.ledger().trace(|| TraceEvent::RetentionGc {
+                generation,
+                blobs_deleted: deleted,
+            });
+        }
         Ok(())
     }
 
@@ -1021,7 +1198,7 @@ impl QueryExecution {
         blob: BlobId,
         resume_workers: usize,
     ) -> std::result::Result<Self, ResumeError> {
-        let mut sq = with_retries(|| SuspendedQuery::load(db.blobs(), blob)).map_err(|e| {
+        let mut sq = with_retries(|| Self::load_sq(db, blob)).map_err(|e| {
             if e.is_corruption() || matches!(e, StorageError::NotFound(_)) {
                 ResumeError::SuspendedQueryUnreadable(e)
             } else {
@@ -1078,11 +1255,14 @@ impl QueryExecution {
         }
     }
 
-    /// Locate an operator whose dump blob no longer reads back cleanly.
+    /// Locate an operator whose dump blob no longer reads back cleanly. A
+    /// delta frame is only as good as its whole chain, so the walk
+    /// materializes chains end to end (checksum-verified apply) — damage
+    /// to *any* ancestor marks the dependent operator unreadable.
     fn find_unreadable_dump(db: &Database, sq: &SuspendedQuery) -> Option<OpId> {
         for rec in sq.records.values() {
             if let Some(b) = rec.heap_dump {
-                if let Err(e) = with_retries(|| db.blobs().get(b)) {
+                if let Err(e) = with_retries(|| Self::materialize_blob(db, b)) {
                     if !e.is_transient() {
                         return Some(rec.op);
                     }
@@ -1090,6 +1270,18 @@ impl QueryExecution {
             }
         }
         None
+    }
+
+    /// Read a dump blob through the backend and fully reconstruct it if it
+    /// is a delta frame (recursing through its ancestors).
+    fn materialize_blob(db: &Database, id: BlobId) -> Result<Vec<u8>> {
+        let raw = db.backend().get_blob(id)?;
+        if !is_delta_frame(&raw) {
+            return Ok(raw);
+        }
+        let delta = DeltaDump::decode_from_bytes(&raw)?;
+        let base = Self::materialize_blob(db, delta.base)?;
+        delta.apply(&base)
     }
 
     /// One resume attempt over a fixed record set. With `workers > 0` the
@@ -1114,7 +1306,9 @@ impl QueryExecution {
             ctx.graph = ContractGraph::decode_from_slice(gb)?;
         }
         ctx.work.restore(sq.work_snapshot.iter().copied());
-        if workers > 0 {
+        // The resume pool reads straight from the local blob store; a
+        // non-local backend serves every read itself (serially).
+        if workers > 0 && db.backend().is_local() {
             // `sq.records` is a BTreeMap, so the queue order (and thus the
             // fault-ordinal exposure) is deterministic.
             let blobs: Vec<BlobId> = sq.records.values().filter_map(|r| r.heap_dump).collect();

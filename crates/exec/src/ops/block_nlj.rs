@@ -448,7 +448,7 @@ impl Operator for BlockNlj {
         self.clear_buffer();
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, Some(blob)) => {
-                let BufferDump(tuples) = ctx.get_dump_value(*blob)?;
+                let BufferDump(tuples) = ctx.get_dump_value_for(self.op, *blob)?;
                 for t in tuples {
                     self.push_buffer(t);
                 }

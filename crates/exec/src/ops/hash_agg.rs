@@ -626,7 +626,7 @@ impl Operator for HashAgg {
 
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, Some(blob)) => {
-                let GroupsDump(groups) = ctx.get_dump_value(*blob)?;
+                let GroupsDump(groups) = ctx.get_dump_value_for(self.op, *blob)?;
                 self.heap_bytes = groups.len() * 40;
                 self.groups = groups;
             }

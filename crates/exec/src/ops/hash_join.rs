@@ -1578,7 +1578,7 @@ impl Operator for HashJoin {
                     }
                 }
                 if let Some(blob) = dump {
-                    let TableDump(pairs) = ctx.get_dump_value(*blob)?;
+                    let TableDump(pairs) = ctx.get_dump_value_for(self.op, *blob)?;
                     for (k, vs) in pairs {
                         for t in vs {
                             self.table_insert(k, t);

@@ -533,7 +533,7 @@ impl Operator for MergeJoin {
         self.heap_bytes = 0;
         match (&rec.strategy, &rec.heap_dump) {
             (Strategy::Dump, Some(blob)) => {
-                let PacketDump { left, right } = ctx.get_dump_value(*blob)?;
+                let PacketDump { left, right } = ctx.get_dump_value_for(self.op, *blob)?;
                 for t in left.iter().chain(right.iter()) {
                     self.heap_bytes += t.heap_bytes();
                 }

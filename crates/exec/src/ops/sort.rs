@@ -672,7 +672,7 @@ impl Operator for ExternalSort {
         if control.phase == PHASE_BUILD {
             match (&rec.strategy, &rec.heap_dump) {
                 (Strategy::Dump, Some(blob)) => {
-                    let BufferDump(tuples) = ctx.get_dump_value(*blob)?;
+                    let BufferDump(tuples) = ctx.get_dump_value_for(self.op, *blob)?;
                     for t in &tuples {
                         self.heap_bytes += t.heap_bytes();
                     }

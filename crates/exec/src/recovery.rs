@@ -21,7 +21,10 @@ use qsr_storage::{
     fnv1a, BlobId, Database, Decode, Decoder, Encode, Encoder, Result, StorageError,
 };
 use std::fmt;
-use std::time::Duration;
+
+// Hoisted into `qsr-storage` in PR 9 so the suspend-backend robustness
+// layer shares the schedule type; re-exported here for existing callers.
+pub use qsr_storage::{with_backoff, with_retries, BackoffSchedule, MAX_RETRIES, RESUME_BACKOFF};
 
 /// Sidecar file name of the suspend manifest.
 pub const SUSPEND_MANIFEST: &str = "SUSPEND.manifest";
@@ -29,30 +32,62 @@ pub const SUSPEND_MANIFEST: &str = "SUSPEND.manifest";
 /// Magic number opening a serialized manifest ("QSRM" little-endian).
 const MANIFEST_MAGIC: u32 = 0x4d52_5351;
 
-/// Manifest codec version.
-const MANIFEST_VERSION: u32 = 1;
+/// Newest manifest codec version this build reads and writes. v1 carries
+/// generation + query blob; v2 appends the delta-chain length and the
+/// retained-generation list. A manifest with no chain and no retained
+/// generations is written as v1, byte-identical to pre-PR-9 builds.
+const MANIFEST_VERSION: u32 = 2;
 
 /// The commit record of a suspend: which `SuspendedQuery` blob is current.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuspendManifest {
     /// Monotone suspend counter for this database directory. Each suspend
     /// commits generation `n + 1` and then garbage-collects generation
-    /// `n`'s blobs.
+    /// `n`'s blobs (unless retention keeps it).
     pub generation: u64,
     /// Blob holding the committed `SuspendedQuery`.
     pub query: BlobId,
+    /// Longest delta chain under this generation (0 = every dump is a
+    /// full checkpoint). Drives compaction and lets tools report resume
+    /// depth without decoding the `SuspendedQuery`.
+    pub chain_len: u64,
+    /// Older generations retention keeps recoverable, newest first:
+    /// `(generation, SuspendedQuery blob)`. Their blob closures (records,
+    /// fallbacks, delta parents) stay live until they age off this list.
+    pub retained: Vec<(u64, BlobId)>,
+}
+
+impl SuspendManifest {
+    /// A v1-shaped manifest: no delta chain, nothing retained.
+    pub fn new(generation: u64, query: BlobId) -> Self {
+        SuspendManifest {
+            generation,
+            query,
+            chain_len: 0,
+            retained: Vec::new(),
+        }
+    }
 }
 
 // Framed like `SuspendedQuery`: magic, version, checksum, length-prefixed
 // body. A bit flip anywhere in the file decodes to a clean error.
 impl Encode for SuspendManifest {
     fn encode(&self, enc: &mut Encoder) {
+        let v1 = self.chain_len == 0 && self.retained.is_empty();
         let mut body = Encoder::new();
         body.put_u64(self.generation);
         self.query.encode(&mut body);
+        if !v1 {
+            body.put_u64(self.chain_len);
+            body.put_u32(self.retained.len() as u32);
+            for (g, q) in &self.retained {
+                body.put_u64(*g);
+                q.encode(&mut body);
+            }
+        }
         let body = body.finish();
         enc.put_u32(MANIFEST_MAGIC);
-        enc.put_u32(MANIFEST_VERSION);
+        enc.put_u32(if v1 { 1 } else { MANIFEST_VERSION });
         enc.put_u64(fnv1a(&body));
         enc.put_bytes(&body);
     }
@@ -67,7 +102,7 @@ impl Decode for SuspendManifest {
             )));
         }
         let version = dec.get_u32()?;
-        if version != MANIFEST_VERSION {
+        if !(1..=MANIFEST_VERSION).contains(&version) {
             return Err(StorageError::VersionMismatch {
                 what: "SuspendManifest".into(),
                 expected: MANIFEST_VERSION,
@@ -85,10 +120,16 @@ impl Decode for SuspendManifest {
             ));
         }
         let mut bdec = Decoder::new(body);
-        let m = SuspendManifest {
-            generation: bdec.get_u64()?,
-            query: BlobId::decode(&mut bdec)?,
-        };
+        let mut m = SuspendManifest::new(bdec.get_u64()?, BlobId::decode(&mut bdec)?);
+        if version >= 2 {
+            m.chain_len = bdec.get_u64()?;
+            let n = bdec.get_u32()? as usize;
+            for _ in 0..n {
+                let g = bdec.get_u64()?;
+                let q = BlobId::decode(&mut bdec)?;
+                m.retained.push((g, q));
+            }
+        }
         if !bdec.is_exhausted() {
             return Err(StorageError::corrupt(format!(
                 "SuspendManifest body: {} trailing bytes",
@@ -113,7 +154,8 @@ pub fn read_manifest_named(
     db: &Database,
     name: &str,
 ) -> std::result::Result<Option<SuspendManifest>, ResumeError> {
-    let bytes = with_retries(|| db.disk().read_sidecar(name)).map_err(ResumeError::Storage)?;
+    let backend = db.backend();
+    let bytes = with_retries(|| backend.read_manifest(name)).map_err(ResumeError::Storage)?;
     match bytes {
         None => Ok(None),
         Some(b) => SuspendManifest::decode_from_slice(&b)
@@ -129,8 +171,7 @@ pub fn commit_manifest(db: &Database, manifest: &SuspendManifest) -> Result<()> 
 
 /// [`commit_manifest`] under an explicit manifest sidecar name.
 pub fn commit_manifest_named(db: &Database, name: &str, manifest: &SuspendManifest) -> Result<()> {
-    db.disk()
-        .write_sidecar_atomic(name, &manifest.encode_to_vec())
+    db.backend().commit_manifest(name, &manifest.encode_to_vec())
 }
 
 /// Remove the manifest, returning the directory to the clean "no suspend"
@@ -141,7 +182,7 @@ pub fn clear_manifest(db: &Database) -> Result<()> {
 
 /// [`clear_manifest`] under an explicit manifest sidecar name.
 pub fn clear_manifest_named(db: &Database, name: &str) -> Result<()> {
-    db.disk().remove_sidecar(name)
+    db.backend().remove_manifest(name)
 }
 
 /// Structured resume failures. Everything the resume path can hit maps to
@@ -227,102 +268,31 @@ impl From<ResumeError> for StorageError {
     }
 }
 
-/// A deterministic exponential-backoff schedule: attempt `n` (1-based) is
-/// followed, on transient failure, by a sleep of
-/// `base_ms * factor^(n-1)` milliseconds, up to `max_attempts` attempts
-/// total. The schedule is a pure function of its three fields — no
-/// jitter, no clock reads — so retry behavior is bit-reproducible and can
-/// be pinned in tests (see `tests/resume_errors.rs`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BackoffSchedule {
-    /// Delay after the first failed attempt, in milliseconds.
-    pub base_ms: u64,
-    /// Multiplier applied to the delay after each further failure.
-    pub factor: u32,
-    /// Total attempts (the first try included) before giving up.
-    pub max_attempts: u32,
-}
-
-impl BackoffSchedule {
-    /// The delay slept *after* failed attempt `attempt` (1-based), or
-    /// `None` when the schedule is exhausted and the error should surface.
-    pub fn delay_after(&self, attempt: u32) -> Option<Duration> {
-        if attempt == 0 || attempt >= self.max_attempts {
-            return None;
-        }
-        let mult = (self.factor as u64).saturating_pow(attempt - 1);
-        Some(Duration::from_millis(self.base_ms.saturating_mul(mult)))
-    }
-
-    /// The full sleep sequence: one entry per retry the schedule grants.
-    pub fn delays(&self) -> Vec<Duration> {
-        (1..self.max_attempts)
-            .map_while(|a| self.delay_after(a))
-            .collect()
-    }
-}
-
-/// The resume path's schedule: 4 attempts with 1 ms, 2 ms, 4 ms between
-/// them. Kept small because the fault injector's transient bursts are the
-/// only "device" these tests ever talk to; a production deployment would
-/// widen `base_ms`.
-pub const RESUME_BACKOFF: BackoffSchedule = BackoffSchedule {
-    base_ms: 1,
-    factor: 2,
-    max_attempts: 4,
-};
-
-/// Maximum attempts [`with_retries`] makes before giving up.
-pub const MAX_RETRIES: u32 = RESUME_BACKOFF.max_attempts;
-
-/// Run `f` under `schedule`, retrying transient I/O failures and only
-/// those — corruption, missing objects, and resource pressure fail
-/// immediately, because retrying them cannot help.
-pub fn with_backoff<T>(
-    schedule: &BackoffSchedule,
-    mut f: impl FnMut() -> Result<T>,
-) -> Result<T> {
-    let mut attempt = 1;
-    loop {
-        match f() {
-            Err(e) if e.is_transient() => match schedule.delay_after(attempt) {
-                Some(d) => {
-                    std::thread::sleep(d);
-                    attempt += 1;
-                }
-                None => return Err(e),
-            },
-            other => return other,
-        }
-    }
-}
-
-/// [`with_backoff`] under the pinned [`RESUME_BACKOFF`] schedule.
-pub fn with_retries<T>(f: impl FnMut() -> Result<T>) -> Result<T> {
-    with_backoff(&RESUME_BACKOFF, f)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use qsr_storage::FileId;
-    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn sample() -> SuspendManifest {
-        SuspendManifest {
-            generation: 3,
-            query: BlobId {
+        SuspendManifest::new(
+            3,
+            BlobId {
                 file: FileId(12),
                 len: 4096,
                 checksum: 0xFEED,
             },
-        }
+        )
     }
 
     #[test]
     fn manifest_roundtrips_and_detects_damage() {
         let m = sample();
         let bytes = m.encode_to_vec();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            1,
+            "no chain, nothing retained: the frame stays v1"
+        );
         assert_eq!(SuspendManifest::decode_from_slice(&bytes).unwrap(), m);
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
@@ -339,42 +309,38 @@ mod tests {
     }
 
     #[test]
-    fn retries_stop_at_success_and_skip_permanent_errors() {
-        let calls = AtomicU32::new(0);
-        let out: Result<u32> = with_retries(|| {
-            let n = calls.fetch_add(1, Ordering::SeqCst);
-            if n < 2 {
-                Err(StorageError::Io(std::io::Error::new(
-                    std::io::ErrorKind::Interrupted,
-                    "flaky",
-                )))
-            } else {
-                Ok(7)
-            }
-        });
-        assert_eq!(out.unwrap(), 7);
-        assert_eq!(calls.load(Ordering::SeqCst), 3);
-
-        let calls = AtomicU32::new(0);
-        let out: Result<u32> = with_retries(|| {
-            calls.fetch_add(1, Ordering::SeqCst);
-            Err(StorageError::corrupt("rot"))
-        });
-        assert!(out.is_err());
-        assert_eq!(calls.load(Ordering::SeqCst), 1, "corruption is not retried");
-    }
-
-    #[test]
-    fn retries_are_bounded() {
-        let calls = AtomicU32::new(0);
-        let out: Result<u32> = with_retries(|| {
-            calls.fetch_add(1, Ordering::SeqCst);
-            Err(StorageError::Io(std::io::Error::new(
-                std::io::ErrorKind::TimedOut,
-                "always",
-            )))
-        });
-        assert!(out.unwrap_err().is_transient());
-        assert_eq!(calls.load(Ordering::SeqCst), MAX_RETRIES);
+    fn manifest_v2_roundtrips_chain_and_retention() {
+        let mut m = sample();
+        m.chain_len = 2;
+        m.retained = vec![
+            (
+                2,
+                BlobId {
+                    file: FileId(9),
+                    len: 10,
+                    checksum: 0xBEEF,
+                },
+            ),
+            (
+                1,
+                BlobId {
+                    file: FileId(4),
+                    len: 20,
+                    checksum: 0xCAFE,
+                },
+            ),
+        ];
+        let bytes = m.encode_to_vec();
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+        assert_eq!(SuspendManifest::decode_from_slice(&bytes).unwrap(), m);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                SuspendManifest::decode_from_slice(&bad).is_err(),
+                "flip at byte {i} of a v2 manifest decoded silently"
+            );
+            assert!(SuspendManifest::decode_from_slice(&bytes[..i]).is_err());
+        }
     }
 }

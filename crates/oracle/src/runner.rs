@@ -2,7 +2,7 @@
 
 use crate::scenario::{Mode, Scenario};
 use qsr_exec::{QueryExecution, SuspendOptions};
-use qsr_storage::{CostModel, Database, FaultInjector, Tuple};
+use qsr_storage::{BackendKind, CostModel, Database, FaultInjector, Tuple};
 use qsr_workload::{corpus, SkewProfile};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -125,6 +125,42 @@ impl Oracle {
         Self::plan_with_knobs(&s.case, s.mem_budget, s.merge_fanin)
     }
 
+    /// Install the scenario's suspend backend on a handle. A no-op for
+    /// `Local` — pre-backend tokens keep their exact legacy I/O.
+    fn install(db: &Arc<Database>, s: &Scenario) {
+        if s.backend != BackendKind::Local {
+            db.install_backend(s.backend);
+        }
+    }
+
+    /// "Process restart" honoring the backend axis. Local and remote
+    /// state lives on disk, so the handle is dropped and the directory
+    /// reopened (with the scenario's backend reinstalled). The memory
+    /// backend's state lives *in* the handle — by design it dies with the
+    /// process — so those scenarios resume through the same handle,
+    /// scrubbed of any injector or quota a fresh open wouldn't carry.
+    fn reopen(dir: &Path, s: &Scenario, db: Arc<Database>) -> OracleResult<Arc<Database>> {
+        if s.backend == BackendKind::Memory {
+            db.disk().set_fault_injector(None);
+            db.disk().set_quota(None);
+            return Ok(db);
+        }
+        drop(db);
+        let db = Self::open(dir, s.pool_pages)?;
+        Self::install(&db, s);
+        Ok(db)
+    }
+
+    /// The suspend options a scenario's tokens spell out.
+    fn options_for(s: &Scenario) -> SuspendOptions {
+        SuspendOptions {
+            dump_writers: s.dump_writers,
+            delta: Some(s.delta),
+            keep_generations: Some(s.keep.max(1) as usize),
+            ..SuspendOptions::default()
+        }
+    }
+
     /// Golden output of `case` with the knobs off (uninterrupted run),
     /// cached.
     pub fn golden(&mut self, case: &str) -> OracleResult<Vec<Tuple>> {
@@ -242,6 +278,7 @@ impl Oracle {
     ) -> OracleResult<()> {
         let dir = TempDir::new(&s.case);
         let mut db = Self::setup(&dir.0, s.pool_pages, s.skew)?;
+        Self::install(&db, s);
         let plan = Self::plan_for(s)?;
         let mut exec = match QueryExecution::start(db.clone(), plan.clone()) {
             Ok(e) => e,
@@ -249,10 +286,7 @@ impl Oracle {
         };
         exec.set_batch_size(s.batch);
         let policy = s.policy.to_suspend_policy();
-        let options = SuspendOptions {
-            dump_writers: s.dump_writers,
-            ..SuspendOptions::default()
-        };
+        let options = Self::options_for(s);
         let mut collected = Vec::new();
         // Tuples delivered up to the last *committed* suspend — the resume
         // point a clean-aborted later suspend must fall back to.
@@ -280,8 +314,7 @@ impl Oracle {
                 // state is exactly the pre-suspend state — the previously
                 // committed generation, or no suspend at all. Recover from
                 // a fresh handle and finish the query from there.
-                drop(db);
-                let db = Self::open(&dir.0, s.pool_pages)?;
+                let db = Self::reopen(&dir.0, s, db)?;
                 return match QueryExecution::recover(db.clone()) {
                     Ok(Some(mut resumed)) => {
                         resumed.set_batch_size(s.batch);
@@ -312,8 +345,7 @@ impl Oracle {
                 };
             }
             committed = collected.len();
-            drop(db);
-            db = Self::open(&dir.0, s.pool_pages)?;
+            db = Self::reopen(&dir.0, s, db)?;
             exec = match QueryExecution::recover(db.clone()) {
                 Ok(Some(mut r)) => {
                     r.set_batch_size(s.batch);
@@ -348,6 +380,7 @@ impl Oracle {
     ) -> OracleResult<()> {
         let dir = TempDir::new(&s.case);
         let db = Self::setup(&dir.0, s.pool_pages, s.skew)?;
+        Self::install(&db, s);
         let plan = Self::plan_for(s)?;
         let mut exec = match QueryExecution::start(db.clone(), plan.clone()) {
             Ok(e) => e,
@@ -355,10 +388,7 @@ impl Oracle {
         };
         exec.set_batch_size(s.batch);
         let policy = s.policy.to_suspend_policy();
-        let options = SuspendOptions {
-            dump_writers: s.dump_writers,
-            ..SuspendOptions::default()
-        };
+        let options = Self::options_for(s);
         Self::arm(&mut exec, boundary);
         let (prefix, done) = match exec.run() {
             Ok(r) => r,
@@ -376,10 +406,9 @@ impl Oracle {
             db.disk().set_fault_injector(Some(fi));
             Self::arm_quota(&db, s.quota);
             let suspend_ok = exec.suspend_with(&policy, &options).is_ok();
-            drop(db);
 
             // "Process restart": reopen from the directory, injector-free.
-            let db = Self::open(&dir.0, s.pool_pages)?;
+            let db = Self::reopen(&dir.0, s, db)?;
             match QueryExecution::recover(db.clone()) {
                 Ok(Some(mut resumed)) => {
                     resumed.set_batch_size(s.batch);
@@ -429,8 +458,7 @@ impl Oracle {
                 // Disk pressure aborted the suspend before the fault
                 // window even opened: the only legal on-disk state is "no
                 // suspend", and a fresh rerun must deliver golden.
-                drop(db);
-                let db = Self::open(&dir.0, s.pool_pages)?;
+                let db = Self::reopen(&dir.0, s, db)?;
                 return match QueryExecution::recover(db.clone()) {
                     Ok(None) => Self::diff(
                         s,
@@ -446,9 +474,8 @@ impl Oracle {
                     )),
                 };
             }
-            drop(db);
 
-            let db = Self::open(&dir.0, s.pool_pages)?;
+            let db = Self::reopen(&dir.0, s, db)?;
             let fi = Arc::new(FaultInjector::seeded(FI_SEED));
             schedule.apply(&fi);
             db.disk().set_fault_injector(Some(fi));
@@ -473,8 +500,7 @@ impl Oracle {
                     // Typed failure: a clean retry from a fresh process
                     // must succeed — resume never damages the on-disk
                     // suspend state — and the output must match.
-                    drop(db);
-                    let db = Self::open(&dir.0, s.pool_pages)?;
+                    let db = Self::reopen(&dir.0, s, db)?;
                     let mut resumed = match QueryExecution::recover(db) {
                         Ok(Some(mut r)) => {
                             r.set_batch_size(s.batch);
@@ -530,12 +556,10 @@ impl Oracle {
     ) -> OracleResult<(u64, u64)> {
         let dir = TempDir::new("probe");
         let db = Self::setup(&dir.0, s.pool_pages, s.skew)?;
+        Self::install(&db, s);
         let mut exec = QueryExecution::start(db.clone(), Self::plan_for(s)?)
             .map_err(|e| format!("probe start: {e}"))?;
-        let options = SuspendOptions {
-            dump_writers: s.dump_writers,
-            ..SuspendOptions::default()
-        };
+        let options = Self::options_for(s);
         Self::arm(&mut exec, boundary);
         let (_, done) = exec.run().map_err(|e| format!("probe run: {e}"))?;
         if done {
@@ -550,8 +574,7 @@ impl Oracle {
         }
         exec.suspend_with(&s.policy.to_suspend_policy(), &options)
             .map_err(|e| format!("probe suspend: {e}"))?;
-        drop(db);
-        let db = Self::open(&dir.0, s.pool_pages)?;
+        let db = Self::reopen(&dir.0, s, db)?;
         db.disk().set_fault_injector(Some(fi.clone()));
         let r = QueryExecution::recover(db.clone());
         db.disk().set_fault_injector(None);
@@ -581,6 +604,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 5 },
         };
         oracle.check(&s).unwrap();
@@ -600,6 +626,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: total + 100 },
         };
         oracle.check(&s).unwrap();
@@ -621,6 +650,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(0),
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 5 },
         };
         oracle.check(&s).unwrap();
@@ -639,6 +671,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(64 * 1024 * 1024),
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 5 },
         };
         oracle.check(&s).unwrap();
@@ -660,6 +695,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 4 },
         };
         let widened = Scenario { mem_budget: 9, ..base.clone() };
@@ -686,6 +724,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 7 },
         };
         let rev = Scenario { skew: SkewProfile::Rev, ..base.clone() };

@@ -1,6 +1,6 @@
 //! Scenario descriptions and their repro-token syntax.
 
-use qsr_storage::{FaultSchedule, WriteFault};
+use qsr_storage::{BackendKind, FaultSchedule, WriteFault};
 use qsr_workload::SkewProfile;
 use std::fmt;
 use std::str::FromStr;
@@ -116,6 +116,17 @@ pub struct Scenario {
     /// small values force the degradation ladder, `Some(0)` forces a
     /// clean abort.
     pub quota: Option<u64>,
+    /// Suspend backend every dump/manifest routes through (`Local` =
+    /// absent, legacy on-disk path and pre-existing tokens unchanged).
+    /// `Memory` scenarios resume through the same database handle — the
+    /// backend's state dies with the process by design.
+    pub backend: BackendKind,
+    /// Delta checkpointing for repeated suspends (`false` = absent, full
+    /// dumps as before the delta axis existed).
+    pub delta: bool,
+    /// Keep-last-N generation retention (`1` = absent, only the newest
+    /// generation survives — the pre-retention behavior).
+    pub keep: u64,
     /// Interference mode.
     pub mode: Mode,
 }
@@ -169,6 +180,15 @@ impl fmt::Display for Scenario {
         if let Some(q) = self.quota {
             write!(f, ";quota={q}")?;
         }
+        if self.backend != BackendKind::Local {
+            write!(f, ";backend={}", self.backend)?;
+        }
+        if self.delta {
+            write!(f, ";delta=1")?;
+        }
+        if self.keep > 1 {
+            write!(f, ";keep={}", self.keep)?;
+        }
         match &self.mode {
             Mode::Sweep { boundary } => write!(f, ";mode=sweep:{boundary}"),
             Mode::Chain { boundaries } => {
@@ -213,6 +233,9 @@ impl FromStr for Scenario {
         let mut skew = None;
         let mut policy = None;
         let mut quota = None;
+        let mut backend = None;
+        let mut delta = None;
+        let mut keep = None;
         let mut mode: Option<Mode> = None;
         for part in s.split(';').filter(|p| !p.is_empty()) {
             let (key, value) = part
@@ -237,6 +260,9 @@ impl FromStr for Scenario {
                     })
                 }
                 "quota" => quota = Some(num(value)?),
+                "backend" => backend = Some(value.parse::<BackendKind>()?),
+                "delta" => delta = Some(num(value)? != 0),
+                "keep" => keep = Some(num(value)?),
                 "mode" => {
                     let (kind, rest) = value
                         .split_once(':')
@@ -302,6 +328,11 @@ impl FromStr for Scenario {
             skew: skew.unwrap_or_default(),
             policy: policy.ok_or("missing policy=")?,
             quota,
+            // Absent in pre-backend tokens: local disk, full dumps,
+            // keep-newest-only retention — the legacy lifecycle.
+            backend: backend.unwrap_or_default(),
+            delta: delta.unwrap_or(false),
+            keep: keep.unwrap_or(1),
             mode: mode.ok_or("missing mode=")?,
         })
     }
@@ -329,6 +360,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 17 },
         });
         roundtrip(&Scenario {
@@ -341,6 +375,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(8192),
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Chain {
                 boundaries: vec![3, 9, 2],
             },
@@ -355,6 +392,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary: 12,
                 during_resume: true,
@@ -375,6 +415,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary: 1,
                 during_resume: false,
@@ -396,6 +439,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(0),
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary: 5,
                 during_resume: false,
@@ -419,6 +465,9 @@ mod tests {
             skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: Some(4096),
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary: 3,
                 during_resume: false,
@@ -458,6 +507,9 @@ mod tests {
             skew: SkewProfile::Dup,
             policy: Policy::Optimized,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 9 },
         };
         let token = s.to_string();
@@ -486,6 +538,54 @@ mod tests {
     }
 
     #[test]
+    fn backend_delta_keep_tokens_roundtrip() {
+        let base = Scenario {
+            case: "sort".into(),
+            pool_pages: 0,
+            dump_writers: 0,
+            batch: 0,
+            mem_budget: 0,
+            merge_fanin: 0,
+            skew: SkewProfile::Default,
+            policy: Policy::Dump,
+            quota: None,
+            backend: BackendKind::Remote,
+            delta: true,
+            keep: 3,
+            mode: Mode::Chain {
+                boundaries: vec![5, 5, 5],
+            },
+        };
+        let token = base.to_string();
+        assert!(
+            token.contains("backend=remote;delta=1;keep=3"),
+            "token {token}"
+        );
+        roundtrip(&base);
+        for backend in [BackendKind::Local, BackendKind::Memory] {
+            roundtrip(&Scenario { backend, ..base.clone() });
+        }
+    }
+
+    #[test]
+    fn pre_backend_tokens_parse_as_legacy_lifecycle() {
+        // Tokens minted before the backend/delta/retention axes existed
+        // carry no backend=/delta=/keep= parts; they must replay on the
+        // local disk with full dumps and keep-newest-only retention, and
+        // legacy-lifecycle tokens must not grow redundant parts.
+        let s: Scenario = "case=sort;pool=0;writers=0;policy=dump;mode=sweep:3"
+            .parse()
+            .unwrap();
+        assert_eq!(s.backend, BackendKind::Local);
+        assert!(!s.delta);
+        assert_eq!(s.keep, 1);
+        let token = s.to_string();
+        for part in ["backend=", "delta=", "keep="] {
+            assert!(!token.contains(part), "token {token}");
+        }
+    }
+
+    #[test]
     fn parse_rejects_malformed_tokens() {
         for bad in [
             "",
@@ -498,6 +598,9 @@ mod tests {
             "case=sort;pool=0;writers=0;policy=dump;mode=fault:3:suspend;wf=1:nospce",
             "case=sort;pool=0;writers=0;policy=dump;skew=bogus;mode=sweep:3",
             "case=sort;pool=0;writers=0;policy=dump;budget=x;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;backend=tape;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;delta=x;mode=sweep:3",
+            "case=sort;pool=0;writers=0;policy=dump;keep=lots;mode=sweep:3",
         ] {
             assert!(bad.parse::<Scenario>().is_err(), "accepted {bad:?}");
         }

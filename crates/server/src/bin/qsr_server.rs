@@ -2,7 +2,8 @@
 //! multi-session preemptive engine.
 //!
 //! ```sh
-//! cargo run --bin qsr-server -- --sessions 4 --quantum 2000 --max-live 2
+//! cargo run --bin qsr-server -- --sessions 4 --quantum 2000 --max-live 2 \
+//!     --delta 1 --keep 2 --backend local
 //! ```
 //!
 //! Opens a scratch database, generates a small star-schema workload,
@@ -15,7 +16,7 @@
 use qsr_core::SuspendPolicy;
 use qsr_exec::{AggFn, PlanSpec, Predicate, SuspendOptions};
 use qsr_server::{QsrServer, ServerConfig};
-use qsr_storage::Database;
+use qsr_storage::{BackendKind, Database};
 use qsr_workload::{generate_table, TableSpec};
 
 fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
@@ -62,10 +63,21 @@ fn main() -> qsr_storage::Result<()> {
     let sessions = parse_flag(&args, "--sessions", 3);
     let quantum = parse_flag(&args, "--quantum", 2_000);
     let max_live = parse_flag(&args, "--max-live", 1) as usize;
+    // Suspend-path knobs: delta checkpoints, keep-last-N retention, and
+    // the suspend backend every parked session's state routes through.
+    let delta = parse_flag(&args, "--delta", 0) != 0;
+    let keep = parse_flag(&args, "--keep", 1) as usize;
+    let backend: BackendKind = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or_default();
 
     let dir = std::env::temp_dir().join(format!("qsr-server-{}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
     let db = Database::open_default(&dir)?;
+    db.install_backend(backend);
     generate_table(&db, &TableSpec::new("facts", 20_000).payload(48).seed(11))?;
     generate_table(&db, &TableSpec::new("dim", 1_000).payload(48).seed(12))?;
 
@@ -75,7 +87,11 @@ fn main() -> qsr_storage::Result<()> {
             quantum,
             max_live,
             policy: SuspendPolicy::Optimized { budget: None },
-            options: SuspendOptions::default(),
+            options: SuspendOptions {
+                delta: Some(delta),
+                keep_generations: Some(keep),
+                ..SuspendOptions::default()
+            },
         },
     );
     for i in 0..sessions {

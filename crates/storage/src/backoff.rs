@@ -1,0 +1,146 @@
+//! Deterministic bounded-backoff retry of transient I/O failures.
+//!
+//! Originally private to the resume path in `qsr-exec`; hoisted into the
+//! storage crate so the suspend-backend robustness layer (retrying remote
+//! puts) and recovery share one schedule type and one retry loop.
+
+use crate::error::Result;
+use std::time::Duration;
+
+/// A deterministic exponential-backoff schedule: attempt `n` (1-based) is
+/// followed, on transient failure, by a sleep of
+/// `base_ms * factor^(n-1)` milliseconds, up to `max_attempts` attempts
+/// total. The schedule is a pure function of its three fields — no
+/// jitter, no clock reads — so retry behavior is bit-reproducible and can
+/// be pinned in tests (see `tests/resume_errors.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// Delay after the first failed attempt, in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied to the delay after each further failure.
+    pub factor: u32,
+    /// Total attempts (the first try included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl BackoffSchedule {
+    /// The delay slept *after* failed attempt `attempt` (1-based), or
+    /// `None` when the schedule is exhausted and the error should surface.
+    pub fn delay_after(&self, attempt: u32) -> Option<Duration> {
+        if attempt == 0 || attempt >= self.max_attempts {
+            return None;
+        }
+        let mult = (self.factor as u64).saturating_pow(attempt - 1);
+        Some(Duration::from_millis(self.base_ms.saturating_mul(mult)))
+    }
+
+    /// The full sleep sequence: one entry per retry the schedule grants.
+    pub fn delays(&self) -> Vec<Duration> {
+        (1..self.max_attempts)
+            .map_while(|a| self.delay_after(a))
+            .collect()
+    }
+}
+
+/// The resume path's schedule: 4 attempts with 1 ms, 2 ms, 4 ms between
+/// them. Kept small because the fault injector's transient bursts are the
+/// only "device" these tests ever talk to; a production deployment would
+/// widen `base_ms`.
+pub const RESUME_BACKOFF: BackoffSchedule = BackoffSchedule {
+    base_ms: 1,
+    factor: 2,
+    max_attempts: 4,
+};
+
+/// Maximum attempts [`with_retries`] makes before giving up.
+pub const MAX_RETRIES: u32 = RESUME_BACKOFF.max_attempts;
+
+/// Run `f` under `schedule`, retrying transient I/O failures and only
+/// those — corruption, missing objects, and resource pressure fail
+/// immediately, because retrying them cannot help.
+pub fn with_backoff<T>(schedule: &BackoffSchedule, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut attempt = 1;
+    loop {
+        match f() {
+            Err(e) if e.is_transient() => match schedule.delay_after(attempt) {
+                Some(d) => {
+                    std::thread::sleep(d);
+                    attempt += 1;
+                }
+                None => return Err(e),
+            },
+            other => return other,
+        }
+    }
+}
+
+/// [`with_backoff`] under the pinned [`RESUME_BACKOFF`] schedule.
+pub fn with_retries<T>(f: impl FnMut() -> Result<T>) -> Result<T> {
+    with_backoff(&RESUME_BACKOFF, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::StorageError;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn retries_stop_at_success_and_skip_permanent_errors() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32> = with_retries(|| {
+            let n = calls.fetch_add(1, Ordering::SeqCst);
+            if n < 2 {
+                Err(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "flaky",
+                )))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+
+        let calls = AtomicU32::new(0);
+        let out: Result<u32> = with_retries(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(StorageError::corrupt("rot"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "corruption is not retried");
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32> = with_retries(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "always",
+            )))
+        });
+        assert!(out.unwrap_err().is_transient());
+        assert_eq!(calls.load(Ordering::SeqCst), MAX_RETRIES);
+    }
+
+    #[test]
+    fn delay_sequence_is_pure_and_bounded() {
+        let s = BackoffSchedule {
+            base_ms: 3,
+            factor: 2,
+            max_attempts: 4,
+        };
+        assert_eq!(
+            s.delays(),
+            vec![
+                Duration::from_millis(3),
+                Duration::from_millis(6),
+                Duration::from_millis(12)
+            ]
+        );
+        assert_eq!(s.delay_after(0), None);
+        assert_eq!(s.delay_after(4), None);
+    }
+}

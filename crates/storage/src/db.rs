@@ -1,11 +1,16 @@
 //! The `Database`: a directory bundling the disk manager, catalog, cost
 //! ledger, and blob store — the single handle higher layers hold.
 
+use crate::backend::{
+    BackendKind, LocalDiskBackend, MemoryBackend, RemoteMockBackend, RobustBackend, SuspendBackend,
+};
+use crate::backoff::RESUME_BACKOFF;
 use crate::blob::BlobStore;
 use crate::bufpool::BufferPool;
 use crate::catalog::{Catalog, TableInfo};
 use crate::cost::{CostLedger, CostModel};
 use crate::disk::DiskManager;
+use crate::env::env_parse;
 use crate::error::Result;
 use crate::heap::HeapFile;
 use crate::index::{IndexMeta, SortedIndex};
@@ -23,6 +28,10 @@ pub struct Database {
     pool: Arc<BufferPool>,
     catalog: Mutex<Catalog>,
     blobs: BlobStore,
+    /// Where suspend state (dump blobs + manifests) lives. Defaults to
+    /// the local disk; `QSR_SUSPEND_BACKEND` or [`Database::set_backend`]
+    /// swaps it.
+    backend: Mutex<Arc<dyn SuspendBackend>>,
     /// The strong owner of an installed tracer; the ledger only holds a
     /// weak reference (see [`CostLedger::set_tracer`]).
     tracer: Mutex<Option<Arc<Tracer>>>,
@@ -49,13 +58,50 @@ impl Database {
         let pool = BufferPool::new(dm.clone(), pool_pages);
         let catalog = Mutex::new(Catalog::open(dir.as_ref())?);
         let blobs = BlobStore::new(pool.clone());
-        Ok(Arc::new(Self {
+        let db = Arc::new(Self {
             dm,
             pool,
             catalog,
             blobs,
+            backend: Mutex::new(Arc::new(MemoryBackend::new()) as Arc<dyn SuspendBackend>),
             tracer: Mutex::new(None),
-        }))
+        });
+        let kind: BackendKind = env_parse("QSR_SUSPEND_BACKEND").unwrap_or_default();
+        db.install_backend(kind);
+        Ok(db)
+    }
+
+    /// Install the suspend backend selected by `kind`, constructed over
+    /// this database's blob store and disk manager. `Remote` builds the
+    /// full robustness stack: a [`RemoteMockBackend`] primary (seeded
+    /// deterministically, zero injected latency until scripted) with the
+    /// local disk as sticky failover target.
+    pub fn install_backend(self: &Arc<Self>, kind: BackendKind) -> Arc<dyn SuspendBackend> {
+        let local =
+            || Arc::new(LocalDiskBackend::new(self.blobs.clone(), self.dm.clone()));
+        let backend: Arc<dyn SuspendBackend> = match kind {
+            BackendKind::Local => local(),
+            BackendKind::Memory => Arc::new(MemoryBackend::new()),
+            BackendKind::Remote => Arc::new(RobustBackend::new(
+                Arc::new(RemoteMockBackend::new(local(), 0)),
+                Some(local()),
+                RESUME_BACKOFF,
+                Some(self.ledger().clone()),
+            )),
+        };
+        self.set_backend(backend.clone());
+        backend
+    }
+
+    /// Swap in a suspend backend (tests and the oracle script custom
+    /// fault-injected stacks this way).
+    pub fn set_backend(&self, backend: Arc<dyn SuspendBackend>) {
+        *self.backend.lock() = backend;
+    }
+
+    /// The suspend backend all suspend/resume/GC I/O goes through.
+    pub fn backend(&self) -> Arc<dyn SuspendBackend> {
+        self.backend.lock().clone()
     }
 
     /// Install (or with `None`, remove) a tracer. The database owns the

@@ -57,6 +57,18 @@ pub enum StorageError {
         /// The budget that was exceeded.
         budget: f64,
     },
+    /// A suspend-backend operation exceeded its deadline. Unlike a
+    /// transient I/O hiccup, a timeout says nothing about whether the
+    /// operation landed — retrying blindly risks duplication, so the
+    /// robustness layer treats it as resource pressure (fail over to a
+    /// cheaper backend or descend the degradation ladder), never as a
+    /// retryable transient.
+    BackendTimeout {
+        /// The operation that timed out (e.g. `put f12.qsr`).
+        what: String,
+        /// The deadline that was exceeded, in simulated latency units.
+        units: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -93,6 +105,10 @@ impl fmt::Display for StorageError {
             StorageError::DeadlineExceeded { spent, budget } => write!(
                 f,
                 "deadline exceeded: spent {spent:.1} cost units against a budget of {budget:.1}"
+            ),
+            StorageError::BackendTimeout { what, units } => write!(
+                f,
+                "backend timeout: {what} exceeded its deadline of {units} latency units"
             ),
         }
     }
@@ -160,14 +176,17 @@ impl StorageError {
         )
     }
 
-    /// True for resource-pressure failures ([`StorageError::NoSpace`] and
-    /// [`StorageError::DeadlineExceeded`]): the process is alive and retry
+    /// True for resource-pressure failures ([`StorageError::NoSpace`],
+    /// [`StorageError::DeadlineExceeded`], and
+    /// [`StorageError::BackendTimeout`]): the process is alive and retry
     /// is pointless, but a *cheaper* attempt may still succeed — these are
     /// the errors the suspend degradation ladder steps down on.
     pub fn is_resource_pressure(&self) -> bool {
         matches!(
             self,
-            StorageError::NoSpace { .. } | StorageError::DeadlineExceeded { .. }
+            StorageError::NoSpace { .. }
+                | StorageError::DeadlineExceeded { .. }
+                | StorageError::BackendTimeout { .. }
         )
     }
 }
@@ -241,6 +260,18 @@ mod tests {
             .to_string()
             .contains("spent 12.5 cost units against a budget of 10.0"));
         assert!(!StorageError::corrupt("rot").is_resource_pressure());
+
+        let e = StorageError::BackendTimeout {
+            what: "put f12.qsr".into(),
+            units: 40,
+        };
+        assert!(e.is_resource_pressure());
+        assert!(!e.is_transient(), "a timeout must not invite blind retry");
+        assert!(!e.is_corruption());
+        assert_eq!(
+            e.to_string(),
+            "backend timeout: put f12.qsr exceeded its deadline of 40 latency units"
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! through this crate, so the cost ledger observes every byte that moves —
 //! which is what makes the paper's experiments reproducible on any host.
 
+pub mod backend;
+pub mod backoff;
 pub mod blob;
 pub mod bufpool;
 pub mod catalog;
@@ -29,6 +31,7 @@ pub mod codec;
 pub mod colblock;
 pub mod cost;
 pub mod db;
+pub mod delta;
 pub mod disk;
 pub mod env;
 pub mod error;
@@ -43,6 +46,11 @@ pub mod trace;
 pub mod tuple;
 pub mod value;
 
+pub use backend::{
+    BackendKind, LocalDiskBackend, MemoryBackend, RemoteMockBackend, RobustBackend,
+    SuspendBackend, MEMORY_FILE_BASE,
+};
+pub use backoff::{with_backoff, with_retries, BackoffSchedule, MAX_RETRIES, RESUME_BACKOFF};
 pub use blob::{fnv1a, BlobId, BlobStore};
 pub use bufpool::{BufferPool, PinGuard};
 pub use catalog::{Catalog, TableInfo};
@@ -50,6 +58,7 @@ pub use codec::{Decode, Decoder, Encode, Encoder};
 pub use colblock::TupleBlock;
 pub use cost::{CacheStats, CostLedger, CostModel, CostSnapshot, Phase, PhaseCost};
 pub use db::Database;
+pub use delta::{is_delta_frame, DeltaDump, COMPACT_CHAIN_LEN, DELTA_MAGIC, DELTA_VERSION};
 pub use disk::{DiskManager, FileId};
 pub use env::{env_flag, env_parse, parse_env_flag, parse_env_value};
 pub use error::{Result, StorageError};

@@ -236,6 +236,47 @@ pub enum TraceEvent {
         /// The pressure that forced the shed.
         reason: String,
     },
+    /// A suspend backend persisted one dump blob.
+    BackendPut {
+        /// Backend label (`local`, `memory`, `remote`).
+        backend: &'static str,
+        /// Payload bytes written.
+        bytes: u64,
+        /// Pages the blob occupies.
+        pages: u64,
+    },
+    /// The robustness layer retried a transient backend failure.
+    BackendRetry {
+        /// Backend label the retry targets.
+        backend: &'static str,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// The transient error that triggered the retry.
+        reason: String,
+    },
+    /// The robustness layer failed over from one backend to another.
+    Failover {
+        /// Backend label abandoned.
+        from: &'static str,
+        /// Backend label now serving.
+        to: &'static str,
+        /// The error that forced the failover.
+        reason: String,
+    },
+    /// A delta chain was folded back into a full checkpoint (compaction).
+    ChainCompact {
+        /// Operator whose chain was compacted.
+        op: u32,
+        /// Chain length (delta links) folded away.
+        chain_len: u64,
+    },
+    /// Retention GC collected an old suspend generation.
+    RetentionGc {
+        /// The collected generation.
+        generation: u64,
+        /// Dump blobs deleted with it.
+        blobs_deleted: u64,
+    },
 }
 
 /// One journal record: a sequence number, the phase active at emit time,
@@ -638,6 +679,49 @@ pub fn event_json(e: &TraceEvent) -> (&'static str, String) {
                 "{{\"session\":{session},\"priority\":{priority},\"reason\":{}}}",
                 json_string(reason)
             ),
+        ),
+        TraceEvent::BackendPut {
+            backend,
+            bytes,
+            pages,
+        } => (
+            "BackendPut",
+            format!(
+                "{{\"backend\":{},\"bytes\":{bytes},\"pages\":{pages}}}",
+                json_string(backend)
+            ),
+        ),
+        TraceEvent::BackendRetry {
+            backend,
+            attempt,
+            reason,
+        } => (
+            "BackendRetry",
+            format!(
+                "{{\"backend\":{},\"attempt\":{attempt},\"reason\":{}}}",
+                json_string(backend),
+                json_string(reason)
+            ),
+        ),
+        TraceEvent::Failover { from, to, reason } => (
+            "Failover",
+            format!(
+                "{{\"from\":{},\"to\":{},\"reason\":{}}}",
+                json_string(from),
+                json_string(to),
+                json_string(reason)
+            ),
+        ),
+        TraceEvent::ChainCompact { op, chain_len } => (
+            "ChainCompact",
+            format!("{{\"op\":{op},\"chain_len\":{chain_len}}}"),
+        ),
+        TraceEvent::RetentionGc {
+            generation,
+            blobs_deleted,
+        } => (
+            "RetentionGc",
+            format!("{{\"generation\":{generation},\"blobs_deleted\":{blobs_deleted}}}"),
         ),
     }
 }

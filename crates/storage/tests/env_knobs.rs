@@ -8,7 +8,7 @@
 //! is a hard error whose message names the offending variable, never a
 //! silent fall-through to the default.
 
-use qsr_storage::{parse_env_flag, parse_env_value};
+use qsr_storage::{parse_env_flag, parse_env_value, BackendKind};
 
 /// One table row: (knob name, raw value, expected parse outcome).
 type Row<T> = (&'static str, Option<&'static str>, Result<Option<T>, ()>);
@@ -53,6 +53,26 @@ fn numeric_knobs_parse_or_name_the_variable() {
         }
     }
 
+    // QSR_KEEP_GENERATIONS reads as usize (the retention window width).
+    let usize_table: &[Row<usize>] = &[
+        ("QSR_KEEP_GENERATIONS", None, Ok(None)),
+        ("QSR_KEEP_GENERATIONS", Some("1"), Ok(Some(1))),
+        ("QSR_KEEP_GENERATIONS", Some("3"), Ok(Some(3))),
+        ("QSR_KEEP_GENERATIONS", Some("lots"), Err(())),
+        ("QSR_KEEP_GENERATIONS", Some("-2"), Err(())),
+        ("QSR_KEEP_GENERATIONS", Some(""), Err(())),
+    ];
+    for (name, raw, expected) in usize_table {
+        let got = parse_env_value::<usize>(name, *raw);
+        match expected {
+            Ok(v) => assert_eq!(got.as_ref().ok(), Some(v), "{name}={raw:?}"),
+            Err(()) => {
+                let msg = got.expect_err(&format!("{name}={raw:?} must hard-error"));
+                assert!(msg.contains(name), "error {msg:?} must name {name}");
+            }
+        }
+    }
+
     let f64_table: &[Row<f64>] = &[
         ("QSR_SUSPEND_DEADLINE", None, Ok(None)),
         ("QSR_SUSPEND_DEADLINE", Some("12.5"), Ok(Some(12.5))),
@@ -83,19 +103,51 @@ fn flag_knobs_accept_only_zero_and_one() {
         (Some("2"), Err(())),
         (Some(""), Err(())),
     ];
-    for (raw, expected) in table {
-        let got = parse_env_flag("QSR_ORACLE_FULL", *raw);
-        match expected {
-            Ok(v) => assert_eq!(got.as_ref().ok(), Some(v), "QSR_ORACLE_FULL={raw:?}"),
-            Err(()) => {
-                let msg = got.expect_err(&format!("QSR_ORACLE_FULL={raw:?} must hard-error"));
-                assert!(
-                    msg.contains("QSR_ORACLE_FULL"),
-                    "error {msg:?} must name the variable"
-                );
+    // Same contract for every flag knob; QSR_DELTA gates delta
+    // checkpoints, QSR_ORACLE_FULL widens the oracle corpus.
+    for knob in ["QSR_ORACLE_FULL", "QSR_DELTA"] {
+        for (raw, expected) in table {
+            let got = parse_env_flag(knob, *raw);
+            match expected {
+                Ok(v) => assert_eq!(got.as_ref().ok(), Some(v), "{knob}={raw:?}"),
+                Err(()) => {
+                    let msg = got.expect_err(&format!("{knob}={raw:?} must hard-error"));
+                    assert!(msg.contains(knob), "error {msg:?} must name the variable");
+                }
             }
         }
     }
+}
+
+#[test]
+fn backend_knob_accepts_only_known_backends() {
+    // QSR_SUSPEND_BACKEND parses through BackendKind::from_str: the three
+    // shipped backends are valid, anything else is a hard error that
+    // names both the variable and the valid options.
+    let table: &[Row<BackendKind>] = &[
+        ("QSR_SUSPEND_BACKEND", None, Ok(None)),
+        ("QSR_SUSPEND_BACKEND", Some("local"), Ok(Some(BackendKind::Local))),
+        ("QSR_SUSPEND_BACKEND", Some("memory"), Ok(Some(BackendKind::Memory))),
+        ("QSR_SUSPEND_BACKEND", Some(" remote "), Ok(Some(BackendKind::Remote))),
+        ("QSR_SUSPEND_BACKEND", Some("tape"), Err(())),
+        ("QSR_SUSPEND_BACKEND", Some("Local "), Err(())),
+        ("QSR_SUSPEND_BACKEND", Some(""), Err(())),
+    ];
+    for (name, raw, expected) in table {
+        let got = parse_env_value::<BackendKind>(name, *raw);
+        match expected {
+            Ok(v) => assert_eq!(got.as_ref().ok(), Some(v), "{name}={raw:?}"),
+            Err(()) => {
+                let msg = got.expect_err(&format!("{name}={raw:?} must hard-error"));
+                assert!(msg.contains(name), "error {msg:?} must name {name}");
+            }
+        }
+    }
+    let msg = parse_env_value::<BackendKind>("QSR_SUSPEND_BACKEND", Some("tape")).unwrap_err();
+    assert!(
+        msg.contains("local") && msg.contains("memory") && msg.contains("remote"),
+        "error {msg:?} must list the valid backends"
+    );
 }
 
 #[test]

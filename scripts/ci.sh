@@ -83,6 +83,20 @@ cargo run --release -p qsr-bench --bin bench_pr7
 # spill must land on a degraded ladder rung that still resumes.
 cargo run --release -p qsr-bench --bin bench_pr8
 
+# Backend stage: pluggable suspend backends, delta checkpoints, and
+# retention. The delta-chain commit / compaction-fold / retention-GC /
+# remote retry-failover fault matrices already ran in the release
+# degradation_matrix pass above; here the backend-aware oracle lane
+# replays suspend chains across local/memory/remote x delta x keep, the
+# env-knob audit covers QSR_SUSPEND_BACKEND / QSR_DELTA /
+# QSR_KEEP_GENERATIONS, and the bench asserts five delta suspends charge
+# measurably less dump I/O than full dumps (and that the remote stack
+# retries transients but fails over dead endpoints) and writes
+# BENCH_pr9.json.
+cargo test --release -q --test oracle_sweep backend_delta_retention_chains
+cargo test --release -q -p qsr-storage --test env_knobs
+cargo run --release -p qsr-bench --bin bench_pr9
+
 # Nightly lane (opt-in: QSR_NIGHTLY=1). The full-corpus oracle matrix —
 # every scenario x config x batch combination at stride cfg.stride,
 # including the grace/multipass knob cross product — plus the paper-scale
@@ -93,5 +107,9 @@ if [ "${QSR_NIGHTLY:-0}" = "1" ]; then
         cargo test --release -q --test oracle_sweep
     QSR_ORACLE_FULL=1 QSR_BATCH_SIZE=48 \
         cargo test --release -q --test oracle_sweep
+    # Delta-chain lane: the widened corpus crossing every backend with
+    # delta chaining and multi-generation retention windows.
+    QSR_ORACLE_FULL=1 \
+        cargo test --release -q --test oracle_sweep backend_delta_retention_chains
     cargo run --release -p qsr-bench --bin bench_pr8 -- --scale
 fi

@@ -1,0 +1,289 @@
+//! PR 9 end-to-end coverage: delta checkpoints, keep-last-N retention,
+//! and pluggable suspend backends (memory, fault-injected remote with
+//! retry + failover) — all through the public suspend/resume lifecycle.
+//!
+//! The invariants under test:
+//! - delta-on suspends charge measurably fewer `Phase::Suspend` dump
+//!   pages than full suspends of the same state, and resume is exact;
+//! - delta chains never grow past `COMPACT_CHAIN_LEN − 1` links (the
+//!   compaction fold), across arbitrarily many suspend/resume cycles;
+//! - retention GC (keep = 1) never collects a blob a live delta chain
+//!   still references — every cycle stays resumable;
+//! - keep = N retains the N−1 previous generations fully materializable;
+//! - the memory backend round-trips without touching the disk manifest;
+//! - the remote backend stack retries transients and fails over to the
+//!   local disk mid-suspend without losing the suspend.
+
+use qsr::core::{OpId, SuspendPolicy, SuspendedQuery};
+use qsr::exec::{
+    read_manifest, PlanSpec, Predicate, QueryExecution, SuspendOptions, SuspendTrigger,
+    SUSPEND_MANIFEST,
+};
+use qsr::storage::{
+    BackendKind, Database, Decode, LocalDiskBackend, Phase, RemoteMockBackend, RobustBackend,
+    SuspendBackend, Tuple, WriteFault, COMPACT_CHAIN_LEN, RESUME_BACKOFF,
+};
+use qsr::workload::{generate_table, TableSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let p = std::env::temp_dir().join(format!(
+            "qsr-delta-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn populate(db: &Arc<Database>) {
+    // Wide payloads and a same-sized inner: operator dumps span many
+    // pages (page-granular deltas have something to save) and the outer
+    // stream survives several suspend cycles' worth of ticks.
+    generate_table(db, &TableSpec::new("r", 3000).seed(21)).unwrap();
+    generate_table(db, &TableSpec::new("s", 3000).seed(22)).unwrap();
+}
+
+fn plan() -> PlanSpec {
+    PlanSpec::Sort {
+        input: Box::new(PlanSpec::BlockNlj {
+            outer: Box::new(PlanSpec::Filter {
+                input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+                predicate: Predicate::IntLt { col: 1, value: 500 },
+            }),
+            inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+            outer_key: 0,
+            inner_key: 0,
+            buffer_tuples: 150,
+        }),
+        key: 0,
+        buffer_tuples: 4096,
+    }
+}
+
+fn reference_output() -> Vec<Tuple> {
+    let dir = TempDir::new("ref");
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    let mut exec = QueryExecution::start(db, plan()).unwrap();
+    exec.run_to_completion().unwrap()
+}
+
+fn options(delta: bool, keep: usize) -> SuspendOptions {
+    SuspendOptions {
+        dump_writers: 0,
+        delta: Some(delta),
+        keep_generations: Some(keep),
+        ..SuspendOptions::default()
+    }
+}
+
+/// Drive one lifecycle on a fresh directory: suspend after 250 NLJ ticks,
+/// then `cycles − 1` further suspend/resume rounds of 40 ticks each, then
+/// run to completion. Returns the concatenated output and the
+/// `Phase::Suspend` pages charged by each suspend.
+fn run_cycles(tag: &str, opts: &SuspendOptions, cycles: usize) -> (Vec<Tuple>, Vec<u64>) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    let mut out = Vec::new();
+    let mut suspend_pages = Vec::new();
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    for cycle in 0..cycles {
+        let ticks = if cycle == 0 { 250 } else { 40 };
+        exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+            op: OpId(1),
+            n: ticks,
+        }));
+        let (prefix, done) = exec.run().unwrap();
+        out.extend(prefix);
+        assert!(!done, "cycle {cycle} finished before its suspend fired");
+        let before = db.ledger().snapshot();
+        exec.suspend_with(&SuspendPolicy::AllDump, opts).unwrap();
+        suspend_pages.push(
+            db.ledger()
+                .snapshot()
+                .since(&before)
+                .phase(Phase::Suspend)
+                .pages_written,
+        );
+        let m = read_manifest(&db).unwrap().expect("manifest after suspend");
+        assert!(
+            (m.chain_len as usize) < COMPACT_CHAIN_LEN,
+            "cycle {cycle}: chain_len {} must stay below the compaction cap",
+            m.chain_len
+        );
+        exec = QueryExecution::recover(db.clone())
+            .unwrap()
+            .expect("committed suspend must recover");
+    }
+    exec.set_trigger(None);
+    out.extend(exec.run_to_completion().unwrap());
+    (out, suspend_pages)
+}
+
+#[test]
+fn delta_suspends_charge_less_dump_io_and_resume_exactly() {
+    let reference = reference_output();
+    let (full_out, full_pages) = run_cycles("full", &options(false, 1), 3);
+    let (delta_out, delta_pages) = run_cycles("delta", &options(true, 1), 3);
+    assert_eq!(full_out, reference, "delta-off output drifted");
+    assert_eq!(delta_out, reference, "delta-on output drifted");
+    // The first suspend has no baseline — both modes dump in full.
+    assert_eq!(full_pages[0], delta_pages[0]);
+    // Later suspends moved only 40 tuples past a multi-page state: delta
+    // frames are never dearer (an unprofitable delta falls back to a full
+    // dump) and must be measurably cheaper in aggregate.
+    for i in 1..delta_pages.len() {
+        assert!(
+            delta_pages[i] <= full_pages[i],
+            "suspend {i}: delta pages {} exceed full pages {}",
+            delta_pages[i],
+            full_pages[i]
+        );
+    }
+    let (full, delta): (u64, u64) = (full_pages[1..].iter().sum(), delta_pages[1..].iter().sum());
+    assert!(
+        delta < full,
+        "delta suspends charged {delta} pages, not below the {full} full suspends charge"
+    );
+}
+
+#[test]
+fn delta_chains_compact_and_survive_retention_gc_across_cycles() {
+    let reference = reference_output();
+    // 7 cycles at keep=1: chains grow 0→1→2, fold, and grow again, with
+    // retention GC collecting the superseded generation every time. Any
+    // GC'd blob still referenced by a live chain would break a resume.
+    let (out, _) = run_cycles("cycles", &options(true, 1), 7);
+    assert_eq!(out, reference, "multi-cycle delta output drifted");
+}
+
+#[test]
+fn retention_keeps_previous_generations_materializable() {
+    let dir = TempDir::new("keep");
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    let opts = options(true, 3);
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    let mut retained_seen = Vec::new();
+    for cycle in 0..4 {
+        let ticks = if cycle == 0 { 250 } else { 40 };
+        exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+            op: OpId(1),
+            n: ticks,
+        }));
+        let (_, done) = exec.run().unwrap();
+        assert!(!done);
+        exec.suspend_with(&SuspendPolicy::AllDump, &opts).unwrap();
+        let m = read_manifest(&db).unwrap().unwrap();
+        assert_eq!(
+            m.retained.len(),
+            (cycle).min(2),
+            "cycle {cycle}: keep=3 retains up to 2 predecessors"
+        );
+        // Every retained generation must still be fully materializable:
+        // its SuspendedQuery loads and every record blob (including each
+        // delta chain ancestor) reads back through the backend.
+        let backend = db.backend();
+        for (generation, qblob) in &m.retained {
+            let sq =
+                SuspendedQuery::decode_from_slice(&backend.get_blob(*qblob).unwrap()).unwrap();
+            for rec in sq.records.values() {
+                if let Some(b) = rec.heap_dump {
+                    backend.get_blob(b).unwrap_or_else(|e| {
+                        panic!("generation {generation}: record blob unreadable: {e}")
+                    });
+                }
+            }
+            for dep in sq.delta_deps.values().flatten() {
+                backend.get_blob(*dep).unwrap_or_else(|e| {
+                    panic!("generation {generation}: delta ancestor unreadable: {e}")
+                });
+            }
+            retained_seen.push(*generation);
+        }
+        exec = QueryExecution::recover(db.clone()).unwrap().unwrap();
+    }
+    assert!(
+        retained_seen.contains(&1) && retained_seen.contains(&3),
+        "retention window never slid over generations 1 and 3: {retained_seen:?}"
+    );
+    // Retiring the live generation reclaims the retained tail too.
+    drop(exec);
+    QueryExecution::retire_generation(&db).unwrap();
+    assert!(read_manifest(&db).unwrap().is_none());
+}
+
+#[test]
+fn memory_backend_round_trips_without_a_disk_manifest() {
+    let reference = reference_output();
+    let dir = TempDir::new("mem");
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    db.install_backend(BackendKind::Memory);
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(1),
+        n: 250,
+    }));
+    let (mut out, done) = exec.run().unwrap();
+    assert!(!done);
+    exec.suspend(&SuspendPolicy::AllDump).unwrap();
+    // The manifest lives in the memory backend, not the disk sidecar: a
+    // fresh process would see a clean directory.
+    assert!(db.disk().read_sidecar(SUSPEND_MANIFEST).unwrap().is_none());
+    let mut exec = QueryExecution::recover(db.clone()).unwrap().unwrap();
+    out.extend(exec.run_to_completion().unwrap());
+    assert_eq!(out, reference, "memory-backend lifecycle output drifted");
+}
+
+#[test]
+fn remote_backend_retries_transients_and_fails_over_mid_suspend() {
+    let reference = reference_output();
+    let dir = TempDir::new("remote");
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    let local = || Arc::new(LocalDiskBackend::new(db.blobs().clone(), db.disk().clone()));
+    let remote = Arc::new(RemoteMockBackend::new(local(), 7));
+    // First remote put hiccups once (retried under RESUME_BACKOFF); the
+    // fourth write tears — the endpoint dies mid-suspend and the robust
+    // layer must fail over to the local disk without losing the suspend.
+    remote.faults().fail_write(1, WriteFault::Transient(1));
+    remote.faults().fail_write(4, WriteFault::Torn);
+    let robust = Arc::new(RobustBackend::new(
+        remote.clone(),
+        Some(local()),
+        RESUME_BACKOFF,
+        Some(db.ledger().clone()),
+    ));
+    db.set_backend(robust.clone());
+
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(1),
+        n: 250,
+    }));
+    let (mut out, done) = exec.run().unwrap();
+    assert!(!done);
+    exec.suspend(&SuspendPolicy::AllDump)
+        .expect("failover must keep the suspend alive");
+    assert!(
+        robust.failed_over(),
+        "the torn remote write must have flipped the stack to local"
+    );
+    assert_eq!(robust.name(), "local");
+    let mut exec = QueryExecution::recover(db.clone()).unwrap().unwrap();
+    out.extend(exec.run_to_completion().unwrap());
+    assert_eq!(out, reference, "failover lifecycle output drifted");
+}

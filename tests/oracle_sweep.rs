@@ -22,7 +22,7 @@
 //! fault budget and chain coverage for a nightly-style run.
 
 use qsr::oracle::{shrink, Mode, Oracle, Policy, Scenario, SkewProfile};
-use qsr::storage::{splitmix64, FaultSchedule};
+use qsr::storage::{splitmix64, BackendKind, FaultSchedule};
 
 const DEFAULT_SEED: u64 = 0x0D1F_F5EE;
 
@@ -115,6 +115,9 @@ fn exhaustive_suspend_point_sweep() {
                     skew: SkewProfile::Default,
                     policy,
                     quota: None,
+                    backend: Default::default(),
+                    delta: false,
+                    keep: 1,
                     mode: Mode::Sweep { boundary },
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
@@ -164,6 +167,9 @@ fn multi_suspend_chains_to_depth_three() {
                         Policy::Dump
                     },
                     quota: None,
+                    backend: Default::default(),
+                    delta: false,
+                    keep: 1,
                     mode: Mode::Chain {
                         boundaries: boundaries.clone(),
                     },
@@ -212,6 +218,9 @@ fn batch_mode_suspend_point_sweep() {
                     skew: SkewProfile::Default,
                     policy,
                     quota: None,
+                    backend: Default::default(),
+                    delta: false,
+                    keep: 1,
                     mode: Mode::Sweep { boundary },
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
@@ -245,9 +254,62 @@ fn batch_mode_multi_suspend_chains() {
                 skew: SkewProfile::Default,
                 policy: Policy::Optimized,
                 quota: None,
+                backend: Default::default(),
+                delta: false,
+                keep: 1,
                 mode: Mode::Chain { boundaries },
             };
             check_or_die(&mut oracle, &s, cfg.seed);
+        }
+    }
+}
+
+/// Backend × delta × retention family: multi-suspend chains (the only
+/// mode where delta frames and the retention window actually build up)
+/// across every suspend backend, with delta checkpointing on and a
+/// keep-last-2 window, so every resume replays chained frames whose
+/// ancestors the retention GC must have preserved. The memory backend
+/// resumes through the same handle (its state dies with the process by
+/// design); local and remote resume through a fresh handle like every
+/// other scenario.
+#[test]
+fn backend_delta_retention_chains() {
+    let cfg = config();
+    if cfg.replay.is_some() {
+        return;
+    }
+    let mut oracle = Oracle::new();
+    let cases: &[&str] = if cfg.full {
+        &["sort", "hash-join", "hash-agg", "distinct", "merge-join"]
+    } else {
+        &["sort", "hash-join"]
+    };
+    for case in cases {
+        let total = oracle
+            .total_work_units(case)
+            .unwrap_or_else(|e| panic!("golden run of {case}: {e}"));
+        let step = (total / 4).max(1);
+        for backend in [BackendKind::Local, BackendKind::Memory, BackendKind::Remote] {
+            for (delta, keep) in [(true, 1), (true, 2), (false, 3)] {
+                let s = Scenario {
+                    case: case.to_string(),
+                    pool_pages: 0,
+                    dump_writers: 0,
+                    batch: 0,
+                    mem_budget: 0,
+                    merge_fanin: 0,
+                    skew: SkewProfile::Default,
+                    policy: Policy::Dump,
+                    quota: None,
+                    backend,
+                    delta,
+                    keep,
+                    mode: Mode::Chain {
+                        boundaries: vec![step, step, step],
+                    },
+                };
+                check_or_die(&mut oracle, &s, cfg.seed);
+            }
         }
     }
 }
@@ -283,6 +345,9 @@ fn degradation_ladder_quota_sweep() {
                     skew: SkewProfile::Default,
                     policy,
                     quota: Some(headroom),
+                    backend: Default::default(),
+                    delta: false,
+                    keep: 1,
                     mode: Mode::Sweep { boundary },
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
@@ -320,6 +385,9 @@ fn scripted_nospace_at_every_suspend_write() {
             skew: SkewProfile::Default,
             policy: Policy::Optimized,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary,
                 during_resume: false,
@@ -389,6 +457,9 @@ fn grace_memory_knob_sweep() {
             skew,
             policy: Policy::Dump,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Sweep { boundary: 1 },
         };
         let total = oracle
@@ -425,6 +496,9 @@ fn grace_memory_knob_sweep() {
                     skew,
                     policy,
                     quota: None,
+                    backend: Default::default(),
+                    delta: false,
+                    keep: 1,
                     mode: Mode::Sweep { boundary },
                 };
                 check_or_die(&mut oracle, &s, cfg.seed);
@@ -468,6 +542,9 @@ fn grace_knob_fault_schedules() {
             skew,
             policy,
             quota: None,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary: 1,
                 during_resume,
@@ -533,6 +610,9 @@ fn randomized_fault_schedules() {
             skew: SkewProfile::Default,
             policy,
             quota,
+            backend: Default::default(),
+            delta: false,
+            keep: 1,
             mode: Mode::Fault {
                 boundary,
                 during_resume,

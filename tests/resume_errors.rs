@@ -254,7 +254,9 @@ fn version_skew_manifest_is_manifest_corrupt() {
             actual,
             ..
         })) => {
-            assert_eq!(expected, 1);
+            // `expected` reports the newest version this build understands
+            // (2 since the retention/delta manifest extension).
+            assert_eq!(expected, 2);
             assert_eq!(actual, 99);
         }
         other => panic!(

@@ -345,6 +345,36 @@ fn event_stream_invariants_across_corpus() {
             {
                 assert!(!table.ops.is_empty(), "[{tag}] dumps but empty attribution");
             }
+            // Backend-side reconciliation: every fresh operator dump and
+            // the SuspendedQuery blob go through exactly one BackendPut
+            // (salvage reuse and pool seal flushes never touch the
+            // backend), so the two views of the suspend's blob traffic
+            // must agree page for page — across all phases, aborted rungs
+            // included, since dump and put are emitted symmetrically.
+            let fresh_dump_pages: u64 = records
+                .iter()
+                .map(|r| match &r.event {
+                    TraceEvent::OpDump {
+                        pages,
+                        reused: false,
+                        ..
+                    } => *pages,
+                    TraceEvent::MetaWrite {
+                        label: "suspended-query",
+                        pages,
+                    } => *pages,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(
+                table.backend_pages(),
+                fresh_dump_pages,
+                "[{tag}] BackendPut pages diverge from fresh dumps + query blob"
+            );
+            assert!(
+                table.backends.keys().all(|k| k == "local"),
+                "[{tag}] default stack must attribute everything to the local backend"
+            );
         }
     }
 }
