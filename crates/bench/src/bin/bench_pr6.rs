@@ -86,6 +86,7 @@ fn config() -> ServerConfig {
             dump_writers: 0,
             ..SuspendOptions::default()
         },
+        ..ServerConfig::default()
     }
 }
 

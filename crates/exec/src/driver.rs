@@ -1097,6 +1097,66 @@ impl QueryExecution {
         Ok(())
     }
 
+    /// Orphan-blob sweep (run on recover and available to GC): delete
+    /// every blob the backend can enumerate that no committed manifest's
+    /// closure — current and retained `SuspendedQuery` blobs, their record
+    /// and fallback dumps, and every delta-chain ancestor — references.
+    /// Torn remote puts leave exactly such blobs behind: the fragment
+    /// landed under an id no manifest will ever name, and without this
+    /// sweep it leaks forever.
+    ///
+    /// Backends that cannot enumerate blobs as a distinct class (the local
+    /// disk, where dumps share a directory with table heaps) return `None`
+    /// from [`SuspendBackend::list_blobs`] and the sweep is a no-op.
+    /// Returns `(scanned, deleted)`. Deletes are charged to the ledger
+    /// under [`Phase::Fallback`] — reclaim I/O caused by a failed suspend,
+    /// not by any live query.
+    ///
+    /// Must only run while no suspend is in flight (recover-time, or a
+    /// quiesced GC window): a concurrent suspend writes its dump blobs
+    /// *before* committing the manifest that references them, and the
+    /// sweep would reap that window's blobs as orphans.
+    pub fn sweep_orphan_blobs(db: &Database) -> Result<(u64, u64)> {
+        let backend = db.backend();
+        let Some(blobs) = backend.list_blobs()? else {
+            return Ok((0, 0));
+        };
+        let mut keep: HashSet<FileId> = HashSet::new();
+        for name in backend.list_manifests("")? {
+            // The sidecar namespace also holds session metadata and other
+            // non-manifest files; anything that does not decode as a
+            // manifest is not ours to interpret and keeps nothing alive.
+            let Ok(Some(bytes)) = backend.read_manifest(&name) else {
+                continue;
+            };
+            let Ok(m) = SuspendManifest::decode_from_slice(&bytes) else {
+                continue;
+            };
+            for (_, qblob) in std::iter::once((m.generation, m.query))
+                .chain(m.retained.iter().copied())
+            {
+                keep.insert(qblob.file);
+                if let Ok(sq) = Self::load_sq(db, qblob) {
+                    keep.extend(Self::sq_files(&sq));
+                }
+            }
+        }
+        let scanned = blobs.len() as u64;
+        let mut deleted = 0u64;
+        let ledger = db.ledger();
+        let prev = ledger.phase();
+        ledger.set_phase(Phase::Fallback);
+        for b in blobs {
+            if !keep.contains(&b.file) && backend.delete_blob(b).is_ok() {
+                ledger.charge_write(1);
+                deleted += 1;
+            }
+        }
+        ledger.set_phase(prev);
+        ledger.trace(|| TraceEvent::OrphanSweep { scanned, deleted });
+        Ok((scanned, deleted))
+    }
+
     /// Recover from a database directory: if a committed suspend manifest
     /// exists, validate and resume it; `Ok(None)` is the clean "no suspend
     /// happened" state. This is the fresh-process entry point — it needs

@@ -53,7 +53,13 @@ pub enum SuspendMode {
 }
 
 /// A suspendable physical operator.
-pub trait Operator {
+///
+/// `Send` is part of the contract: the threaded scheduler moves whole
+/// operator trees (inside a live [`crate::QueryExecution`]) between worker
+/// threads, so every operator's state must be transferable. Shared
+/// infrastructure (`Database`, pool, ledger) is reached through `Arc`s in
+/// the [`ExecContext`]; per-operator state is owned.
+pub trait Operator: Send {
     /// This operator's id (stable across suspend/resume).
     fn op_id(&self) -> OpId;
 

@@ -395,6 +395,74 @@ impl PlanSpec {
         }
     }
 
+    /// Coarse estimate of the peak in-memory footprint this plan pins, in
+    /// tuples — the admission controller's demand signal. Buffering
+    /// operators contribute their declared capacities (block-NLJ outer
+    /// buffers, sort buffers) plus a nominal per-partition build allowance
+    /// for hash operators whose input cardinality the spec cannot know.
+    /// This is a planning signal, not an accounting truth: it only needs
+    /// to rank plans sensibly against a memory budget measured in the same
+    /// units.
+    pub fn estimated_mem_tuples(&self) -> u64 {
+        /// Nominal per-partition in-memory build allowance for hash
+        /// operators (cardinality is unknown at admission time).
+        const HASH_PARTITION_TUPLES: u64 = 256;
+        match self {
+            PlanSpec::TableScan { .. } => 1,
+            PlanSpec::Filter { input, .. }
+            | PlanSpec::Project { input, .. }
+            | PlanSpec::Distinct { input }
+            | PlanSpec::StreamAgg { input, .. } => 1 + input.estimated_mem_tuples(),
+            PlanSpec::IndexNlj { outer, .. } => 1 + outer.estimated_mem_tuples(),
+            PlanSpec::BlockNlj {
+                outer,
+                inner,
+                buffer_tuples,
+                ..
+            } => {
+                *buffer_tuples as u64
+                    + outer.estimated_mem_tuples()
+                    + inner.estimated_mem_tuples()
+            }
+            PlanSpec::Sort {
+                input,
+                buffer_tuples,
+                ..
+            } => *buffer_tuples as u64 + input.estimated_mem_tuples(),
+            PlanSpec::MergeJoin { left, right, .. } => {
+                2 + left.estimated_mem_tuples() + right.estimated_mem_tuples()
+            }
+            PlanSpec::HashJoin {
+                build,
+                probe,
+                partitions,
+                ..
+            } => {
+                HASH_PARTITION_TUPLES * (*partitions).max(1) as u64
+                    + build.estimated_mem_tuples()
+                    + probe.estimated_mem_tuples()
+            }
+            PlanSpec::HashAgg {
+                input, partitions, ..
+            } => {
+                HASH_PARTITION_TUPLES * (*partitions).max(1) as u64
+                    + input.estimated_mem_tuples()
+            }
+            PlanSpec::MemoryBudget {
+                input, mem_budget, ..
+            } => {
+                // The envelope caps hash-side residency; it cannot shrink
+                // declared scan/sort buffers, so cap only below the
+                // unconstrained estimate.
+                let inner = input.estimated_mem_tuples();
+                match *mem_budget {
+                    0 => inner,
+                    b => inner.min((b as u64).max(1)),
+                }
+            }
+        }
+    }
+
     /// Every catalog table this plan reads, in traversal order. Resume
     /// validation checks each against the catalog before rebuilding the
     /// plan, so a `SuspendedQuery` shipped to the wrong database fails

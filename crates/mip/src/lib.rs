@@ -18,10 +18,12 @@
 //! this scale. `qsr-core` additionally provides a structured solver for
 //! adversarially large plans and property-tests it against this crate.
 
+pub mod admission;
 pub mod branch_bound;
 pub mod problem;
 pub mod simplex;
 
+pub use admission::admission_price;
 pub use branch_bound::{
     solve_mip, solve_mip_observed, solve_mip_with_stats, MipOptions, MipSolution, SolveBudget,
     SolveObserver, SolveStats,

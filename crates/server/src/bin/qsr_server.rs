@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --bin qsr-server -- --sessions 4 --quantum 2000 --max-live 2 \
-//!     --delta 1 --keep 2 --backend local
+//!     --delta 1 --keep 2 --backend local --workers 2 --sla-budget 5000
 //! ```
 //!
 //! Opens a scratch database, generates a small star-schema workload,
@@ -12,11 +12,20 @@
 //! with `--quantum`-bounded slices and at most `--max-live` sessions in
 //! memory — everyone else parks on disk through the suspend path. Prints
 //! the per-tenant fairness ledger at the end.
+//!
+//! `--workers 0` (default) is the deterministic serial scheduler;
+//! `--workers N` runs slices on N real threads. `--sla-budget C` gives
+//! every tenant a suspend-cost budget of C ledger units, from which each
+//! preemption derives its suspend deadline. `--admission-budget M` (with
+//! optional `--admission-price P`, default 1e6) prices each admission's
+//! estimated memory against the live victims and rejects sessions whose
+//! preemption price exceeds P. `QSR_WORKERS` / `QSR_SLA_BUDGET` override
+//! the flags (hard error on malformed values).
 
 use qsr_core::SuspendPolicy;
 use qsr_exec::{AggFn, PlanSpec, Predicate, SuspendOptions};
-use qsr_server::{QsrServer, ServerConfig};
-use qsr_storage::{BackendKind, Database};
+use qsr_server::{AdmissionConfig, QsrServer, ServerConfig, SlaConfig};
+use qsr_storage::{env_parse, BackendKind, Database, StorageError};
 use qsr_workload::{generate_table, TableSpec};
 
 fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
@@ -58,11 +67,33 @@ fn plan_for(slot: u64) -> PlanSpec {
     }
 }
 
+fn parse_f64_flag(args: &[String], flag: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} expects a number, got {v:?}"))
+        })
+}
+
 fn main() -> qsr_storage::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let sessions = parse_flag(&args, "--sessions", 3);
     let quantum = parse_flag(&args, "--quantum", 2_000);
     let max_live = parse_flag(&args, "--max-live", 1) as usize;
+    // Threading and SLA knobs; env overrides flags, hard-erroring on typos.
+    let workers = env_parse::<usize>("QSR_WORKERS")
+        .unwrap_or_else(|| parse_flag(&args, "--workers", 0) as usize);
+    let sla_budget = env_parse::<f64>("QSR_SLA_BUDGET").or_else(|| parse_f64_flag(&args, "--sla-budget"));
+    let admission = args
+        .iter()
+        .position(|a| a == "--admission-budget")
+        .map(|_| AdmissionConfig {
+            memory_budget: parse_flag(&args, "--admission-budget", 0),
+            max_price: parse_f64_flag(&args, "--admission-price").unwrap_or(1e6),
+            queue: parse_flag(&args, "--admission-queue", 0) != 0,
+        });
     // Suspend-path knobs: delta checkpoints, keep-last-N retention, and
     // the suspend backend every parked session's state routes through.
     let delta = parse_flag(&args, "--delta", 0) != 0;
@@ -92,28 +123,43 @@ fn main() -> qsr_storage::Result<()> {
                 keep_generations: Some(keep),
                 ..SuspendOptions::default()
             },
+            workers,
+            sla: sla_budget.map(SlaConfig::uniform),
+            admission,
         },
     );
     for i in 0..sessions {
         // Mixed priorities: tenant-a is the premium tier.
         let (tenant, priority) = if i % 2 == 0 { ("tenant-a", 10) } else { ("tenant-b", 1) };
-        server.admit(tenant, priority, &plan_for(i))?;
+        match server.try_admit(tenant, priority, &plan_for(i)) {
+            Ok(_) => {}
+            Err(e @ StorageError::Overloaded { .. }) => {
+                eprintln!("session {} rejected: {e}", i + 1);
+            }
+            Err(e) => return Err(e),
+        }
     }
 
     let rounds = server.run_to_completion()?;
     println!(
-        "{} sessions over {} live slot(s), quantum {}: {} scheduler rounds",
-        sessions, max_live, quantum, rounds
+        "{} sessions over {} live slot(s), quantum {}, {} worker(s): {} scheduler {}",
+        sessions,
+        max_live,
+        quantum,
+        workers,
+        rounds,
+        if workers == 0 { "rounds" } else { "slices" },
     );
     println!(
-        "{:<12} {:<10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>14}",
-        "session", "tenant", "quanta", "work", "tuples", "suspends", "resumes", "resume-cost"
+        "{:<12} {:<10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>14} {:>9}",
+        "session", "tenant", "quanta", "work", "tuples", "suspends", "resumes", "resume-cost",
+        "sla-miss"
     );
     for s in server.sessions() {
         let f = &s.fairness;
         let resume_cost: f64 = f.resume_cost.iter().sum();
         println!(
-            "{:<12} {:<10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>14.2}{}",
+            "{:<12} {:<10} {:>8} {:>10} {:>8} {:>9} {:>8} {:>14.2} {:>9}{}",
             s.id().to_string(),
             s.meta.tenant,
             f.quanta,
@@ -122,6 +168,7 @@ fn main() -> qsr_storage::Result<()> {
             f.suspends,
             f.resumes,
             resume_cost,
+            f.sla_misses,
             if s.is_shed() { "  [shed]" } else { "" },
         );
     }

@@ -21,4 +21,7 @@ pub mod registry;
 pub mod scheduler;
 
 pub use registry::{SessionId, SessionMeta, SessionRegistry, SESSION_PREFIX};
-pub use scheduler::{FairnessStats, QsrServer, RoundReport, ServerConfig, Session};
+pub use scheduler::{
+    Admission, AdmissionConfig, FairnessStats, QsrServer, RoundReport, ServerConfig, Session,
+    SlaConfig,
+};

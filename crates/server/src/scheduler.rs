@@ -21,14 +21,107 @@
 //!   before starving all tenants.
 //! - **Deterministic resume retry**: transient resume failures back off on
 //!   the pinned [`RESUME_BACKOFF`] schedule, counted per session.
+//!
+//! ## Execution modes
+//!
+//! With `workers == 0` (the default) the scheduler is the byte-exact
+//! serial round-robin loop of earlier releases: one session runs at a
+//! time, every ledger charge lands in a deterministic order, and repeated
+//! runs produce bit-identical cost journals — the property the oracle and
+//! the golden tests pin.
+//!
+//! With `workers >= 1`, [`QsrServer::run_to_completion`] runs session
+//! slices on that many OS threads over the same shared `Database`. Workers
+//! claim runnable sessions round-robin from a mutex-guarded slot table,
+//! run one quantum outside the lock, and *park* (suspend to disk) whenever
+//! another runnable session is waiting unclaimed — so preemption suspends,
+//! resumes, and degradation-ladder descents genuinely overlap. Ledger
+//! totals stay correct (every counter is atomic or lock-guarded) but
+//! per-phase attribution interleaves, so threaded runs are validated by
+//! output equality against the serial schedule, never ledger equality.
+//!
+//! ## SLA scheduling and admission control
+//!
+//! With [`ServerConfig::sla`] set, each tenant gets a suspend-cost budget;
+//! every preemption of that tenant derives its `SuspendOptions::deadline`
+//! from the budget's unspent remainder, so a tenant whose suspends have
+//! already cost a lot gets progressively stricter deadlines (and the
+//! degradation ladder admission-skips rungs it can no longer afford). A
+//! preemption that commits below the requested rung — or aborts — under a
+//! derived deadline counts as an SLA miss for that session.
+//!
+//! With [`ServerConfig::admission`] set, [`QsrServer::try_admit`] prices a
+//! new session's estimated memory against the live victim set
+//! (`victim_signal` per live session, the same signal preemption uses) and
+//! refuses sessions whose price exceeds the cap: a typed
+//! [`StorageError::Overloaded`] rejection, or a parked queue entry that
+//! [`QsrServer::drain_admission_queue`] re-prices as load drains.
 
 use crate::registry::{SessionId, SessionMeta, SessionRegistry};
 use qsr_core::{SuspendOptimizer, SuspendPolicy};
 use qsr_exec::{
-    read_manifest_named, QueryExecution, ResumeError, SuspendOptions, PlanSpec, RESUME_BACKOFF,
+    read_manifest_named, QueryExecution, ResumeError, Rung, SuspendOptions, PlanSpec,
+    RESUME_BACKOFF,
 };
+use qsr_mip::admission_price;
 use qsr_storage::{Database, Decode, Encode, Phase, Result, StorageError, TraceEvent, Tuple};
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-tenant suspend-cost budgets for SLA-aware preemption deadlines.
+#[derive(Debug, Clone)]
+pub struct SlaConfig {
+    /// Budget (in simulated ledger cost units) for tenants with no
+    /// explicit entry.
+    pub default_budget: f64,
+    /// Per-tenant overrides: `(tenant, budget)`.
+    pub tenants: Vec<(String, f64)>,
+}
+
+impl SlaConfig {
+    /// The same budget for every tenant.
+    pub fn uniform(budget: f64) -> Self {
+        Self {
+            default_budget: budget,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The suspend-cost budget for `tenant`.
+    pub fn budget_for(&self, tenant: &str) -> f64 {
+        self.tenants
+            .iter()
+            .find(|(t, _)| t == tenant)
+            .map(|(_, b)| *b)
+            .unwrap_or(self.default_budget)
+    }
+}
+
+/// Admission-control policy: price a new session's estimated memory
+/// against the cost of preempting live victims to fit it.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Total session memory the server is willing to have live at once,
+    /// in estimated tuples ([`PlanSpec::estimated_mem_tuples`] units).
+    pub memory_budget: u64,
+    /// Maximum acceptable admission price (total `victim_signal` of the
+    /// preemptions needed to free the demanded memory).
+    pub max_price: f64,
+    /// Park rejected sessions on a FIFO queue (re-priced by
+    /// [`QsrServer::drain_admission_queue`]) instead of returning a typed
+    /// [`StorageError::Overloaded`] error.
+    pub queue: bool,
+}
+
+/// Outcome of [`QsrServer::try_admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The session was admitted durably and will be scheduled.
+    Admitted(SessionId),
+    /// The session was parked on the admission queue (only with
+    /// [`AdmissionConfig::queue`] set).
+    Queued,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -39,12 +132,24 @@ pub struct ServerConfig {
     pub quantum: u64,
     /// Live-session slots: how many sessions may hold in-memory execution
     /// state at once. Activating a session beyond this budget preempts the
-    /// MIP-cheapest live victim to disk.
+    /// MIP-cheapest live victim to disk. (In threaded mode each worker
+    /// holds at most one session live, so the effective ceiling is
+    /// `max(max_live, workers)`.)
     pub max_live: usize,
     /// Suspend policy used for preemptions.
     pub policy: SuspendPolicy,
     /// Suspend options used for preemptions.
     pub options: SuspendOptions,
+    /// Worker threads for [`QsrServer::run_to_completion`]. `0` (the
+    /// default) is the deterministic serial scheduler whose ledgers are
+    /// bit-identical across runs; `>= 1` runs slices on real threads and
+    /// is validated by output equality.
+    pub workers: usize,
+    /// Per-tenant SLA budgets; `None` disables deadline derivation (every
+    /// preemption uses `options.deadline` as-is).
+    pub sla: Option<SlaConfig>,
+    /// Admission control; `None` admits unconditionally.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +159,9 @@ impl Default for ServerConfig {
             max_live: 1,
             policy: SuspendPolicy::Optimized { budget: None },
             options: SuspendOptions::default(),
+            workers: 0,
+            sla: None,
+            admission: None,
         }
     }
 }
@@ -73,9 +181,31 @@ pub struct FairnessStats {
     pub resumes: u64,
     /// Transient-resume retries spent (backoff schedule steps taken).
     pub resume_retries: u64,
-    /// Simulated `Phase::Resume` cost of each resume, in ledger units
-    /// (deterministic — no wall clocks).
+    /// Simulated `Phase::Resume` cost of each *successful* resume attempt,
+    /// in ledger units (deterministic — no wall clocks). Failed transient
+    /// attempts' re-read costs land in `resume_retry_cost`, never here.
     pub resume_cost: Vec<f64>,
+    /// Simulated `Phase::Suspend` cost of each successful preemption of
+    /// this session (the victim's own park cost).
+    pub suspend_cost: Vec<f64>,
+    /// Simulated `Phase::Fallback` cost charged to this session's
+    /// *preemption decisions*: when preempting a victim to make room for
+    /// this session descends the degradation ladder, the rung>0 fallback
+    /// I/O is the cost of this session's demand, not of the victim —
+    /// so it accrues here, on the preemptor. (In threaded mode parking is
+    /// the scheduler's own decision and the cost lands on the parked
+    /// session's row.)
+    pub preempt_fallback_cost: f64,
+    /// `Phase::Resume` cost burned by failed transient resume attempts
+    /// (backoff-retry re-reads). Kept out of `resume_cost` so the SLA
+    /// scheduler sees the true per-resume price, not the flaky-device tax.
+    pub resume_retry_cost: f64,
+    /// Preemptions of this session that, under an SLA-derived deadline,
+    /// committed below the requested rung or aborted.
+    pub sla_misses: u64,
+    /// Wall-clock nanoseconds of each scheduling slice (bench latency
+    /// percentiles; never feeds the simulated ledger).
+    pub slice_nanos: Vec<u64>,
 }
 
 /// Where a session currently lives.
@@ -106,6 +236,9 @@ pub struct Session {
     /// Absolute tuple count at the last committed suspend generation;
     /// clean-abort rollback truncates `collected` to this point.
     committed_tuples: u64,
+    /// Estimated peak memory in tuples ([`PlanSpec::estimated_mem_tuples`]),
+    /// the admission controller's per-session demand figure.
+    pub est_mem: u64,
     /// Fairness ledger.
     pub fairness: FairnessStats,
 }
@@ -116,12 +249,16 @@ impl Session {
             SessionState::Fresh => Some(0),
             _ => None, // learned from tuples_emitted() at first activation
         };
+        let est_mem = PlanSpec::decode_from_slice(&meta.plan_bytes)
+            .map(|p| p.estimated_mem_tuples())
+            .unwrap_or(0);
         Self {
             meta,
             state,
             collected: Vec::new(),
             base,
             committed_tuples: 0,
+            est_mem,
             fairness: FairnessStats::default(),
         }
     }
@@ -163,6 +300,274 @@ pub struct RoundReport {
     pub preemptions: u64,
 }
 
+/// The shared-infrastructure handle every slice primitive works against:
+/// the database, the durable registry, and the immutable scheduling
+/// config. Both the serial loop and the worker threads drive sessions
+/// through exactly these functions, so the two modes cannot drift.
+struct SliceCtx<'a> {
+    db: &'a Arc<Database>,
+    registry: &'a SessionRegistry,
+    config: &'a ServerConfig,
+}
+
+/// What one preemption attempt did, alongside its `Result`.
+struct PreemptOutcome {
+    /// `Ok` on a committed park; the clean-abort / halt error otherwise.
+    result: Result<()>,
+    /// `Phase::Fallback` ledger delta across the attempt — rung>0 ladder
+    /// I/O, attributed by the caller to the preempting decision.
+    fallback_cost: f64,
+    /// On success: the committed rung and the plan's estimated suspend
+    /// cost (the SLA spend figure).
+    committed: Option<(Rung, f64)>,
+}
+
+/// Preempt a live session: suspend its execution to disk under its
+/// private manifest, with `deadline` (when SLA-derived) tightening the
+/// configured suspend deadline. On success the session parks as
+/// `Suspended` and its committed-output watermark advances; its own
+/// `Phase::Suspend` delta is recorded on its fairness row. On a clean
+/// abort (ladder exhausted under resource pressure) the in-memory
+/// execution is gone — the session rolls back to its last committed
+/// generation (or scratch) without duplicating output — and the error is
+/// returned for the server-level ladder. Halting faults propagate
+/// immediately: the process is dead.
+fn preempt_on(
+    cx: &SliceCtx<'_>,
+    s: &mut Session,
+    est_cost: f64,
+    reason: &str,
+    deadline: Option<f64>,
+) -> PreemptOutcome {
+    let state = std::mem::replace(&mut s.state, SessionState::Fresh);
+    let SessionState::Live(exec) = state else {
+        s.state = state;
+        return PreemptOutcome {
+            result: Err(StorageError::invalid("preempt target is not live")),
+            fallback_cost: 0.0,
+            committed: None,
+        };
+    };
+    let id = s.id();
+    cx.db.ledger().trace(|| TraceEvent::Preempt {
+        session: id.0,
+        est_suspend_cost: est_cost,
+        reason: reason.to_string(),
+    });
+    let before = cx.db.ledger().snapshot();
+    let options = match deadline {
+        Some(d) => {
+            let mut o = cx.config.options.clone();
+            o.deadline = Some(o.deadline.map_or(d, |x| x.min(d)));
+            o
+        }
+        None => cx.config.options.clone(),
+    };
+    let outcome = exec.suspend_with(&cx.config.policy, &options);
+    let after = cx.db.ledger().snapshot();
+    let fallback_cost =
+        after.phase_cost(Phase::Fallback) - before.phase_cost(Phase::Fallback);
+    let suspend_cost = after.phase_cost(Phase::Suspend) - before.phase_cost(Phase::Suspend);
+    match outcome {
+        Ok(handle) => {
+            s.committed_tuples = s.base.unwrap_or(0) + s.collected.len() as u64;
+            s.state = SessionState::Suspended {
+                generation: handle.generation,
+            };
+            s.fairness.suspends += 1;
+            s.fairness.suspend_cost.push(suspend_cost);
+            PreemptOutcome {
+                result: Ok(()),
+                fallback_cost,
+                committed: Some((handle.rung, handle.report.est_suspend_cost)),
+            }
+        }
+        Err(e) => {
+            let halted = cx
+                .db
+                .disk()
+                .fault_injector()
+                .is_some_and(|fi| fi.halted());
+            if halted {
+                return PreemptOutcome {
+                    result: Err(e),
+                    fallback_cost,
+                    committed: None,
+                };
+            }
+            // Clean abort: on-disk state is exactly the last committed
+            // generation (the ladder never touched the manifest). Roll
+            // delivered output back to that watermark so the re-resumed
+            // session never duplicates a tuple.
+            let manifest = read_manifest_named(cx.db, &SessionRegistry::manifest_name(id))
+                .ok()
+                .flatten();
+            let keep = s.committed_tuples.saturating_sub(s.base.unwrap_or(0)) as usize;
+            s.collected.truncate(keep);
+            s.state = match manifest {
+                Some(m) => SessionState::Suspended {
+                    generation: m.generation,
+                },
+                None => {
+                    // Back to scratch: the whole stream will replay.
+                    s.base = Some(0);
+                    s.committed_tuples = 0;
+                    s.collected.clear();
+                    SessionState::Fresh
+                }
+            };
+            PreemptOutcome {
+                result: Err(e),
+                fallback_cost,
+                committed: None,
+            }
+        }
+    }
+}
+
+/// Drop a live session's in-memory execution after a failed slice —
+/// the failed write leaves operator state undefined, so continuing it
+/// could silently corrupt output — and roll the session back to its
+/// last committed suspend generation (or scratch), truncating
+/// delivered output to the committed watermark so the replay never
+/// duplicates a tuple.
+fn rollback_on(db: &Database, s: &mut Session) {
+    if !matches!(s.state, SessionState::Live(_)) {
+        return;
+    }
+    let manifest = read_manifest_named(db, &SessionRegistry::manifest_name(s.id()))
+        .ok()
+        .flatten();
+    let keep = s.committed_tuples.saturating_sub(s.base.unwrap_or(0)) as usize;
+    s.collected.truncate(keep);
+    s.state = match manifest {
+        Some(m) => SessionState::Suspended {
+            generation: m.generation,
+        },
+        None => {
+            s.base = Some(0);
+            s.committed_tuples = 0;
+            s.collected.clear();
+            SessionState::Fresh
+        }
+    };
+}
+
+/// Resume a suspended session's execution from its private manifest,
+/// retrying transient failures on the pinned deterministic backoff
+/// schedule ([`RESUME_BACKOFF`]). Non-transient failures surface
+/// immediately with the structured [`ResumeError`] taxonomy. Each failed
+/// attempt's `Phase::Resume` delta accrues to `resume_retry_cost`; only
+/// the successful attempt's delta is the resume's recorded cost.
+fn resume_on(
+    cx: &SliceCtx<'_>,
+    s: &mut Session,
+    generation: u64,
+) -> std::result::Result<Box<QueryExecution>, ResumeError> {
+    let id = s.id();
+    let name = SessionRegistry::manifest_name(id);
+    let mut attempt = 1u32;
+    let (exec, before) = loop {
+        let before = cx.db.ledger().snapshot().phase_cost(Phase::Resume);
+        match QueryExecution::recover_named_with(
+            cx.db.clone(),
+            &name,
+            cx.config.options.resume_workers,
+        ) {
+            Ok(Some(exec)) => break (exec, before),
+            Ok(None) => {
+                return Err(ResumeError::Storage(StorageError::invalid(format!(
+                    "{id}: suspended at generation {generation} but manifest is gone"
+                ))))
+            }
+            Err(ResumeError::Storage(e)) if e.is_transient() => {
+                s.fairness.resume_retry_cost +=
+                    cx.db.ledger().snapshot().phase_cost(Phase::Resume) - before;
+                match RESUME_BACKOFF.delay_after(attempt) {
+                    Some(d) => {
+                        std::thread::sleep(d);
+                        attempt += 1;
+                        s.fairness.resume_retries += 1;
+                    }
+                    None => return Err(ResumeError::Storage(e)),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    let after = cx.db.ledger().snapshot().phase_cost(Phase::Resume);
+    if s.base.is_none() {
+        // Recovered mid-stream: everything before this point was
+        // delivered by the pre-crash process.
+        s.base = Some(exec.tuples_emitted());
+    }
+    s.committed_tuples = exec.tuples_emitted();
+    s.fairness.resumes += 1;
+    s.fairness.resume_cost.push(after - before);
+    cx.db.ledger().trace(|| TraceEvent::SessionResume {
+        session: id.0,
+        generation,
+    });
+    Ok(Box::new(exec))
+}
+
+/// Bring a non-live runnable session live: start it fresh or resume it
+/// from its committed generation.
+fn activate_on(cx: &SliceCtx<'_>, s: &mut Session) -> Result<()> {
+    match &s.state {
+        SessionState::Live(_) => Ok(()),
+        SessionState::Fresh => {
+            let spec = PlanSpec::decode_from_slice(&s.meta.plan_bytes)?;
+            let mut exec = Box::new(QueryExecution::start(cx.db.clone(), spec)?);
+            exec.set_manifest_name(SessionRegistry::manifest_name(s.id()));
+            s.state = SessionState::Live(exec);
+            Ok(())
+        }
+        SessionState::Suspended { generation } => {
+            let generation = *generation;
+            let exec = resume_on(cx, s, generation).map_err(StorageError::from)?;
+            s.state = SessionState::Live(exec);
+            Ok(())
+        }
+        _ => Err(StorageError::invalid("activate on a retired session")),
+    }
+}
+
+/// Run one quantum-bounded slice of a live session. Returns whether the
+/// session finished.
+fn run_slice_on(cx: &SliceCtx<'_>, s: &mut Session) -> Result<bool> {
+    let quantum = cx.config.quantum.max(1);
+    let SessionState::Live(exec) = &mut s.state else {
+        return Err(StorageError::invalid("run_slice on a non-live session"));
+    };
+    let clock = std::time::Instant::now();
+    let units_before = exec.work_units();
+    let mut n = 0u64;
+    exec.set_work_unit_observer(Some(Box::new(move |_, _| {
+        n += 1;
+        n >= quantum
+    })));
+    let outcome = exec.run();
+    exec.set_work_unit_observer(None);
+    // The quantum's suspend request is a yield, not necessarily a
+    // preemption — withdraw it so the execution can keep running live
+    // next round if no pressure materializes.
+    exec.clear_suspend_request();
+    let units_after = exec.work_units();
+    let (tuples, done) = outcome?;
+    s.fairness.quanta += 1;
+    s.fairness.work_units += units_after.saturating_sub(units_before);
+    s.fairness.tuples += tuples.len() as u64;
+    s.fairness.slice_nanos.push(clock.elapsed().as_nanos() as u64);
+    s.collected.extend(tuples);
+    if done {
+        let id = SessionId(s.meta.id);
+        s.state = SessionState::Finished;
+        cx.registry.remove(id)?;
+    }
+    Ok(done)
+}
+
 /// The long-lived multi-session engine.
 pub struct QsrServer {
     db: Arc<Database>,
@@ -170,6 +575,10 @@ pub struct QsrServer {
     config: ServerConfig,
     sessions: Vec<Session>,
     next_id: u64,
+    /// Suspend-cost spend per tenant (SLA deadline derivation).
+    sla_spent: HashMap<String, f64>,
+    /// Sessions refused by admission control and parked for retry.
+    admission_queue: VecDeque<(String, u32, PlanSpec)>,
 }
 
 impl QsrServer {
@@ -181,6 +590,8 @@ impl QsrServer {
             config,
             sessions: Vec::new(),
             next_id: 1,
+            sla_spent: HashMap::new(),
+            admission_queue: VecDeque::new(),
         }
     }
 
@@ -189,7 +600,9 @@ impl QsrServer {
     /// generation as `Suspended`, and restart the rest from scratch. No
     /// execution state is rebuilt here — sessions resume lazily on their
     /// first scheduling slice, so recovery cost is paid per session, not
-    /// up front.
+    /// up front. Recovery also runs the orphan-blob sweep: dump fragments
+    /// leaked by torn uploads (referenced by no manifest that survived)
+    /// are deleted on backends that can enumerate their blobs.
     pub fn recover(db: Arc<Database>, config: ServerConfig) -> Result<Self> {
         let registry = SessionRegistry::new(db.clone());
         let metas = registry.scan()?;
@@ -216,12 +629,17 @@ impl QsrServer {
             });
             sessions.push(Session::new(meta, state));
         }
+        // Best-effort: a still-dead remote endpoint must not block
+        // recovery; the next recover (or GC) sweeps instead.
+        let _ = QueryExecution::sweep_orphan_blobs(&db);
         Ok(Self {
             registry: SessionRegistry::new(db.clone()),
             db,
             config,
             sessions,
             next_id,
+            sla_spent: HashMap::new(),
+            admission_queue: VecDeque::new(),
         })
     }
 
@@ -248,7 +666,8 @@ impl QsrServer {
 
     /// Durably admit a new session for `tenant` at `priority`. The meta
     /// sidecar commits before the session is scheduled, so an admitted
-    /// session survives a crash even if it never ran.
+    /// session survives a crash even if it never ran. Bypasses admission
+    /// control — use [`QsrServer::try_admit`] for priced admission.
     pub fn admit(&mut self, tenant: &str, priority: u32, spec: &PlanSpec) -> Result<SessionId> {
         let id = SessionId(self.next_id);
         self.next_id += 1;
@@ -266,6 +685,121 @@ impl QsrServer {
         });
         self.sessions.push(Session::new(meta, SessionState::Fresh));
         Ok(id)
+    }
+
+    /// Price the admission of a `demand`-tuple session against the live
+    /// set: free memory under the budget admits for 0; otherwise victims
+    /// are priced by `victim_signal` in the ascending order the scheduler
+    /// would actually preempt them. `None` means no victim combination
+    /// frees enough.
+    fn price_admission(&self, adm: &AdmissionConfig, demand: u64) -> Option<f64> {
+        let used: u64 = self
+            .sessions
+            .iter()
+            .filter(|s| matches!(s.state, SessionState::Live(_)))
+            .map(|s| s.est_mem)
+            .sum();
+        let free = adm.memory_budget.saturating_sub(used);
+        let victims: Vec<(f64, u64)> = self
+            .sessions
+            .iter()
+            .filter_map(|s| match &s.state {
+                SessionState::Live(exec) => Some((
+                    SuspendOptimizer::victim_signal(&exec.suspend_problem(), &exec.ctx().graph),
+                    s.est_mem,
+                )),
+                _ => None,
+            })
+            .collect();
+        admission_price(demand, free, &victims)
+    }
+
+    /// Admit `tenant`'s session if its estimated memory can be freed
+    /// cheaply enough under the configured [`AdmissionConfig`]; with no
+    /// admission config this is exactly [`QsrServer::admit`]. Rejections
+    /// return a typed [`StorageError::Overloaded`] (or park the session on
+    /// the admission queue when `queue` is set).
+    pub fn try_admit(
+        &mut self,
+        tenant: &str,
+        priority: u32,
+        spec: &PlanSpec,
+    ) -> Result<Admission> {
+        let Some(adm) = self.config.admission.clone() else {
+            return self.admit(tenant, priority, spec).map(Admission::Admitted);
+        };
+        let demand = spec.estimated_mem_tuples();
+        match self.price_admission(&adm, demand) {
+            Some(price) if price <= adm.max_price => {
+                self.admit(tenant, priority, spec).map(Admission::Admitted)
+            }
+            priced => {
+                let price = priced.unwrap_or(f64::INFINITY);
+                self.db.ledger().trace(|| TraceEvent::AdmissionReject {
+                    tenant: tenant.to_string(),
+                    est_mem: demand,
+                    price,
+                    queued: adm.queue,
+                });
+                if adm.queue {
+                    self.admission_queue
+                        .push_back((tenant.to_string(), priority, spec.clone()));
+                    Ok(Admission::Queued)
+                } else {
+                    Err(StorageError::Overloaded {
+                        est_mem: demand,
+                        price,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Sessions currently parked on the admission queue.
+    pub fn queued_admissions(&self) -> usize {
+        self.admission_queue.len()
+    }
+
+    /// Re-price queued admissions FIFO as load drains, admitting every
+    /// affordable head-of-line entry. An entry that can never be admitted
+    /// — nothing is live and it still does not fit the budget — is dropped
+    /// (with a rejection trace) rather than blocking the queue forever.
+    /// Returns the ids admitted this pass.
+    pub fn drain_admission_queue(&mut self) -> Result<Vec<SessionId>> {
+        let Some(adm) = self.config.admission.clone() else {
+            return Ok(Vec::new());
+        };
+        let mut admitted = Vec::new();
+        while let Some((tenant, _priority, spec)) = self.admission_queue.front() {
+            let demand = spec.estimated_mem_tuples();
+            match self.price_admission(&adm, demand) {
+                Some(price) if price <= adm.max_price => {
+                    let (tenant, priority, spec) =
+                        self.admission_queue.pop_front().expect("front checked");
+                    admitted.push(self.admit(&tenant, priority, &spec)?);
+                }
+                priced => {
+                    let nothing_live = !self
+                        .sessions
+                        .iter()
+                        .any(|s| matches!(s.state, SessionState::Live(_)));
+                    if nothing_live {
+                        // Even an idle server cannot fit it: unadmittable.
+                        let price = priced.unwrap_or(f64::INFINITY);
+                        self.db.ledger().trace(|| TraceEvent::AdmissionReject {
+                            tenant: tenant.clone(),
+                            est_mem: demand,
+                            price,
+                            queued: false,
+                        });
+                        self.admission_queue.pop_front();
+                        continue;
+                    }
+                    break; // head-of-line waits for load to drain
+                }
+            }
+        }
+        Ok(admitted)
     }
 
     /// Number of sessions currently holding in-memory state.
@@ -298,101 +832,46 @@ impl QsrServer {
         best
     }
 
-    /// Preempt the session at `idx` (which must be live): suspend its
-    /// execution to disk under its private manifest. On success the
-    /// session parks as `Suspended` and its committed-output watermark
-    /// advances. On a clean abort (ladder exhausted under resource
-    /// pressure) the in-memory execution is gone — the session rolls back
-    /// to its last committed generation (or scratch) without duplicating
-    /// output — and the error is returned for the server-level ladder.
-    /// Halting faults propagate immediately: the process is dead.
-    fn preempt(&mut self, idx: usize, est_cost: f64, reason: &str) -> Result<()> {
-        let s = &mut self.sessions[idx];
-        let state = std::mem::replace(&mut s.state, SessionState::Fresh);
-        let SessionState::Live(exec) = state else {
-            s.state = state;
-            return Err(StorageError::invalid("preempt target is not live"));
-        };
-        let id = s.id();
-        self.db.ledger().trace(|| TraceEvent::Preempt {
-            session: id.0,
-            est_suspend_cost: est_cost,
-            reason: reason.to_string(),
-        });
-        match exec.suspend_with(&self.config.policy, &self.config.options) {
-            Ok(handle) => {
-                let s = &mut self.sessions[idx];
-                s.committed_tuples = s.base.unwrap_or(0) + s.collected.len() as u64;
-                s.state = SessionState::Suspended {
-                    generation: handle.generation,
-                };
-                s.fairness.suspends += 1;
-                Ok(())
-            }
-            Err(e) => {
-                let halted = self
-                    .db
-                    .disk()
-                    .fault_injector()
-                    .is_some_and(|fi| fi.halted());
-                if halted {
-                    return Err(e);
-                }
-                // Clean abort: on-disk state is exactly the last committed
-                // generation (the ladder never touched the manifest). Roll
-                // delivered output back to that watermark so the re-resumed
-                // session never duplicates a tuple.
-                let manifest = read_manifest_named(&self.db, &SessionRegistry::manifest_name(id))
-                    .ok()
-                    .flatten();
-                let s = &mut self.sessions[idx];
-                let keep = s.committed_tuples.saturating_sub(s.base.unwrap_or(0)) as usize;
-                s.collected.truncate(keep);
-                s.state = match manifest {
-                    Some(m) => SessionState::Suspended {
-                        generation: m.generation,
-                    },
-                    None => {
-                        // Back to scratch: the whole stream will replay.
-                        s.base = Some(0);
-                        s.committed_tuples = 0;
-                        s.collected.clear();
-                        SessionState::Fresh
-                    }
-                };
-                Err(e)
-            }
-        }
+    /// The SLA-derived suspend deadline for `tenant`: the unspent part of
+    /// its budget. `None` when SLA scheduling is off.
+    fn derived_deadline(&self, tenant: &str) -> Option<f64> {
+        let sla = self.config.sla.as_ref()?;
+        let spent = self.sla_spent.get(tenant).copied().unwrap_or(0.0);
+        Some((sla.budget_for(tenant) - spent).max(0.0))
     }
 
-    /// Drop a live session's in-memory execution after a failed slice —
-    /// the failed write leaves operator state undefined, so continuing it
-    /// could silently corrupt output — and roll the session back to its
-    /// last committed suspend generation (or scratch), truncating
-    /// delivered output to the committed watermark so the replay never
-    /// duplicates a tuple.
-    fn rollback_live(&mut self, idx: usize) {
-        let id = self.sessions[idx].id();
-        if !matches!(self.sessions[idx].state, SessionState::Live(_)) {
-            return;
-        }
-        let manifest = read_manifest_named(&self.db, &SessionRegistry::manifest_name(id))
-            .ok()
-            .flatten();
-        let s = &mut self.sessions[idx];
-        let keep = s.committed_tuples.saturating_sub(s.base.unwrap_or(0)) as usize;
-        s.collected.truncate(keep);
-        s.state = match manifest {
-            Some(m) => SessionState::Suspended {
-                generation: m.generation,
-            },
-            None => {
-                s.base = Some(0);
-                s.committed_tuples = 0;
-                s.collected.clear();
-                SessionState::Fresh
-            }
+    /// Preempt the session at `idx` (which must be live). `by` names the
+    /// session whose activation demanded the preemption: ladder rung>0
+    /// fallback I/O is charged to *its* fairness row (the preempting
+    /// decision), never to the victim's.
+    fn preempt(&mut self, idx: usize, est_cost: f64, reason: &str, by: Option<usize>) -> Result<()> {
+        let tenant = self.sessions[idx].meta.tenant.clone();
+        let deadline = self.derived_deadline(&tenant);
+        let cx = SliceCtx {
+            db: &self.db,
+            registry: &self.registry,
+            config: &self.config,
         };
+        let out = preempt_on(&cx, &mut self.sessions[idx], est_cost, reason, deadline);
+        if out.fallback_cost != 0.0 {
+            let target = by.unwrap_or(idx);
+            self.sessions[target].fairness.preempt_fallback_cost += out.fallback_cost;
+        }
+        if deadline.is_some() && !matches!(out.committed, Some((Rung::Requested, _))) {
+            self.sessions[idx].fairness.sla_misses += 1;
+        }
+        if let Some((_, est_suspend)) = out.committed {
+            if self.config.sla.is_some() {
+                *self.sla_spent.entry(tenant).or_insert(0.0) += est_suspend;
+            }
+        }
+        out.result
+    }
+
+    /// Roll the live session at `idx` back to its last committed
+    /// generation after a failed slice.
+    fn rollback_live(&mut self, idx: usize) {
+        rollback_on(&self.db, &mut self.sessions[idx]);
     }
 
     /// Server-level degradation ladder: shed the lowest-priority runnable
@@ -425,61 +904,6 @@ impl QsrServer {
         Ok(Some(id))
     }
 
-    /// Resume a suspended session's execution from its private manifest,
-    /// retrying transient failures on the pinned deterministic backoff
-    /// schedule ([`RESUME_BACKOFF`]). Non-transient failures surface
-    /// immediately with the structured [`ResumeError`] taxonomy.
-    fn resume_session(
-        &mut self,
-        idx: usize,
-        generation: u64,
-    ) -> std::result::Result<Box<QueryExecution>, ResumeError> {
-        let id = self.sessions[idx].id();
-        let name = SessionRegistry::manifest_name(id);
-        let before = self.db.ledger().snapshot().phase_cost(Phase::Resume);
-        let mut attempt = 1u32;
-        let exec = loop {
-            match QueryExecution::recover_named_with(
-                self.db.clone(),
-                &name,
-                self.config.options.resume_workers,
-            ) {
-                Ok(Some(exec)) => break exec,
-                Ok(None) => {
-                    return Err(ResumeError::Storage(StorageError::invalid(format!(
-                        "{id}: suspended at generation {generation} but manifest is gone"
-                    ))))
-                }
-                Err(ResumeError::Storage(e)) if e.is_transient() => {
-                    match RESUME_BACKOFF.delay_after(attempt) {
-                        Some(d) => {
-                            std::thread::sleep(d);
-                            attempt += 1;
-                            self.sessions[idx].fairness.resume_retries += 1;
-                        }
-                        None => return Err(ResumeError::Storage(e)),
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        };
-        let after = self.db.ledger().snapshot().phase_cost(Phase::Resume);
-        let s = &mut self.sessions[idx];
-        if s.base.is_none() {
-            // Recovered mid-stream: everything before this point was
-            // delivered by the pre-crash process.
-            s.base = Some(exec.tuples_emitted());
-        }
-        s.committed_tuples = exec.tuples_emitted();
-        s.fairness.resumes += 1;
-        s.fairness.resume_cost.push(after - before);
-        self.db.ledger().trace(|| TraceEvent::SessionResume {
-            session: id.0,
-            generation,
-        });
-        Ok(Box::new(exec))
-    }
-
     /// Bring the session at `idx` live (starting or resuming as needed),
     /// preempting the MIP-cheapest victim first when live slots are full.
     fn activate(&mut self, idx: usize, report: &mut RoundReport) -> Result<()> {
@@ -492,7 +916,7 @@ impl QsrServer {
             let Some((vidx, cost)) = self.pick_victim(keep) else {
                 break;
             };
-            match self.preempt(vidx, cost, "live-slot pressure") {
+            match self.preempt(vidx, cost, "live-slot pressure", Some(idx)) {
                 Ok(()) => report.preemptions += 1,
                 Err(e) if e.is_resource_pressure() => {
                     // Even the ladder could not park the victim: shed the
@@ -509,65 +933,20 @@ impl QsrServer {
         if !self.sessions[idx].is_runnable() {
             return Ok(());
         }
-        let id = self.sessions[idx].id();
-        let state = std::mem::replace(&mut self.sessions[idx].state, SessionState::Fresh);
-        let exec = match state {
-            SessionState::Fresh => {
-                let spec = PlanSpec::decode_from_slice(&self.sessions[idx].meta.plan_bytes)?;
-                let mut exec = Box::new(QueryExecution::start(self.db.clone(), spec)?);
-                exec.set_manifest_name(SessionRegistry::manifest_name(id));
-                exec
-            }
-            SessionState::Suspended { generation } => self
-                .resume_session(idx, generation)
-                .map_err(StorageError::from)?,
-            other => {
-                self.sessions[idx].state = other;
-                return Err(StorageError::invalid("activate on a retired session"));
-            }
+        let cx = SliceCtx {
+            db: &self.db,
+            registry: &self.registry,
+            config: &self.config,
         };
-        self.sessions[idx].state = SessionState::Live(exec);
-        Ok(())
-    }
-
-    /// Run one quantum-bounded slice of the session at `idx` (which must
-    /// be live). Returns whether the session finished.
-    fn run_slice(&mut self, idx: usize) -> Result<bool> {
-        let quantum = self.config.quantum.max(1);
-        let s = &mut self.sessions[idx];
-        let SessionState::Live(exec) = &mut s.state else {
-            return Err(StorageError::invalid("run_slice on a non-live session"));
-        };
-        let units_before = exec.work_units();
-        let mut n = 0u64;
-        exec.set_work_unit_observer(Some(Box::new(move |_, _| {
-            n += 1;
-            n >= quantum
-        })));
-        let outcome = exec.run();
-        exec.set_work_unit_observer(None);
-        // The quantum's suspend request is a yield, not necessarily a
-        // preemption — withdraw it so the execution can keep running live
-        // next round if no pressure materializes.
-        exec.clear_suspend_request();
-        let units_after = exec.work_units();
-        let (tuples, done) = outcome?;
-        s.fairness.quanta += 1;
-        s.fairness.work_units += units_after.saturating_sub(units_before);
-        s.fairness.tuples += tuples.len() as u64;
-        s.collected.extend(tuples);
-        if done {
-            let id = SessionId(s.meta.id);
-            s.state = SessionState::Finished;
-            self.registry.remove(id)?;
-        }
-        Ok(done)
+        activate_on(&cx, &mut self.sessions[idx])
     }
 
     /// One round-robin pass: give every runnable session one quantum, in
     /// admission order. Sessions park and resume through the suspend
-    /// machinery as live slots demand.
+    /// machinery as live slots demand. Queued admissions are re-priced
+    /// first, so sessions parked by admission control join as load drains.
     pub fn run_round(&mut self) -> Result<RoundReport> {
+        self.drain_admission_queue()?;
         let mut report = RoundReport::default();
         for idx in 0..self.sessions.len() {
             if !self.sessions[idx].is_runnable() {
@@ -578,7 +957,12 @@ impl QsrServer {
             if !matches!(self.sessions[idx].state, SessionState::Live(_)) {
                 continue;
             }
-            match self.run_slice(idx) {
+            let cx = SliceCtx {
+                db: &self.db,
+                registry: &self.registry,
+                config: &self.config,
+            };
+            match run_slice_on(&cx, &mut self.sessions[idx]) {
                 Ok(true) => report.finished += 1,
                 Ok(false) => {}
                 Err(e) if e.is_resource_pressure() => {
@@ -601,14 +985,285 @@ impl QsrServer {
         Ok(report)
     }
 
-    /// Drive all sessions to completion (or shedding). Returns the total
-    /// number of rounds run.
+    /// Drive all sessions to completion (or shedding). With `workers == 0`
+    /// this is the deterministic serial loop and the return value counts
+    /// rounds; with `workers >= 1` slices run on that many threads and the
+    /// return value counts slices (there are no global rounds to count).
     pub fn run_to_completion(&mut self) -> Result<u64> {
+        if self.config.workers >= 1 {
+            return self.run_threaded();
+        }
         let mut rounds = 0;
-        while self.sessions.iter().any(Session::is_runnable) {
+        while self.sessions.iter().any(Session::is_runnable)
+            || !self.admission_queue.is_empty()
+        {
             self.run_round()?;
             rounds += 1;
         }
         Ok(rounds)
+    }
+
+    /// The threaded scheduler: `workers` OS threads claim runnable
+    /// sessions round-robin from a shared slot table, run one quantum
+    /// outside the lock, and park (suspend to disk) whenever another
+    /// runnable session waits unclaimed. Sessions, their fairness rows,
+    /// and their exactly-once watermarks survive in admission order.
+    fn run_threaded(&mut self) -> Result<u64> {
+        self.drain_admission_queue()?;
+        let workers = self.config.workers.max(1);
+        let state = ThreadState {
+            slots: std::mem::take(&mut self.sessions)
+                .into_iter()
+                .map(Some)
+                .collect(),
+            cursor: 0,
+            checked_out: 0,
+            slices: 0,
+            sla_spent: std::mem::take(&mut self.sla_spent),
+            fatal: None,
+        };
+        let shared = ThreadShared {
+            db: &self.db,
+            registry: &self.registry,
+            config: &self.config,
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&shared));
+            }
+        });
+        let st = shared
+            .state
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        self.sessions = st.slots.into_iter().flatten().collect();
+        self.sla_spent = st.sla_spent;
+        match st.fatal {
+            Some(e) => Err(e),
+            None => Ok(st.slices),
+        }
+    }
+}
+
+/// State the worker threads coordinate through, behind one mutex.
+struct ThreadState {
+    /// Sessions in admission order; `None` marks one checked out by a
+    /// worker (it is always returned to the same slot).
+    slots: Vec<Option<Session>>,
+    /// Round-robin claim cursor.
+    cursor: usize,
+    /// Sessions currently checked out by workers.
+    checked_out: usize,
+    /// Slices completed across all workers.
+    slices: u64,
+    /// Suspend-cost spend per tenant (SLA deadline derivation).
+    sla_spent: HashMap<String, f64>,
+    /// First fatal error; set once, stops every worker.
+    fatal: Option<StorageError>,
+}
+
+/// Shared context of one threaded run.
+struct ThreadShared<'a> {
+    db: &'a Arc<Database>,
+    registry: &'a SessionRegistry,
+    config: &'a ServerConfig,
+    state: Mutex<ThreadState>,
+    cv: Condvar,
+}
+
+/// What one worker iteration did.
+#[derive(Default)]
+struct ThreadSliceReport {
+    slices: u64,
+}
+
+fn worker_loop(sh: &ThreadShared<'_>) {
+    loop {
+        let mut st = sh.state.lock().unwrap_or_else(|p| p.into_inner());
+        let (idx, mut session) = loop {
+            if st.fatal.is_some() {
+                drop(st);
+                sh.cv.notify_all();
+                return;
+            }
+            let n = st.slots.len();
+            let mut found = None;
+            for k in 0..n {
+                let i = (st.cursor + k) % n;
+                if st.slots[i].as_ref().is_some_and(|s| s.is_runnable()) {
+                    found = Some(i);
+                    break;
+                }
+            }
+            match found {
+                Some(i) => {
+                    st.cursor = (i + 1) % n;
+                    st.checked_out += 1;
+                    break (i, st.slots[i].take().expect("slot scanned as occupied"));
+                }
+                None if st.checked_out > 0 => {
+                    // A checked-out session may come back runnable (or its
+                    // return may end the run); wait for the next put-back.
+                    st = sh.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                None => {
+                    drop(st);
+                    sh.cv.notify_all();
+                    return;
+                }
+            }
+        };
+        drop(st);
+
+        let outcome = threaded_slice(sh, &mut session);
+
+        let mut st = sh.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.checked_out -= 1;
+        match outcome {
+            Ok(rep) => st.slices += rep.slices,
+            Err(e) => {
+                let halted = sh
+                    .db
+                    .disk()
+                    .fault_injector()
+                    .is_some_and(|fi| fi.halted());
+                if !halted && e.is_resource_pressure() {
+                    shed_under_pressure(sh, &mut st, &mut session, e);
+                } else if st.fatal.is_none() {
+                    st.fatal = Some(e);
+                }
+            }
+        }
+        st.slots[idx] = Some(session);
+        drop(st);
+        sh.cv.notify_all();
+    }
+}
+
+/// One worker iteration over a checked-out session: activate, run one
+/// quantum, then park if other runnable sessions are waiting unclaimed.
+/// Pressure errors roll the session back before surfacing, so the caller
+/// only has to walk the shedding ladder.
+fn threaded_slice(sh: &ThreadShared<'_>, s: &mut Session) -> Result<ThreadSliceReport> {
+    let cx = SliceCtx {
+        db: sh.db,
+        registry: sh.registry,
+        config: sh.config,
+    };
+    let mut rep = ThreadSliceReport::default();
+    if !s.is_runnable() {
+        return Ok(rep);
+    }
+    activate_on(&cx, s)?;
+    let done = match run_slice_on(&cx, s) {
+        Ok(done) => done,
+        Err(e) => {
+            if e.is_resource_pressure()
+                && !cx.db.disk().fault_injector().is_some_and(|fi| fi.halted())
+            {
+                rollback_on(cx.db, s);
+            }
+            return Err(e);
+        }
+    };
+    rep.slices = 1;
+    if done {
+        return Ok(rep);
+    }
+    // Park when demand exceeds worker supply: another runnable session
+    // sits unclaimed in the slot table, so this one suspends to free its
+    // memory. This is what makes preemption suspends genuinely
+    // concurrent — every worker whose slice expires under load parks at
+    // the same time.
+    let (waiting, deadline) = {
+        let st = sh.state.lock().unwrap_or_else(|p| p.into_inner());
+        let waiting = st.slots.iter().flatten().any(|o| o.is_runnable());
+        let deadline = sh.config.sla.as_ref().map(|sla| {
+            let spent = st.sla_spent.get(&s.meta.tenant).copied().unwrap_or(0.0);
+            (sla.budget_for(&s.meta.tenant) - spent).max(0.0)
+        });
+        (waiting, deadline)
+    };
+    if !waiting {
+        return Ok(rep); // keep live: nobody needs the memory
+    }
+    let est = match &s.state {
+        SessionState::Live(exec) => {
+            SuspendOptimizer::victim_signal(&exec.suspend_problem(), &exec.ctx().graph)
+        }
+        _ => 0.0,
+    };
+    let out = preempt_on(&cx, s, est, "quantum expiry", deadline);
+    // The park is the scheduler's own decision; its ladder fallback cost
+    // lands on the parked session's decision row.
+    if out.fallback_cost != 0.0 {
+        s.fairness.preempt_fallback_cost += out.fallback_cost;
+    }
+    if deadline.is_some() && !matches!(out.committed, Some((Rung::Requested, _))) {
+        s.fairness.sla_misses += 1;
+    }
+    if let Some((_, est_suspend)) = out.committed {
+        if sh.config.sla.is_some() {
+            let mut st = sh.state.lock().unwrap_or_else(|p| p.into_inner());
+            *st.sla_spent.entry(s.meta.tenant.clone()).or_insert(0.0) += est_suspend;
+        }
+    }
+    out.result?;
+    Ok(rep)
+}
+
+/// Threaded counterpart of the serial shedding ladder: shed the
+/// lowest-priority runnable session among the parked slots and the
+/// session in hand (sessions checked out by *other* workers cannot be
+/// shed — they come back through their own error paths). With nothing to
+/// shed, the pressure error becomes fatal.
+fn shed_under_pressure(
+    sh: &ThreadShared<'_>,
+    st: &mut ThreadState,
+    held: &mut Session,
+    e: StorageError,
+) {
+    let reason = format!("pressure: {e}");
+    let slot_victim = st
+        .slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.as_ref().filter(|s| s.is_runnable()).map(|s| (i, s)))
+        .min_by_key(|(_, s)| (s.meta.priority, std::cmp::Reverse(s.meta.id)))
+        .map(|(i, s)| (i, (s.meta.priority, std::cmp::Reverse(s.meta.id))));
+    let held_key = held
+        .is_runnable()
+        .then_some((held.meta.priority, std::cmp::Reverse(held.meta.id)));
+    let use_held = match (&slot_victim, &held_key) {
+        (Some((_, sk)), Some(hk)) => hk < sk,
+        (None, Some(_)) => true,
+        _ => false,
+    };
+    let victim: Option<&mut Session> = if use_held {
+        Some(held)
+    } else {
+        slot_victim.and_then(|(i, _)| st.slots[i].as_mut())
+    };
+    let Some(v) = victim else {
+        if st.fatal.is_none() {
+            st.fatal = Some(e);
+        }
+        return;
+    };
+    let id = v.id();
+    let priority = v.meta.priority;
+    v.state = SessionState::Shed;
+    v.collected.clear();
+    sh.db.ledger().trace(|| TraceEvent::Shed {
+        session: id.0,
+        priority,
+        reason: reason.clone(),
+    });
+    if let Err(re) = sh.registry.remove(id) {
+        if st.fatal.is_none() {
+            st.fatal = Some(re);
+        }
     }
 }

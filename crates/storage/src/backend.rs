@@ -70,6 +70,17 @@ pub trait SuspendBackend: Send + Sync {
 
     /// Committed manifest names starting with `prefix`, sorted.
     fn list_manifests(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Enumerate every dump blob this backend holds, for the orphan sweep.
+    /// `Ok(None)` means the backend cannot enumerate blobs as a distinct
+    /// class — the local disk keeps dumps in the same directory as table
+    /// heaps and spill runs, so "every file nothing references" would
+    /// include live data — and the sweep skips it. Backends that track
+    /// their own uploads (memory, remote mock) return the full set,
+    /// including fragments left behind by torn puts.
+    fn list_blobs(&self) -> Result<Option<Vec<BlobId>>> {
+        Ok(None)
+    }
 }
 
 /// Which [`SuspendBackend`] to install, as named by the
@@ -254,6 +265,19 @@ impl SuspendBackend for MemoryBackend {
             .cloned()
             .collect())
     }
+    fn list_blobs(&self) -> Result<Option<Vec<BlobId>>> {
+        Ok(Some(
+            self.blobs
+                .lock()
+                .iter()
+                .map(|(file, bytes)| BlobId {
+                    file: FileId(*file),
+                    len: bytes.len() as u64,
+                    checksum: fnv1a(bytes),
+                })
+                .collect(),
+        ))
+    }
 }
 
 /// A mock "remote" backend: wraps any inner backend with its **own**
@@ -276,6 +300,11 @@ pub struct RemoteMockBackend {
     /// 1-based put ordinals scripted to time out regardless of latency.
     timeout_puts: Mutex<HashSet<u64>>,
     puts: AtomicU64,
+    /// Every blob this endpoint has accepted and not yet deleted — the
+    /// remote's object listing, keyed by file id. Torn puts record the
+    /// surviving fragment too: that is precisely the unreferenced object a
+    /// real store would leak forever, and what the orphan sweep reaps.
+    uploads: Mutex<BTreeMap<u64, BlobId>>,
 }
 
 impl RemoteMockBackend {
@@ -290,6 +319,7 @@ impl RemoteMockBackend {
             latency: AtomicU64::new(0),
             timeout_puts: Mutex::new(HashSet::new()),
             puts: AtomicU64::new(0),
+            uploads: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -353,12 +383,20 @@ impl SuspendBackend for RemoteMockBackend {
             .faults
             .before_write_at(Some(("remote:put", WriteKind::Page)), bytes.len())?
         {
-            WriteOutcome::Proceed => self.inner.put_blob(bytes),
+            WriteOutcome::Proceed => {
+                let id = self.inner.put_blob(bytes)?;
+                self.uploads.lock().insert(id.file.0, id);
+                Ok(id)
+            }
             WriteOutcome::TornPrefix(keep) => {
                 // Partial upload: the prefix landed on the remote under an
                 // id nothing will ever reference (a leaked fragment), and
-                // the endpoint is dead until the injector is cleared.
-                let _ = self.inner.put_blob(&bytes[..keep]);
+                // the endpoint is dead until the injector is cleared. The
+                // fragment still shows up in the object listing, so the
+                // orphan sweep can reap it once the endpoint recovers.
+                if let Ok(id) = self.inner.put_blob(&bytes[..keep]) {
+                    self.uploads.lock().insert(id.file.0, id);
+                }
                 Err(FaultInjector::halt_error())
             }
         }
@@ -391,7 +429,9 @@ impl SuspendBackend for RemoteMockBackend {
         {
             return Err(FaultInjector::halt_error());
         }
-        self.inner.delete_blob(id)
+        self.inner.delete_blob(id)?;
+        self.uploads.lock().remove(&id.file.0);
+        Ok(())
     }
     fn read_manifest(&self, name: &str) -> Result<Option<Vec<u8>>> {
         self.faults.check_alive()?;
@@ -427,6 +467,10 @@ impl SuspendBackend for RemoteMockBackend {
     fn list_manifests(&self, prefix: &str) -> Result<Vec<String>> {
         self.faults.check_alive()?;
         self.inner.list_manifests(prefix)
+    }
+    fn list_blobs(&self) -> Result<Option<Vec<BlobId>>> {
+        self.faults.check_alive()?;
+        Ok(Some(self.uploads.lock().values().copied().collect()))
     }
 }
 
@@ -621,6 +665,25 @@ impl SuspendBackend for RobustBackend {
         names.dedup();
         Ok(names)
     }
+    fn list_blobs(&self) -> Result<Option<Vec<BlobId>>> {
+        // Union of whichever sides can enumerate; after a mid-suspend
+        // failover, orphaned fragments may sit on either one. A side that
+        // cannot enumerate (`None`) contributes nothing rather than
+        // blocking the sweep of the side that can.
+        let mut out: Option<Vec<BlobId>> = None;
+        for side in std::iter::once(self.active()).chain(self.other()) {
+            if let Ok(Some(ids)) = side.list_blobs() {
+                out.get_or_insert_with(Vec::new).extend(ids);
+            }
+        }
+        if let Some(ids) = &mut out {
+            // Dedup on full identity, not file id alone: independent sides
+            // (e.g. two memory backends) hand out overlapping id spaces.
+            ids.sort_by_key(|id| (id.file.0, id.len, id.checksum));
+            ids.dedup();
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -745,6 +808,44 @@ mod tests {
         assert!(r.put_blob(b"z").is_err(), "endpoint dead until cleared");
         r.faults().clear();
         r.put_blob(b"z").unwrap();
+    }
+
+    #[test]
+    fn remote_mock_lists_uploads_including_torn_fragments() {
+        let inner = Arc::new(MemoryBackend::new());
+        let r = RemoteMockBackend::new(inner.clone(), 11);
+        let a = r.put_blob(b"alive").unwrap();
+        r.faults().fail_write(2, WriteFault::Torn);
+        assert!(r.put_blob(&[9u8; 64]).is_err());
+        assert!(r.list_blobs().is_err(), "endpoint dead: listing fails too");
+        r.faults().clear();
+        let listed = r.list_blobs().unwrap().expect("remote enumerates");
+        assert_eq!(listed.len(), 2, "live blob + leaked fragment");
+        assert!(listed.contains(&a));
+        let frag = *listed.iter().find(|id| **id != a).unwrap();
+        assert!(frag.len < 64, "fragment is a strict prefix");
+        r.delete_blob(frag).unwrap();
+        assert_eq!(r.list_blobs().unwrap().unwrap(), vec![a]);
+        assert_eq!(inner.blob_count(), 1);
+    }
+
+    #[test]
+    fn robust_list_blobs_unions_both_sides() {
+        let remote = Arc::new(RemoteMockBackend::new(Arc::new(MemoryBackend::new()), 4));
+        let fallback = Arc::new(MemoryBackend::new());
+        let rb = RobustBackend::new(remote.clone(), Some(fallback), RESUME_BACKOFF, None);
+        let pre = rb.put_blob(b"pre").unwrap();
+        remote.timeout_put(2);
+        let post = rb.put_blob(b"post").unwrap();
+        assert!(rb.failed_over());
+        let listed = rb.list_blobs().unwrap().unwrap();
+        assert!(listed.contains(&pre) && listed.contains(&post));
+
+        // A local-disk side cannot enumerate and contributes nothing.
+        let (_d, lb, _dm) = local();
+        let rb2 = RobustBackend::new(lb, None, RESUME_BACKOFF, None);
+        rb2.put_blob(b"x").unwrap();
+        assert_eq!(rb2.list_blobs().unwrap(), None);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,20 +40,82 @@ impl std::fmt::Display for FileId {
     }
 }
 
+/// One open page file. Reads are lock-free positioned I/O against the
+/// shared descriptor; writes and truncates serialize on `write` and
+/// publish the new page count with `Release` ordering, so a reader that
+/// passes the bounds check always sees fully written extend data.
+///
+/// Coherence contract: concurrently *overwriting* a page while another
+/// thread reads that same page is not atomic (the reader may see a torn
+/// mix, which the checksum trailer rejects). No engine layer does this —
+/// table heaps are immutable during execution, sort runs are sealed
+/// before they are read, and dump blobs are write-once — and the threaded
+/// scheduler relies on same-file *reads* never serializing on each other.
 struct OpenFile {
     file: File,
-    pages: u64,
+    pages: AtomicU64,
+    write: Mutex<()>,
+}
+
+impl OpenFile {
+    fn new(file: File, pages: u64) -> Self {
+        Self {
+            file,
+            pages: AtomicU64::new(pages),
+            write: Mutex::new(()),
+        }
+    }
+
+    fn pages(&self) -> u64 {
+        self.pages.load(Ordering::Acquire)
+    }
+
+    /// Positioned read of one whole page record. On unix this takes no
+    /// lock at all; elsewhere it briefly serializes on the write lock to
+    /// share the descriptor's seek cursor safely.
+    fn read_record_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let _g = self.write.lock();
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
+
+    /// Positioned write (caller must hold the write lock).
+    fn write_record_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.write_all_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(buf)
+        }
+    }
 }
 
 /// Manages numbered page files in a database directory.
 ///
-/// The file table maps ids to individually locked handles, so I/O on
+/// The file table maps ids to shared handles whose *reads* are lock-free
+/// positioned I/O — concurrent scans of the same table never serialize on
+/// each other, which is what lets the threaded scheduler's session slices
+/// actually run in parallel. Writes serialize per file, so I/O on
 /// *different* files proceeds in parallel (the map lock is only held long
 /// enough to fetch a handle). This is what lets the suspend-dump write
 /// pipeline overlap blob writes across worker threads.
 pub struct DiskManager {
     dir: PathBuf,
-    files: Mutex<HashMap<FileId, Arc<Mutex<OpenFile>>>>,
+    files: Mutex<HashMap<FileId, Arc<OpenFile>>>,
     next_id: AtomicU64,
     ledger: CostLedger,
     /// Optional fault injector consulted before every I/O event. Page
@@ -242,14 +306,14 @@ impl DiskManager {
             .open(&path)?;
         self.files
             .lock()
-            .insert(id, Arc::new(Mutex::new(OpenFile { file, pages: 0 })));
+            .insert(id, Arc::new(OpenFile::new(file, 0)));
         Ok(id)
     }
 
-    /// Fetch (lazily reopening if needed) the lock-guarded handle for
-    /// `id`. The map lock is released before any I/O happens, so distinct
-    /// files never serialize on each other.
-    fn file_handle(&self, id: FileId) -> Result<Arc<Mutex<OpenFile>>> {
+    /// Fetch (lazily reopening if needed) the shared handle for `id`. The
+    /// map lock is released before any I/O happens, so distinct files
+    /// never serialize on each other.
+    fn file_handle(&self, id: FileId) -> Result<Arc<OpenFile>> {
         let mut files = self.files.lock();
         if let Some(h) = files.get(&id) {
             return Ok(h.clone());
@@ -268,23 +332,14 @@ impl DiskManager {
                 "{id} length {len} is not page-aligned"
             )));
         }
-        let h = Arc::new(Mutex::new(OpenFile {
-            file,
-            pages: len / PAGE_RECORD as u64,
-        }));
+        let h = Arc::new(OpenFile::new(file, len / PAGE_RECORD as u64));
         files.insert(id, h.clone());
         Ok(h)
     }
 
-    fn with_file<T>(&self, id: FileId, f: impl FnOnce(&mut OpenFile) -> Result<T>) -> Result<T> {
-        let h = self.file_handle(id)?;
-        let mut of = h.lock();
-        f(&mut of)
-    }
-
     /// Number of pages currently in `id`.
     pub fn num_pages(&self, id: FileId) -> Result<u64> {
-        self.with_file(id, |of| Ok(of.pages))
+        Ok(self.file_handle(id)?.pages())
     }
 
     /// Read page `page_no` of file `id`. Charges one page read.
@@ -296,21 +351,17 @@ impl DiskManager {
     /// of silently feeding garbage to a GoBack re-execution.
     pub fn read_page(&self, id: FileId, page_no: u64) -> Result<Page> {
         let flip = self.fault_read(PAGE_SIZE)?;
-        let (mut buf, stored) = self.with_file(id, |of| {
-            if page_no >= of.pages {
-                return Err(StorageError::invalid(format!(
-                    "read past end of {id}: page {page_no} of {}",
-                    of.pages
-                )));
-            }
-            of.file
-                .seek(SeekFrom::Start(page_no * PAGE_RECORD as u64))?;
-            let mut buf = vec![0u8; PAGE_RECORD];
-            of.file.read_exact(&mut buf)?;
-            let stored = u64::from_le_bytes(buf[PAGE_SIZE..].try_into().unwrap());
-            buf.truncate(PAGE_SIZE);
-            Ok((buf, stored))
-        })?;
+        let of = self.file_handle(id)?;
+        let pages = of.pages();
+        if page_no >= pages {
+            return Err(StorageError::invalid(format!(
+                "read past end of {id}: page {page_no} of {pages}"
+            )));
+        }
+        let mut buf = vec![0u8; PAGE_RECORD];
+        of.read_record_at(&mut buf, page_no * PAGE_RECORD as u64)?;
+        let stored = u64::from_le_bytes(buf[PAGE_SIZE..].try_into().unwrap());
+        buf.truncate(PAGE_SIZE);
         if let Some(bit) = flip {
             fault::flip_bit(&mut buf, bit);
         }
@@ -323,28 +374,32 @@ impl DiskManager {
         Ok(Page::from_bytes(&buf))
     }
 
+    /// Write one page record (caller must hold the file's write lock).
     fn write_locked(
         &self,
-        of: &mut OpenFile,
+        of: &OpenFile,
         id: FileId,
         page_no: u64,
         page: &Page,
         outcome: WriteOutcome,
     ) -> Result<()> {
-        if page_no > of.pages {
+        let pages = of.pages();
+        if page_no > pages {
             return Err(StorageError::invalid(format!(
-                "write would leave a hole in {id}: page {page_no} of {}",
-                of.pages
+                "write would leave a hole in {id}: page {page_no} of {pages}"
             )));
         }
-        of.file.seek(SeekFrom::Start(page_no * PAGE_RECORD as u64))?;
+        let offset = page_no * PAGE_RECORD as u64;
         match outcome {
             WriteOutcome::Proceed => {
-                of.file.write_all(page.bytes())?;
-                of.file
-                    .write_all(&crate::blob::fnv1a(page.bytes()).to_le_bytes())?;
-                if page_no == of.pages {
-                    of.pages += 1;
+                let mut rec = Vec::with_capacity(PAGE_RECORD);
+                rec.extend_from_slice(page.bytes());
+                rec.extend_from_slice(&crate::blob::fnv1a(page.bytes()).to_le_bytes());
+                of.write_record_at(&rec, offset)?;
+                if page_no == pages {
+                    // Release-publish the extension only after the record
+                    // landed: lock-free readers bounds-check against this.
+                    of.pages.store(pages + 1, Ordering::Release);
                 }
                 Ok(())
             }
@@ -352,7 +407,7 @@ impl DiskManager {
                 // Persist only the prefix that "hit the platter", make
                 // it durable, and report the crash. The page count is
                 // deliberately not updated: this handle is dead.
-                of.file.write_all(&page.bytes()[..keep])?;
+                of.write_record_at(&page.bytes()[..keep], offset)?;
                 let _ = of.file.sync_all();
                 Err(FaultInjector::halt_error())
             }
@@ -369,17 +424,17 @@ impl DiskManager {
     pub fn write_page(&self, id: FileId, page_no: u64, page: &Page) -> Result<()> {
         let outcome = self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Page, PAGE_SIZE)?;
         self.ledger.charge_write(1);
-        self.with_file(id, |of| {
-            let extends = page_no == of.pages;
-            if extends {
-                self.check_quota_extend()?;
-            }
-            self.write_locked(of, id, page_no, page, outcome)?;
-            if extends {
-                self.used_bytes.fetch_add(PAGE_SIZE as u64, Ordering::SeqCst);
-            }
-            Ok(())
-        })
+        let of = self.file_handle(id)?;
+        let _g = of.write.lock();
+        let extends = page_no == of.pages();
+        if extends {
+            self.check_quota_extend()?;
+        }
+        self.write_locked(&of, id, page_no, page, outcome)?;
+        if extends {
+            self.used_bytes.fetch_add(PAGE_SIZE as u64, Ordering::SeqCst);
+        }
+        Ok(())
     }
 
     /// Append a page to file `id`, returning its page number. Atomic
@@ -389,13 +444,13 @@ impl DiskManager {
     pub fn append_page(&self, id: FileId, page: &Page) -> Result<u64> {
         let outcome = self.fault_write(&format!("f{}.qsr", id.0), WriteKind::Page, PAGE_SIZE)?;
         self.ledger.charge_write(1);
-        self.with_file(id, |of| {
-            let page_no = of.pages;
-            self.check_quota_extend()?;
-            self.write_locked(of, id, page_no, page, outcome)?;
-            self.used_bytes.fetch_add(PAGE_SIZE as u64, Ordering::SeqCst);
-            Ok(page_no)
-        })
+        let of = self.file_handle(id)?;
+        let _g = of.write.lock();
+        let page_no = of.pages();
+        self.check_quota_extend()?;
+        self.write_locked(&of, id, page_no, page, outcome)?;
+        self.used_bytes.fetch_add(PAGE_SIZE as u64, Ordering::SeqCst);
+        Ok(page_no)
     }
 
     /// Delete file `id` from disk, reclaiming its bytes from the quota.
@@ -430,10 +485,8 @@ impl DiskManager {
         if let Some(fi) = self.fault_injector() {
             fi.check_alive()?;
         }
-        self.with_file(id, |of| {
-            of.file.sync_all()?;
-            Ok(())
-        })
+        self.file_handle(id)?.file.sync_all()?;
+        Ok(())
     }
 
     /// Truncate file `id` down to `pages` pages, discarding anything past
@@ -449,20 +502,21 @@ impl DiskManager {
         if let Some(fi) = self.fault_injector() {
             fi.check_alive()?;
         }
-        self.with_file(id, |of| {
-            if of.pages <= pages {
-                return Ok(());
-            }
-            let dropped = (of.pages - pages) * PAGE_SIZE as u64;
-            of.file.set_len(pages * PAGE_RECORD as u64)?;
-            of.pages = pages;
-            let _ = self
-                .used_bytes
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
-                    Some(u.saturating_sub(dropped))
-                });
-            Ok(())
-        })
+        let of = self.file_handle(id)?;
+        let _g = of.write.lock();
+        let current = of.pages();
+        if current <= pages {
+            return Ok(());
+        }
+        let dropped = (current - pages) * PAGE_SIZE as u64;
+        of.file.set_len(pages * PAGE_RECORD as u64)?;
+        of.pages.store(pages, Ordering::Release);
+        let _ = self
+            .used_bytes
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |u| {
+                Some(u.saturating_sub(dropped))
+            });
+        Ok(())
     }
 
     /// Drop the in-memory handle for `id` (the file stays on disk and can

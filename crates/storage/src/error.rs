@@ -57,6 +57,20 @@ pub enum StorageError {
         /// The budget that was exceeded.
         budget: f64,
     },
+    /// The server refused to admit a new session: preempting enough live
+    /// victims to free the session's estimated memory would cost more than
+    /// the admission price cap (or is impossible). The process is healthy
+    /// and running sessions are unaffected; the caller may queue the
+    /// session and retry after load drains. Deliberately **not** resource
+    /// pressure: admission rejection must not trip the degradation ladder
+    /// or backend failover — nothing was suspended.
+    Overloaded {
+        /// Estimated memory (in tuples) the rejected session would pin.
+        est_mem: u64,
+        /// Suspend-cost price of freeing that much memory, per
+        /// `victim_signal` over the live set (infinite when impossible).
+        price: f64,
+    },
     /// A suspend-backend operation exceeded its deadline. Unlike a
     /// transient I/O hiccup, a timeout says nothing about whether the
     /// operation landed — retrying blindly risks duplication, so the
@@ -105,6 +119,11 @@ impl fmt::Display for StorageError {
             StorageError::DeadlineExceeded { spent, budget } => write!(
                 f,
                 "deadline exceeded: spent {spent:.1} cost units against a budget of {budget:.1}"
+            ),
+            StorageError::Overloaded { est_mem, price } => write!(
+                f,
+                "overloaded: admitting a session needing {est_mem} tuples of memory \
+                 would cost {price:.1} suspend units to free"
             ),
             StorageError::BackendTimeout { what, units } => write!(
                 f,
@@ -189,6 +208,13 @@ impl StorageError {
                 | StorageError::BackendTimeout { .. }
         )
     }
+
+    /// True for [`StorageError::Overloaded`] — an admission-control
+    /// rejection the caller should queue or surface to the tenant, never
+    /// retry inline or degrade on.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, StorageError::Overloaded { .. })
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +298,23 @@ mod tests {
             e.to_string(),
             "backend timeout: put f12.qsr exceeded its deadline of 40 latency units"
         );
+    }
+
+    #[test]
+    fn overloaded_is_typed_and_not_pressure() {
+        let e = StorageError::Overloaded {
+            est_mem: 4096,
+            price: 12.5,
+        };
+        assert!(e.is_overloaded());
+        assert!(
+            !e.is_resource_pressure(),
+            "admission rejection must not trip the degradation ladder"
+        );
+        assert!(!e.is_transient());
+        assert!(!e.is_corruption());
+        assert!(e.to_string().contains("4096 tuples"), "{e}");
+        assert!(!StorageError::corrupt("rot").is_overloaded());
     }
 
     #[test]

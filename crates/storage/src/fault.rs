@@ -107,6 +107,14 @@ struct State {
     writes: u64,
     reads: u64,
     write_faults: HashMap<u64, WriteFault>,
+    /// Per-target write ordinals: how many write events each target label
+    /// (`f12.qsr`, a sidecar name, `remote:put`) has seen. Unlike the
+    /// global counter, a target's ordinal stream is unaffected by writes
+    /// to *other* targets, so faults scripted per-target stay exact under
+    /// concurrent interleaving across files.
+    target_writes: HashMap<String, u64>,
+    /// Faults scripted against the nth write event of a specific target.
+    target_write_faults: HashMap<(String, u64), WriteFault>,
     /// Read ordinals whose returned bytes get one bit flipped.
     read_flips: HashMap<u64, ()>,
     /// Read ordinals that fail with a transient error.
@@ -178,6 +186,41 @@ impl FaultInjector {
                 st.write_faults.insert(nth, f);
             }
         }
+    }
+
+    /// Script a fault against the `nth` write event *of one target label*
+    /// (1-based). Target labels are the ones carried by
+    /// [`FaultInjector::before_write_at`]: page-file names (`f12.qsr`),
+    /// sidecar names, or `remote:put`. Unlike [`FaultInjector::fail_write`],
+    /// the ordinal here counts only writes to `target`, so the script stays
+    /// exact when concurrent sessions interleave writes to other files —
+    /// the threaded stress lane relies on this. A per-target fault takes
+    /// precedence over a global-ordinal fault landing on the same event.
+    pub fn fail_write_on(&self, target: &str, nth: u64, fault: WriteFault) {
+        assert!(nth >= 1, "write ordinals are 1-based");
+        let mut st = self.state.lock();
+        match fault {
+            WriteFault::Transient(count) => {
+                for i in 0..count as u64 {
+                    st.target_write_faults
+                        .insert((target.to_string(), nth + i), WriteFault::Transient(1));
+                }
+            }
+            f => {
+                st.target_write_faults.insert((target.to_string(), nth), f);
+            }
+        }
+    }
+
+    /// Write events observed so far on one target label (including failed
+    /// ones). Targets the injector has never seen report 0.
+    pub fn writes_observed_on(&self, target: &str) -> u64 {
+        self.state
+            .lock()
+            .target_writes
+            .get(target)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Script one bit flip into the bytes returned by the `nth` read
@@ -299,7 +342,15 @@ impl FaultInjector {
         }
         st.writes += 1;
         let ordinal = st.writes;
-        match st.write_faults.remove(&ordinal) {
+        // Per-target ordinal stream: advances only for this label, so a
+        // `fail_write_on` script is immune to interleaved writes elsewhere.
+        let target_fault = event.and_then(|(target, _)| {
+            let t = st.target_writes.entry(target.to_string()).or_insert(0);
+            *t += 1;
+            let t_ord = *t;
+            st.target_write_faults.remove(&(target.to_string(), t_ord))
+        });
+        match target_fault.or_else(|| st.write_faults.remove(&ordinal)) {
             None => Ok(WriteOutcome::Proceed),
             Some(WriteFault::Crash) => {
                 st.halted = true;
@@ -522,6 +573,51 @@ mod tests {
         assert!(!e.is_transient());
         assert!(!fi.halted(), "disk pressure must not kill the process");
         assert_eq!(fi.before_write(8).unwrap(), WriteOutcome::Proceed);
+    }
+
+    #[test]
+    fn per_target_ordinals_ignore_interleaved_writes() {
+        let fi = FaultInjector::new();
+        fi.fail_write_on("a.qsr", 2, WriteFault::Permanent);
+        // Writes to other targets do not advance a.qsr's ordinal stream.
+        let w = |t: &str| fi.before_write_at(Some((t, WriteKind::Page)), 8);
+        assert!(w("b.qsr").is_ok());
+        assert!(w("a.qsr").is_ok(), "a.qsr ordinal 1 is clean");
+        assert!(w("b.qsr").is_ok());
+        assert!(w("c.qsr").is_ok());
+        let e = w("a.qsr").unwrap_err();
+        assert!(!e.is_transient(), "{e}");
+        assert!(!fi.halted());
+        assert_eq!(fi.writes_observed_on("a.qsr"), 2);
+        assert_eq!(fi.writes_observed_on("b.qsr"), 2);
+        assert_eq!(fi.writes_observed_on("never"), 0);
+    }
+
+    #[test]
+    fn per_target_fault_takes_precedence_over_global() {
+        let fi = FaultInjector::new();
+        fi.fail_write(1, WriteFault::Crash);
+        fi.fail_write_on("a.qsr", 1, WriteFault::Transient(1));
+        let e = fi
+            .before_write_at(Some(("a.qsr", WriteKind::Page)), 8)
+            .unwrap_err();
+        assert!(e.is_transient(), "per-target transient wins: {e}");
+        assert!(!fi.halted(), "the masked global crash never fires");
+        // The global ordinal has moved past 1, so the shadowed crash is inert.
+        assert_eq!(
+            fi.before_write_at(Some(("a.qsr", WriteKind::Page)), 8).unwrap(),
+            WriteOutcome::Proceed
+        );
+    }
+
+    #[test]
+    fn per_target_transient_expands_like_global() {
+        let fi = FaultInjector::new();
+        fi.fail_write_on("s", 1, WriteFault::Transient(2));
+        let w = || fi.before_write_at(Some(("s", WriteKind::SidecarWrite)), 8);
+        assert!(w().unwrap_err().is_transient());
+        assert!(w().unwrap_err().is_transient());
+        assert_eq!(w().unwrap(), WriteOutcome::Proceed);
     }
 
     #[test]

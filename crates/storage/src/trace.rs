@@ -277,6 +277,28 @@ pub enum TraceEvent {
         /// Dump blobs deleted with it.
         blobs_deleted: u64,
     },
+    /// An orphan-blob sweep ran (on recover or GC): blobs the backend
+    /// enumerated vs. blobs referenced by no retained manifest or live
+    /// delta chain that were deleted.
+    OrphanSweep {
+        /// Blobs the backend listed.
+        scanned: u64,
+        /// Unreferenced blobs deleted.
+        deleted: u64,
+    },
+    /// Admission control priced a new session against the live victim set
+    /// and refused to start it (rejected outright or parked on the queue).
+    AdmissionReject {
+        /// Requesting tenant label.
+        tenant: String,
+        /// Estimated memory demand in tuples.
+        est_mem: u64,
+        /// Suspend-cost price of freeing that much memory (infinite when
+        /// no victim combination suffices).
+        price: f64,
+        /// True when the session was queued for retry instead of rejected.
+        queued: bool,
+    },
 }
 
 /// One journal record: a sequence number, the phase active at emit time,
@@ -722,6 +744,23 @@ pub fn event_json(e: &TraceEvent) -> (&'static str, String) {
         } => (
             "RetentionGc",
             format!("{{\"generation\":{generation},\"blobs_deleted\":{blobs_deleted}}}"),
+        ),
+        TraceEvent::OrphanSweep { scanned, deleted } => (
+            "OrphanSweep",
+            format!("{{\"scanned\":{scanned},\"deleted\":{deleted}}}"),
+        ),
+        TraceEvent::AdmissionReject {
+            tenant,
+            est_mem,
+            price,
+            queued,
+        } => (
+            "AdmissionReject",
+            format!(
+                "{{\"tenant\":{},\"est_mem\":{est_mem},\"price\":{},\"queued\":{queued}}}",
+                json_string(tenant),
+                json_f64(*price)
+            ),
         ),
     }
 }

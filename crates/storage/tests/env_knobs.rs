@@ -53,7 +53,8 @@ fn numeric_knobs_parse_or_name_the_variable() {
         }
     }
 
-    // QSR_KEEP_GENERATIONS reads as usize (the retention window width).
+    // QSR_KEEP_GENERATIONS reads as usize (the retention window width),
+    // as does QSR_WORKERS (the server's slice-thread count; 0 = serial).
     let usize_table: &[Row<usize>] = &[
         ("QSR_KEEP_GENERATIONS", None, Ok(None)),
         ("QSR_KEEP_GENERATIONS", Some("1"), Ok(Some(1))),
@@ -61,6 +62,12 @@ fn numeric_knobs_parse_or_name_the_variable() {
         ("QSR_KEEP_GENERATIONS", Some("lots"), Err(())),
         ("QSR_KEEP_GENERATIONS", Some("-2"), Err(())),
         ("QSR_KEEP_GENERATIONS", Some(""), Err(())),
+        ("QSR_WORKERS", None, Ok(None)),
+        ("QSR_WORKERS", Some("0"), Ok(Some(0))),
+        ("QSR_WORKERS", Some("4"), Ok(Some(4))),
+        ("QSR_WORKERS", Some("two"), Err(())),
+        ("QSR_WORKERS", Some("-1"), Err(())),
+        ("QSR_WORKERS", Some(""), Err(())),
     ];
     for (name, raw, expected) in usize_table {
         let got = parse_env_value::<usize>(name, *raw);
@@ -79,6 +86,13 @@ fn numeric_knobs_parse_or_name_the_variable() {
         ("QSR_SCALE", Some("0.01"), Ok(Some(0.01))),
         ("QSR_SUSPEND_DEADLINE", Some("12.5s"), Err(())),
         ("QSR_SCALE", Some(""), Err(())),
+        // QSR_SLA_BUDGET: the server's uniform per-tenant suspend-cost
+        // budget, in ledger cost units.
+        ("QSR_SLA_BUDGET", None, Ok(None)),
+        ("QSR_SLA_BUDGET", Some("5000"), Ok(Some(5000.0))),
+        ("QSR_SLA_BUDGET", Some("0.5"), Ok(Some(0.5))),
+        ("QSR_SLA_BUDGET", Some("cheap"), Err(())),
+        ("QSR_SLA_BUDGET", Some(""), Err(())),
     ];
     for (name, raw, expected) in f64_table {
         let got = parse_env_value::<f64>(name, *raw);

@@ -97,6 +97,30 @@ cargo test --release -q --test oracle_sweep backend_delta_retention_chains
 cargo test --release -q -p qsr-storage --test env_knobs
 cargo run --release -p qsr-bench --bin bench_pr9
 
+# Concurrency stage: true threaded quantum slices. The seeded stress
+# lane (sessions x workers {2,4} x backend x delta, goldens delivered
+# exactly once with concurrent parking forced), the crash injected
+# mid-concurrent-suspend with registry recovery, SLA-budget rung
+# forcing with per-tenant miss accounting, admission-control
+# reject/queue/drain, and the orphan-blob sweep for torn remote puts.
+# The server binary then runs end-to-end with two slice threads, and
+# the worker-sweep bench pins workers=0 ledger bit-identity across
+# runs and writes BENCH_pr10.json (wall-clock throughput, per-tenant
+# p50/p95 slice latency, SLA-miss rate for workers in {0,1,2,4}).
+cargo test --release -q --test server_matrix \
+    threaded_stress_lane_delivers_goldens_exactly_once
+cargo test --release -q --test server_matrix \
+    crash_mid_concurrent_suspend_leaves_registry_recoverable
+cargo test --release -q --test server_matrix \
+    sla_budgets_force_cheaper_rungs_and_count_misses
+cargo test --release -q --test server_matrix \
+    admission_control_rejects_queues_and_drains
+cargo test --release -q --test delta_retention \
+    torn_remote_put_orphans_are_swept_and_resume_survives
+cargo run --release -q -p qsr-server --bin qsr-server -- \
+    --sessions 3 --quantum 1500 --max-live 1 --workers 2
+cargo run --release -p qsr-bench --bin bench_pr10
+
 # Nightly lane (opt-in: QSR_NIGHTLY=1). The full-corpus oracle matrix —
 # every scenario x config x batch combination at stride cfg.stride,
 # including the grace/multipass knob cross product — plus the paper-scale

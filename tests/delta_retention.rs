@@ -287,3 +287,67 @@ fn remote_backend_retries_transients_and_fails_over_mid_suspend() {
     out.extend(exec.run_to_completion().unwrap());
     assert_eq!(out, reference, "failover lifecycle output drifted");
 }
+
+/// The orphan-leak fault-matrix cell: a torn remote put uploads a partial
+/// fragment and then dies — no manifest will ever reference those bytes,
+/// so without a sweep they leak forever. The sweep on recover must delete
+/// exactly the unreferenced fragments (charged to the ledger), converge to
+/// zero orphans, and never touch a blob the live suspend still references.
+#[test]
+fn torn_remote_put_orphans_are_swept_and_resume_survives() {
+    let reference = reference_output();
+    let dir = TempDir::new("orphan");
+    let db = Database::open_default(&dir.0).unwrap();
+    populate(&db);
+    let local = || Arc::new(LocalDiskBackend::new(db.blobs().clone(), db.disk().clone()));
+    let remote = Arc::new(RemoteMockBackend::new(local(), 7));
+    // The second remote put tears mid-upload: a partial fragment lands
+    // durably on the endpoint, then the endpoint dies and the robust
+    // layer fails over to local disk.
+    remote.faults().fail_write(2, WriteFault::Torn);
+    let robust = Arc::new(RobustBackend::new(
+        remote.clone(),
+        Some(local()),
+        RESUME_BACKOFF,
+        Some(db.ledger().clone()),
+    ));
+    db.set_backend(robust.clone());
+
+    let mut exec = QueryExecution::start(db.clone(), plan()).unwrap();
+    exec.set_trigger(Some(SuspendTrigger::AfterOpTuples {
+        op: OpId(1),
+        n: 250,
+    }));
+    let (mut out, done) = exec.run().unwrap();
+    assert!(!done);
+    exec.suspend(&SuspendPolicy::AllDump)
+        .expect("failover must keep the suspend alive");
+    assert!(robust.failed_over());
+
+    // The endpoint comes back (its stored objects survived the outage) —
+    // which is exactly when the leaked fragment becomes reachable again.
+    remote.faults().clear();
+
+    // The torn fragment is enumerable but referenced by no manifest.
+    let listed = robust.list_blobs().unwrap().expect("remote side enumerates");
+    assert!(!listed.is_empty(), "the partial upload must be listed");
+
+    let before = db.ledger().snapshot();
+    let (scanned, deleted) = QueryExecution::sweep_orphan_blobs(&db).unwrap();
+    let after = db.ledger().snapshot();
+    assert!(scanned >= 1, "sweep must scan the listed uploads");
+    assert!(deleted >= 1, "the torn fragment must be deleted");
+    assert!(
+        after.phase_cost(Phase::Fallback) > before.phase_cost(Phase::Fallback),
+        "orphan deletes must be charged to the ledger"
+    );
+
+    // Convergence: a second sweep finds zero orphans.
+    let (_, deleted_again) = QueryExecution::sweep_orphan_blobs(&db).unwrap();
+    assert_eq!(deleted_again, 0, "sweep must converge to zero orphans");
+
+    // The live suspend's own blobs survived the sweep: resume is exact.
+    let mut exec = QueryExecution::recover(db.clone()).unwrap().unwrap();
+    out.extend(exec.run_to_completion().unwrap());
+    assert_eq!(out, reference, "sweep deleted a referenced blob");
+}

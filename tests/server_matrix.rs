@@ -14,9 +14,11 @@
 
 use qsr::core::SuspendPolicy;
 use qsr::exec::{read_manifest_named, AggFn, PlanSpec, Predicate, SuspendOptions};
-use qsr::server::{QsrServer, ServerConfig, SessionId, SessionRegistry};
+use qsr::server::{
+    Admission, AdmissionConfig, QsrServer, ServerConfig, SessionId, SessionRegistry, SlaConfig,
+};
 use qsr::storage::{
-    CostModel, Database, FaultInjector, TraceEvent, Tracer, Tuple, WriteFault,
+    BackendKind, CostModel, Database, FaultInjector, Phase, TraceEvent, Tracer, Tuple, WriteFault,
 };
 use qsr::workload::{generate_table, TableSpec};
 use std::path::PathBuf;
@@ -100,6 +102,7 @@ fn config() -> ServerConfig {
             dump_writers: 0,
             ..SuspendOptions::default()
         },
+        ..ServerConfig::default()
     }
 }
 
@@ -462,3 +465,418 @@ fn quota_pressure_sheds_lowest_priority_and_preserves_survivor() {
         "the shed must be journaled with the victim's identity and priority"
     );
 }
+
+/// Nightly widening knob: `QSR_NIGHTLY=1` runs the stress lanes at full
+/// width (more workers, more repetitions, the full crash-ordinal sweep).
+fn nightly() -> bool {
+    std::env::var("QSR_NIGHTLY").ok().as_deref() == Some("1")
+}
+
+/// A server with `n` sessions (cycling the three plan shapes) over the
+/// given backend, worker count, and delta setting — the threaded stress
+/// lane's parameterized builder. The backend installs before any
+/// admission so registry sidecars and suspend state share one store.
+fn build_server_mt(
+    tag: &str,
+    n: usize,
+    backend: BackendKind,
+    workers: usize,
+    delta: bool,
+) -> (TempDir, Arc<Database>, QsrServer) {
+    let dir = TempDir::new(tag);
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    db.install_backend(backend);
+    let mut cfg = config();
+    cfg.workers = workers;
+    cfg.options.delta = Some(delta);
+    let mut server = QsrServer::new(db.clone(), cfg);
+    let all = plans();
+    for i in 0..n {
+        let tenant = if i % 2 == 0 { "tenant-a" } else { "tenant-b" };
+        server
+            .admit(tenant, PRIORITIES[i % 3], &all[i % 3])
+            .unwrap();
+    }
+    (dir, db, server)
+}
+
+/// The seeded multi-threaded stress lane: N sessions × workers {2,4} ×
+/// backend {local,memory} × delta {off,on}. Threaded schedules interleave
+/// suspends, resumes, and ladder descents arbitrarily, so the invariant
+/// is output equality: every session must deliver its uninterrupted
+/// golden bit-exactly, exactly once, with suspends matched by resumes.
+#[test]
+fn threaded_stress_lane_delivers_goldens_exactly_once() {
+    let goldens = goldens();
+    let reps = if nightly() { 3 } else { 1 };
+    let sessions = if nightly() { 6 } else { 4 };
+    for workers in [2usize, 4] {
+        for backend in [BackendKind::Local, BackendKind::Memory] {
+            for delta in [false, true] {
+                for rep in 0..reps {
+                    let what =
+                        format!("workers={workers} backend={backend:?} delta={delta} rep={rep}");
+                    let (_dir, _db, mut server) = build_server_mt(
+                        &format!("mt-{workers}-{delta}-{rep}"),
+                        sessions,
+                        backend,
+                        workers,
+                        delta,
+                    );
+                    server
+                        .run_to_completion()
+                        .unwrap_or_else(|e| panic!("{what}: threaded run failed: {e}"));
+                    let mut preempted = 0;
+                    for (i, s) in server.sessions().iter().enumerate() {
+                        assert!(s.is_finished(), "{what}: session {} must finish", i + 1);
+                        assert_eq!(
+                            s.collected,
+                            goldens[i % 3],
+                            "{what}: session {} output diverges from its golden",
+                            i + 1
+                        );
+                        assert_eq!(
+                            s.fairness.suspends, s.fairness.resumes,
+                            "{what}: session {} suspends must match resumes",
+                            i + 1
+                        );
+                        preempted += s.fairness.suspends;
+                    }
+                    assert!(
+                        preempted > 0,
+                        "{what}: more sessions than workers must force concurrent parking"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Crash injected mid-concurrent-suspend: with two workers parking
+/// sessions simultaneously, a halting fault at an arbitrary interleaved
+/// write ordinal must still leave every session's manifest with exactly
+/// one valid generation, the registry recoverable, and post-recovery
+/// output an exact golden suffix (the exactly-once watermark).
+#[test]
+fn crash_mid_concurrent_suspend_leaves_registry_recoverable() {
+    let goldens = goldens();
+    let clean_writes = {
+        let (_dir, db, mut server) =
+            build_server_mt("mtc-dry", 4, BackendKind::Local, 2, false);
+        let fi = Arc::new(FaultInjector::seeded(0));
+        db.disk().set_fault_injector(Some(fi.clone()));
+        server.run_to_completion().unwrap();
+        fi.writes_observed()
+    };
+    assert!(clean_writes > 0, "threaded run must issue suspend writes");
+    let ordinals: Vec<u64> = if nightly() {
+        (1..=clean_writes).collect()
+    } else {
+        [1, 2, 3, 5, 8, 13, 21, 34, 55]
+            .into_iter()
+            .filter(|k| *k <= clean_writes)
+            .collect()
+    };
+    for k in ordinals {
+        let what = format!("crash at threaded write {k}");
+        let (dir, db, mut server) =
+            build_server_mt(&format!("mtc-{k}"), 4, BackendKind::Local, 2, false);
+        let fi = Arc::new(FaultInjector::seeded(0xBEEF + k));
+        fi.fail_write(k, WriteFault::Crash);
+        db.disk().set_fault_injector(Some(fi.clone()));
+        let outcome = server.run_to_completion();
+        if !fi.halted() {
+            // Interleaving pushed this ordinal past the run's writes; the
+            // run must then have completed cleanly.
+            outcome.unwrap_or_else(|e| panic!("{what}: unhalted run errored: {e}"));
+            continue;
+        }
+        assert!(outcome.is_err(), "{what}: the crash must surface");
+
+        // Process death: recover from the directory alone.
+        drop(server);
+        drop(db);
+        let db = Database::open_default(&dir.0).unwrap();
+        for id in 1..=4u64 {
+            let name = SessionRegistry::manifest_name(SessionId(id));
+            read_manifest_named(&db, &name)
+                .unwrap_or_else(|e| panic!("{what}: session {id} manifest unreadable: {e}"));
+        }
+        // Finish deterministically (workers = 0): the invariant under
+        // test is recoverability, not the threaded schedule.
+        let mut server = QsrServer::recover(db, config())
+            .unwrap_or_else(|e| panic!("{what}: registry recovery failed: {e}"));
+        server
+            .run_to_completion()
+            .unwrap_or_else(|e| panic!("{what}: post-recovery run failed: {e}"));
+        for s in server.sessions() {
+            let golden = &goldens[((s.meta.id - 1) % 3) as usize];
+            assert!(s.is_finished(), "{what}: session {} must finish", s.meta.id);
+            assert!(
+                golden.ends_with(&s.collected),
+                "{what}: session {} recovered output is not a golden suffix \
+                 ({} tuples vs golden {})",
+                s.meta.id,
+                s.collected.len(),
+                golden.len()
+            );
+        }
+    }
+}
+
+/// The resume-cost mis-attribution fix, pinned with exact per-session
+/// totals: a NoSpace on the first preemption write forces the victim's
+/// suspend down the degradation ladder. The rung>0 fallback I/O is the
+/// price of the *preemptor's* demand for the live slot — it must land on
+/// the preempting session's `preempt_fallback_cost`, exactly, and never
+/// on the victim's own park cost.
+#[test]
+fn rung_fallback_io_is_attributed_to_the_preemptor_exactly() {
+    // Pure BlockNlj plans: execution writes nothing, so write ordinal 1
+    // is deterministically the first preemption's first suspend write.
+    let nlj = |cutoff: i64| PlanSpec::BlockNlj {
+        outer: Box::new(PlanSpec::Filter {
+            input: Box::new(PlanSpec::TableScan { table: "r".into() }),
+            predicate: Predicate::IntLt { col: 1, value: cutoff },
+        }),
+        inner: Box::new(PlanSpec::TableScan { table: "s".into() }),
+        outer_key: 0,
+        inner_key: 0,
+        buffer_tuples: 100,
+    };
+    let golden = |cutoff: i64| {
+        let dir = TempDir::new("attr-golden");
+        let db = Database::open_default(&dir.0).unwrap();
+        populate(&db);
+        let mut exec = qsr::exec::QueryExecution::start(db, nlj(cutoff)).unwrap();
+        exec.run_to_completion().unwrap()
+    };
+
+    let dir = TempDir::new("attr");
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    let mut server = QsrServer::new(
+        db.clone(),
+        ServerConfig {
+            quantum: 1_000,
+            max_live: 1,
+            ..config()
+        },
+    );
+    server.admit("premium", 5, &nlj(500)).unwrap();
+    server.admit("basic", 1, &nlj(300)).unwrap();
+
+    let fi = Arc::new(FaultInjector::seeded(0xA77));
+    fi.fail_write(1, WriteFault::NoSpace);
+    db.disk().set_fault_injector(Some(fi.clone()));
+    let before = db.ledger().snapshot();
+    server.run_round().unwrap();
+    let after = db.ledger().snapshot();
+    let fallback = after.phase_cost(Phase::Fallback) - before.phase_cost(Phase::Fallback);
+    let suspend = after.phase_cost(Phase::Suspend) - before.phase_cost(Phase::Suspend);
+    assert!(
+        fallback > 0.0,
+        "NoSpace on the first suspend write must descend the ladder and spend fallback I/O"
+    );
+
+    let victim = &server.sessions()[0].fairness;
+    let preemptor = &server.sessions()[1].fairness;
+    assert_eq!(victim.suspends, 1, "round 1 preempts the first session once");
+    assert_eq!(
+        victim.suspend_cost.iter().sum::<f64>(),
+        suspend,
+        "the victim's park cost is exactly the round's Suspend-phase delta"
+    );
+    assert_eq!(
+        preemptor.preempt_fallback_cost, fallback,
+        "the ladder's fallback I/O must land on the preemptor, exactly"
+    );
+    assert_eq!(
+        victim.preempt_fallback_cost, 0.0,
+        "the victim must not be billed for the preemptor's ladder descent"
+    );
+    assert_eq!(
+        preemptor.suspend_cost.iter().sum::<f64>(),
+        0.0,
+        "the preemptor parked nothing this round"
+    );
+
+    // The mis-attribution fix must not cost correctness: finish the run
+    // and check both goldens.
+    db.disk().set_fault_injector(None);
+    server.run_to_completion().unwrap();
+    assert_eq!(server.sessions()[0].collected, golden(500));
+    assert_eq!(server.sessions()[1].collected, golden(300));
+}
+
+/// Admission control prices a new session's estimated memory against the
+/// live victim set: a typed `Overloaded` rejection when preempting room
+/// would cost too much, a parked queue entry (drained as load drains)
+/// when queueing is on — and the queued session still runs to its exact
+/// golden.
+#[test]
+fn admission_control_rejects_queues_and_drains() {
+    let goldens = goldens();
+    // One session, one live slot: after a round the sort-over-join is
+    // live *mid-flight*, deep enough that its victim signal — the root-LP
+    // suspend estimate — prices dumping real buffered state (a fresh or
+    // finished session would price 0.0 and admit anything).
+    let dir = TempDir::new("admit");
+    let db = Database::open_with_pool(&dir.0, CostModel::default(), 0).unwrap();
+    populate(&db);
+    db.pool().flush_all().unwrap();
+    let mut server = QsrServer::new(db.clone(), config());
+    server.admit("tenant-a", 5, &plans()[0]).unwrap();
+    server.run_round().unwrap();
+    let demand = plans()[1].estimated_mem_tuples();
+    assert!(demand > 0, "the newcomer must have a real memory estimate");
+
+    // Hard-reject mode: zero budget means room only comes from preempting
+    // the live victim, and a zero price ceiling makes every preemption
+    // too expensive.
+    server.config_mut().admission = Some(AdmissionConfig {
+        memory_budget: 0,
+        max_price: 0.0,
+        queue: false,
+    });
+    let before = server.sessions().len();
+    let err = server.try_admit("tenant-c", 1, &plans()[1]).unwrap_err();
+    assert!(
+        err.is_overloaded(),
+        "rejection must be the typed Overloaded error, got {err}"
+    );
+    assert!(
+        !err.is_resource_pressure(),
+        "admission rejection must not read as ladder pressure"
+    );
+    assert_eq!(
+        server.sessions().len(),
+        before,
+        "a rejected session must not be admitted"
+    );
+
+    // Queue mode: a budget that fits the newcomer alone (but not beside
+    // the live sort) parks it; the scheduler re-prices it each round and
+    // admits it once the sort finishes, and it still runs to golden.
+    server.config_mut().admission = Some(AdmissionConfig {
+        memory_budget: demand,
+        max_price: 0.0,
+        queue: true,
+    });
+    assert_eq!(
+        server.try_admit("tenant-c", 1, &plans()[1]).unwrap(),
+        Admission::Queued
+    );
+    assert_eq!(server.queued_admissions(), 1);
+    server.run_to_completion().unwrap();
+    assert_eq!(server.queued_admissions(), 0, "the queue must drain");
+    let late = server
+        .sessions()
+        .iter()
+        .find(|s| s.meta.tenant == "tenant-c")
+        .expect("the queued session must eventually be admitted");
+    assert!(late.is_finished());
+    assert_eq!(
+        late.collected, goldens[1],
+        "a drained admission must still deliver its exact golden"
+    );
+    assert_eq!(
+        server.sessions()[0].collected,
+        goldens[0],
+        "the incumbent the newcomer was priced against must stay bit-exact"
+    );
+}
+
+/// SLA budgets derive per-preemption suspend deadlines: a tenant whose
+/// budget is tiny forces the ladder to admission-skip unaffordable rungs,
+/// which counts SLA misses — without ever costing output correctness.
+#[test]
+fn sla_budgets_force_cheaper_rungs_and_count_misses() {
+    let goldens = goldens();
+
+    // Generous budgets: every preemption fits its deadline, zero misses.
+    let (_dir, _db, mut server) = build_server("sla-rich");
+    server.config_mut().sla = Some(SlaConfig::uniform(1e9));
+    server.run_to_completion().unwrap();
+    for (i, s) in server.sessions().iter().enumerate() {
+        assert_eq!(s.collected, goldens[i]);
+        assert_eq!(
+            s.fairness.sla_misses, 0,
+            "session {}: a generous budget must never miss",
+            i + 1
+        );
+    }
+
+    // Starved budgets: once a tenant's spend exhausts its budget the
+    // derived deadline hits 0 — rungs are admission-skipped (counted as
+    // misses) and suspends that cannot fit any rung fail as pressure,
+    // walking the server shedding ladder. Degradation may cost *service*
+    // (sheds), never correctness: every finished session is bit-exact.
+    let (_dir, _db, mut server) = build_server("sla-poor");
+    server.config_mut().sla = Some(SlaConfig::uniform(0.5));
+    server.run_to_completion().unwrap();
+    let misses: u64 = server
+        .sessions()
+        .iter()
+        .map(|s| s.fairness.sla_misses)
+        .sum();
+    assert!(
+        misses > 0,
+        "a starved budget must force below-requested-rung preemptions"
+    );
+    let top = &server.sessions()[0];
+    assert!(
+        top.is_finished(),
+        "the highest-priority session must survive SLA starvation"
+    );
+    for (i, s) in server.sessions().iter().enumerate() {
+        if s.is_shed() {
+            assert!(
+                s.collected.is_empty(),
+                "session {}: shed output must be discarded",
+                i + 1
+            );
+            continue;
+        }
+        assert!(s.is_finished(), "session {} must finish or shed", i + 1);
+        assert_eq!(
+            s.collected,
+            goldens[i],
+            "session {}: SLA degradation must never cost correctness",
+            i + 1
+        );
+    }
+
+    // Per-tenant override: the rich tenant never misses or sheds; the
+    // zero-budget tenant's first preemption already derives a 0.0
+    // deadline, so its requested rung is always admission-skipped — it
+    // pays in misses (and possibly in being shed).
+    let (_dir, _db, mut server) = build_server("sla-mixed");
+    server.config_mut().sla = Some(SlaConfig {
+        default_budget: 1e9,
+        tenants: vec![("tenant-b".to_string(), 0.0)],
+    });
+    server.run_to_completion().unwrap();
+    let mut starved_paid = false;
+    for (i, s) in server.sessions().iter().enumerate() {
+        if s.meta.tenant == "tenant-a" {
+            assert!(s.is_finished(), "session {}: rich tenant must finish", i + 1);
+            assert_eq!(s.collected, goldens[i]);
+            assert_eq!(
+                s.fairness.sla_misses, 0,
+                "session {}: the rich tenant must not miss",
+                i + 1
+            );
+        } else if s.is_shed() || s.fairness.sla_misses > 0 {
+            starved_paid = true;
+        }
+    }
+    assert!(
+        starved_paid,
+        "the starved tenant must pay in misses or shedding"
+    );
+}
+
